@@ -1,0 +1,176 @@
+//! Architectural fault conditions.
+//!
+//! Every checked operation on the object space reports failures through
+//! [`ArchError`]. On the real 432 these conditions raise *context-level* or
+//! *process-level faults*; the GDP layer (`i432-gdp`) maps them onto its
+//! fault machinery, and iMAX in turn delivers faulted processes to fault
+//! ports.
+
+use crate::{level::Level, refs::ObjectIndex, rights::Rights};
+use std::fmt;
+
+/// Result alias used across the architectural layer.
+pub type ArchResult<T> = Result<T, ArchError>;
+
+/// An architectural protection or consistency violation.
+///
+/// These correspond to the fault conditions the 432 hardware detects while
+/// qualifying an access descriptor or while reading/writing a segment part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// An object-table index was out of range.
+    BadIndex(ObjectIndex),
+    /// An object-table entry was addressed through a stale reference (the
+    /// segment was reclaimed and its descriptor reused). On real hardware
+    /// this cannot occur for correct software because reclamation is gated
+    /// on garbage collection; the emulator detects it instead of exhibiting
+    /// undefined behaviour.
+    StaleRef(ObjectIndex),
+    /// The entry exists but is on the free list (never allocated or already
+    /// reclaimed).
+    FreeEntry(ObjectIndex),
+    /// An operation required rights the access descriptor does not carry.
+    RightsViolation {
+        /// Rights the operation needed.
+        needed: Rights,
+        /// Rights the descriptor carried.
+        held: Rights,
+    },
+    /// An access descriptor for a shorter-lived object was about to be
+    /// stored into a longer-lived object (paper §5: "an access for an object
+    /// may never be stored into an object with a lower (more global) level
+    /// number").
+    LevelViolation {
+        /// Level of the object the descriptor designates.
+        stored: Level,
+        /// Level of the object that would have held the descriptor.
+        container: Level,
+    },
+    /// A data-part access was out of bounds.
+    DataBounds {
+        /// Byte offset of the access.
+        offset: u32,
+        /// Length of the access in bytes.
+        len: u32,
+        /// Data-part length of the object.
+        part_len: u32,
+    },
+    /// An access-part access was out of bounds.
+    AccessBounds {
+        /// Slot index of the access.
+        slot: u32,
+        /// Access-part length of the object in slots.
+        part_len: u32,
+    },
+    /// An access-descriptor slot was read but holds no descriptor.
+    NullAccess {
+        /// The slot that was empty.
+        slot: u32,
+    },
+    /// A segment part exceeding the architectural maximum was requested.
+    PartTooLarge {
+        /// Requested size (bytes for data parts, slots for access parts).
+        requested: u32,
+        /// Architectural maximum for that part.
+        max: u32,
+    },
+    /// The object is not of the system type the operation requires (e.g. a
+    /// SEND applied to a non-port object).
+    TypeMismatch {
+        /// Human-readable name of the expected type.
+        expected: &'static str,
+    },
+    /// The underlying arena has no free storage for the request. On the 432
+    /// this surfaces as a storage-resource fault handled by iMAX memory
+    /// management.
+    ArenaExhausted {
+        /// Bytes or slots requested.
+        requested: u32,
+    },
+    /// The object table itself is full.
+    TableExhausted,
+    /// The referenced segment is currently swapped out (second-release
+    /// virtual-memory support); the faulting process must wait for iMAX to
+    /// swap it back in.
+    SegmentAbsent(ObjectIndex),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::BadIndex(i) => write!(f, "object index {i} out of range"),
+            ArchError::StaleRef(i) => write!(f, "stale reference to reused object entry {i}"),
+            ArchError::FreeEntry(i) => write!(f, "reference to free object entry {i}"),
+            ArchError::RightsViolation { needed, held } => {
+                write!(f, "rights violation: need {needed}, hold {held}")
+            }
+            ArchError::LevelViolation { stored, container } => write!(
+                f,
+                "level violation: cannot store access for level-{stored} object \
+                 into level-{container} object"
+            ),
+            ArchError::DataBounds {
+                offset,
+                len,
+                part_len,
+            } => write!(
+                f,
+                "data access [{offset}, {offset}+{len}) exceeds part length {part_len}"
+            ),
+            ArchError::AccessBounds { slot, part_len } => {
+                write!(f, "access slot {slot} exceeds part length {part_len}")
+            }
+            ArchError::NullAccess { slot } => write!(f, "access slot {slot} is null"),
+            ArchError::PartTooLarge { requested, max } => {
+                write!(f, "segment part of {requested} exceeds architectural max {max}")
+            }
+            ArchError::TypeMismatch { expected } => {
+                write!(f, "object is not of system type {expected}")
+            }
+            ArchError::ArenaExhausted { requested } => {
+                write!(f, "storage arena exhausted (requested {requested})")
+            }
+            ArchError::TableExhausted => write!(f, "object table exhausted"),
+            ArchError::SegmentAbsent(i) => write!(f, "segment {i} is swapped out"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArchError::RightsViolation {
+            needed: Rights::WRITE,
+            held: Rights::READ,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rights violation"), "{s}");
+    }
+
+    #[test]
+    fn level_violation_mentions_both_levels() {
+        let e = ArchError::LevelViolation {
+            stored: Level(3),
+            container: Level(1),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1'), "{s}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ArchError::TableExhausted,
+            ArchError::TableExhausted,
+        );
+        assert_ne!(
+            ArchError::TableExhausted,
+            ArchError::ArenaExhausted { requested: 1 },
+        );
+    }
+}

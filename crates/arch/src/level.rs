@@ -1,0 +1,131 @@
+//! Level numbers: the 432's encoding of relative object lifetime.
+//!
+//! Paper §5: "Each object in the 432 has associated with it a level number
+//! which indicates the dynamic depth at which it is logically defined. ...
+//! The hardware ensures that an access for an object may never be stored
+//! into an object with a lower (more global) level number. The level
+//! numbers may be viewed as an indication of relative lifetime, where
+//! objects at level 0 are called *global* and exist forever while objects
+//! with higher level numbers are called *local* and have progressively
+//! shorter lifetimes."
+//!
+//! This single rule is what lets iMAX destroy a local heap (and every
+//! object allocated from it) at scope exit *without leaving dangling
+//! references*: no access descriptor for a local object can have escaped
+//! into a longer-lived object.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The lifetime level of an object.
+///
+/// Level 0 is *global* (infinite lifetime); each deeper dynamic scope gets
+/// a level one higher than its caller. Ordering follows the numeric value:
+/// `Level(0) < Level(1)` means level 0 is *more global / longer lived*.
+///
+/// # Examples
+///
+/// ```
+/// use i432_arch::Level;
+///
+/// // A global container may hold accesses only for global objects.
+/// assert!(Level::GLOBAL.may_hold(Level::GLOBAL));
+/// assert!(!Level::GLOBAL.may_hold(Level(3)));
+/// // A deep frame may hold accesses for anything at least as long-lived.
+/// assert!(Level(5).may_hold(Level(2)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Level(pub u16);
+
+impl Level {
+    /// The global level: objects that exist forever (until unreachable).
+    pub const GLOBAL: Level = Level(0);
+
+    /// True when an object at this level may *hold* (store in its access
+    /// part) an access descriptor for an object at `target` level.
+    ///
+    /// Storing is legal exactly when the target is at least as long-lived
+    /// as the container: `target <= self`.
+    #[inline]
+    pub const fn may_hold(self, target: Level) -> bool {
+        target.0 <= self.0
+    }
+
+    /// The level of a callee's context given this caller level (paper §5:
+    /// "Each context object ... has a level one greater than that of its
+    /// caller"). Saturates at `u16::MAX`, which in practice means call
+    /// depth has long since exhausted storage.
+    #[inline]
+    pub const fn deeper(self) -> Level {
+        Level(self.0.saturating_add(1))
+    }
+
+    /// True for level 0.
+    #[inline]
+    pub const fn is_global(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn global_holds_only_global() {
+        assert!(Level::GLOBAL.may_hold(Level::GLOBAL));
+        assert!(!Level::GLOBAL.may_hold(Level(1)));
+    }
+
+    #[test]
+    fn local_holds_global_and_peers() {
+        let l3 = Level(3);
+        assert!(l3.may_hold(Level::GLOBAL));
+        assert!(l3.may_hold(Level(3)));
+        assert!(l3.may_hold(Level(1)));
+        assert!(!l3.may_hold(Level(4)));
+    }
+
+    #[test]
+    fn deeper_increments_and_saturates() {
+        assert_eq!(Level(0).deeper(), Level(1));
+        assert_eq!(Level(u16::MAX).deeper(), Level(u16::MAX));
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(Level(0) < Level(1));
+        assert!(Level(7) > Level(2));
+    }
+
+    proptest! {
+        /// may_hold is exactly the `<=` relation on levels, hence a total
+        /// preorder: reflexive and transitive.
+        #[test]
+        fn may_hold_is_reflexive_transitive(a in 0u16..100, b in 0u16..100, c in 0u16..100) {
+            let (a, b, c) = (Level(a), Level(b), Level(c));
+            prop_assert!(a.may_hold(a));
+            if a.may_hold(b) && b.may_hold(c) {
+                prop_assert!(a.may_hold(c));
+            }
+        }
+
+        /// A deeper frame can hold everything its caller could.
+        #[test]
+        fn deeper_frames_hold_superset(container in 0u16..1000, target in 0u16..1000) {
+            let (container, target) = (Level(container), Level(target));
+            if container.may_hold(target) {
+                prop_assert!(container.deeper().may_hold(target));
+            }
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Physical storage arenas and the free-list primitive used to carve them.
+//!
+//! The emulator models the 432's physical memory as two flat arenas: a byte
+//! arena for data parts and a slot arena for access parts. Keeping access
+//! descriptors in their own typed arena reproduces the hardware guarantee
+//! that capabilities can never be forged from raw bytes, while preserving
+//! real allocation behaviour (fragmentation, coalescing, compaction) in
+//! both arenas.
+//!
+//! [`FreeList`] is the carving primitive shared by storage resource
+//! objects; iMAX's storage managers (`imax-storage`) build allocation
+//! policy on top of it.
+
+use crate::{error::ArchError, error::ArchResult, refs::AccessDescriptor};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of free space: `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    /// First free unit.
+    pub base: u32,
+    /// Number of free units.
+    pub len: u32,
+}
+
+impl Run {
+    /// End of the run (exclusive).
+    #[inline]
+    pub const fn end(self) -> u32 {
+        self.base + self.len
+    }
+}
+
+/// Allocation fit policy for a free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FitPolicy {
+    /// Take the first run large enough (fast, the 432's SRO behaviour).
+    #[default]
+    FirstFit,
+    /// Take the smallest run large enough (less external fragmentation,
+    /// more search).
+    BestFit,
+}
+
+/// An ordered, coalescing free list over an abstract unit space.
+///
+/// Invariants (checked by `debug_assert` and by property tests):
+/// * runs are sorted by base and non-overlapping;
+/// * adjacent runs are always coalesced (no two runs touch);
+/// * every run has non-zero length.
+///
+/// # Examples
+///
+/// ```
+/// use i432_arch::FreeList;
+///
+/// let mut fl = FreeList::new(0, 100);
+/// let a = fl.allocate(30).unwrap();
+/// let b = fl.allocate(30).unwrap();
+/// fl.release(a, 30).unwrap();
+/// fl.release(b, 30).unwrap();
+/// assert_eq!(fl.largest_free(), 100); // fully coalesced again
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeList {
+    runs: Vec<Run>,
+    policy: FitPolicy,
+    total_free: u32,
+}
+
+impl FreeList {
+    /// A free list covering `[base, base + len)`.
+    pub fn new(base: u32, len: u32) -> FreeList {
+        let runs = if len == 0 {
+            Vec::new()
+        } else {
+            vec![Run { base, len }]
+        };
+        FreeList {
+            runs,
+            policy: FitPolicy::FirstFit,
+            total_free: len,
+        }
+    }
+
+    /// An empty free list (everything allocated / nothing owned).
+    pub fn empty() -> FreeList {
+        FreeList::new(0, 0)
+    }
+
+    /// Sets the fit policy used by [`FreeList::allocate`].
+    pub fn with_policy(mut self, policy: FitPolicy) -> FreeList {
+        self.policy = policy;
+        self
+    }
+
+    /// Total free units.
+    #[inline]
+    pub fn total_free(&self) -> u32 {
+        self.total_free
+    }
+
+    /// Size of the largest single run (0 when empty). Allocation of `n`
+    /// succeeds iff `n <= largest_free()` — external fragmentation can make
+    /// this smaller than [`FreeList::total_free`].
+    pub fn largest_free(&self) -> u32 {
+        self.runs.iter().map(|r| r.len).max().unwrap_or(0)
+    }
+
+    /// Number of distinct free runs (a fragmentation indicator).
+    #[inline]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Iterates the free runs in address order.
+    pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
+        self.runs.iter().copied()
+    }
+
+    /// Allocates `len` contiguous units, returning their base.
+    ///
+    /// Zero-length allocations succeed and return base 0 without consuming
+    /// space (zero-length segment parts are legal on the 432).
+    pub fn allocate(&mut self, len: u32) -> ArchResult<u32> {
+        if len == 0 {
+            return Ok(0);
+        }
+        let pick = match self.policy {
+            FitPolicy::FirstFit => self.runs.iter().position(|r| r.len >= len),
+            FitPolicy::BestFit => self
+                .runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.len >= len)
+                .min_by_key(|(_, r)| r.len)
+                .map(|(i, _)| i),
+        };
+        let Some(i) = pick else {
+            return Err(ArchError::ArenaExhausted { requested: len });
+        };
+        let run = self.runs[i];
+        let base = run.base;
+        if run.len == len {
+            self.runs.remove(i);
+        } else {
+            self.runs[i] = Run {
+                base: run.base + len,
+                len: run.len - len,
+            };
+        }
+        self.total_free -= len;
+        self.check_invariants();
+        Ok(base)
+    }
+
+    /// Returns `[base, base + len)` to the free list, coalescing with
+    /// neighbours. Zero-length releases are no-ops.
+    ///
+    /// Releasing a range that overlaps free space indicates a double free;
+    /// it is reported as [`ArchError::ArenaExhausted`]'s dual — we reuse
+    /// `DataBounds` to flag the inconsistent range.
+    pub fn release(&mut self, base: u32, len: u32) -> ArchResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        // Find insertion point by base.
+        let pos = self.runs.partition_point(|r| r.base < base);
+        // Overlap checks against neighbours.
+        if pos > 0 && self.runs[pos - 1].end() > base {
+            return Err(ArchError::DataBounds {
+                offset: base,
+                len,
+                part_len: self.runs[pos - 1].end(),
+            });
+        }
+        if pos < self.runs.len() && base + len > self.runs[pos].base {
+            return Err(ArchError::DataBounds {
+                offset: base,
+                len,
+                part_len: self.runs[pos].base,
+            });
+        }
+        // Coalesce with left and/or right neighbour.
+        let merges_left = pos > 0 && self.runs[pos - 1].end() == base;
+        let merges_right = pos < self.runs.len() && base + len == self.runs[pos].base;
+        match (merges_left, merges_right) {
+            (true, true) => {
+                self.runs[pos - 1].len += len + self.runs[pos].len;
+                self.runs.remove(pos);
+            }
+            (true, false) => self.runs[pos - 1].len += len,
+            (false, true) => {
+                self.runs[pos].base = base;
+                self.runs[pos].len += len;
+            }
+            (false, false) => self.runs.insert(pos, Run { base, len }),
+        }
+        self.total_free += len;
+        self.check_invariants();
+        Ok(())
+    }
+
+    /// Donates a fresh region to the free list (used when an SRO is given
+    /// a slice of its parent's space).
+    pub fn donate(&mut self, base: u32, len: u32) -> ArchResult<()> {
+        self.release(base, len)
+    }
+
+    fn check_invariants(&self) {
+        debug_assert!(self.runs.iter().all(|r| r.len > 0));
+        debug_assert!(self
+            .runs
+            .windows(2)
+            .all(|w| w[0].end() < w[1].base || (w[0].end() <= w[1].base)));
+        debug_assert!(
+            self.runs.windows(2).all(|w| w[0].end() < w[1].base),
+            "adjacent runs must be coalesced: {:?}",
+            self.runs
+        );
+        debug_assert_eq!(
+            self.total_free,
+            self.runs.iter().map(|r| r.len).sum::<u32>()
+        );
+    }
+}
+
+/// The flat byte arena holding every data part.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataArena {
+    bytes: Vec<u8>,
+}
+
+impl DataArena {
+    /// An arena of `size` bytes, zero-initialized.
+    pub fn new(size: u32) -> DataArena {
+        DataArena {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Arena capacity in bytes.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Reads `buf.len()` bytes starting at absolute offset `at`.
+    pub fn read(&self, at: u32, buf: &mut [u8]) -> ArchResult<()> {
+        let end = at as usize + buf.len();
+        if end > self.bytes.len() {
+            return Err(ArchError::DataBounds {
+                offset: at,
+                len: buf.len() as u32,
+                part_len: self.size(),
+            });
+        }
+        buf.copy_from_slice(&self.bytes[at as usize..end]);
+        Ok(())
+    }
+
+    /// Writes `buf` starting at absolute offset `at`.
+    pub fn write(&mut self, at: u32, buf: &[u8]) -> ArchResult<()> {
+        let end = at as usize + buf.len();
+        if end > self.bytes.len() {
+            return Err(ArchError::DataBounds {
+                offset: at,
+                len: buf.len() as u32,
+                part_len: self.size(),
+            });
+        }
+        self.bytes[at as usize..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Reads a little-endian 64-bit word at absolute offset `at`.
+    pub fn read_u64(&self, at: u32) -> ArchResult<u64> {
+        let mut b = [0u8; 8];
+        self.read(at, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian 64-bit word at absolute offset `at`.
+    pub fn write_u64(&mut self, at: u32, v: u64) -> ArchResult<()> {
+        self.write(at, &v.to_le_bytes())
+    }
+
+    /// Zero-fills `[at, at + len)` — used when a fresh segment is carved
+    /// (the 432 creation instruction delivers zeroed segments).
+    pub fn zero(&mut self, at: u32, len: u32) -> ArchResult<()> {
+        let end = at as usize + len as usize;
+        if end > self.bytes.len() {
+            return Err(ArchError::DataBounds {
+                offset: at,
+                len,
+                part_len: self.size(),
+            });
+        }
+        self.bytes[at as usize..end].fill(0);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (used by compaction and by
+    /// the swapping manager). Ranges may not overlap.
+    pub fn copy_within(&mut self, src: u32, dst: u32, len: u32) -> ArchResult<()> {
+        let (src, dst, len) = (src as usize, dst as usize, len as usize);
+        if src + len > self.bytes.len() || dst + len > self.bytes.len() {
+            return Err(ArchError::DataBounds {
+                offset: src.max(dst) as u32,
+                len: len as u32,
+                part_len: self.size(),
+            });
+        }
+        self.bytes.copy_within(src..src + len, dst);
+        Ok(())
+    }
+}
+
+/// The flat slot arena holding every access part.
+///
+/// Each slot holds `Option<AccessDescriptor>`; `None` is the null access
+/// descriptor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccessArena {
+    slots: Vec<Option<AccessDescriptor>>,
+}
+
+impl AccessArena {
+    /// An arena of `size` slots, all null.
+    pub fn new(size: u32) -> AccessArena {
+        AccessArena {
+            slots: vec![None; size as usize],
+        }
+    }
+
+    /// Arena capacity in slots.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Reads the slot at absolute index `at` (may be null).
+    pub fn get(&self, at: u32) -> ArchResult<Option<AccessDescriptor>> {
+        self.slots
+            .get(at as usize)
+            .copied()
+            .ok_or(ArchError::AccessBounds {
+                slot: at,
+                part_len: self.size(),
+            })
+    }
+
+    /// Writes the slot at absolute index `at`.
+    pub fn set(&mut self, at: u32, ad: Option<AccessDescriptor>) -> ArchResult<()> {
+        let size = self.size();
+        match self.slots.get_mut(at as usize) {
+            Some(slot) => {
+                *slot = ad;
+                Ok(())
+            }
+            None => Err(ArchError::AccessBounds {
+                slot: at,
+                part_len: size,
+            }),
+        }
+    }
+
+    /// Nulls `[at, at + len)` — fresh access parts start all-null.
+    pub fn zero(&mut self, at: u32, len: u32) -> ArchResult<()> {
+        let end = at as usize + len as usize;
+        if end > self.slots.len() {
+            return Err(ArchError::AccessBounds {
+                slot: at + len,
+                part_len: self.size(),
+            });
+        }
+        self.slots[at as usize..end].fill(None);
+        Ok(())
+    }
+
+    /// Copies `len` slots from `src` to `dst` (compaction support).
+    pub fn copy_within(&mut self, src: u32, dst: u32, len: u32) -> ArchResult<()> {
+        let (src, dst, len) = (src as usize, dst as usize, len as usize);
+        if src + len > self.slots.len() || dst + len > self.slots.len() {
+            return Err(ArchError::AccessBounds {
+                slot: src.max(dst) as u32,
+                part_len: self.size(),
+            });
+        }
+        self.slots.copy_within(src..src + len, dst);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn freelist_allocates_and_exhausts() {
+        let mut fl = FreeList::new(0, 10);
+        assert_eq!(fl.allocate(4).unwrap(), 0);
+        assert_eq!(fl.allocate(6).unwrap(), 4);
+        assert!(matches!(
+            fl.allocate(1),
+            Err(ArchError::ArenaExhausted { requested: 1 })
+        ));
+    }
+
+    #[test]
+    fn freelist_zero_len_is_free() {
+        let mut fl = FreeList::new(0, 0);
+        assert_eq!(fl.allocate(0).unwrap(), 0);
+        assert!(fl.allocate(1).is_err());
+    }
+
+    #[test]
+    fn freelist_coalesces_both_sides() {
+        let mut fl = FreeList::new(0, 30);
+        let a = fl.allocate(10).unwrap();
+        let b = fl.allocate(10).unwrap();
+        let c = fl.allocate(10).unwrap();
+        fl.release(a, 10).unwrap();
+        fl.release(c, 10).unwrap();
+        assert_eq!(fl.run_count(), 2);
+        fl.release(b, 10).unwrap();
+        assert_eq!(fl.run_count(), 1);
+        assert_eq!(fl.largest_free(), 30);
+    }
+
+    #[test]
+    fn freelist_detects_double_free() {
+        let mut fl = FreeList::new(0, 10);
+        let a = fl.allocate(4).unwrap();
+        fl.release(a, 4).unwrap();
+        assert!(fl.release(a, 4).is_err());
+    }
+
+    #[test]
+    fn freelist_best_fit_prefers_small_run() {
+        let mut fl = FreeList::new(0, 100).with_policy(FitPolicy::BestFit);
+        let a = fl.allocate(10).unwrap(); // [0,10)
+        let _b = fl.allocate(5).unwrap(); // [10,15)
+        let c = fl.allocate(20).unwrap(); // [15,35)
+        fl.release(a, 10).unwrap(); // hole of 10 at 0
+        fl.release(c, 20).unwrap(); // hole of 20 at 15
+        // Best fit for 8 should use the 10-run at 0, not the larger hole.
+        assert_eq!(fl.allocate(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn freelist_first_fit_takes_earliest() {
+        let mut fl = FreeList::new(0, 100);
+        let a = fl.allocate(10).unwrap();
+        let _b = fl.allocate(10).unwrap();
+        fl.release(a, 10).unwrap();
+        // First fit for 5 reuses the early hole even though the tail is
+        // larger.
+        assert_eq!(fl.allocate(5).unwrap(), 0);
+    }
+
+    #[test]
+    fn data_arena_rw_and_bounds() {
+        let mut a = DataArena::new(16);
+        a.write(4, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        a.read(4, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert!(a.write(14, &[0; 4]).is_err());
+        assert!(a.read(16, &mut [0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn data_arena_words() {
+        let mut a = DataArena::new(16);
+        a.write_u64(8, 0xdead_beef_0102_0304).unwrap();
+        assert_eq!(a.read_u64(8).unwrap(), 0xdead_beef_0102_0304);
+        assert!(a.write_u64(9, 0).is_err());
+    }
+
+    #[test]
+    fn access_arena_rw_and_zero() {
+        use crate::{refs::ObjectIndex, refs::ObjectRef, rights::Rights};
+        let mut a = AccessArena::new(4);
+        let ad = AccessDescriptor::new(
+            ObjectRef {
+                index: ObjectIndex(1),
+                generation: 0,
+            },
+            Rights::READ,
+        );
+        a.set(2, Some(ad)).unwrap();
+        assert_eq!(a.get(2).unwrap(), Some(ad));
+        a.zero(0, 4).unwrap();
+        assert_eq!(a.get(2).unwrap(), None);
+        assert!(a.set(4, None).is_err());
+        assert!(a.get(9).is_err());
+    }
+
+    #[test]
+    fn copy_within_moves_data() {
+        let mut a = DataArena::new(16);
+        a.write(0, &[9, 9, 9, 9]).unwrap();
+        a.copy_within(0, 8, 4).unwrap();
+        let mut buf = [0u8; 4];
+        a.read(8, &mut buf).unwrap();
+        assert_eq!(buf, [9, 9, 9, 9]);
+    }
+
+    proptest! {
+        /// Random alloc/free sequences preserve the accounting invariant:
+        /// total_free equals capacity minus live allocations, runs never
+        /// overlap, and everything can be freed back to one run.
+        #[test]
+        fn freelist_random_ops(ops in proptest::collection::vec((1u32..50, any::<bool>()), 1..120)) {
+            let cap = 4096u32;
+            let mut fl = FreeList::new(0, cap);
+            let mut live: Vec<(u32, u32)> = Vec::new();
+            for (len, free_one) in ops {
+                if free_one && !live.is_empty() {
+                    let (base, len) = live.swap_remove(live.len() / 2);
+                    fl.release(base, len).unwrap();
+                } else if let Ok(base) = fl.allocate(len) {
+                    live.push((base, len));
+                }
+                let live_total: u32 = live.iter().map(|&(_, l)| l).sum();
+                prop_assert_eq!(fl.total_free() + live_total, cap);
+                // No live allocation overlaps any free run.
+                for &(b, l) in &live {
+                    for r in fl.runs() {
+                        prop_assert!(b + l <= r.base || r.end() <= b);
+                    }
+                }
+            }
+            for (base, len) in live.drain(..) {
+                fl.release(base, len).unwrap();
+            }
+            prop_assert_eq!(fl.run_count(), 1);
+            prop_assert_eq!(fl.largest_free(), cap);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The global object descriptor table.
+//!
+//! Paper §2: "Access descriptors or capabilities name entries in a global
+//! object descriptor table. Each object descriptor in this table describes
+//! a segment..."
+//!
+//! Entries are recycled; each carries a *generation* that is bumped on
+//! reclamation so stale references are detected (see
+//! [`crate::refs::ObjectRef`]).
+
+use crate::{
+    descriptor::ObjectDescriptor,
+    error::{ArchError, ArchResult},
+    refs::{ObjectIndex, ObjectRef},
+    sysobj::SysState,
+};
+use serde::{Deserialize, Serialize};
+
+/// One object-table entry: descriptor plus interpreted system state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Entry {
+    /// The architectural descriptor.
+    pub desc: ObjectDescriptor,
+    /// Hardware-interpreted state (queues, scheduling fields, free lists).
+    pub sys: SysState,
+    /// Generation counter for stale-reference detection.
+    pub generation: u32,
+    /// Whether the entry currently describes a live segment.
+    pub allocated: bool,
+}
+
+/// The global object table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectTable {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    limit: u32,
+}
+
+impl ObjectTable {
+    /// A table that may grow up to `limit` entries.
+    pub fn new(limit: u32) -> ObjectTable {
+        ObjectTable {
+            entries: Vec::new(),
+            free: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Number of live (allocated) entries.
+    pub fn live_count(&self) -> u32 {
+        self.entries.len() as u32 - self.free.len() as u32
+    }
+
+    /// Total entries ever materialized (live + recyclable).
+    pub fn capacity_used(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// Maximum entries the table may hold.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Installs a new entry, returning a fresh reference to it.
+    pub fn install(&mut self, desc: ObjectDescriptor, sys: SysState) -> ArchResult<ObjectRef> {
+        if let Some(idx) = self.free.pop() {
+            let e = &mut self.entries[idx as usize];
+            debug_assert!(!e.allocated);
+            e.desc = desc;
+            e.sys = sys;
+            e.allocated = true;
+            return Ok(ObjectRef {
+                index: ObjectIndex(idx),
+                generation: e.generation,
+            });
+        }
+        if self.entries.len() as u32 >= self.limit {
+            return Err(ArchError::TableExhausted);
+        }
+        let idx = self.entries.len() as u32;
+        self.entries.push(Entry {
+            desc,
+            sys,
+            generation: 0,
+            allocated: true,
+        });
+        Ok(ObjectRef {
+            index: ObjectIndex(idx),
+            generation: 0,
+        })
+    }
+
+    /// Reclaims an entry, bumping its generation. The caller is
+    /// responsible for having returned the segment's storage first.
+    pub fn reclaim(&mut self, r: ObjectRef) -> ArchResult<Entry> {
+        // Validate before mutating.
+        self.get(r)?;
+        let e = &mut self.entries[r.index.0 as usize];
+        let old = e.clone();
+        e.allocated = false;
+        e.generation = e.generation.wrapping_add(1);
+        e.sys = SysState::Generic;
+        self.free.push(r.index.0);
+        Ok(old)
+    }
+
+    /// Resolves a reference to its entry, checking liveness and generation.
+    pub fn get(&self, r: ObjectRef) -> ArchResult<&Entry> {
+        let e = self
+            .entries
+            .get(r.index.0 as usize)
+            .ok_or(ArchError::BadIndex(r.index))?;
+        if !e.allocated {
+            return Err(ArchError::FreeEntry(r.index));
+        }
+        if e.generation != r.generation {
+            return Err(ArchError::StaleRef(r.index));
+        }
+        Ok(e)
+    }
+
+    /// Mutable variant of [`ObjectTable::get`].
+    pub fn get_mut(&mut self, r: ObjectRef) -> ArchResult<&mut Entry> {
+        let e = self
+            .entries
+            .get_mut(r.index.0 as usize)
+            .ok_or(ArchError::BadIndex(r.index))?;
+        if !e.allocated {
+            return Err(ArchError::FreeEntry(r.index));
+        }
+        if e.generation != r.generation {
+            return Err(ArchError::StaleRef(r.index));
+        }
+        Ok(e)
+    }
+
+    /// Resolves by bare index (used by the garbage collector's sweep,
+    /// which scans the whole table rather than holding references).
+    pub fn get_by_index(&self, i: ObjectIndex) -> Option<&Entry> {
+        self.entries.get(i.0 as usize).filter(|e| e.allocated)
+    }
+
+    /// Returns the current full reference for a live index.
+    pub fn ref_for(&self, i: ObjectIndex) -> ArchResult<ObjectRef> {
+        let e = self
+            .entries
+            .get(i.0 as usize)
+            .ok_or(ArchError::BadIndex(i))?;
+        if !e.allocated {
+            return Err(ArchError::FreeEntry(i));
+        }
+        Ok(ObjectRef {
+            index: i,
+            generation: e.generation,
+        })
+    }
+
+    /// Iterates all live entries with their indices.
+    pub fn iter_live(&self) -> impl Iterator<Item = (ObjectIndex, &Entry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.allocated)
+            .map(|(i, e)| (ObjectIndex(i as u32), e))
+    }
+
+    /// Mutable iteration over all live entries (collector sweep).
+    pub fn iter_live_mut(&mut self) -> impl Iterator<Item = (ObjectIndex, &mut Entry)> + '_ {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, e)| e.allocated)
+            .map(|(i, e)| (ObjectIndex(i as u32), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{descriptor::ObjectType, level::Level};
+
+    fn desc() -> ObjectDescriptor {
+        ObjectDescriptor::new(0, 8, 0, 2, ObjectType::GENERIC, Level::GLOBAL)
+    }
+
+    #[test]
+    fn install_get_reclaim_cycle() {
+        let mut t = ObjectTable::new(16);
+        let r = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(t.live_count(), 1);
+        assert!(t.get(r).is_ok());
+        t.reclaim(r).unwrap();
+        assert_eq!(t.live_count(), 0);
+        assert!(matches!(t.get(r), Err(ArchError::FreeEntry(_))));
+    }
+
+    #[test]
+    fn stale_reference_detected_after_reuse() {
+        let mut t = ObjectTable::new(16);
+        let r1 = t.install(desc(), SysState::Generic).unwrap();
+        t.reclaim(r1).unwrap();
+        let r2 = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(r1.index, r2.index, "entry should be recycled");
+        assert!(matches!(t.get(r1), Err(ArchError::StaleRef(_))));
+        assert!(t.get(r2).is_ok());
+    }
+
+    #[test]
+    fn table_limit_enforced() {
+        let mut t = ObjectTable::new(2);
+        t.install(desc(), SysState::Generic).unwrap();
+        t.install(desc(), SysState::Generic).unwrap();
+        assert!(matches!(
+            t.install(desc(), SysState::Generic),
+            Err(ArchError::TableExhausted)
+        ));
+    }
+
+    #[test]
+    fn reclaim_frees_capacity_under_limit() {
+        let mut t = ObjectTable::new(1);
+        let r = t.install(desc(), SysState::Generic).unwrap();
+        t.reclaim(r).unwrap();
+        assert!(t.install(desc(), SysState::Generic).is_ok());
+    }
+
+    #[test]
+    fn iter_live_skips_reclaimed() {
+        let mut t = ObjectTable::new(8);
+        let a = t.install(desc(), SysState::Generic).unwrap();
+        let _b = t.install(desc(), SysState::Generic).unwrap();
+        t.reclaim(a).unwrap();
+        assert_eq!(t.iter_live().count(), 1);
+    }
+
+    #[test]
+    fn ref_for_tracks_generation() {
+        let mut t = ObjectTable::new(8);
+        let a = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(t.ref_for(a.index).unwrap(), a);
+        t.reclaim(a).unwrap();
+        assert!(t.ref_for(a.index).is_err());
+        let b = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(t.ref_for(b.index).unwrap().generation, b.generation);
+    }
+
+    #[test]
+    fn bad_index_reported() {
+        let t = ObjectTable::new(8);
+        let bogus = ObjectRef {
+            index: ObjectIndex(99),
+            generation: 0,
+        };
+        assert!(matches!(t.get(bogus), Err(ArchError::BadIndex(_))));
+    }
+}

@@ -1,0 +1,270 @@
+//! Access-descriptor rights.
+//!
+//! Each access descriptor carries a small set of rights flags that control
+//! what its holder may do with the object it designates (paper §2: "Each
+//! access descriptor ... contains rights flags that control the access
+//! available via that access descriptor").
+//!
+//! Following the 432, there are two *generic* rights (read and write, which
+//! govern the data part) and three *type* rights whose meaning depends on
+//! the system type of the object — e.g. for a port object the first two
+//! type rights are interpreted as *send* and *receive* rights. A further
+//! *delete* right governs explicit destruction requests made to iMAX.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not, Sub};
+
+/// A set of rights flags carried by an access descriptor.
+///
+/// Rights form a lattice under union/intersection; restriction
+/// ([`Rights::restrict`]) can only remove rights, never add them — the
+/// hardware invariant that makes capability amplification impossible
+/// outside a type manager.
+///
+/// # Examples
+///
+/// ```
+/// use i432_arch::Rights;
+///
+/// let rw = Rights::READ | Rights::WRITE;
+/// assert!(rw.contains(Rights::READ));
+/// let ro = rw.restrict(Rights::READ);
+/// assert!(!ro.contains(Rights::WRITE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// No rights at all.
+    pub const NONE: Rights = Rights(0);
+    /// Permission to read the data part.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Permission to write the data part (and to store into the access
+    /// part, subject to the level rule).
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// First type-dependent right.
+    pub const TYPE1: Rights = Rights(1 << 2);
+    /// Second type-dependent right.
+    pub const TYPE2: Rights = Rights(1 << 3);
+    /// Third type-dependent right.
+    pub const TYPE3: Rights = Rights(1 << 4);
+    /// Permission to request explicit destruction from iMAX.
+    pub const DELETE: Rights = Rights(1 << 5);
+    /// Every right.
+    pub const ALL: Rights = Rights(0x3f);
+
+    // Type-right aliases, named per system type for readability at call
+    // sites. The bit patterns are what the hardware checks.
+
+    /// Port: permission to send messages (alias of [`Rights::TYPE1`]).
+    pub const SEND: Rights = Rights::TYPE1;
+    /// Port: permission to receive messages (alias of [`Rights::TYPE2`]).
+    pub const RECEIVE: Rights = Rights::TYPE2;
+    /// SRO: permission to allocate objects (alias of [`Rights::TYPE1`]).
+    pub const ALLOCATE: Rights = Rights::TYPE1;
+    /// SRO: permission to return storage (alias of [`Rights::TYPE2`]).
+    pub const RECLAIM: Rights = Rights::TYPE2;
+    /// Type definition: permission to amplify rights on instances (alias of
+    /// [`Rights::TYPE1`]).
+    pub const AMPLIFY: Rights = Rights::TYPE1;
+    /// Type definition: permission to create instances (alias of
+    /// [`Rights::TYPE2`]).
+    pub const CREATE_INSTANCE: Rights = Rights::TYPE2;
+    /// Process: permission to control (start/stop/inspect) the process
+    /// (alias of [`Rights::TYPE1`]).
+    pub const CONTROL: Rights = Rights::TYPE1;
+    /// Domain: permission to call through the domain (alias of
+    /// [`Rights::TYPE1`]).
+    pub const CALL: Rights = Rights::TYPE1;
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs a rights set from raw bits, masking unknown bits.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Rights {
+        Rights(bits & Rights::ALL.0)
+    }
+
+    /// Returns true when every right in `needed` is present in `self`.
+    #[inline]
+    pub const fn contains(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Returns true when no rights are present.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Intersects with a keep-mask: the result never has a right that
+    /// `self` lacked. This is the only rights transformation ordinary code
+    /// can perform; only a type manager holding amplify rights can add
+    /// rights back (see `imax-typemgr`).
+    #[inline]
+    pub const fn restrict(self, keep: Rights) -> Rights {
+        Rights(self.0 & keep.0)
+    }
+
+    /// Union of two rights sets. Used only by type managers during
+    /// amplification; the interpreter never calls it on user paths.
+    #[inline]
+    pub const fn union(self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    #[inline]
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    #[inline]
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Rights {
+    type Output = Rights;
+    #[inline]
+    fn sub(self, rhs: Rights) -> Rights {
+        Rights(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Rights {
+    type Output = Rights;
+    #[inline]
+    fn not(self) -> Rights {
+        Rights(!self.0 & Rights::ALL.0)
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        let names = [
+            (Rights::READ, "R"),
+            (Rights::WRITE, "W"),
+            (Rights::TYPE1, "T1"),
+            (Rights::TYPE2, "T2"),
+            (Rights::TYPE3, "T3"),
+            (Rights::DELETE, "D"),
+        ];
+        let mut first = true;
+        write!(f, "{{")?;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_requires_all_bits() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert!(rw.contains(Rights::READ));
+        assert!(rw.contains(Rights::WRITE));
+        assert!(rw.contains(rw));
+        assert!(!rw.contains(Rights::TYPE1));
+        assert!(!Rights::READ.contains(rw));
+    }
+
+    #[test]
+    fn everything_contains_none() {
+        assert!(Rights::NONE.contains(Rights::NONE));
+        assert!(Rights::ALL.contains(Rights::NONE));
+    }
+
+    #[test]
+    fn restrict_removes() {
+        let all = Rights::ALL;
+        let sendonly = all.restrict(Rights::SEND);
+        assert!(sendonly.contains(Rights::SEND));
+        assert!(!sendonly.contains(Rights::RECEIVE));
+        assert!(!sendonly.contains(Rights::READ));
+    }
+
+    #[test]
+    fn aliases_map_to_type_bits() {
+        assert_eq!(Rights::SEND, Rights::TYPE1);
+        assert_eq!(Rights::RECEIVE, Rights::TYPE2);
+        assert_eq!(Rights::AMPLIFY, Rights::TYPE1);
+        assert_eq!(Rights::CONTROL, Rights::TYPE1);
+    }
+
+    #[test]
+    fn from_bits_masks_unknown() {
+        assert_eq!(Rights::from_bits(0xff), Rights::ALL);
+    }
+
+    #[test]
+    fn display_round_trip_names() {
+        let r = Rights::READ | Rights::TYPE2 | Rights::DELETE;
+        assert_eq!(r.to_string(), "{R,T2,D}");
+        assert_eq!(Rights::NONE.to_string(), "{}");
+    }
+
+    #[test]
+    fn subtraction_removes_only_named() {
+        let r = Rights::ALL - Rights::WRITE;
+        assert!(!r.contains(Rights::WRITE));
+        assert!(r.contains(Rights::READ));
+        assert!(r.contains(Rights::DELETE));
+    }
+
+    proptest! {
+        /// Restriction never adds a right (monotonicity of the lattice).
+        #[test]
+        fn restriction_is_monotone(bits in 0u8..=0x3f, keep in 0u8..=0x3f) {
+            let r = Rights::from_bits(bits);
+            let k = Rights::from_bits(keep);
+            let restricted = r.restrict(k);
+            prop_assert!(r.contains(restricted));
+            prop_assert!(k.contains(restricted));
+        }
+
+        /// Union is the least upper bound: contains both operands.
+        #[test]
+        fn union_is_upper_bound(a in 0u8..=0x3f, b in 0u8..=0x3f) {
+            let (a, b) = (Rights::from_bits(a), Rights::from_bits(b));
+            let u = a.union(b);
+            prop_assert!(u.contains(a));
+            prop_assert!(u.contains(b));
+        }
+
+        /// De Morgan-ish sanity: `r - k` and `r & k` partition `r`.
+        #[test]
+        fn sub_and_and_partition(r in 0u8..=0x3f, k in 0u8..=0x3f) {
+            let (r, k) = (Rights::from_bits(r), Rights::from_bits(k));
+            let kept = r & k;
+            let removed = r - k;
+            prop_assert_eq!(kept | removed, r);
+            prop_assert!((kept & removed).is_empty());
+        }
+    }
+}

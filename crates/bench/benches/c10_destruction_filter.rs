@@ -1,0 +1,17 @@
+//! C10 — host-time benchmark of the lost-object recovery scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imax_bench::c10_destruction_filter;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c10_destruction_filter");
+    g.sample_size(20);
+    g.bench_function("drives_8_leaked_6", |b| {
+        b.iter(|| black_box(c10_destruction_filter(8, 6)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

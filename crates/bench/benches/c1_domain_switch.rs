@@ -1,0 +1,19 @@
+//! C1 — host-time benchmark of the domain-switch scenario (the simulated
+//! cycle numbers are printed by the `repro` binary; Criterion tracks how
+//! fast the emulator reproduces them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imax_bench::c1_domain_switch;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c1_domain_switch");
+    g.sample_size(20);
+    g.bench_function("calls_200", |b| {
+        b.iter(|| black_box(c1_domain_switch(black_box(200))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! C2 — host-time benchmark of the allocation-cost sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imax_bench::c2_allocation;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c2_allocation");
+    g.sample_size(20);
+    g.bench_function("size_sweep", |b| b.iter(|| black_box(c2_allocation())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! C3 — host-time benchmark of the multiprocessor scaling scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imax_bench::c3_scaling;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c3_multiproc_scaling");
+    g.sample_size(10);
+    for cpus in [1u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(cpus), &cpus, |b, &cpus| {
+            b.iter(|| black_box(c3_scaling(&[cpus], 4, 24)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

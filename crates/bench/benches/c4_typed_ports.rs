@@ -1,0 +1,17 @@
+//! C4 — host-time benchmark of the typed/untyped/checked port loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imax_bench::c4_port_typing;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c4_typed_ports");
+    g.sample_size(20);
+    g.bench_function("rounds_200", |b| {
+        b.iter(|| black_box(c4_port_typing(black_box(200))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

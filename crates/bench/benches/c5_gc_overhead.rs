@@ -1,0 +1,21 @@
+//! C5 — host-time benchmark of the concurrent-GC scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imax_bench::c5_gc_overhead;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c5_gc_overhead");
+    g.sample_size(10);
+    for increments in [0u32, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(increments),
+            &increments,
+            |b, &inc| b.iter(|| black_box(c5_gc_overhead(1, &[inc]))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

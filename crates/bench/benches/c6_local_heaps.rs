@@ -1,0 +1,17 @@
+//! C6 — host-time benchmark of bulk vs collector reclamation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imax_bench::c6_local_heaps;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c6_local_heaps");
+    g.sample_size(20);
+    g.bench_function("objects_128", |b| {
+        b.iter(|| black_box(c6_local_heaps(black_box(128))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

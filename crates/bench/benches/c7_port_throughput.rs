@@ -1,0 +1,20 @@
+//! C7 — host-time benchmark of the port-throughput scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use i432_arch::PortDiscipline;
+use imax_bench::c7_port_throughput;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c7_port_throughput");
+    g.sample_size(10);
+    for cap in [1u32, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| black_box(c7_port_throughput(&[cap], PortDiscipline::Fifo)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! C8 — host-time benchmark of the scheduler-policy comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imax_bench::c8_schedulers;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c8_schedulers");
+    g.sample_size(10);
+    g.bench_function("three_policies", |b| b.iter(|| black_box(c8_schedulers())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! C9 — host-time benchmark of the swapping scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imax_bench::c9_swapping;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c9_swapping");
+    g.sample_size(10);
+    for frac in [25u32, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(frac), &frac, |b, &f| {
+            b.iter(|| black_box(c9_swapping(32, f as f64 / 100.0, 4)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

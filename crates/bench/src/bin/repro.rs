@@ -1,0 +1,173 @@
+//! Reproduction harness: prints the paper-vs-measured table for every
+//! experiment in DESIGN.md (C1–C10). All numbers are simulated cycles /
+//! microseconds at 8 MHz and are exactly reproducible.
+//!
+//! Run with: `cargo run --release -p imax-bench --bin repro`
+
+use imax_bench::*;
+use i432_arch::PortDiscipline;
+
+fn header(id: &str, claim: &str) {
+    println!();
+    println!("== {id} ==============================================================");
+    println!("   paper: {claim}");
+    println!();
+}
+
+fn main() {
+    println!("iMAX-432 reproduction harness (deterministic simulated measurements)");
+
+    header("C1", "a domain switch takes about 65 us at 8 MHz (~520 cycles)  [s2]");
+    let r = c1_domain_switch(200);
+    println!("   {:<38} {:>10} {:>10}", "", "cycles", "us@8MHz");
+    println!(
+        "   {:<38} {:>10} {:>10.2}",
+        "inter-domain CALL (measured)", r.call_cycles, r.call_us
+    );
+    println!(
+        "   {:<38} {:>10} {:>10.2}",
+        "matching RETURN (measured)",
+        r.return_cycles,
+        r.return_cycles as f64 / 8.0
+    );
+    println!(
+        "   {:<38} {:>10.1} {:>10.2}",
+        "call+return loop average", r.pair_avg, r.pair_avg / 8.0
+    );
+
+    header("C2", "allocating a segment from an SRO takes 80 us at 8 MHz  [s5]");
+    println!(
+        "   {:<12} {:<8} {:>10} {:>10}",
+        "data bytes", "slots", "cycles", "us@8MHz"
+    );
+    for row in c2_allocation() {
+        println!(
+            "   {:<12} {:<8} {:>10} {:>10.2}",
+            row.data_bytes, row.access_slots, row.cycles, row.us
+        );
+    }
+
+    header("C3", "a factor of 10 in total processing power is realizable  [s3]");
+    println!("   interleaved buses = 4, 120 independent jobs");
+    println!("   {:<6} {:>14} {:>9}", "cpus", "makespan(cy)", "speedup");
+    for p in c3_scaling(&[1, 2, 4, 6, 8, 10, 12], 4, 120) {
+        println!("   {:<6} {:>14} {:>8.2}x", p.cpus, p.makespan, p.speedup);
+    }
+    println!("   single shared bus (contention control arm):");
+    println!("   {:<6} {:>14} {:>9}", "cpus", "makespan(cy)", "speedup");
+    for p in c3_scaling(&[1, 4, 8, 12], 1, 120) {
+        println!("   {:<6} {:>14} {:>8.2}x", p.cpus, p.makespan, p.speedup);
+    }
+
+    header(
+        "C4",
+        "typed ports compile to code identical to untyped ports (zero cost)  [s4/fig2]",
+    );
+    let r = c4_port_typing(200);
+    println!("   {:<38} {:>14}", "", "cycles/op");
+    println!(
+        "   {:<38} {:>14.1}",
+        "Untyped_Ports loop", r.untyped_cycles_per_op
+    );
+    println!(
+        "   {:<38} {:>14.1}",
+        "Typed_Ports<u64> instance", r.typed_u64_cycles_per_op
+    );
+    println!(
+        "   {:<38} {:>14.1}",
+        "Typed_Ports<record16> instance", r.typed_record_cycles_per_op
+    );
+    println!(
+        "   {:<38} {:>14.1}",
+        "runtime-checked variant (+check)", r.checked_cycles_per_op
+    );
+
+    header("C5", "a system-wide parallel garbage collector with minimal synchronization  [s8.1]");
+    for cpus in [1u32, 2, 3] {
+        println!("   processors = {cpus}");
+        println!(
+            "   {:<22} {:>14} {:>10} {:>10} {:>8}",
+            "daemon increments", "makespan(cy)", "slowdown", "reclaimed", "cycles"
+        );
+        for row in c5_gc_overhead(cpus, &[0, 4, 16, 64]) {
+            println!(
+                "   {:<22} {:>14} {:>9.3}x {:>10} {:>8}",
+                if row.increments == 0 {
+                    "off".to_string()
+                } else {
+                    row.increments.to_string()
+                },
+                row.mutator_makespan,
+                row.slowdown,
+                row.reclaimed,
+                row.gc_cycles
+            );
+        }
+    }
+
+    header("C6", "local heaps are collected more efficiently at scope exit  [s5/s8.1]");
+    let r = c6_local_heaps(128);
+    println!("   {:<42} {:>14}", "", "cycles/object");
+    println!(
+        "   {:<42} {:>14.1}",
+        "local heap, bulk destroy at scope exit", r.bulk_cycles_per_object
+    );
+    println!(
+        "   {:<42} {:>14.1}",
+        "global heap, on-the-fly collector", r.gc_cycles_per_object
+    );
+    println!(
+        "   advantage: {:.1}x",
+        r.gc_cycles_per_object / r.bulk_cycles_per_object
+    );
+
+    header("C7", "send/receive are single instructions; blocking per Figure 1  [s2/s4]");
+    for disc in [PortDiscipline::Fifo, PortDiscipline::Priority] {
+        println!("   discipline = {disc:?}");
+        println!(
+            "   {:<10} {:>16} {:>14} {:>14}",
+            "capacity", "cycles/message", "blocked sends", "blocked recvs"
+        );
+        for row in c7_port_throughput(&[1, 4, 16, 64], disc) {
+            println!(
+                "   {:<10} {:>16.1} {:>14} {:>14}",
+                row.capacity, row.cycles_per_message, row.blocked_sends, row.blocked_receives
+            );
+        }
+    }
+
+    header("C8", "many resource-control policies layer over the basic process manager  [s6.1]");
+    for row in c8_schedulers() {
+        println!("   {:<30} progress {:?}", row.policy, row.progress);
+        println!("   {:<30} unfairness (max/min) = {:.2}", "", row.unfairness);
+    }
+
+    header("C9", "swapping and non-swapping meet one interface; programs are oblivious  [s6.2]");
+    println!(
+        "   {:<12} {:>10} {:>10} {:>10} {:>14} {:>10}",
+        "working set", "resident", "swap-outs", "swap-ins", "transfer(cy)", "slowdown"
+    );
+    for frac in [1.0f64, 0.75, 0.5, 0.25] {
+        let r = c9_swapping(32, frac, 4);
+        println!(
+            "   {:<12} {:>9}% {:>10} {:>10} {:>14} {:>9.2}x",
+            r.working_set, r.resident_percent, r.swap_outs, r.swap_ins, r.transfer_cycles, r.slowdown
+        );
+    }
+
+    header("C10", "destruction filters recover lost objects (tape drives)  [s8.2]");
+    println!(
+        "   {:<8} {:>8} {:>11} {:>12} {:>22}",
+        "drives", "leaked", "recovered", "free after", "free without filter"
+    );
+    for (drives, leaked) in [(4usize, 1usize), (4, 3), (8, 6)] {
+        let r = c10_destruction_filter(drives, leaked);
+        println!(
+            "   {:<8} {:>8} {:>11} {:>12} {:>22}",
+            r.drives, r.leaked, r.recovered, r.free_after, r.free_without_filter
+        );
+    }
+
+    println!();
+    println!("done. See EXPERIMENTS.md for the paper-vs-measured discussion.");
+}

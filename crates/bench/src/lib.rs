@@ -1,0 +1,20 @@
+//! # imax-bench — reproduction scenarios for every paper claim
+//!
+//! Each function in [`scenarios`] sets up a simulated system, runs one
+//! experiment from `DESIGN.md`'s per-experiment index (C1–C10), and
+//! returns the measured numbers. All measurements are **simulated
+//! cycles** — deterministic and exactly reproducible.
+//!
+//! Two consumers:
+//! * `cargo run -p imax-bench --bin repro` prints the paper-vs-measured
+//!   tables recorded in `EXPERIMENTS.md`;
+//! * the Criterion benches (`benches/c*.rs`) wrap the same scenarios to
+//!   track host-time performance of the emulator itself.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod scenarios;
+
+pub use ablations::*;
+pub use scenarios::*;

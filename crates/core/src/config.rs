@@ -1,0 +1,123 @@
+//! The iMAX configuration surface.
+//!
+//! Paper §6: two complementary configurability mechanisms —
+//! *selection of needed packages* (scheduling) and *alternate
+//! implementations of standard specifications* (storage). Both appear
+//! here as plain enums; [`crate::Imax::boot`] assembles the selected
+//! system.
+
+use i432_sim::SystemConfig;
+
+/// Which storage-manager implementation backs the standard interface
+/// (paper §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageChoice {
+    /// Release 1: all segments resident; exhaustion faults the requester.
+    #[default]
+    NonSwapping,
+    /// Release 2: data parts swap to backing store on pressure; absent
+    /// segments fault and are transparently brought back.
+    Swapping,
+}
+
+/// Which process-scheduling package is selected (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingChoice {
+    /// Basic process manager only: hardware dispatching parameters pass
+    /// through untouched.
+    #[default]
+    Null,
+    /// Round-robin with a uniform quantum (cycles).
+    RoundRobin {
+        /// The uniform time slice.
+        quantum: u64,
+    },
+    /// The fair-share resource controller.
+    FairShare,
+}
+
+/// Garbage-collection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcChoice {
+    /// Collector increments per daemon service call.
+    pub increments_per_call: u32,
+    /// Daemon dispatching priority (higher value = less urgent).
+    pub priority: u8,
+}
+
+impl Default for GcChoice {
+    fn default() -> GcChoice {
+        GcChoice {
+            increments_per_call: 16,
+            priority: 200,
+        }
+    }
+}
+
+/// A complete iMAX configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ImaxConfig {
+    /// The simulated hardware shape.
+    pub hw: SystemConfig,
+    /// Storage implementation.
+    pub storage: StorageChoice,
+    /// Scheduling package.
+    pub scheduling: SchedulingChoice,
+    /// Garbage collection; `None` disables the daemon (embedded
+    /// configurations that never drop references).
+    pub gc: Option<GcChoice>,
+}
+
+impl ImaxConfig {
+    /// A small single-processor development configuration (the paper's
+    /// release-1 defaults: non-swapping, null policy, GC on).
+    pub fn development() -> ImaxConfig {
+        ImaxConfig {
+            hw: SystemConfig::small(),
+            storage: StorageChoice::NonSwapping,
+            scheduling: SchedulingChoice::Null,
+            gc: Some(GcChoice::default()),
+        }
+    }
+
+    /// A multi-user style configuration: swapping storage, fair-share
+    /// scheduling, GC on.
+    pub fn multi_user(processors: u32) -> ImaxConfig {
+        ImaxConfig {
+            hw: SystemConfig::default().with_processors(processors),
+            storage: StorageChoice::Swapping,
+            scheduling: SchedulingChoice::FairShare,
+            gc: Some(GcChoice::default()),
+        }
+    }
+
+    /// An embedded configuration: everything static, no GC daemon, null
+    /// policy (paper §6.1: "completely acceptable for simple embedded
+    /// systems in which the system load can be preevaluated").
+    pub fn embedded() -> ImaxConfig {
+        ImaxConfig {
+            hw: SystemConfig::small(),
+            storage: StorageChoice::NonSwapping,
+            scheduling: SchedulingChoice::Null,
+            gc: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let dev = ImaxConfig::development();
+        let mu = ImaxConfig::multi_user(4);
+        let emb = ImaxConfig::embedded();
+        assert_eq!(dev.storage, StorageChoice::NonSwapping);
+        assert_eq!(mu.storage, StorageChoice::Swapping);
+        assert!(dev.gc.is_some());
+        assert!(emb.gc.is_none());
+        assert_eq!(mu.hw.processors, 4);
+        assert!(matches!(mu.scheduling, SchedulingChoice::FairShare));
+    }
+}

@@ -1,0 +1,236 @@
+//! System inspection: the "development debugging base" of release 1
+//! (paper §9).
+//!
+//! Read-only reports over the object space: table census, per-process
+//! and per-port detail, storage accounting, and reachability dumps.
+//! Everything here is a *privileged* view (it reads through hardware
+//! linkage paths); it corresponds to the debugger running inside iMAX's
+//! own protection domain, not to anything an application could do with
+//! its capabilities.
+
+use i432_arch::{Color, ObjectIndex, ObjectRef, ObjectSpace, ObjectType, SysState};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A census of the object table.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Census {
+    /// Live objects per system type name (user types count under
+    /// `user:<name>`).
+    pub by_type: BTreeMap<String, u32>,
+    /// Live objects per GC color.
+    pub white: u32,
+    /// Live objects per GC color.
+    pub gray: u32,
+    /// Live objects per GC color.
+    pub black: u32,
+    /// Swapped-out segments.
+    pub absent: u32,
+    /// Total live objects.
+    pub live: u32,
+    /// Data-arena bytes charged to live segments.
+    pub data_bytes: u64,
+    /// Access-arena slots charged to live segments.
+    pub access_slots: u64,
+}
+
+/// Counts everything live in the space.
+pub fn census(space: &ObjectSpace) -> Census {
+    let mut c = Census::default();
+    for (_, e) in space.table.iter_live() {
+        c.live += 1;
+        c.data_bytes += e.desc.data_len as u64;
+        c.access_slots += e.desc.access_len as u64;
+        match e.desc.color {
+            Color::White => c.white += 1,
+            Color::Gray => c.gray += 1,
+            Color::Black => c.black += 1,
+        }
+        if e.desc.absent {
+            c.absent += 1;
+        }
+        let key = match e.desc.otype {
+            ObjectType::System(t) => t.name().to_string(),
+            ObjectType::User(tdo) => {
+                let name = space
+                    .tdo(tdo)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|_| "?".into());
+                format!("user:{name}")
+            }
+        };
+        *c.by_type.entry(key).or_insert(0) += 1;
+    }
+    c
+}
+
+/// One line per live process: status, priority, cycles, fault state.
+pub fn process_report(space: &ObjectSpace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<14} {:>4} {:>6} {:>12} {:>6}  detail",
+        "object", "status", "prio", "stops", "cycles", "fault"
+    );
+    for (i, e) in space.table.iter_live() {
+        if let SysState::Process(p) = &e.sys {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<14} {:>4} {:>6} {:>12} {:>6}  {}",
+                format!("#{}", i.0),
+                format!("{:?}", p.status),
+                p.priority,
+                p.stop_count,
+                p.total_cycles,
+                p.fault_code,
+                p.fault_detail
+            );
+        }
+    }
+    out
+}
+
+/// One line per live port: geometry, occupancy, waiters, counters.
+pub fn port_report(space: &ObjectSpace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<10} {:>5} {:>5} {:>8} {:>8} {:>8} {:>8}",
+        "object", "disc", "cap", "msgs", "waiters", "sends", "recvs", "blocked"
+    );
+    for (i, e) in space.table.iter_live() {
+        if let SysState::Port(p) = &e.sys {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<10} {:>5} {:>5} {:>8} {:>8} {:>8} {:>8}",
+                format!("#{}", i.0),
+                format!("{:?}", p.discipline),
+                p.capacity,
+                p.msg_count,
+                format!("{}/{:?}", p.wait_count, p.waiters),
+                p.stats.sends,
+                p.stats.receives,
+                p.stats.blocked_sends + p.stats.blocked_receives
+            );
+        }
+    }
+    out
+}
+
+/// Storage accounting per SRO: free/used, object counts.
+pub fn storage_report(space: &ObjectSpace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>12} {:>12} {:>8} {:>10}",
+        "sro", "level", "data free", "slots free", "objects", "created"
+    );
+    for (i, e) in space.table.iter_live() {
+        if let SysState::Sro(s) = &e.sys {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>6} {:>12} {:>12} {:>8} {:>10}",
+                format!("#{}", i.0),
+                s.level.0,
+                s.data_free.total_free(),
+                s.access_free.total_free(),
+                s.object_count,
+                s.created_total
+            );
+        }
+    }
+    out
+}
+
+/// Dumps the object graph reachable from `root` as indented text,
+/// following access parts depth-first (cycles elided with `^#n`).
+pub fn graph_dump(space: &ObjectSpace, root: ObjectRef, max_depth: u32) -> String {
+    let mut out = String::new();
+    let mut seen = std::collections::HashSet::new();
+    fn describe(space: &ObjectSpace, r: ObjectRef) -> String {
+        match space.table.get(r) {
+            Ok(e) => format!(
+                "#{} {} lvl{} d{} a{}",
+                r.index.0, e.desc.otype, e.desc.level.0, e.desc.data_len, e.desc.access_len
+            ),
+            Err(_) => format!("#{} <dead>", r.index.0),
+        }
+    }
+    fn walk(
+        space: &ObjectSpace,
+        r: ObjectRef,
+        depth: u32,
+        max_depth: u32,
+        seen: &mut std::collections::HashSet<ObjectIndex>,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth as usize);
+        if !seen.insert(r.index) {
+            let _ = writeln!(out, "{pad}^#{}", r.index.0);
+            return;
+        }
+        let _ = writeln!(out, "{pad}{}", describe(space, r));
+        if depth >= max_depth {
+            return;
+        }
+        if let Ok(ads) = space.scan_access_part(r) {
+            for ad in ads {
+                walk(space, ad.obj, depth + 1, max_depth, seen, out);
+            }
+        }
+    }
+    walk(space, root, 0, max_depth, &mut seen, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i432_arch::{ObjectSpec, PortDiscipline, Rights};
+    use imax_ipc::create_port;
+
+    fn populated_space() -> (ObjectSpace, ObjectRef) {
+        let mut s = ObjectSpace::new(64 * 1024, 8 * 1024, 1024);
+        let root_sro = s.root_sro();
+        let port = create_port(&mut s, root_sro, 4, PortDiscipline::Fifo).unwrap();
+        let a = s.create_object(root_sro, ObjectSpec::generic(32, 2)).unwrap();
+        let b = s.create_object(root_sro, ObjectSpec::generic(16, 0)).unwrap();
+        let a_ad = s.mint(a, Rights::READ | Rights::WRITE);
+        let b_ad = s.mint(b, Rights::READ);
+        s.store_ad(a_ad, 0, Some(b_ad)).unwrap();
+        s.store_ad(a_ad, 1, Some(a_ad)).unwrap(); // a cycle
+        let _ = port;
+        (s, a)
+    }
+
+    #[test]
+    fn census_counts_types_and_colors() {
+        let (s, _) = populated_space();
+        let c = census(&s);
+        assert_eq!(c.by_type.get("port"), Some(&1));
+        assert_eq!(c.by_type.get("generic"), Some(&2));
+        assert_eq!(c.by_type.get("storage-resource"), Some(&1));
+        assert_eq!(c.live, c.white + c.gray + c.black);
+        assert!(c.data_bytes >= 48);
+    }
+
+    #[test]
+    fn graph_dump_handles_cycles() {
+        let (s, a) = populated_space();
+        let dump = graph_dump(&s, s.table.ref_for(a.index).unwrap(), 5);
+        assert!(dump.contains("generic"));
+        assert!(dump.contains('^'), "cycle marker present:\n{dump}");
+    }
+
+    #[test]
+    fn reports_render() {
+        let (s, _) = populated_space();
+        let ports = port_report(&s);
+        assert!(ports.contains("Fifo"));
+        let storage = storage_report(&s);
+        assert!(storage.contains("#0"));
+        // No processes yet.
+        let procs = process_report(&s);
+        assert_eq!(procs.lines().count(), 1, "header only");
+    }
+}

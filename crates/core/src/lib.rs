@@ -1,0 +1,57 @@
+//! # imax — the operating system facade
+//!
+//! This crate assembles the substrates into the configurable operating
+//! system the paper describes. Its shape follows §3 ("support for a
+//! minimum range of application, configurability") and §6 ("the system is
+//! configured by selecting those packages that provide the facilities
+//! needed in a particular application" plus "alternate implementations of
+//! standard specifications"):
+//!
+//! * [`config`] — the configuration surface: storage implementation
+//!   (non-swapping release 1 / swapping release 2), scheduling package
+//!   (null / round-robin / fair-share), garbage collection on/off,
+//!   hardware shape (processors, buses).
+//! * [`boot`] — [`Imax`]: boots a system from a configuration, installs
+//!   the iMAX service domains (port creation, storage management), the
+//!   fault service and the GC daemon, and drives the simulation with
+//!   host-side service passes.
+//! * [`faults`] — the fault service: faulted processes arrive at the
+//!   system fault port; swap faults are repaired (swapping manager) and
+//!   the process restarted; unrecoverable faults terminate it.
+//! * [`levels`] — iMAX *system levels* (paper §7.3): the fault-permission
+//!   tiers and the asynchronous-communication rule between levels 2 and 3.
+//! * [`inspect`] — the "development debugging base" of release 1 (§9):
+//!   read-only census, process/port/storage reports, graph dumps.
+//! * [`filing`] — object filing (the release-2 feature of §9, detailed in
+//!   the companion paper the text cites): passivating an object graph to
+//!   a byte store and activating it back **with hardware type identity
+//!   preserved** (§7.2's guarantee across storage channels).
+
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod config;
+pub mod faults;
+pub mod filing;
+pub mod filing_service;
+pub mod inspect;
+pub mod levels;
+pub mod prelude;
+
+pub use boot::Imax;
+pub use config::{GcChoice, ImaxConfig, SchedulingChoice, StorageChoice};
+pub use faults::FaultDisposition;
+pub use filing::{activate, passivate, PassiveStore};
+pub use filing_service::FilingService;
+pub use levels::SysLevel;
+
+// Re-export the layer crates under one roof for applications.
+pub use i432_arch as arch;
+pub use i432_gdp as gdp;
+pub use i432_sim as sim;
+pub use imax_gc as gc;
+pub use imax_io as io;
+pub use imax_ipc as ipc;
+pub use imax_process as process;
+pub use imax_storage as storage;
+pub use imax_typemgr as typemgr;

@@ -1,0 +1,52 @@
+//! Garbage-collection roots.
+
+use i432_arch::{ObjectRef, ObjectSpace, ObjectType, SystemType};
+
+/// Discovers the root set: every processor object plus the root SRO.
+///
+/// Everything else the system needs alive must be reachable from a
+/// processor — through its dispatching port (ready processes), its bound
+/// process, or its root-directory slot (global domains and services).
+/// This is the capability answer to "what is live": there is no central
+/// registry to consult (paper §7.1).
+pub fn find_roots(space: &ObjectSpace) -> Vec<ObjectRef> {
+    let mut roots = vec![space.root_sro()];
+    for (i, e) in space.table.iter_live() {
+        if e.desc.otype == ObjectType::System(SystemType::Processor) {
+            roots.push(ObjectRef {
+                index: i,
+                generation: e.generation,
+            });
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i432_arch::{ObjectSpec, ProcessorState, SysState};
+
+    #[test]
+    fn processors_and_root_sro_are_roots() {
+        let mut s = ObjectSpace::new(8192, 512, 64);
+        let root = s.root_sro();
+        let cpu = s
+            .create_object(
+                root,
+                ObjectSpec {
+                    data_len: 0,
+                    access_len: i432_arch::sysobj::CPU_ACCESS_SLOTS,
+                    otype: ObjectType::System(SystemType::Processor),
+                    level: None,
+                    sys: SysState::Processor(ProcessorState::new(0)),
+                },
+            )
+            .unwrap();
+        let _noise = s.create_object(root, ObjectSpec::generic(8, 0)).unwrap();
+        let roots = find_roots(&s);
+        assert!(roots.contains(&root));
+        assert!(roots.contains(&cpu));
+        assert_eq!(roots.len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! The code store: instruction-segment bodies.
+//!
+//! Instruction segments are objects in the object table (system type
+//! `Instructions`); their executable bodies live here, keyed by
+//! [`CodeRef`]. This keeps typed Rust instruction vectors out of the byte
+//! arena while preserving the object model: programs still reach code only
+//! through access descriptors for instruction-segment objects.
+
+use crate::isa::Instruction;
+use i432_arch::CodeRef;
+
+/// The store of all instruction-segment bodies in a system.
+#[derive(Debug, Default, Clone)]
+pub struct CodeStore {
+    bodies: Vec<Vec<Instruction>>,
+}
+
+impl CodeStore {
+    /// An empty store.
+    pub fn new() -> CodeStore {
+        CodeStore::default()
+    }
+
+    /// Installs a code body, returning its reference.
+    pub fn install(&mut self, body: Vec<Instruction>) -> CodeRef {
+        let r = CodeRef(self.bodies.len() as u32);
+        self.bodies.push(body);
+        r
+    }
+
+    /// Fetches one instruction; `None` when `ip` is past the end or the
+    /// reference is unknown (both are `BadIp` faults to the executor).
+    pub fn fetch(&self, code: CodeRef, ip: u32) -> Option<Instruction> {
+        self.bodies
+            .get(code.0 as usize)
+            .and_then(|b| b.get(ip as usize))
+            .copied()
+    }
+
+    /// Length of a body in instructions (0 for unknown references).
+    pub fn len_of(&self, code: CodeRef) -> u32 {
+        self.bodies
+            .get(code.0 as usize)
+            .map(|b| b.len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Number of installed bodies.
+    pub fn count(&self) -> usize {
+        self.bodies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_fetch() {
+        let mut cs = CodeStore::new();
+        let r = cs.install(vec![Instruction::Work { cycles: 1 }, Instruction::Halt]);
+        assert_eq!(cs.fetch(r, 0), Some(Instruction::Work { cycles: 1 }));
+        assert_eq!(cs.fetch(r, 1), Some(Instruction::Halt));
+        assert_eq!(cs.fetch(r, 2), None);
+        assert_eq!(cs.len_of(r), 2);
+    }
+
+    #[test]
+    fn unknown_ref_is_empty() {
+        let cs = CodeStore::new();
+        assert_eq!(cs.fetch(CodeRef(9), 0), None);
+        assert_eq!(cs.len_of(CodeRef(9)), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The calibrated cycle cost model.
+//!
+//! The paper publishes two absolute timings for an 8 MHz 432 with no-wait-
+//! state memory:
+//!
+//! * §2 — "a domain switch on the 432 takes about **65 microseconds**"
+//!   (≈ 520 cycles);
+//! * §5 — "it takes **80 microseconds** at 8 megahertz to allocate a
+//!   segment from an SRO via the creation instruction" (≈ 640 cycles).
+//!
+//! The model below assigns cycle charges to the micro-operations every
+//! instruction decomposes into (decode, object-table lookup, AD movement,
+//! memory words, ...), plus fixed sequencer charges for the high-level
+//! instructions. The two published timings anchor the calibration:
+//! summing the components of a cross-domain CALL and of CREATE OBJECT
+//! reproduces ≈ 520 and ≈ 640 cycles respectively (verified by unit tests
+//! here and reported against the paper in `EXPERIMENTS.md`).
+//!
+//! Context allocation inside CALL uses a *fast path* charge rather than
+//! the general creation charge — this is forced by the published numbers
+//! themselves (a CALL containing a general 640-cycle allocation could not
+//! finish in 520 cycles) and matches the 432's specialized context
+//! allocation.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated processor clock, Hz (the paper's 8 MHz part).
+pub const CLOCK_HZ: u64 = 8_000_000;
+
+/// Converts cycles to microseconds at [`CLOCK_HZ`].
+#[inline]
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 * 1e6 / CLOCK_HZ as f64
+}
+
+/// Per-micro-operation cycle charges.
+///
+/// All instruction costs are derived from these; tests pin the two paper
+/// anchors. Everything is public so ablation benches can vary the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Instruction fetch + decode.
+    pub decode: u64,
+    /// One object-table lookup / access-descriptor qualification.
+    pub ot_lookup: u64,
+    /// Moving one access descriptor (includes the write-barrier check).
+    pub ad_move: u64,
+    /// Touching one 4-byte memory word of a data part.
+    pub mem_word: u64,
+    /// One ALU operation.
+    pub alu: u64,
+    /// Taken or not-taken branch resolution.
+    pub branch: u64,
+    /// Fast-path context allocation performed by CALL.
+    pub ctx_alloc: u64,
+    /// CALL sequencing beyond context allocation and the AD moves
+    /// (addressing-environment switch).
+    pub call_switch: u64,
+    /// RETURN sequencing (context teardown + environment restore).
+    pub ret_fixed: u64,
+    /// CREATE OBJECT sequencing beyond lookups and zeroing (free-list
+    /// walk, descriptor build, SRO update).
+    pub create_fixed: u64,
+    /// Zero-fill charge per 4-byte word of a fresh segment.
+    pub zero_per_word: u64,
+    /// SEND sequencing (queue manipulation).
+    pub send_fixed: u64,
+    /// RECEIVE sequencing.
+    pub recv_fixed: u64,
+    /// Binding a ready process to a processor (dispatch).
+    pub dispatch_fixed: u64,
+    /// One idle poll of an empty dispatching port.
+    pub idle_poll: u64,
+    /// Delivering a faulted/preempted process to a port (implicit send).
+    pub fault_delivery: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            decode: 4,
+            ot_lookup: 10,
+            ad_move: 8,
+            mem_word: 4,
+            alu: 5,
+            branch: 4,
+            ctx_alloc: 320,
+            call_switch: 132,
+            ret_fixed: 196,
+            create_fixed: 580,
+            zero_per_word: 2,
+            send_fixed: 104,
+            recv_fixed: 104,
+            dispatch_fixed: 150,
+            idle_poll: 16,
+            fault_delivery: 120,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total charge of a cross-domain CALL (the paper's "domain switch"):
+    /// decode, qualify the domain AD, fetch the subprogram entry, allocate
+    /// the context (fast path), store the four linkage ADs
+    /// (domain/caller/SRO/argument), and switch environments.
+    pub fn call_total(&self) -> u64 {
+        self.decode + 2 * self.ot_lookup + self.ctx_alloc + 4 * self.ad_move + self.call_switch
+    }
+
+    /// Total charge of CREATE OBJECT for a segment with `data_bytes` +
+    /// `access_slots`: decode, qualify the SRO AD, sequencing, zero fill.
+    pub fn create_total(&self, data_bytes: u32, access_slots: u32) -> u64 {
+        let words = (data_bytes as u64).div_ceil(4) + access_slots as u64;
+        self.decode + self.ot_lookup + self.create_fixed + words * self.zero_per_word
+    }
+
+    /// Total charge of a RETURN.
+    pub fn return_total(&self) -> u64 {
+        self.decode + self.ot_lookup + self.ret_fixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §2: a domain switch is about 65 µs at 8 MHz (520 cycles).
+    #[test]
+    fn call_calibration_matches_paper() {
+        let m = CostModel::default();
+        let total = m.call_total();
+        let us = cycles_to_us(total);
+        assert!(
+            (60.0..=70.0).contains(&us),
+            "domain switch calibrated to ~65us, got {us:.1}us ({total} cycles)"
+        );
+    }
+
+    /// Paper §5: allocating a segment from an SRO takes 80 µs at 8 MHz
+    /// (640 cycles). Calibrated for a small (typical activation-record
+    /// sized) segment.
+    #[test]
+    fn create_calibration_matches_paper() {
+        let m = CostModel::default();
+        let total = m.create_total(64, 4);
+        let us = cycles_to_us(total);
+        assert!(
+            (74.0..=86.0).contains(&us),
+            "allocation calibrated to ~80us, got {us:.1}us ({total} cycles)"
+        );
+    }
+
+    #[test]
+    fn larger_segments_cost_more_to_create() {
+        let m = CostModel::default();
+        assert!(m.create_total(4096, 64) > m.create_total(64, 4));
+    }
+
+    #[test]
+    fn return_is_cheaper_than_call() {
+        let m = CostModel::default();
+        assert!(m.return_total() < m.call_total());
+    }
+
+    #[test]
+    fn cycles_to_us_at_8mhz() {
+        assert!((cycles_to_us(8) - 1.0).abs() < 1e-9);
+        assert!((cycles_to_us(520) - 65.0).abs() < 1e-9);
+    }
+}

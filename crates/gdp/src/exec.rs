@@ -1,0 +1,1788 @@
+//! The instruction interpreter and implicit processor behaviour.
+//!
+//! [`Gdp::step`] advances one processor by one unit of work: an idle poll,
+//! a dispatch, or one instruction of the bound process. Everything the
+//! paper describes as *implicit* hardware behaviour happens here — binding
+//! ready processes from dispatching ports, time-slice end, delivering
+//! faulted processes to their fault ports, and returning blocked
+//! processes' processors to the dispatching loop.
+
+use crate::{
+    code::CodeStore,
+    context::{context_state, create_context, destroy_context, subprogram_of, with_context_state},
+    cost::CostModel,
+    fault::{Fault, FaultKind},
+    interconnect::Interconnect,
+    isa::{DataDst, DataRef, Instruction},
+    native::{NativeCtx, NativeRegistry},
+    port::{self, RecvOutcome, SendOutcome},
+    process::{current_process, deliver_fault, notify_scheduler, try_dispatch, unbind},
+};
+use i432_arch::{
+    sysobj::{CTX_SLOT_CALLER, CTX_SLOT_SRO, PROC_SLOT_CONTEXT, PROC_SLOT_LOCAL_HEAP},
+    AccessDescriptor, CodeBody, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, ProcessStatus,
+    ProcessorStatus, Rights, SysState, SystemType,
+};
+
+/// Everything a processor needs besides its own state.
+pub struct Env<'a> {
+    /// The shared object space.
+    pub space: &'a mut ObjectSpace,
+    /// The shared code store.
+    pub code: &'a CodeStore,
+    /// Registered native service bodies.
+    pub natives: &'a NativeRegistry,
+    /// The memory interconnect (bus contention model).
+    pub bus: &'a mut dyn Interconnect,
+    /// The cycle cost model.
+    pub cost: CostModel,
+}
+
+/// What one step of a processor did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Polled an empty dispatching port.
+    Idle,
+    /// Bound a ready process.
+    Dispatched(ObjectRef),
+    /// Executed one instruction of the bound process.
+    Executed {
+        /// The process that ran.
+        process: ObjectRef,
+        /// Cycles charged (including bus waits).
+        cycles: u64,
+    },
+    /// The bound process blocked at a port; the processor is idle again.
+    Blocked(ObjectRef),
+    /// The bound process exhausted its time slice and was re-queued.
+    TimesliceEnd(ObjectRef),
+    /// The bound process faulted and was delivered to its fault port (or
+    /// terminated if it has none).
+    ProcessFaulted {
+        /// The faulted process.
+        process: ObjectRef,
+        /// Fault classification.
+        kind: FaultKind,
+    },
+    /// The bound process finished (root RETURN or HALT).
+    ProcessExited(ObjectRef),
+    /// A fault occurred that the system may not tolerate (fault at a
+    /// forbidden system level, or executive inconsistency): the processor
+    /// halted.
+    SystemError {
+        /// The process involved, if any.
+        process: Option<ObjectRef>,
+        /// The fault.
+        fault: Fault,
+    },
+    /// The processor is halted; nothing happens.
+    Halted,
+}
+
+/// Cycle/traffic accumulator for one instruction.
+#[derive(Debug, Default, Clone, Copy)]
+struct Charge {
+    cycles: u64,
+    words: u32,
+}
+
+impl Charge {
+    fn add(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+    fn mem(&mut self, words: u32, cost: &CostModel) {
+        self.cycles += words as u64 * cost.mem_word;
+        self.words += words;
+    }
+    fn ot(&mut self, cost: &CostModel) {
+        self.cycles += cost.ot_lookup;
+        self.words += 2;
+    }
+    fn ad(&mut self, cost: &CostModel) {
+        self.cycles += cost.ad_move;
+        self.words += 1;
+    }
+}
+
+/// Control outcome of one instruction.
+enum Ctl {
+    /// Advance to the next instruction.
+    Next,
+    /// Jump to this instruction index.
+    Jump(u32),
+    /// Control transferred (CALL/RETURN manage the instruction pointers
+    /// themselves).
+    Switched,
+    /// The process blocked at a port (instruction committed).
+    Blocked,
+    /// The process finished.
+    Exited,
+}
+
+/// Extra cycles a RECEIVE pays to select among queued messages: FIFO
+/// takes the head for free; priority/deadline disciplines scan the keys
+/// (2 cycles per queued entry, the hardware's linear selection).
+fn queue_scan_cost(space: &ObjectSpace, port_ad: AccessDescriptor) -> u64 {
+    match space.table.get(port_ad.obj).map(|e| &e.sys) {
+        Ok(SysState::Port(p)) if p.discipline != i432_arch::PortDiscipline::Fifo => {
+            2 * p.msg_count as u64
+        }
+        _ => 0,
+    }
+}
+
+/// One emulated General Data Processor.
+#[derive(Debug, Clone, Copy)]
+pub struct Gdp {
+    /// The processor object this GDP embodies.
+    pub cpu: ObjectRef,
+    /// Local cycle clock.
+    pub clock: u64,
+}
+
+impl Gdp {
+    /// A processor starting at cycle zero.
+    pub fn new(cpu: ObjectRef) -> Gdp {
+        Gdp { cpu, clock: 0 }
+    }
+
+    /// Advances this processor by one unit of work.
+    pub fn step(&mut self, env: &mut Env<'_>) -> StepEvent {
+        let status = match env.space.processor(self.cpu) {
+            Ok(p) => p.status,
+            Err(e) => {
+                return StepEvent::SystemError {
+                    process: None,
+                    fault: e.into(),
+                }
+            }
+        };
+        if status == ProcessorStatus::Halted {
+            return StepEvent::Halted;
+        }
+
+        // No process bound: dispatch or idle.
+        let proc_ref = match current_process(env.space, self.cpu) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                return match try_dispatch(env.space, self.cpu) {
+                    Ok(Some(p)) => {
+                        self.tick(env, env.cost.dispatch_fixed, true);
+                        StepEvent::Dispatched(p)
+                    }
+                    Ok(None) => {
+                        self.tick(env, env.cost.idle_poll, false);
+                        StepEvent::Idle
+                    }
+                    Err(fault) => self.system_error(env, None, fault),
+                };
+            }
+            Err(fault) => return self.system_error(env, None, fault),
+        };
+
+        match self.run_one(env, proc_ref) {
+            Ok(ev) => ev,
+            Err(fault) => self.process_fault(env, proc_ref, fault),
+        }
+    }
+
+    /// Advances the local clock and processor accounting.
+    fn tick(&mut self, env: &mut Env<'_>, cycles: u64, busy: bool) {
+        self.clock += cycles;
+        if let Ok(p) = env.space.processor_mut(self.cpu) {
+            if busy {
+                p.busy_cycles += cycles;
+            } else {
+                p.idle_cycles += cycles;
+            }
+        }
+    }
+
+    fn system_error(&mut self, env: &mut Env<'_>, process: Option<ObjectRef>, fault: Fault) -> StepEvent {
+        if let Ok(p) = env.space.processor_mut(self.cpu) {
+            p.status = ProcessorStatus::Halted;
+        }
+        StepEvent::SystemError { process, fault }
+    }
+
+    /// Executes one instruction of the bound process.
+    fn run_one(&mut self, env: &mut Env<'_>, proc_ref: ObjectRef) -> Result<StepEvent, Fault> {
+        let ctx = env
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
+            .map_err(Fault::from)?
+            .ok_or_else(|| Fault::with_detail(FaultKind::NullAccess, "process has no context"))?
+            .obj;
+        let cstate = context_state(env.space, ctx)?;
+        let mut charge = Charge::default();
+        charge.add(env.cost.decode);
+        charge.words += 1;
+
+        let ctl = match cstate.body {
+            CodeBody::Interpreted(code_ref) => {
+                let Some(instr) = env.code.fetch(code_ref, cstate.ip) else {
+                    return Err(Fault::with_detail(
+                        FaultKind::BadIp,
+                        format!("ip {} outside instruction segment", cstate.ip),
+                    ));
+                };
+                self.exec_instr(env, proc_ref, ctx, instr, &mut charge)?
+            }
+            CodeBody::Native(id) => {
+                // A process whose root body is native: run it to
+                // completion in one step, then exit.
+                let mut ncx = NativeCtx {
+                    space: env.space,
+                    process: proc_ref,
+                    context: ctx,
+                    cycles: 0,
+                };
+                let result = env.natives.invoke(id, &mut ncx);
+                charge.add(ncx.cycles);
+                result?;
+                Ctl::Exited
+            }
+        };
+
+        // Bus contention and accounting.
+        let cpu_id = env.space.processor(self.cpu).map_err(Fault::from)?.id;
+        let wait = env.bus.access(cpu_id, self.clock, charge.words);
+        let total = charge.cycles + wait;
+        self.tick(env, total, true);
+        {
+            let ps = env.space.process_mut(proc_ref).map_err(Fault::from)?;
+            ps.total_cycles += total;
+            ps.slice_remaining = ps.slice_remaining.saturating_sub(total);
+        }
+
+        match ctl {
+            Ctl::Next => {
+                with_context_state(env.space, ctx, |c| c.ip += 1)?;
+                self.maybe_preempt(env, proc_ref, total)
+            }
+            Ctl::Jump(t) => {
+                with_context_state(env.space, ctx, |c| c.ip = t)?;
+                self.maybe_preempt(env, proc_ref, total)
+            }
+            Ctl::Switched => self.maybe_preempt(env, proc_ref, total),
+            Ctl::Blocked => {
+                with_context_state(env.space, ctx, |c| c.ip += 1)?;
+                unbind(env.space, self.cpu)?;
+                Ok(StepEvent::Blocked(proc_ref))
+            }
+            Ctl::Exited => {
+                self.exit_process(env, proc_ref)?;
+                Ok(StepEvent::ProcessExited(proc_ref))
+            }
+        }
+    }
+
+    /// Requeues the process at its dispatching port if its slice expired.
+    fn maybe_preempt(
+        &mut self,
+        env: &mut Env<'_>,
+        proc_ref: ObjectRef,
+        cycles: u64,
+    ) -> Result<StepEvent, Fault> {
+        let expired = {
+            let ps = env.space.process(proc_ref).map_err(Fault::from)?;
+            ps.slice_remaining == 0 && ps.status == ProcessStatus::Running
+        };
+        if expired {
+            port::make_ready(env.space, proc_ref)?;
+            unbind(env.space, self.cpu)?;
+            return Ok(StepEvent::TimesliceEnd(proc_ref));
+        }
+        Ok(StepEvent::Executed {
+            process: proc_ref,
+            cycles,
+        })
+    }
+
+    /// Terminates the process: tears down its context chain, notifies its
+    /// scheduler, and idles the processor.
+    fn exit_process(&mut self, env: &mut Env<'_>, proc_ref: ObjectRef) -> Result<(), Fault> {
+        // Destroy the context chain (implicit hardware cleanup; any local
+        // heaps die with their SROs via the same path at RETURNs — a HALT
+        // deep in a call chain reclaims the whole chain here).
+        let mut ctx = env
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
+            .map_err(Fault::from)?
+            .map(|ad| ad.obj);
+        env.space
+            .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, None)
+            .map_err(Fault::from)?;
+        while let Some(c) = ctx {
+            let caller = env
+                .space
+                .load_ad_hw(c, CTX_SLOT_CALLER)
+                .ok()
+                .flatten()
+                .map(|ad| ad.obj);
+            let _ = destroy_context(env.space, c);
+            ctx = caller;
+        }
+        if let Some(lh) = env
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP)
+            .map_err(Fault::from)?
+        {
+            let _ = env.space.bulk_destroy_sro(lh.obj);
+            env.space
+                .store_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP, None)
+                .map_err(Fault::from)?;
+        }
+        env.space.process_mut(proc_ref).map_err(Fault::from)?.status = ProcessStatus::Terminated;
+        let _ = notify_scheduler(env.space, proc_ref);
+        unbind(env.space, self.cpu)?;
+        Ok(())
+    }
+
+    /// Handles a process-level fault: checks the system-level permission
+    /// tiers of paper §7.3, records the fault, and delivers the process to
+    /// its fault port.
+    fn process_fault(&mut self, env: &mut Env<'_>, proc_ref: ObjectRef, fault: Fault) -> StepEvent {
+        let sys_level = env
+            .space
+            .process(proc_ref)
+            .map(|p| p.sys_level)
+            .unwrap_or(3);
+        if !fault.kind.permitted_at(sys_level) {
+            return self.system_error(env, Some(proc_ref), fault);
+        }
+        self.tick(env, env.cost.fault_delivery, true);
+        if let Ok(ps) = env.space.process_mut(proc_ref) {
+            ps.status = ProcessStatus::Faulted;
+            ps.fault_code = fault.kind.code();
+            ps.fault_detail = fault.to_string();
+            ps.fault_aux = fault.aux;
+        }
+        match deliver_fault(env.space, proc_ref) {
+            Ok(_) => {}
+            Err(f) => return self.system_error(env, Some(proc_ref), f),
+        }
+        if let Err(f) = unbind(env.space, self.cpu) {
+            return self.system_error(env, Some(proc_ref), f);
+        }
+        StepEvent::ProcessFaulted {
+            process: proc_ref,
+            kind: fault.kind,
+        }
+    }
+
+    // -- Operand helpers --------------------------------------------------------
+
+    fn read_ref(
+        &self,
+        env: &mut Env<'_>,
+        ctx_ad: AccessDescriptor,
+        r: DataRef,
+        charge: &mut Charge,
+    ) -> Result<u64, Fault> {
+        match r {
+            DataRef::Imm(v) => Ok(v),
+            DataRef::Local(off) => {
+                charge.mem(2, &env.cost);
+                env.space.read_u64(ctx_ad, off).map_err(Fault::from)
+            }
+            DataRef::Field(slot, off) => {
+                charge.ot(&env.cost);
+                charge.mem(2, &env.cost);
+                let obj = env
+                    .space
+                    .load_ad_required(ctx_ad, slot as u32)
+                    .map_err(Fault::from)?;
+                env.space.read_u64(obj, off).map_err(Fault::from)
+            }
+        }
+    }
+
+    fn write_dst(
+        &self,
+        env: &mut Env<'_>,
+        ctx_ad: AccessDescriptor,
+        d: DataDst,
+        v: u64,
+        charge: &mut Charge,
+    ) -> Result<(), Fault> {
+        match d {
+            DataDst::Local(off) => {
+                charge.mem(2, &env.cost);
+                env.space.write_u64(ctx_ad, off, v).map_err(Fault::from)
+            }
+            DataDst::Field(slot, off) => {
+                charge.ot(&env.cost);
+                charge.mem(2, &env.cost);
+                let obj = env
+                    .space
+                    .load_ad_required(ctx_ad, slot as u32)
+                    .map_err(Fault::from)?;
+                env.space.write_u64(obj, off, v).map_err(Fault::from)
+            }
+        }
+    }
+
+    // -- The instruction dispatch ---------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(
+        &mut self,
+        env: &mut Env<'_>,
+        proc_ref: ObjectRef,
+        ctx: ObjectRef,
+        instr: Instruction,
+        charge: &mut Charge,
+    ) -> Result<Ctl, Fault> {
+        let ctx_ad = env.space.mint(ctx, Rights::READ | Rights::WRITE);
+        match instr {
+            Instruction::Mov { src, dst } => {
+                let v = self.read_ref(env, ctx_ad, src, charge)?;
+                self.write_dst(env, ctx_ad, dst, v, charge)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Alu { op, a, b, dst } => {
+                charge.add(env.cost.alu);
+                let av = self.read_ref(env, ctx_ad, a, charge)?;
+                let bv = self.read_ref(env, ctx_ad, b, charge)?;
+                let v = op
+                    .apply(av, bv)
+                    .ok_or_else(|| Fault::new(FaultKind::DivideByZero))?;
+                self.write_dst(env, ctx_ad, dst, v, charge)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Jump(t) => {
+                charge.add(env.cost.branch);
+                Ok(Ctl::Jump(t))
+            }
+            Instruction::JumpIf { cond, when, target } => {
+                charge.add(env.cost.branch);
+                let c = self.read_ref(env, ctx_ad, cond, charge)?;
+                if (c != 0) == when {
+                    Ok(Ctl::Jump(target))
+                } else {
+                    Ok(Ctl::Next)
+                }
+            }
+            Instruction::MoveAd { src, dst } => {
+                charge.ad(&env.cost);
+                let ad = env.space.load_ad(ctx_ad, src as u32).map_err(Fault::from)?;
+                env.space
+                    .store_ad(ctx_ad, dst as u32, ad)
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::LoadAd { obj, index, dst } => {
+                charge.ot(&env.cost);
+                charge.ad(&env.cost);
+                let container = env
+                    .space
+                    .load_ad_required(ctx_ad, obj as u32)
+                    .map_err(Fault::from)?;
+                let idx = self.read_ref(env, ctx_ad, index, charge)? as u32;
+                let ad = env.space.load_ad(container, idx).map_err(Fault::from)?;
+                env.space
+                    .store_ad(ctx_ad, dst as u32, ad)
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::StoreAd { src, obj, index } => {
+                charge.ot(&env.cost);
+                charge.ad(&env.cost);
+                let container = env
+                    .space
+                    .load_ad_required(ctx_ad, obj as u32)
+                    .map_err(Fault::from)?;
+                let idx = self.read_ref(env, ctx_ad, index, charge)? as u32;
+                let ad = env.space.load_ad(ctx_ad, src as u32).map_err(Fault::from)?;
+                env.space.store_ad(container, idx, ad).map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::NullAd { dst } => {
+                charge.ad(&env.cost);
+                env.space
+                    .store_ad(ctx_ad, dst as u32, None)
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Restrict { slot, keep } => {
+                charge.ad(&env.cost);
+                let ad = env
+                    .space
+                    .load_ad_required(ctx_ad, slot as u32)
+                    .map_err(Fault::from)?;
+                env.space
+                    .store_ad(ctx_ad, slot as u32, Some(ad.restricted(keep)))
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::CreateObject {
+                sro,
+                data_len,
+                access_len,
+                dst,
+            } => {
+                let sro_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, sro as u32)
+                    .map_err(Fault::from)?;
+                env.space
+                    .qualify(sro_ad, Rights::ALLOCATE)
+                    .map_err(Fault::from)?;
+                let dl = self.read_ref(env, ctx_ad, data_len, charge)? as u32;
+                let al = self.read_ref(env, ctx_ad, access_len, charge)? as u32;
+                charge.add(env.cost.create_total(dl, al));
+                charge.words += (dl / 4 + al) / 2;
+                let new = env
+                    .space
+                    .create_object(sro_ad.obj, ObjectSpec::generic(dl, al))
+                    .map_err(Fault::from)?;
+                let new_ad = env.space.mint(new, Rights::ALL);
+                env.space
+                    .store_ad(ctx_ad, dst as u32, Some(new_ad))
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::CreateTypedObject {
+                sro,
+                tdo,
+                data_len,
+                access_len,
+                dst,
+            } => {
+                charge.ot(&env.cost);
+                let sro_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, sro as u32)
+                    .map_err(Fault::from)?;
+                env.space
+                    .qualify(sro_ad, Rights::ALLOCATE)
+                    .map_err(Fault::from)?;
+                let tdo_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, tdo as u32)
+                    .map_err(Fault::from)?;
+                env.space
+                    .expect_type(tdo_ad, SystemType::TypeDefinition)
+                    .map_err(Fault::from)?;
+                env.space
+                    .qualify(tdo_ad, Rights::CREATE_INSTANCE)
+                    .map_err(Fault::from)?;
+                let dl = self.read_ref(env, ctx_ad, data_len, charge)? as u32;
+                let al = self.read_ref(env, ctx_ad, access_len, charge)? as u32;
+                charge.add(env.cost.create_total(dl, al));
+                let new = env
+                    .space
+                    .create_object(
+                        sro_ad.obj,
+                        ObjectSpec {
+                            data_len: dl,
+                            access_len: al,
+                            otype: ObjectType::User(tdo_ad.obj),
+                            level: None,
+                            sys: SysState::Generic,
+                        },
+                    )
+                    .map_err(Fault::from)?;
+                env.space.tdo_mut(tdo_ad.obj).map_err(Fault::from)?.instances_created += 1;
+                let new_ad = env.space.mint(new, Rights::ALL);
+                env.space
+                    .store_ad(ctx_ad, dst as u32, Some(new_ad))
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Amplify { slot, tdo, add } => {
+                charge.ot(&env.cost);
+                charge.ot(&env.cost);
+                charge.ad(&env.cost);
+                let tdo_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, tdo as u32)
+                    .map_err(Fault::from)?;
+                env.space
+                    .expect_type(tdo_ad, SystemType::TypeDefinition)
+                    .map_err(Fault::from)?;
+                env.space
+                    .qualify(tdo_ad, Rights::AMPLIFY)
+                    .map_err(Fault::from)?;
+                let target = env
+                    .space
+                    .load_ad_required(ctx_ad, slot as u32)
+                    .map_err(Fault::from)?;
+                let otype = env.space.table.get(target.obj).map_err(Fault::from)?.desc.otype;
+                if otype.user_tdo() != Some(tdo_ad.obj) {
+                    return Err(Fault::with_detail(
+                        FaultKind::TypeMismatch,
+                        "amplify: object is not an instance of the presented type",
+                    ));
+                }
+                let amplified = AccessDescriptor::new(target.obj, target.rights.union(add));
+                env.space
+                    .store_ad(ctx_ad, slot as u32, Some(amplified))
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Call {
+                domain,
+                subprogram,
+                arg,
+                ret_ad,
+                ret_val,
+            } => self.exec_call(env, proc_ref, ctx, domain, subprogram, arg, ret_ad, ret_val, charge),
+            Instruction::Return { ad, value } => {
+                self.exec_return(env, proc_ref, ctx, ad, value, charge)
+            }
+            Instruction::Send { port: p, msg, key } => {
+                charge.ot(&env.cost);
+                charge.add(env.cost.send_fixed);
+                let port_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, p as u32)
+                    .map_err(Fault::from)?;
+                let msg_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, msg as u32)
+                    .map_err(Fault::from)?;
+                let k = self.read_ref(env, ctx_ad, key, charge)?;
+                match port::send(env.space, Some(proc_ref), port_ad, msg_ad, k, true, false)? {
+                    SendOutcome::Blocked => Ok(Ctl::Blocked),
+                    _ => Ok(Ctl::Next),
+                }
+            }
+            Instruction::CondSend {
+                port: p,
+                msg,
+                key,
+                done,
+            } => {
+                charge.ot(&env.cost);
+                charge.add(env.cost.send_fixed);
+                let port_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, p as u32)
+                    .map_err(Fault::from)?;
+                let msg_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, msg as u32)
+                    .map_err(Fault::from)?;
+                let k = self.read_ref(env, ctx_ad, key, charge)?;
+                let ok = match port::send(env.space, Some(proc_ref), port_ad, msg_ad, k, false, false)? {
+                    SendOutcome::WouldBlock => 0,
+                    _ => 1,
+                };
+                self.write_dst(env, ctx_ad, done, ok, charge)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Receive { port: p, dst } => {
+                charge.ot(&env.cost);
+                charge.add(env.cost.recv_fixed);
+                let port_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, p as u32)
+                    .map_err(Fault::from)?;
+                charge.add(queue_scan_cost(env.space, port_ad));
+                match port::receive(
+                    env.space,
+                    Some((proc_ref, dst as u32)),
+                    port_ad,
+                    true,
+                    false,
+                )? {
+                    RecvOutcome::Received(msg) => {
+                        env.space
+                            .store_ad(ctx_ad, dst as u32, Some(msg))
+                            .map_err(Fault::from)?;
+                        Ok(Ctl::Next)
+                    }
+                    RecvOutcome::Blocked => Ok(Ctl::Blocked),
+                    RecvOutcome::WouldBlock => unreachable!("blocking receive cannot would-block"),
+                }
+            }
+            Instruction::ReceiveTimeout { port: p, dst, timeout } => {
+                charge.ot(&env.cost);
+                charge.add(env.cost.recv_fixed);
+                let port_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, p as u32)
+                    .map_err(Fault::from)?;
+                let t = self.read_ref(env, ctx_ad, timeout, charge)?;
+                match port::receive(
+                    env.space,
+                    Some((proc_ref, dst as u32)),
+                    port_ad,
+                    true,
+                    false,
+                )? {
+                    RecvOutcome::Received(msg) => {
+                        env.space
+                            .store_ad(ctx_ad, dst as u32, Some(msg))
+                            .map_err(Fault::from)?;
+                        Ok(Ctl::Next)
+                    }
+                    RecvOutcome::Blocked => {
+                        // Arm the timer: absolute simulated deadline.
+                        env.space.process_mut(proc_ref).map_err(Fault::from)?.timeout_at =
+                            self.clock + t;
+                        Ok(Ctl::Blocked)
+                    }
+                    RecvOutcome::WouldBlock => unreachable!("blocking receive cannot would-block"),
+                }
+            }
+            Instruction::CondReceive { port: p, dst, done } => {
+                charge.ot(&env.cost);
+                charge.add(env.cost.recv_fixed);
+                let port_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, p as u32)
+                    .map_err(Fault::from)?;
+                match port::receive(env.space, None, port_ad, false, false)? {
+                    RecvOutcome::Received(msg) => {
+                        env.space
+                            .store_ad(ctx_ad, dst as u32, Some(msg))
+                            .map_err(Fault::from)?;
+                        self.write_dst(env, ctx_ad, done, 1, charge)?;
+                    }
+                    RecvOutcome::WouldBlock => {
+                        env.space
+                            .store_ad(ctx_ad, dst as u32, None)
+                            .map_err(Fault::from)?;
+                        self.write_dst(env, ctx_ad, done, 0, charge)?;
+                    }
+                    RecvOutcome::Blocked => unreachable!("non-blocking receive cannot block"),
+                }
+                Ok(Ctl::Next)
+            }
+            Instruction::CopyData {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                len,
+            } => {
+                charge.ot(&env.cost);
+                charge.ot(&env.cost);
+                let src_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, src as u32)
+                    .map_err(Fault::from)?;
+                let dst_ad = env
+                    .space
+                    .load_ad_required(ctx_ad, dst as u32)
+                    .map_err(Fault::from)?;
+                let s_off = self.read_ref(env, ctx_ad, src_off, charge)? as u32;
+                let d_off = self.read_ref(env, ctx_ad, dst_off, charge)? as u32;
+                let n = self.read_ref(env, ctx_ad, len, charge)? as u32;
+                let mut buf = vec![0u8; n as usize];
+                env.space
+                    .read_data(src_ad, s_off, &mut buf)
+                    .map_err(Fault::from)?;
+                env.space
+                    .write_data(dst_ad, d_off, &buf)
+                    .map_err(Fault::from)?;
+                // Word-granular transfer traffic in both directions.
+                charge.mem(n.div_ceil(4) * 2, &env.cost);
+                Ok(Ctl::Next)
+            }
+            Instruction::InspectAd { slot, dst } => {
+                charge.ot(&env.cost);
+                let word = match env.space.load_ad(ctx_ad, slot as u32).map_err(Fault::from)? {
+                    None => 1u64 << 63,
+                    Some(ad) => {
+                        let e = env.space.table.get(ad.obj).map_err(Fault::from)?;
+                        let (tag, tdo_index) = match e.desc.otype {
+                            ObjectType::System(t) => {
+                                use i432_arch::SystemType as S;
+                                let tag = match t {
+                                    S::Generic => 0u64,
+                                    S::Processor => 1,
+                                    S::Process => 2,
+                                    S::Context => 3,
+                                    S::Domain => 4,
+                                    S::Instructions => 5,
+                                    S::Port => 6,
+                                    S::StorageResource => 7,
+                                    S::TypeDefinition => 8,
+                                };
+                                (tag, 0u64)
+                            }
+                            ObjectType::User(tdo) => (255, tdo.index.0 as u64),
+                        };
+                        ad.rights.bits() as u64
+                            | (e.desc.level.0 as u64) << 8
+                            | tag << 24
+                            | tdo_index << 32
+                    }
+                };
+                self.write_dst(env, ctx_ad, dst, word, charge)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::ReadClock { dst } => {
+                let now = self.clock;
+                self.write_dst(env, ctx_ad, dst, now, charge)?;
+                Ok(Ctl::Next)
+            }
+            Instruction::Work { cycles } => {
+                charge.add(cycles as u64);
+                Ok(Ctl::Next)
+            }
+            Instruction::RaiseFault { code } => Err(Fault::new(FaultKind::Explicit(code))),
+            Instruction::Halt => Ok(Ctl::Exited),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_call(
+        &mut self,
+        env: &mut Env<'_>,
+        proc_ref: ObjectRef,
+        ctx: ObjectRef,
+        domain: u16,
+        subprogram: u32,
+        arg: Option<u16>,
+        ret_ad: Option<u16>,
+        ret_val: Option<u32>,
+        charge: &mut Charge,
+    ) -> Result<Ctl, Fault> {
+        charge.add(env.cost.call_total() - env.cost.decode);
+        charge.words += 24; // context allocation + linkage traffic
+        let ctx_ad = env.space.mint(ctx, Rights::READ | Rights::WRITE);
+        let dom_ad = env
+            .space
+            .load_ad_required(ctx_ad, domain as u32)
+            .map_err(Fault::from)?;
+        env.space
+            .expect_type(dom_ad, SystemType::Domain)
+            .map_err(Fault::from)?;
+        env.space.qualify(dom_ad, Rights::CALL).map_err(Fault::from)?;
+        let sub = subprogram_of(env.space, dom_ad.obj, subprogram)?;
+        let arg_ad = match arg {
+            Some(slot) => env.space.load_ad(ctx_ad, slot as u32).map_err(Fault::from)?,
+            None => None,
+        };
+        let sro_ad = env
+            .space
+            .load_ad_required(ctx_ad, CTX_SLOT_SRO)
+            .map_err(Fault::from)?;
+        let cur_level = env.space.table.get(ctx).map_err(Fault::from)?.desc.level;
+
+        let callee = create_context(
+            env.space,
+            sro_ad.obj,
+            dom_ad,
+            subprogram,
+            &sub,
+            arg_ad,
+            Some(ctx_ad),
+            cur_level,
+            ret_ad.map(|s| s as u32),
+            ret_val,
+        )?;
+
+        match sub.body {
+            CodeBody::Interpreted(_) => {
+                // Commit: the caller resumes after the CALL.
+                with_context_state(env.space, ctx, |c| c.ip += 1)?;
+                let callee_ad = env.space.mint(callee, Rights::READ | Rights::WRITE);
+                env.space
+                    .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, Some(callee_ad))
+                    .map_err(Fault::from)?;
+                Ok(Ctl::Switched)
+            }
+            CodeBody::Native(id) => {
+                // Native services execute within the CALL and return
+                // immediately; the caller pays the same domain-switch
+                // price (uniformity of OS and user calls). The callee
+                // context becomes the *current* context for the duration,
+                // keeping the whole chain reachable — the garbage
+                // collector itself may run inside this body.
+                let callee_ad = env.space.mint(callee, Rights::READ | Rights::WRITE);
+                env.space
+                    .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, Some(callee_ad))
+                    .map_err(Fault::from)?;
+                let mut ncx = NativeCtx {
+                    space: env.space,
+                    process: proc_ref,
+                    context: callee,
+                    cycles: 0,
+                };
+                let result = env.natives.invoke(id, &mut ncx);
+                charge.add(ncx.cycles);
+                env.space
+                    .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, Some(ctx_ad))
+                    .map_err(Fault::from)?;
+                match result {
+                    Ok(ret) => {
+                        if let Some(slot) = ret_ad {
+                            env.space
+                                .store_ad(ctx_ad, slot as u32, ret.ad)
+                                .map_err(Fault::from)?;
+                        }
+                        if let (Some(off), Some(v)) = (ret_val, ret.value) {
+                            env.space.write_u64(ctx_ad, off, v).map_err(Fault::from)?;
+                        }
+                        destroy_context(env.space, callee)?;
+                        charge.add(env.cost.return_total());
+                        with_context_state(env.space, ctx, |c| c.ip += 1)?;
+                        Ok(Ctl::Switched)
+                    }
+                    Err(fault) => {
+                        let _ = destroy_context(env.space, callee);
+                        Err(fault)
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_return(
+        &mut self,
+        env: &mut Env<'_>,
+        proc_ref: ObjectRef,
+        ctx: ObjectRef,
+        ad: Option<u16>,
+        value: Option<DataRef>,
+        charge: &mut Charge,
+    ) -> Result<Ctl, Fault> {
+        charge.add(env.cost.return_total() - env.cost.decode);
+        charge.words += 8;
+        let ctx_ad = env.space.mint(ctx, Rights::READ | Rights::WRITE);
+        let cstate = context_state(env.space, ctx)?;
+        let caller = env
+            .space
+            .load_ad(ctx_ad, CTX_SLOT_CALLER)
+            .map_err(Fault::from)?;
+        let ret_ad_value = match ad {
+            Some(slot) => env.space.load_ad(ctx_ad, slot as u32).map_err(Fault::from)?,
+            None => None,
+        };
+        let ret_scalar = match value {
+            Some(r) => Some(self.read_ref(env, ctx_ad, r, charge)?),
+            None => None,
+        };
+
+        let Some(caller_ad) = caller else {
+            // Root return: the process is done.
+            return Ok(Ctl::Exited);
+        };
+
+        // Deliver results into the caller. The checked store enforces the
+        // level rule: returning an access for a callee-local object to the
+        // caller faults, exactly as Ada forbids returning a pointer to a
+        // local.
+        if let Some(slot) = cstate.ret_ad_slot {
+            env.space
+                .store_ad(caller_ad, slot, ret_ad_value)
+                .map_err(Fault::from)?;
+        }
+        if let (Some(off), Some(v)) = (cstate.ret_val_off, ret_scalar) {
+            env.space.write_u64(caller_ad, off, v).map_err(Fault::from)?;
+        }
+
+        // Scope-exit reclamation of the local heap, if one was opened at
+        // this depth or deeper (paper §5).
+        let caller_level = env
+            .space
+            .table
+            .get(caller_ad.obj)
+            .map_err(Fault::from)?
+            .desc
+            .level;
+        if let Some(lh) = env
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP)
+            .map_err(Fault::from)?
+        {
+            let lh_level = env.space.table.get(lh.obj).map_err(Fault::from)?.desc.level;
+            if lh_level > caller_level {
+                let reclaimed = env.space.bulk_destroy_sro(lh.obj).map_err(Fault::from)?;
+                charge.add(reclaimed as u64 * 20);
+                env.space
+                    .store_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP, None)
+                    .map_err(Fault::from)?;
+            }
+        }
+
+        destroy_context(env.space, ctx)?;
+        env.space
+            .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, Some(caller_ad))
+            .map_err(Fault::from)?;
+        Ok(Ctl::Switched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        interconnect::NullInterconnect,
+        isa::AluOp,
+        process::{make_process, make_processor, ProcessSpec},
+        program::ProgramBuilder,
+    };
+    use i432_arch::{
+        sysobj::CTX_SLOT_FIRST_FREE, DomainState, Level, PortDiscipline, PortState,
+        Subprogram,
+    };
+
+    /// A self-contained single-processor test rig.
+    pub(crate) struct Rig {
+        pub(crate) space: ObjectSpace,
+        code: CodeStore,
+        natives: NativeRegistry,
+        bus: NullInterconnect,
+        cost: CostModel,
+        dispatch: AccessDescriptor,
+        gdp: Option<Gdp>,
+    }
+
+    impl Rig {
+        pub(crate) fn new() -> Rig {
+            let mut space = ObjectSpace::new(256 * 1024, 16 * 1024, 4096);
+            let root = space.root_sro();
+            let port = space
+                .create_object(
+                    root,
+                    ObjectSpec {
+                        data_len: 0,
+                        access_len: PortState::access_slots(64, 64),
+                        otype: ObjectType::System(SystemType::Port),
+                        level: None,
+                        sys: SysState::Port(PortState::new(64, 64, PortDiscipline::Fifo)),
+                    },
+                )
+                .unwrap();
+            let dispatch = space.mint(port, Rights::NONE);
+            Rig {
+                space,
+                code: CodeStore::new(),
+                natives: NativeRegistry::new(),
+                bus: NullInterconnect,
+                cost: CostModel::default(),
+                dispatch,
+                gdp: None,
+            }
+        }
+
+        pub(crate) fn domain(&mut self, name: &str, subs: Vec<Subprogram>) -> AccessDescriptor {
+            let root = self.space.root_sro();
+            let dom = self
+                .space
+                .create_object(
+                    root,
+                    ObjectSpec {
+                        data_len: 0,
+                        access_len: 4,
+                        otype: ObjectType::System(SystemType::Domain),
+                        level: None,
+                        sys: SysState::Domain(DomainState {
+                            name: name.into(),
+                            subprograms: subs,
+                        }),
+                    },
+                )
+                .unwrap();
+            self.space.mint(dom, Rights::CALL)
+        }
+
+        pub(crate) fn sub(&mut self, name: &str, code: Vec<Instruction>) -> Subprogram {
+            let cr = self.code.install(code);
+            Subprogram {
+                name: name.into(),
+                body: CodeBody::Interpreted(cr),
+                ctx_data_len: 128,
+                ctx_access_len: 16,
+            }
+        }
+
+        pub(crate) fn spawn(&mut self, dom: AccessDescriptor, sub: u32) -> ObjectRef {
+            let root = self.space.root_sro();
+            let p = make_process(
+                &mut self.space,
+                root,
+                dom,
+                sub,
+                None,
+                ProcessSpec::new(self.dispatch),
+            )
+            .unwrap();
+            port::make_ready(&mut self.space, p).unwrap();
+            p
+        }
+
+        pub(crate) fn cpu(&mut self) -> &mut Gdp {
+            if self.gdp.is_none() {
+                let root = self.space.root_sro();
+                let cpu =
+                    make_processor(&mut self.space, root, 0, self.dispatch).unwrap();
+                self.gdp = Some(Gdp::new(cpu));
+            }
+            self.gdp.as_mut().unwrap()
+        }
+
+        /// Steps until the predicate holds or the step budget runs out.
+        pub(crate) fn run_until(&mut self, max_steps: u32, mut stop: impl FnMut(&StepEvent) -> bool) -> Vec<StepEvent> {
+            self.cpu();
+            let mut events = Vec::new();
+            let mut gdp = self.gdp.take().unwrap();
+            for _ in 0..max_steps {
+                let ev = {
+                    let mut env = Env {
+                        space: &mut self.space,
+                        code: &self.code,
+                        natives: &self.natives,
+                        bus: &mut self.bus,
+                        cost: self.cost,
+                    };
+                    gdp.step(&mut env)
+                };
+                let done = stop(&ev);
+                events.push(ev);
+                if done {
+                    break;
+                }
+            }
+            self.gdp = Some(gdp);
+            events
+        }
+    }
+
+    #[test]
+    fn compute_loop_runs_to_exit() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.mov(DataRef::Imm(5), DataDst::Local(0));
+        p.bind(top);
+        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.jump_if_nonzero(DataRef::Local(0), top);
+        p.halt();
+        let sub = rig.sub("main", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        let events = rig.run_until(100, |e| matches!(e, StepEvent::ProcessExited(_)));
+        assert!(matches!(events.last(), Some(StepEvent::ProcessExited(p)) if *p == proc_ref));
+        assert_eq!(
+            rig.space.process(proc_ref).unwrap().status,
+            ProcessStatus::Terminated
+        );
+    }
+
+    #[test]
+    fn call_and_return_pass_values() {
+        let mut rig = Rig::new();
+        // Callee: return 41 + 1.
+        let mut callee = ProgramBuilder::new();
+        callee.alu(
+            AluOp::Add,
+            DataRef::Imm(41),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
+        callee.ret(None, Some(DataRef::Local(0)));
+        let callee_sub = rig.sub("callee", callee.finish());
+        let callee_dom = rig.domain("svc", vec![callee_sub]);
+
+        // Caller: call svc.0, stash result at local 8, then spin until it
+        // is 42 and halt.
+        let mut caller = ProgramBuilder::new();
+        caller.call(CTX_SLOT_FIRST_FREE as u16, 0, None, None, Some(8));
+        caller.halt();
+        let caller_sub = rig.sub("caller", caller.finish());
+        let caller_dom = rig.domain("app", vec![caller_sub]);
+
+        let proc_ref = rig.spawn(caller_dom, 0);
+        // Hand the callee domain AD to the caller's root context.
+        let ctx = rig
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        rig.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE, Some(callee_dom))
+            .unwrap();
+
+        rig.run_until(100, |e| matches!(e, StepEvent::ProcessExited(_)));
+        // The result was written into the caller context before exit; the
+        // context is gone now, so assert via accounting instead: the
+        // process executed a call (two domains) and exited cleanly.
+        assert_eq!(
+            rig.space.process(proc_ref).unwrap().status,
+            ProcessStatus::Terminated
+        );
+        assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 0);
+    }
+
+    #[test]
+    fn call_costs_match_calibration() {
+        let mut rig = Rig::new();
+        let mut callee = ProgramBuilder::new();
+        callee.ret(None, None);
+        let callee_sub = rig.sub("callee", callee.finish());
+        let dom2 = rig.domain("svc", vec![callee_sub]);
+
+        let mut caller = ProgramBuilder::new();
+        caller.call(CTX_SLOT_FIRST_FREE as u16, 0, None, None, None);
+        caller.halt();
+        let caller_sub = rig.sub("caller", caller.finish());
+        let dom1 = rig.domain("app", vec![caller_sub]);
+
+        let proc_ref = rig.spawn(dom1, 0);
+        let ctx = rig
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        rig.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE, Some(dom2))
+            .unwrap();
+
+        let mut call_cycles = None;
+        rig.run_until(100, |e| {
+            if let StepEvent::Executed { cycles, .. } = e {
+                if call_cycles.is_none() {
+                    call_cycles = Some(*cycles);
+                }
+            }
+            matches!(e, StepEvent::ProcessExited(_))
+        });
+        // First executed instruction is the CALL; 520 cycles = 65us.
+        let cycles = call_cycles.expect("call executed");
+        assert!(
+            (500..=560).contains(&cycles),
+            "domain switch took {cycles} cycles, expected ~520"
+        );
+    }
+
+    #[test]
+    fn create_object_instruction_allocates() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        // The context's SRO slot designates the allocator.
+        p.create_object(
+            CTX_SLOT_SRO as u16,
+            DataRef::Imm(64),
+            DataRef::Imm(4),
+            CTX_SLOT_FIRST_FREE as u16,
+        );
+        // Prove the object works: write/read through it.
+        p.mov(
+            DataRef::Imm(7),
+            DataDst::Field(CTX_SLOT_FIRST_FREE as u16, 0),
+        );
+        p.halt();
+        let sub = rig.sub("main", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        let created_before = rig.space.stats.objects_created;
+        rig.run_until(100, |e| matches!(e, StepEvent::ProcessExited(_)));
+        assert!(rig.space.stats.objects_created > created_before);
+        assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 0);
+    }
+
+    #[test]
+    fn explicit_fault_is_delivered() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::RaiseFault { code: 3 });
+        let sub = rig.sub("main", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        let events = rig.run_until(100, |e| matches!(e, StepEvent::ProcessFaulted { .. }));
+        assert!(matches!(
+            events.last(),
+            Some(StepEvent::ProcessFaulted { kind: FaultKind::Explicit(3), .. })
+        ));
+        // No fault port: terminated.
+        assert_eq!(
+            rig.space.process(proc_ref).unwrap().status,
+            ProcessStatus::Terminated
+        );
+        assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 1003);
+    }
+
+    #[test]
+    fn low_system_level_fault_halts_processor() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::RaiseFault { code: 1 });
+        let sub = rig.sub("main", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        rig.space.process_mut(proc_ref).unwrap().sys_level = 1;
+        let events = rig.run_until(100, |e| matches!(e, StepEvent::SystemError { .. }));
+        assert!(matches!(events.last(), Some(StepEvent::SystemError { .. })));
+        let cpu = rig.gdp.unwrap().cpu;
+        assert_eq!(
+            rig.space.processor(cpu).unwrap().status,
+            ProcessorStatus::Halted
+        );
+    }
+
+    #[test]
+    fn timeslice_end_requeues_process() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.bind(top);
+        p.work(10_000);
+        p.jump(top);
+        let sub = rig.sub("spin", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        rig.space.process_mut(proc_ref).unwrap().timeslice = 25_000;
+        rig.space.process_mut(proc_ref).unwrap().slice_remaining = 25_000;
+        let events = rig.run_until(100, |e| matches!(e, StepEvent::TimesliceEnd(_)));
+        assert!(matches!(events.last(), Some(StepEvent::TimesliceEnd(p)) if *p == proc_ref));
+        // The process is back in the dispatching mix: next steps
+        // re-dispatch it.
+        let events = rig.run_until(3, |e| matches!(e, StepEvent::Dispatched(_)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, StepEvent::Dispatched(p) if *p == proc_ref)));
+    }
+
+    #[test]
+    fn two_processes_rendezvous_through_port() {
+        let mut rig = Rig::new();
+        // A user port both processes can reach.
+        let root = rig.space.root_sro();
+        let port = rig
+            .space
+            .create_object(
+                root,
+                ObjectSpec {
+                    data_len: 0,
+                    access_len: PortState::access_slots(2, 8),
+                    otype: ObjectType::System(SystemType::Port),
+                    level: None,
+                    sys: SysState::Port(PortState::new(2, 8, PortDiscipline::Fifo)),
+                },
+            )
+            .unwrap();
+        let port_ad = rig.space.mint(port, Rights::SEND | Rights::RECEIVE);
+
+        // Receiver: receive into slot 5, then read the message's first
+        // word into local 0 and halt.
+        let mut rx = ProgramBuilder::new();
+        rx.receive(CTX_SLOT_FIRST_FREE as u16, 5);
+        rx.mov(DataRef::Field(5, 0), DataDst::Local(0));
+        rx.halt();
+        let rx_sub = rig.sub("rx", rx.finish());
+
+        // Sender: create a message object, tag it with 99, send it.
+        let mut tx = ProgramBuilder::new();
+        tx.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 6);
+        tx.mov(DataRef::Imm(99), DataDst::Field(6, 0));
+        tx.send(CTX_SLOT_FIRST_FREE as u16, 6);
+        tx.halt();
+        let tx_sub = rig.sub("tx", tx.finish());
+
+        let dom = rig.domain("d", vec![rx_sub, tx_sub]);
+        let rx_proc = rig.spawn(dom, 0);
+        let tx_proc = rig.spawn(dom, 1);
+        for p in [rx_proc, tx_proc] {
+            let ctx = rig
+                .space
+                .load_ad_hw(p, PROC_SLOT_CONTEXT)
+                .unwrap()
+                .unwrap()
+                .obj;
+            rig.space
+                .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE, Some(port_ad))
+                .unwrap();
+        }
+
+        let mut exits = 0;
+        rig.run_until(300, |e| {
+            if matches!(e, StepEvent::ProcessExited(_)) {
+                exits += 1;
+            }
+            exits == 2
+        });
+        assert_eq!(exits, 2, "both processes must finish");
+        assert_eq!(rig.space.process(rx_proc).unwrap().fault_code, 0);
+        assert_eq!(rig.space.process(tx_proc).unwrap().fault_code, 0);
+        let st = rig.space.port(port).unwrap();
+        assert_eq!(st.stats.sends, 1);
+        assert_eq!(st.stats.receives, 1);
+        assert_eq!(st.stats.blocked_receives, 1, "receiver ran first and blocked");
+    }
+
+    #[test]
+    fn native_service_called_like_user_code() {
+        let mut rig = Rig::new();
+        let nid = rig.natives.register("answer", |cx| {
+            cx.charge(25);
+            Ok(crate::native::NativeReturn::value(42))
+        });
+        let svc_sub = Subprogram {
+            name: "answer".into(),
+            body: CodeBody::Native(nid),
+            ctx_data_len: 32,
+            ctx_access_len: 8,
+        };
+        let svc_dom = rig.domain("os", vec![svc_sub]);
+
+        let mut caller = ProgramBuilder::new();
+        caller.call(CTX_SLOT_FIRST_FREE as u16, 0, None, None, Some(16));
+        // Copy result somewhere observable before halt: store to the
+        // message area of the process via a created object is overkill;
+        // simply fault if the value is wrong.
+        let ok = caller.new_label();
+        caller.alu(AluOp::Eq, DataRef::Local(16), DataRef::Imm(42), DataDst::Local(24));
+        caller.jump_if_nonzero(DataRef::Local(24), ok);
+        caller.push(Instruction::RaiseFault { code: 99 });
+        caller.bind(ok);
+        caller.halt();
+        let caller_sub = rig.sub("main", caller.finish());
+        let app_dom = rig.domain("app", vec![caller_sub]);
+
+        let proc_ref = rig.spawn(app_dom, 0);
+        let ctx = rig
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        rig.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE, Some(svc_dom))
+            .unwrap();
+
+        let events = rig.run_until(100, |e| {
+            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+        });
+        assert!(
+            matches!(events.last(), Some(StepEvent::ProcessExited(_))),
+            "native call must return 42; events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn returning_local_object_faults_on_level() {
+        let mut rig = Rig::new();
+        // Callee allocates from a *deep* local SRO and tries to return the
+        // object. Build a local SRO at the callee's level by creating the
+        // object with the context SRO but the callee's deeper level is
+        // enforced via the context store on return.
+        //
+        // Simplest faithful setup: callee creates an object from an SRO
+        // whose fixed level is deeper than the caller's context, then
+        // RETURNs it. The delivery store into the caller must fault.
+        let root = rig.space.root_sro();
+        // A local SRO at level 10 carved from the root.
+        let mut local_sro = i432_arch::SroState::new(Level(10));
+        local_sro.parent = Some(root);
+        // Donate some space.
+        let (dbase, abase) = {
+            let st = rig.space.sro_mut(root).unwrap();
+            let dbase = st.data_free.allocate(4096).unwrap();
+            let abase = st.access_free.allocate(128).unwrap();
+            (dbase, abase)
+        };
+        local_sro.data_free.donate(dbase, 4096).unwrap();
+        local_sro.access_free.donate(abase, 128).unwrap();
+        let sro_obj = rig
+            .space
+            .create_object(
+                root,
+                ObjectSpec {
+                    data_len: 0,
+                    access_len: 0,
+                    otype: ObjectType::System(SystemType::StorageResource),
+                    level: None,
+                    sys: SysState::Sro(local_sro),
+                },
+            )
+            .unwrap();
+        let local_sro_ad = rig.space.mint(sro_obj, Rights::ALLOCATE);
+
+        let mut callee = ProgramBuilder::new();
+        callee.create_object(6, DataRef::Imm(16), DataRef::Imm(0), 7);
+        callee.ret(Some(7), None);
+        let callee_sub = rig.sub("callee", callee.finish());
+        let svc = rig.domain("svc", vec![callee_sub]);
+
+        let mut caller = ProgramBuilder::new();
+        caller.call(CTX_SLOT_FIRST_FREE as u16, 0, None, Some(5), None);
+        caller.halt();
+        let caller_sub = rig.sub("caller", caller.finish());
+        let app = rig.domain("app", vec![caller_sub]);
+
+        let proc_ref = rig.spawn(app, 0);
+        let ctx = rig
+            .space
+            .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        rig.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE, Some(svc))
+            .unwrap();
+        // Plant the deep SRO where the callee will find it: callee slot 6
+        // is populated at call time via the argument? Simpler: poke it
+        // after the dispatch+call steps by stepping until the callee's
+        // context exists. Instead, pass it as the CALL argument (slot 3 of
+        // the callee) and have the callee use slot 3.
+        // Rebuild callee to use the argument slot.
+        let mut callee2 = ProgramBuilder::new();
+        callee2.create_object(i432_arch::sysobj::CTX_SLOT_ARG as u16, DataRef::Imm(16), DataRef::Imm(0), 7);
+        callee2.ret(Some(7), None);
+        let callee2_sub = rig.sub("callee2", callee2.finish());
+        let svc2 = rig.domain("svc2", vec![callee2_sub]);
+        rig.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE, Some(svc2))
+            .unwrap();
+        rig.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE + 1, Some(local_sro_ad))
+            .unwrap();
+        // Caller passes slot 5 (the SRO) as the argument.
+        // Rewrite the caller program in place: call with arg.
+        let mut caller2 = ProgramBuilder::new();
+        caller2.call(
+            CTX_SLOT_FIRST_FREE as u16,
+            0,
+            Some((CTX_SLOT_FIRST_FREE + 1) as u16),
+            Some(6),
+            None,
+        );
+        caller2.halt();
+        let caller2_code = rig.code.install(caller2.finish());
+        with_context_state(&mut rig.space, ctx, |c| {
+            c.body = CodeBody::Interpreted(caller2_code);
+        })
+        .unwrap();
+
+        let events = rig.run_until(100, |e| {
+            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+        });
+        assert!(
+            matches!(
+                events.last(),
+                Some(StepEvent::ProcessFaulted { kind: FaultKind::Level, .. })
+            ),
+            "returning a local object must level-fault; events: {events:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod isa_extension_tests {
+    use super::tests::Rig;
+    use super::*;
+    use crate::isa::AluOp;
+    use crate::program::ProgramBuilder;
+    use i432_arch::sysobj::{CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
+
+    #[test]
+    fn copy_data_moves_blocks() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        // Two objects; fill the first, block-copy into the second, then
+        // verify one word and halt (fault on mismatch).
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(64), DataRef::Imm(0), 5);
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(64), DataRef::Imm(0), 6);
+        p.mov(DataRef::Imm(0xABCD), DataDst::Field(5, 8));
+        p.mov(DataRef::Imm(0x1234), DataDst::Field(5, 16));
+        p.push(Instruction::CopyData {
+            src: 5,
+            src_off: DataRef::Imm(8),
+            dst: 6,
+            dst_off: DataRef::Imm(0),
+            len: DataRef::Imm(16),
+        });
+        let ok = p.new_label();
+        p.alu(
+            AluOp::Eq,
+            DataRef::Field(6, 8),
+            DataRef::Imm(0x1234),
+            DataDst::Local(0),
+        );
+        p.jump_if_nonzero(DataRef::Local(0), ok);
+        p.push(Instruction::RaiseFault { code: 9 });
+        p.bind(ok);
+        p.halt();
+        let sub = rig.sub("copier", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        rig.run_until(100, |e| {
+            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+        });
+        assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 0);
+    }
+
+    #[test]
+    fn copy_data_respects_rights_and_bounds() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(32), DataRef::Imm(0), 5);
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(32), DataRef::Imm(0), 6);
+        // Drop write rights on the destination, then attempt the copy.
+        p.restrict(6, i432_arch::Rights::READ);
+        p.push(Instruction::CopyData {
+            src: 5,
+            src_off: DataRef::Imm(0),
+            dst: 6,
+            dst_off: DataRef::Imm(0),
+            len: DataRef::Imm(8),
+        });
+        p.halt();
+        let sub = rig.sub("thief", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let _ = rig.spawn(dom, 0);
+        let events = rig.run_until(100, |e| {
+            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+        });
+        assert!(matches!(
+            events.last(),
+            Some(StepEvent::ProcessFaulted { kind: FaultKind::Rights, .. })
+        ));
+    }
+
+    #[test]
+    fn inspect_ad_reports_type_level_rights_null() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        // Inspect a null slot: bit 63.
+        p.push(Instruction::InspectAd {
+            slot: CTX_SLOT_FIRST_FREE as u16,
+            dst: DataDst::Local(0),
+        });
+        // Create an object and inspect it: generic tag, full rights.
+        p.create_object(
+            CTX_SLOT_SRO as u16,
+            DataRef::Imm(8),
+            DataRef::Imm(0),
+            CTX_SLOT_FIRST_FREE as u16,
+        );
+        p.push(Instruction::InspectAd {
+            slot: CTX_SLOT_FIRST_FREE as u16,
+            dst: DataDst::Local(8),
+        });
+        // Inspect the SRO slot: storage-resource tag (7).
+        p.push(Instruction::InspectAd {
+            slot: CTX_SLOT_SRO as u16,
+            dst: DataDst::Local(16),
+        });
+        p.halt();
+        let sub = rig.sub("inspector", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        rig.run_until(100, |e| {
+            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+        });
+        assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 0);
+        // Re-run, stopping right before Halt, to read the locals.
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::InspectAd {
+            slot: CTX_SLOT_FIRST_FREE as u16,
+            dst: DataDst::Local(0),
+        });
+        p.create_object(
+            CTX_SLOT_SRO as u16,
+            DataRef::Imm(8),
+            DataRef::Imm(0),
+            CTX_SLOT_FIRST_FREE as u16,
+        );
+        p.push(Instruction::InspectAd {
+            slot: CTX_SLOT_FIRST_FREE as u16,
+            dst: DataDst::Local(8),
+        });
+        p.push(Instruction::InspectAd {
+            slot: CTX_SLOT_SRO as u16,
+            dst: DataDst::Local(16),
+        });
+        p.work(1);
+        p.halt();
+        let sub = rig.sub("inspector", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        let mut executed = 0;
+        rig.run_until(100, |e| {
+            if matches!(e, StepEvent::Executed { .. }) {
+                executed += 1;
+            }
+            executed == 5 // after the Work, before Halt
+        });
+        let ctx = rig
+            .space
+            .load_ad_hw(proc_ref, i432_arch::sysobj::PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap();
+        let w_null = rig.space.read_u64(ctx, 0).unwrap();
+        let w_obj = rig.space.read_u64(ctx, 8).unwrap();
+        let w_sro = rig.space.read_u64(ctx, 16).unwrap();
+        assert_eq!(w_null >> 63, 1, "null bit");
+        assert_eq!(w_obj >> 63, 0);
+        assert_eq!((w_obj >> 24) & 0xff, 0, "generic tag");
+        assert_eq!(w_obj & 0x3f, i432_arch::Rights::ALL.bits() as u64);
+        assert_eq!((w_sro >> 24) & 0xff, 7, "storage-resource tag");
+    }
+}
+
+#[cfg(test)]
+mod control_flow_edge_tests {
+    use super::tests::Rig;
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn running_off_the_end_is_a_bad_ip_fault() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        p.work(10); // no Halt, no Return
+        let sub = rig.sub("runaway", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let proc_ref = rig.spawn(dom, 0);
+        let events = rig.run_until(50, |e| {
+            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+        });
+        assert!(matches!(
+            events.last(),
+            Some(StepEvent::ProcessFaulted { kind: FaultKind::BadIp, .. })
+        ));
+        assert_eq!(
+            rig.space.process(proc_ref).unwrap().fault_code,
+            FaultKind::BadIp.code()
+        );
+    }
+
+    #[test]
+    fn jump_outside_the_segment_faults_at_fetch() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        p.push(Instruction::Jump(999));
+        p.halt();
+        let sub = rig.sub("wild_jump", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let _ = rig.spawn(dom, 0);
+        let events = rig.run_until(50, |e| {
+            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+        });
+        assert!(matches!(
+            events.last(),
+            Some(StepEvent::ProcessFaulted { kind: FaultKind::BadIp, .. })
+        ));
+    }
+
+    #[test]
+    fn call_through_a_non_domain_faults() {
+        let mut rig = Rig::new();
+        let mut p = ProgramBuilder::new();
+        // Call "through" the context's SRO slot: not a domain.
+        p.call(i432_arch::sysobj::CTX_SLOT_SRO as u16, 0, None, None, None);
+        p.halt();
+        let sub = rig.sub("confused", p.finish());
+        let dom = rig.domain("d", vec![sub]);
+        let _ = rig.spawn(dom, 0);
+        let events = rig.run_until(50, |e| {
+            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+        });
+        assert!(matches!(
+            events.last(),
+            Some(StepEvent::ProcessFaulted { kind: FaultKind::TypeMismatch, .. })
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! The fault taxonomy.
+//!
+//! When an instruction violates a protection check the process takes a
+//! *process-level fault*: it is suspended and, per the paper's process
+//! model, "sent back to software" — its access descriptor is delivered as
+//! a message to its fault port, where an iMAX service decides what to do.
+//!
+//! Faults inside low *system levels* (paper §7.3) are not permitted at
+//! all; the executive treats them as processor-level errors.
+
+use i432_arch::ArchError;
+use std::fmt;
+
+/// Machine-level classification of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An access descriptor lacked a required right.
+    Rights,
+    /// The level (lifetime) rule was violated by an AD store.
+    Level,
+    /// A data or access reference fell outside the segment part.
+    Bounds,
+    /// A null access-descriptor slot was used.
+    NullAccess,
+    /// An object was not of the required type.
+    TypeMismatch,
+    /// A stale (reclaimed) reference was used.
+    StaleRef,
+    /// Storage allocation failed (SRO or arena exhausted).
+    StorageExhausted,
+    /// The object table is full.
+    TableExhausted,
+    /// The referenced segment is swapped out; iMAX must bring it back.
+    SegmentAbsent,
+    /// CALL named a subprogram index outside the domain's table.
+    BadSubprogram,
+    /// The instruction pointer left the instruction segment.
+    BadIp,
+    /// A port's waiting-process area overflowed.
+    QueueOverflow,
+    /// Integer division by zero.
+    DivideByZero,
+    /// A timeout expired (the only fault system-level-2 processes may
+    /// take).
+    Timeout,
+    /// Software-raised fault with an application code.
+    Explicit(u16),
+}
+
+impl FaultKind {
+    /// Stable numeric code recorded in the process object.
+    pub fn code(self) -> u16 {
+        match self {
+            FaultKind::Rights => 1,
+            FaultKind::Level => 2,
+            FaultKind::Bounds => 3,
+            FaultKind::NullAccess => 4,
+            FaultKind::TypeMismatch => 5,
+            FaultKind::StaleRef => 6,
+            FaultKind::StorageExhausted => 7,
+            FaultKind::TableExhausted => 8,
+            FaultKind::SegmentAbsent => 9,
+            FaultKind::BadSubprogram => 10,
+            FaultKind::BadIp => 11,
+            FaultKind::QueueOverflow => 12,
+            FaultKind::DivideByZero => 13,
+            FaultKind::Timeout => 14,
+            FaultKind::Explicit(c) => 1000 + c,
+        }
+    }
+
+    /// Whether a process at iMAX system level `sys_level` is permitted to
+    /// take this fault (paper §7.3: "Processes below level 3 of the system
+    /// ... are in general not permitted to fault. Processes at level 2 are
+    /// actually permitted a limited set of timeout faults while those at
+    /// level 1 are not permitted even these.").
+    pub fn permitted_at(self, sys_level: u8) -> bool {
+        match sys_level {
+            0 | 1 => false,
+            2 => matches!(self, FaultKind::Timeout),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Rights => write!(f, "rights-violation"),
+            FaultKind::Level => write!(f, "level-violation"),
+            FaultKind::Bounds => write!(f, "bounds"),
+            FaultKind::NullAccess => write!(f, "null-access"),
+            FaultKind::TypeMismatch => write!(f, "type-mismatch"),
+            FaultKind::StaleRef => write!(f, "stale-reference"),
+            FaultKind::StorageExhausted => write!(f, "storage-exhausted"),
+            FaultKind::TableExhausted => write!(f, "object-table-exhausted"),
+            FaultKind::SegmentAbsent => write!(f, "segment-absent"),
+            FaultKind::BadSubprogram => write!(f, "bad-subprogram"),
+            FaultKind::BadIp => write!(f, "bad-instruction-pointer"),
+            FaultKind::QueueOverflow => write!(f, "queue-overflow"),
+            FaultKind::DivideByZero => write!(f, "divide-by-zero"),
+            FaultKind::Timeout => write!(f, "timeout"),
+            FaultKind::Explicit(c) => write!(f, "explicit({c})"),
+        }
+    }
+}
+
+/// A fully described fault occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Classification.
+    pub kind: FaultKind,
+    /// Human-readable detail (usually the underlying [`ArchError`]).
+    pub detail: String,
+    /// Machine-readable auxiliary datum; for [`FaultKind::SegmentAbsent`]
+    /// this is the absent object's table index, so iMAX's fault service
+    /// can ask the swapping manager to bring it back.
+    pub aux: u64,
+}
+
+impl Fault {
+    /// A fault with no extra detail.
+    pub fn new(kind: FaultKind) -> Fault {
+        Fault {
+            kind,
+            detail: String::new(),
+            aux: 0,
+        }
+    }
+
+    /// A fault annotated with detail text.
+    pub fn with_detail(kind: FaultKind, detail: impl Into<String>) -> Fault {
+        Fault {
+            kind,
+            detail: detail.into(),
+            aux: 0,
+        }
+    }
+}
+
+impl From<ArchError> for Fault {
+    fn from(e: ArchError) -> Fault {
+        let kind = match &e {
+            ArchError::RightsViolation { .. } => FaultKind::Rights,
+            ArchError::LevelViolation { .. } => FaultKind::Level,
+            ArchError::DataBounds { .. } | ArchError::AccessBounds { .. } => FaultKind::Bounds,
+            ArchError::NullAccess { .. } => FaultKind::NullAccess,
+            ArchError::TypeMismatch { .. } => FaultKind::TypeMismatch,
+            ArchError::StaleRef(_) | ArchError::FreeEntry(_) | ArchError::BadIndex(_) => {
+                FaultKind::StaleRef
+            }
+            ArchError::ArenaExhausted { .. } | ArchError::PartTooLarge { .. } => {
+                FaultKind::StorageExhausted
+            }
+            ArchError::TableExhausted => FaultKind::TableExhausted,
+            ArchError::SegmentAbsent(_) => FaultKind::SegmentAbsent,
+        };
+        let aux = match &e {
+            ArchError::SegmentAbsent(i) => i.0 as u64,
+            _ => 0,
+        };
+        Fault {
+            kind,
+            detail: e.to_string(),
+            aux,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "{}", self.kind)
+        } else {
+            write!(f, "{}: {}", self.kind, self.detail)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i432_arch::{Level, Rights};
+
+    #[test]
+    fn arch_errors_map_to_kinds() {
+        let f: Fault = ArchError::RightsViolation {
+            needed: Rights::WRITE,
+            held: Rights::READ,
+        }
+        .into();
+        assert_eq!(f.kind, FaultKind::Rights);
+
+        let f: Fault = ArchError::LevelViolation {
+            stored: Level(2),
+            container: Level(0),
+        }
+        .into();
+        assert_eq!(f.kind, FaultKind::Level);
+
+        let f: Fault = ArchError::TableExhausted.into();
+        assert_eq!(f.kind, FaultKind::TableExhausted);
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        use std::collections::HashSet;
+        let kinds = [
+            FaultKind::Rights,
+            FaultKind::Level,
+            FaultKind::Bounds,
+            FaultKind::NullAccess,
+            FaultKind::TypeMismatch,
+            FaultKind::StaleRef,
+            FaultKind::StorageExhausted,
+            FaultKind::TableExhausted,
+            FaultKind::SegmentAbsent,
+            FaultKind::BadSubprogram,
+            FaultKind::BadIp,
+            FaultKind::QueueOverflow,
+            FaultKind::DivideByZero,
+            FaultKind::Timeout,
+            FaultKind::Explicit(0),
+            FaultKind::Explicit(7),
+        ];
+        let codes: HashSet<u16> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), kinds.len());
+    }
+
+    /// Paper §7.3 fault-permission tiers.
+    #[test]
+    fn system_level_fault_permissions() {
+        assert!(!FaultKind::Timeout.permitted_at(1));
+        assert!(FaultKind::Timeout.permitted_at(2));
+        assert!(!FaultKind::Rights.permitted_at(2));
+        assert!(FaultKind::Rights.permitted_at(3));
+        assert!(FaultKind::SegmentAbsent.permitted_at(4));
+        assert!(!FaultKind::SegmentAbsent.permitted_at(2));
+    }
+}

@@ -1,0 +1,41 @@
+//! The processor-memory interconnect abstraction.
+//!
+//! Paper §3: "With the bussing schemes designed for the 432, a factor of
+//! 10 in total processing power of a single 432 system is realizable."
+//! The GDP charges every instruction's memory traffic through this trait;
+//! `i432-sim` provides the interleaved-bus contention model that
+//! reproduces the scaling claim, while unit tests use the contention-free
+//! [`NullInterconnect`].
+
+/// A model of bus delay for shared-memory traffic.
+pub trait Interconnect {
+    /// Called once per instruction with the number of 4-byte words the
+    /// instruction moved over the bus. Returns *additional wait cycles*
+    /// the processor stalls beyond the base memory charge.
+    ///
+    /// `proc_id` identifies the requesting processor; `now` is its local
+    /// cycle clock at the start of the access.
+    fn access(&mut self, proc_id: u32, now: u64, words: u32) -> u64;
+}
+
+/// A contention-free interconnect (single-processor behaviour).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullInterconnect;
+
+impl Interconnect for NullInterconnect {
+    fn access(&mut self, _proc_id: u32, _now: u64, _words: u32) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_interconnect_never_stalls() {
+        let mut n = NullInterconnect;
+        assert_eq!(n.access(0, 0, 100), 0);
+        assert_eq!(n.access(3, 1_000_000, 1), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The instruction set.
+//!
+//! The emulator renders the 432 instruction set at the architectural level
+//! — an enum of operations rather than the original bit-aligned encodings;
+//! the paper's claims concern the *semantics and costs* of the high-level
+//! instructions, which this level captures faithfully.
+//!
+//! ## Operand model
+//!
+//! The executing context (activation record) provides the addressing
+//! environment:
+//!
+//! * **access slots** — `u16` indices into the context's access part
+//!   (slots 0–3 carry the fixed linkage: domain, caller, SRO, argument;
+//!   see `i432_arch::sysobj::CTX_SLOT_*`);
+//! * **data operands** ([`DataRef`]/[`DataDst`]) — immediates, context
+//!   locals (byte offsets into the context's data part) or fields of
+//!   objects designated by an access slot.
+//!
+//! All scalars are 64-bit little-endian words ("ordinals" in 432 terms).
+
+use i432_arch::Rights;
+use serde::{Deserialize, Serialize};
+
+/// A readable scalar operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataRef {
+    /// An immediate 64-bit value.
+    Imm(u64),
+    /// A local: byte offset into the current context's data part.
+    Local(u32),
+    /// A field: byte offset into the data part of the object designated by
+    /// the given context access slot (requires read rights).
+    Field(u16, u32),
+}
+
+/// A writable scalar operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataDst {
+    /// A local: byte offset into the current context's data part.
+    Local(u32),
+    /// A field of the object designated by the given context access slot
+    /// (requires write rights).
+    Field(u16, u32),
+}
+
+/// Arithmetic / logic / comparison operations. Comparisons produce 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (faults on zero divisor).
+    Div,
+    /// Remainder (faults on zero divisor).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (modulo 64).
+    Shl,
+    /// Logical right shift (modulo 64).
+    Shr,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+impl AluOp {
+    /// Applies the operation; `None` signals divide-by-zero.
+    pub fn apply(self, a: u64, b: u64) -> Option<u64> {
+        Some(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => return a.checked_div(b),
+            AluOp::Rem => return a.checked_rem(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shr => a.wrapping_shr(b as u32),
+            AluOp::Eq => (a == b) as u64,
+            AluOp::Ne => (a != b) as u64,
+            AluOp::Lt => (a < b) as u64,
+            AluOp::Le => (a <= b) as u64,
+            AluOp::Gt => (a > b) as u64,
+            AluOp::Ge => (a >= b) as u64,
+        })
+    }
+}
+
+/// One 432 instruction at the architectural level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instruction {
+    // -- Scalar data ---------------------------------------------------------
+    /// `dst := src`.
+    Mov {
+        /// Source operand.
+        src: DataRef,
+        /// Destination operand.
+        dst: DataDst,
+    },
+    /// `dst := a op b`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: DataRef,
+        /// Right operand.
+        b: DataRef,
+        /// Destination.
+        dst: DataDst,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump(u32),
+    /// Conditional jump: taken when `cond != 0` equals `when`.
+    JumpIf {
+        /// Condition operand.
+        cond: DataRef,
+        /// Jump when the condition is nonzero (`true`) or zero (`false`).
+        when: bool,
+        /// Target instruction index.
+        target: u32,
+    },
+
+    // -- Access-descriptor movement -------------------------------------------
+    /// Copies an access descriptor between context slots.
+    MoveAd {
+        /// Source context slot.
+        src: u16,
+        /// Destination context slot.
+        dst: u16,
+    },
+    /// Loads an AD from the access part of the object in slot `obj` at
+    /// `index` into context slot `dst`.
+    LoadAd {
+        /// Context slot designating the container object.
+        obj: u16,
+        /// Slot index within the container's access part.
+        index: DataRef,
+        /// Destination context slot.
+        dst: u16,
+    },
+    /// Stores the AD in context slot `src` into the access part of the
+    /// object in slot `obj` at `index`. Subject to the level rule and the
+    /// GC write barrier.
+    StoreAd {
+        /// Source context slot.
+        src: u16,
+        /// Context slot designating the container object.
+        obj: u16,
+        /// Slot index within the container's access part.
+        index: DataRef,
+    },
+    /// Nulls a context slot.
+    NullAd {
+        /// The slot to null.
+        dst: u16,
+    },
+    /// Restricts the rights of the AD in a context slot (never adds).
+    Restrict {
+        /// The slot holding the AD to restrict.
+        slot: u16,
+        /// Keep-mask applied to its rights.
+        keep: Rights,
+    },
+
+    // -- Object management -----------------------------------------------------
+    /// CREATE OBJECT: allocates a generic object from the SRO in slot
+    /// `sro` (requires allocate rights) and places a full-rights AD in
+    /// `dst`.
+    CreateObject {
+        /// Context slot designating the SRO.
+        sro: u16,
+        /// Data-part bytes.
+        data_len: DataRef,
+        /// Access-part slots.
+        access_len: DataRef,
+        /// Destination context slot for the new object's AD.
+        dst: u16,
+    },
+    /// CREATE TYPED OBJECT: like CREATE OBJECT but the new object carries
+    /// the user type of the TDO in slot `tdo` (requires create-instance
+    /// rights on the TDO).
+    CreateTypedObject {
+        /// Context slot designating the SRO.
+        sro: u16,
+        /// Context slot designating the type definition object.
+        tdo: u16,
+        /// Data-part bytes.
+        data_len: DataRef,
+        /// Access-part slots.
+        access_len: DataRef,
+        /// Destination context slot for the new instance's AD.
+        dst: u16,
+    },
+    /// AMPLIFY: adds rights to the AD in `slot`, authorized by the TDO in
+    /// slot `tdo` (requires amplify rights; the object must be an instance
+    /// of that TDO). This is how type managers regain full access to
+    /// instances handed back by clients.
+    Amplify {
+        /// Slot holding the instance AD to amplify.
+        slot: u16,
+        /// Slot holding the authorizing TDO AD.
+        tdo: u16,
+        /// Rights to add.
+        add: Rights,
+    },
+
+    // -- Control transfer --------------------------------------------------------
+    /// Inter-domain CALL: creates a context for subprogram `subprogram` of
+    /// the domain in slot `domain` (requires call rights), passing the AD
+    /// in `arg` (if any), and transfers. `ret_ad`/`ret_val` name caller
+    /// locations that RETURN will fill.
+    Call {
+        /// Context slot designating the target domain.
+        domain: u16,
+        /// Index into the domain's subprogram table.
+        subprogram: u32,
+        /// Optional context slot whose AD is passed as the argument.
+        arg: Option<u16>,
+        /// Optional caller context slot to receive the returned AD.
+        ret_ad: Option<u16>,
+        /// Optional caller data offset to receive the returned scalar.
+        ret_val: Option<u32>,
+    },
+    /// RETURN from the current context, optionally passing back an AD
+    /// (from a context slot) and a scalar.
+    Return {
+        /// Optional context slot whose AD is returned.
+        ad: Option<u16>,
+        /// Optional scalar returned.
+        value: Option<DataRef>,
+    },
+
+    // -- Interprocess communication ------------------------------------------------
+    /// SEND: queues the AD in `msg` at the port in slot `port` (requires
+    /// send rights); blocks when the queue is full.
+    Send {
+        /// Context slot designating the port.
+        port: u16,
+        /// Context slot holding the message AD.
+        msg: u16,
+        /// Queueing key (priority or deadline) under non-FIFO disciplines.
+        key: DataRef,
+    },
+    /// Conditional SEND: like SEND but never blocks; writes 1 to `done`
+    /// on success and 0 when the queue was full.
+    CondSend {
+        /// Context slot designating the port.
+        port: u16,
+        /// Context slot holding the message AD.
+        msg: u16,
+        /// Queueing key.
+        key: DataRef,
+        /// Receives 1 on success, 0 on would-block.
+        done: DataDst,
+    },
+    /// RECEIVE: dequeues a message AD from the port in slot `port`
+    /// (requires receive rights) into context slot `dst`; blocks when the
+    /// queue is empty.
+    Receive {
+        /// Context slot designating the port.
+        port: u16,
+        /// Destination context slot for the message AD.
+        dst: u16,
+    },
+    /// Timed RECEIVE: like RECEIVE, but a wait longer than `timeout`
+    /// cycles expires with a timeout fault — the one fault species
+    /// permitted to system-level-2 processes (paper §7.3).
+    ReceiveTimeout {
+        /// Context slot designating the port.
+        port: u16,
+        /// Destination context slot for the message AD.
+        dst: u16,
+        /// Maximum wait in cycles.
+        timeout: DataRef,
+    },
+    /// Conditional RECEIVE: never blocks; writes 1 to `done` on success,
+    /// 0 when no message was available (and nulls `dst`).
+    CondReceive {
+        /// Context slot designating the port.
+        port: u16,
+        /// Destination context slot.
+        dst: u16,
+        /// Receives 1 on success, 0 on would-block.
+        done: DataDst,
+    },
+
+    /// Block-copies bytes between two objects' data parts (requires read
+    /// rights on the source and write rights on the destination).
+    CopyData {
+        /// Context slot designating the source object.
+        src: u16,
+        /// Byte offset within the source data part.
+        src_off: DataRef,
+        /// Context slot designating the destination object.
+        dst: u16,
+        /// Byte offset within the destination data part.
+        dst_off: DataRef,
+        /// Bytes to copy.
+        len: DataRef,
+    },
+    /// Inspects the access descriptor in a context slot without using it:
+    /// writes a descriptor word to `dst` encoding null-ness, rights,
+    /// level and type tag. This is the architectural support behind the
+    /// "runtime type checking" Ada extension the paper mentions (§3).
+    ///
+    /// Word layout: bit 63 = null; bits 0..6 = rights; bits 8..24 =
+    /// level; bits 24..32 = system-type tag (0 generic, 1 processor,
+    /// 2 process, 3 context, 4 domain, 5 instructions, 6 port, 7 SRO,
+    /// 8 TDO, 255 user-typed); bits 32..63 = TDO table index for
+    /// user-typed objects.
+    InspectAd {
+        /// Context slot holding the descriptor to inspect.
+        slot: u16,
+        /// Destination for the descriptor word.
+        dst: DataDst,
+    },
+
+    // -- Miscellaneous -----------------------------------------------------------
+    /// Reads the processor's cycle clock into `dst`.
+    ReadClock {
+        /// Destination operand.
+        dst: DataDst,
+    },
+    /// Consumes the given number of cycles (models a pure-compute burst;
+    /// used by workload generators).
+    Work {
+        /// Cycles to consume.
+        cycles: u32,
+    },
+    /// Raises an explicit software fault.
+    RaiseFault {
+        /// Application-defined fault code.
+        code: u16,
+    },
+    /// Terminates the process.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(AluOp::Add.apply(2, 3), Some(5));
+        assert_eq!(AluOp::Sub.apply(2, 3), Some(u64::MAX));
+        assert_eq!(AluOp::Mul.apply(4, 5), Some(20));
+        assert_eq!(AluOp::Div.apply(7, 2), Some(3));
+        assert_eq!(AluOp::Div.apply(7, 0), None);
+        assert_eq!(AluOp::Rem.apply(7, 0), None);
+        assert_eq!(AluOp::Shl.apply(1, 4), Some(16));
+    }
+
+    #[test]
+    fn alu_comparisons_are_boolean() {
+        for op in [AluOp::Eq, AluOp::Ne, AluOp::Lt, AluOp::Le, AluOp::Gt, AluOp::Ge] {
+            for (a, b) in [(1u64, 2u64), (2, 2), (3, 2)] {
+                let v = op.apply(a, b).unwrap();
+                assert!(v == 0 || v == 1, "{op:?}({a},{b}) = {v}");
+            }
+        }
+        assert_eq!(AluOp::Lt.apply(1, 2), Some(1));
+        assert_eq!(AluOp::Ge.apply(1, 2), Some(0));
+    }
+
+    #[test]
+    fn instructions_are_copy_and_small() {
+        // The interpreter copies instructions out of the code store on
+        // every step; keep them compact.
+        assert!(std::mem::size_of::<Instruction>() <= 64);
+        let i = Instruction::Halt;
+        let j = i;
+        assert_eq!(i, j);
+    }
+}

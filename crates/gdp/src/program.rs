@@ -1,0 +1,334 @@
+//! A small assembler for building instruction segments in tests,
+//! examples and workload generators.
+//!
+//! Supports forward-referenced labels and convenience emitters for the
+//! common instruction shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use i432_gdp::{ProgramBuilder, isa::{DataRef, DataDst, AluOp}};
+//!
+//! let mut p = ProgramBuilder::new();
+//! let loop_top = p.new_label();
+//! p.mov(DataRef::Imm(10), DataDst::Local(0));
+//! p.bind(loop_top);
+//! p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+//! p.jump_if_nonzero(DataRef::Local(0), loop_top);
+//! p.halt();
+//! let code = p.finish();
+//! assert_eq!(code.len(), 4);
+//! ```
+
+use crate::isa::{AluOp, DataDst, DataRef, Instruction};
+use i432_arch::Rights;
+
+/// A forward-referencable jump target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builder for an instruction vector.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instruction>,
+    labels: Vec<Option<u32>>,
+    patches: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// An empty program.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.here());
+    }
+
+    /// Pushes a raw instruction.
+    pub fn push(&mut self, i: Instruction) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Emits `Mov`.
+    pub fn mov(&mut self, src: DataRef, dst: DataDst) -> &mut Self {
+        self.push(Instruction::Mov { src, dst })
+    }
+
+    /// Emits `Alu`.
+    pub fn alu(&mut self, op: AluOp, a: DataRef, b: DataRef, dst: DataDst) -> &mut Self {
+        self.push(Instruction::Alu { op, a, b, dst })
+    }
+
+    /// Emits an unconditional jump to a label.
+    pub fn jump(&mut self, l: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), l));
+        self.push(Instruction::Jump(u32::MAX))
+    }
+
+    /// Emits a jump taken when `cond != 0`.
+    pub fn jump_if_nonzero(&mut self, cond: DataRef, l: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), l));
+        self.push(Instruction::JumpIf {
+            cond,
+            when: true,
+            target: u32::MAX,
+        })
+    }
+
+    /// Emits a jump taken when `cond == 0`.
+    pub fn jump_if_zero(&mut self, cond: DataRef, l: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), l));
+        self.push(Instruction::JumpIf {
+            cond,
+            when: false,
+            target: u32::MAX,
+        })
+    }
+
+    /// Emits `MoveAd`.
+    pub fn move_ad(&mut self, src: u16, dst: u16) -> &mut Self {
+        self.push(Instruction::MoveAd { src, dst })
+    }
+
+    /// Emits `LoadAd`.
+    pub fn load_ad(&mut self, obj: u16, index: DataRef, dst: u16) -> &mut Self {
+        self.push(Instruction::LoadAd { obj, index, dst })
+    }
+
+    /// Emits `StoreAd`.
+    pub fn store_ad(&mut self, src: u16, obj: u16, index: DataRef) -> &mut Self {
+        self.push(Instruction::StoreAd { src, obj, index })
+    }
+
+    /// Emits `NullAd`.
+    pub fn null_ad(&mut self, dst: u16) -> &mut Self {
+        self.push(Instruction::NullAd { dst })
+    }
+
+    /// Emits `Restrict`.
+    pub fn restrict(&mut self, slot: u16, keep: Rights) -> &mut Self {
+        self.push(Instruction::Restrict { slot, keep })
+    }
+
+    /// Emits `CreateObject`.
+    pub fn create_object(
+        &mut self,
+        sro: u16,
+        data_len: DataRef,
+        access_len: DataRef,
+        dst: u16,
+    ) -> &mut Self {
+        self.push(Instruction::CreateObject {
+            sro,
+            data_len,
+            access_len,
+            dst,
+        })
+    }
+
+    /// Emits `Call`.
+    pub fn call(
+        &mut self,
+        domain: u16,
+        subprogram: u32,
+        arg: Option<u16>,
+        ret_ad: Option<u16>,
+        ret_val: Option<u32>,
+    ) -> &mut Self {
+        self.push(Instruction::Call {
+            domain,
+            subprogram,
+            arg,
+            ret_ad,
+            ret_val,
+        })
+    }
+
+    /// Emits `Return`.
+    pub fn ret(&mut self, ad: Option<u16>, value: Option<DataRef>) -> &mut Self {
+        self.push(Instruction::Return { ad, value })
+    }
+
+    /// Emits `Send`.
+    pub fn send(&mut self, port: u16, msg: u16) -> &mut Self {
+        self.push(Instruction::Send {
+            port,
+            msg,
+            key: DataRef::Imm(0),
+        })
+    }
+
+    /// Emits `Send` with a queueing key.
+    pub fn send_keyed(&mut self, port: u16, msg: u16, key: DataRef) -> &mut Self {
+        self.push(Instruction::Send { port, msg, key })
+    }
+
+    /// Emits `Receive`.
+    pub fn receive(&mut self, port: u16, dst: u16) -> &mut Self {
+        self.push(Instruction::Receive { port, dst })
+    }
+
+    /// Emits `CondSend`.
+    pub fn cond_send(&mut self, port: u16, msg: u16, done: DataDst) -> &mut Self {
+        self.push(Instruction::CondSend {
+            port,
+            msg,
+            key: DataRef::Imm(0),
+            done,
+        })
+    }
+
+    /// Emits `CondReceive`.
+    pub fn cond_receive(&mut self, port: u16, dst: u16, done: DataDst) -> &mut Self {
+        self.push(Instruction::CondReceive { port, dst, done })
+    }
+
+    /// Emits `ReceiveTimeout`.
+    pub fn receive_timeout(&mut self, port: u16, dst: u16, timeout: DataRef) -> &mut Self {
+        self.push(Instruction::ReceiveTimeout { port, dst, timeout })
+    }
+
+    /// Emits `CreateTypedObject`.
+    pub fn create_typed_object(
+        &mut self,
+        sro: u16,
+        tdo: u16,
+        data_len: DataRef,
+        access_len: DataRef,
+        dst: u16,
+    ) -> &mut Self {
+        self.push(Instruction::CreateTypedObject {
+            sro,
+            tdo,
+            data_len,
+            access_len,
+            dst,
+        })
+    }
+
+    /// Emits `Amplify`.
+    pub fn amplify(&mut self, slot: u16, tdo: u16, add: Rights) -> &mut Self {
+        self.push(Instruction::Amplify { slot, tdo, add })
+    }
+
+    /// Emits `CopyData`.
+    pub fn copy_data(
+        &mut self,
+        src: u16,
+        src_off: DataRef,
+        dst: u16,
+        dst_off: DataRef,
+        len: DataRef,
+    ) -> &mut Self {
+        self.push(Instruction::CopyData {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            len,
+        })
+    }
+
+    /// Emits `InspectAd`.
+    pub fn inspect_ad(&mut self, slot: u16, dst: DataDst) -> &mut Self {
+        self.push(Instruction::InspectAd { slot, dst })
+    }
+
+    /// Emits `RaiseFault`.
+    pub fn raise_fault(&mut self, code: u16) -> &mut Self {
+        self.push(Instruction::RaiseFault { code })
+    }
+
+    /// Emits `Work`.
+    pub fn work(&mut self, cycles: u32) -> &mut Self {
+        self.push(Instruction::Work { cycles })
+    }
+
+    /// Emits `ReadClock`.
+    pub fn read_clock(&mut self, dst: DataDst) -> &mut Self {
+        self.push(Instruction::ReadClock { dst })
+    }
+
+    /// Emits `Halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instruction::Halt)
+    }
+
+    /// Resolves labels and returns the instruction vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Vec<Instruction> {
+        for (at, l) in self.patches {
+            let target = self.labels[l.0].expect("label referenced but never bound");
+            match &mut self.instrs[at] {
+                Instruction::Jump(t) => *t = target,
+                Instruction::JumpIf { target: t, .. } => *t = target,
+                other => unreachable!("patch points at non-jump {other:?}"),
+            }
+        }
+        self.instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut p = ProgramBuilder::new();
+        let end = p.new_label();
+        p.jump(end);
+        p.work(100);
+        p.bind(end);
+        p.halt();
+        let code = p.finish();
+        assert_eq!(code[0], Instruction::Jump(2));
+    }
+
+    #[test]
+    fn backward_labels_resolve() {
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.bind(top);
+        p.work(1);
+        p.jump(top);
+        let code = p.finish();
+        assert_eq!(code[1], Instruction::Jump(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut p = ProgramBuilder::new();
+        let l = p.new_label();
+        p.jump(l);
+        let _ = p.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut p = ProgramBuilder::new();
+        let l = p.new_label();
+        p.bind(l);
+        p.bind(l);
+    }
+}

@@ -1,0 +1,31 @@
+//! # imax-ipc — the iMAX interprocess-communication packages
+//!
+//! This crate renders the paper's two figures in Rust, preserving their
+//! structure and their central claim:
+//!
+//! * [`untyped`] — **Figure 1**, `package Untyped_Ports`: `Create_port`
+//!   (software implemented), `Send` and `Receive` (single hardware
+//!   instructions), over `any_access` (an untyped access descriptor).
+//! * [`typed`] — **Figure 2**, `generic package Typed_Ports`: a generic
+//!   (compile-time typed) view over the same mechanism. "The inline
+//!   facility allows the code generated for any instance of this package
+//!   to be *identical* to that generated for the untyped port package.
+//!   Thus the user of typed ports suffers no penalty relative to even a
+//!   hypothetical assembly language programmer." Rust generics and
+//!   `#[inline]` zero-sized wrappers reproduce this: benchmark C4 shows
+//!   equal simulated cost.
+//! * [`checked`] — the paper's "one step further ... to provide the type
+//!   checking dynamically at runtime. The implementation would require a
+//!   few more generated instructions making use of user-defined types":
+//!   ports bound to a type definition object that verify each message's
+//!   hardware type identity.
+
+#![warn(missing_docs)]
+
+pub mod checked;
+pub mod typed;
+pub mod untyped;
+
+pub use checked::CheckedPort;
+pub use typed::{PortMessage, TypedPort};
+pub use untyped::{create_port, register_port_services, Port, PortServiceIds};

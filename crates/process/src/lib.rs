@@ -1,0 +1,37 @@
+//! # imax-process — iMAX process management
+//!
+//! Paper §6.1: "The basic process manager of iMAX completes the model of
+//! processes embedded in the hardware ... It does not arbitrate
+//! conflicting requests on the processor resource, however. ... Using
+//! this basic process manager, many resource control policies are
+//! possible."
+//!
+//! * [`basic`] — the basic process manager: process creation inside the
+//!   process tree, nested start/stop counts that apply to whole trees,
+//!   and reaping. Deliberately **no central process table** (paper §7.1).
+//! * [`sched_null`] — the null policy: "simply passes through the
+//!   dispatching parameters of the hardware and permits its users to
+//!   commit them in any way they wish" — fine for pre-evaluated embedded
+//!   loads.
+//! * [`sched_rr`] — a simple time-sliced round-robin scheduler layered on
+//!   the basic manager.
+//! * [`sched_fair`] — a fair-share resource controller: adjusts hardware
+//!   dispatching priorities from observed consumption so weighted groups
+//!   converge to their shares — the "arbitrarily complex resource
+//!   controller" end of the configurability spectrum.
+//!
+//! The system is configured by *selecting packages*: just the basic
+//! manager, it plus a simple scheduler, or a full controller (paper §6.1
+//! last paragraph).
+
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod sched_fair;
+pub mod sched_null;
+pub mod sched_rr;
+
+pub use basic::BasicProcessManager;
+pub use sched_fair::FairShareScheduler;
+pub use sched_null::NullScheduler;
+pub use sched_rr::RoundRobinScheduler;

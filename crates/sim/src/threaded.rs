@@ -1,0 +1,166 @@
+//! A threaded runner: real OS threads drive the processors.
+//!
+//! The deterministic discrete-event runner ([`crate::System`]) is the
+//! measurement vehicle — every number in EXPERIMENTS.md comes from it.
+//! This module exists to *demonstrate* paper §3's design rule under real
+//! concurrency: "all synchronization within the system must be explicit,
+//! never assuming that process priority or other scheduling artifact is
+//! sufficient to guarantee exclusion."
+//!
+//! Each host thread embodies one GDP and steps it against the shared
+//! object space under a lock (the space lock stands in for the 432's
+//! memory-bus arbitration and the RMW semantics its port instructions
+//! had). Interleaving is whatever the host scheduler produces —
+//! nondeterministic — yet every logical result must match the
+//! deterministic runner, because the *system's* synchronization is all
+//! in ports, never in scheduling accidents. `tests/threaded_runner.rs`
+//! checks exactly that.
+
+use crate::system::System;
+use i432_arch::ProcessStatus;
+use i432_gdp::{Env, NullInterconnect, StepEvent};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of a threaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadedOutcome {
+    /// Every registered (non-service) process terminated.
+    pub completed: bool,
+    /// Total steps executed across all threads.
+    pub steps: u64,
+    /// System errors observed (should be zero for correct software).
+    pub system_errors: u64,
+}
+
+/// Runs the system's processors on real threads until every registered
+/// process terminates or `max_steps` total steps elapse.
+///
+/// The system is taken by value (threads need ownership) and handed
+/// back with the final state. Interconnect modeling is disabled
+/// (contention here is *real*); simulated clocks still advance, but
+/// their values are interleaving-dependent — use the deterministic
+/// runner for measurements.
+pub fn run_threaded(sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
+    // Dismantle the system into shared state.
+    let processes: Vec<_> = sys.processes().to_vec();
+    let mut gdps = Vec::new();
+    for cpu in sys.processors() {
+        gdps.push(i432_gdp::Gdp::new(cpu));
+    }
+    // Clocks were consumed fresh; runs always start threaded from t=0.
+    let shared = Arc::new(Mutex::new(sys));
+    let total_steps = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for mut gdp in gdps {
+        let shared = Arc::clone(&shared);
+        let total_steps = Arc::clone(&total_steps);
+        let errors = Arc::clone(&errors);
+        let done = Arc::clone(&done);
+        let processes = processes.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut bus = NullInterconnect;
+            loop {
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                if total_steps.fetch_add(1, Ordering::AcqRel) >= max_steps {
+                    done.store(true, Ordering::Release);
+                    return;
+                }
+                let event = {
+                    let mut sys = shared.lock();
+                    // Split borrows: System fields are accessed through
+                    // the same public surface the deterministic runner
+                    // uses.
+                    let sys = &mut *sys;
+                    let mut env = Env {
+                        space: &mut sys.space,
+                        code: &sys.code,
+                        natives: &sys.natives,
+                        bus: &mut bus,
+                        cost: sys.cost,
+                    };
+                    gdp.step(&mut env)
+                };
+                match event {
+                    StepEvent::SystemError { .. } => {
+                        errors.fetch_add(1, Ordering::AcqRel);
+                        done.store(true, Ordering::Release);
+                        return;
+                    }
+                    StepEvent::ProcessExited(_) => {
+                        // Check for global completion.
+                        let sys = shared.lock();
+                        let all_done = processes.iter().all(|p| {
+                            matches!(
+                                sys.space.process(*p).map(|s| s.status),
+                                Ok(ProcessStatus::Terminated) | Err(_)
+                            )
+                        });
+                        if all_done {
+                            done.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let sys = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("all threads joined; lock cannot be shared"))
+        .into_inner();
+    let completed = processes.iter().all(|p| {
+        matches!(
+            sys.space.process(*p).map(|s| s.status),
+            Ok(ProcessStatus::Terminated) | Err(_)
+        )
+    });
+    let outcome = ThreadedOutcome {
+        completed,
+        steps: total_steps.load(Ordering::Acquire),
+        system_errors: errors.load(Ordering::Acquire),
+    };
+    (sys, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use i432_gdp::isa::{AluOp, DataDst, DataRef};
+    use i432_gdp::ProgramBuilder;
+
+    #[test]
+    fn threaded_run_completes_simple_batch() {
+        let mut sys = System::new(&SystemConfig::small().with_processors(4));
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.mov(DataRef::Imm(20), DataDst::Local(0));
+        p.bind(top);
+        p.work(100);
+        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.jump_if_nonzero(DataRef::Local(0), top);
+        p.halt();
+        let sub = sys.subprogram("job", p.finish(), 64, 8);
+        let dom = sys.install_domain("batch", vec![sub], 0);
+        for _ in 0..8 {
+            sys.spawn(dom, 0, None);
+        }
+        let (sys, outcome) = run_threaded(sys, 10_000_000);
+        assert!(outcome.completed, "{outcome:?}");
+        assert_eq!(outcome.system_errors, 0);
+        for p in sys.processes() {
+            assert_eq!(sys.space.process(*p).unwrap().fault_code, 0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The backing store used by the swapping manager.
+//!
+//! Models the 432's secondary storage at the level the swapping manager
+//! needs: a keyed store of evicted data parts with transfer accounting.
+//! The simulated transfer cost (cycles per byte) feeds the swap-fault
+//! latency reported in EXPERIMENTS.md.
+
+use i432_arch::ObjectRef;
+use std::collections::HashMap;
+
+/// Transfer accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BackingStats {
+    /// Data parts written out.
+    pub writes: u64,
+    /// Data parts read back.
+    pub reads: u64,
+    /// Bytes written.
+    pub bytes_out: u64,
+    /// Bytes read.
+    pub bytes_in: u64,
+}
+
+/// A keyed store of evicted data parts.
+#[derive(Debug, Default)]
+pub struct BackingStore {
+    pages: HashMap<ObjectRef, Vec<u8>>,
+    /// Transfer accounting.
+    pub stats: BackingStats,
+    /// Simulated transfer cost in cycles per byte (device speed model).
+    pub cycles_per_byte: u64,
+}
+
+impl BackingStore {
+    /// A store with the default device-speed model (2 cycles/byte ≈ a
+    /// fast swapping device relative to the 8 MHz processor).
+    pub fn new() -> BackingStore {
+        BackingStore {
+            pages: HashMap::new(),
+            stats: BackingStats::default(),
+            cycles_per_byte: 2,
+        }
+    }
+
+    /// Stores an evicted data part; returns the simulated transfer
+    /// cycles.
+    pub fn write(&mut self, key: ObjectRef, data: Vec<u8>) -> u64 {
+        self.stats.writes += 1;
+        self.stats.bytes_out += data.len() as u64;
+        let cycles = data.len() as u64 * self.cycles_per_byte;
+        self.pages.insert(key, data);
+        cycles
+    }
+
+    /// Retrieves (and removes) a data part; returns the data and the
+    /// simulated transfer cycles.
+    pub fn read(&mut self, key: ObjectRef) -> Option<(Vec<u8>, u64)> {
+        let data = self.pages.remove(&key)?;
+        self.stats.reads += 1;
+        self.stats.bytes_in += data.len() as u64;
+        let cycles = data.len() as u64 * self.cycles_per_byte;
+        Some((data, cycles))
+    }
+
+    /// Discards a stored part (object destroyed while swapped out).
+    pub fn discard(&mut self, key: ObjectRef) -> bool {
+        self.pages.remove(&key).is_some()
+    }
+
+    /// Number of parts currently on backing store.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Keys of all stored parts (used by the manager's scrubber).
+    pub fn keys(&self) -> Vec<ObjectRef> {
+        self.pages.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> ObjectRef {
+        ObjectRef { index: i432_arch::ObjectIndex(i), generation: 0 }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut b = BackingStore::new();
+        let key = ObjectRef { index: i432_arch::ObjectIndex(7), generation: 0 };
+        let cycles = b.write(key, vec![1, 2, 3, 4]);
+        assert_eq!(cycles, 8);
+        assert_eq!(b.resident_pages(), 1);
+        let (data, cycles) = b.read(key).unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+        assert_eq!(cycles, 8);
+        assert_eq!(b.resident_pages(), 0);
+        assert!(b.read(key).is_none());
+    }
+
+    #[test]
+    fn discard_drops_page() {
+        let mut b = BackingStore::new();
+        b.write(k(1), vec![0; 16]);
+        assert!(b.discard(k(1)));
+        assert!(!b.discard(k(1)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = BackingStore::new();
+        b.write(k(1), vec![0; 10]);
+        b.write(k(2), vec![0; 20]);
+        b.read(k(1));
+        assert_eq!(b.stats.writes, 2);
+        assert_eq!(b.stats.bytes_out, 30);
+        assert_eq!(b.stats.reads, 1);
+        assert_eq!(b.stats.bytes_in, 10);
+    }
+}

@@ -1,0 +1,152 @@
+//! The common storage-management interface.
+//!
+//! Paper §6.2: "Virtually all processes make use of memory management
+//! facilities via a standard interface that permits allocation of new
+//! objects. Few processes depend upon whether the underlying
+//! implementation includes swapping or not. A single Ada specification
+//! defines the common interface. ... The system is configured by
+//! selecting one of the alternate implementations; most applications will
+//! not be affected by this selection."
+
+use i432_arch::{ArchError, ObjectRef, ObjectSpace, ObjectSpec};
+use std::fmt;
+
+/// Storage-management failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The underlying architectural operation failed.
+    Arch(ArchError),
+    /// The request exceeded an SRO quota.
+    QuotaExceeded {
+        /// Units requested.
+        requested: u32,
+        /// Units remaining under the quota.
+        available: u32,
+    },
+    /// The swapping manager could not make room even after eviction.
+    CannotMakeRoom {
+        /// Bytes that were needed.
+        needed: u32,
+    },
+    /// The segment is not eligible for this operation (e.g. swapping a
+    /// pinned system object).
+    NotEligible(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Arch(e) => write!(f, "storage: {e}"),
+            StorageError::QuotaExceeded {
+                requested,
+                available,
+            } => write!(f, "quota exceeded: requested {requested}, available {available}"),
+            StorageError::CannotMakeRoom { needed } => {
+                write!(f, "cannot make room for {needed} bytes")
+            }
+            StorageError::NotEligible(why) => write!(f, "not eligible: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<ArchError> for StorageError {
+    fn from(e: ArchError) -> StorageError {
+        StorageError::Arch(e)
+    }
+}
+
+/// Counters every manager maintains.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Objects allocated through this manager.
+    pub allocated: u64,
+    /// Objects destroyed through this manager.
+    pub destroyed: u64,
+    /// Heaps (SROs) created.
+    pub heaps_created: u64,
+    /// Heaps destroyed (with their objects).
+    pub heaps_destroyed: u64,
+    /// Segments swapped out (swapping manager only).
+    pub swap_outs: u64,
+    /// Segments swapped in (swapping manager only).
+    pub swap_ins: u64,
+    /// Allocation retries that required eviction.
+    pub eviction_rounds: u64,
+    /// Compaction passes performed to defragment an SRO.
+    pub compactions: u64,
+}
+
+/// The single storage interface both implementations meet.
+///
+/// All operations take the [`ObjectSpace`] explicitly — a manager is an
+/// iMAX *package* (policy + bookkeeping), not an owner of the hardware.
+pub trait StorageManager: Send {
+    /// Implementation name ("non-swapping", "swapping").
+    fn name(&self) -> &'static str;
+
+    /// Allocates an object from the given SRO, applying the
+    /// implementation's policy (the swapping manager evicts to make room
+    /// when the arena is exhausted).
+    fn create_object(
+        &mut self,
+        space: &mut ObjectSpace,
+        sro: ObjectRef,
+        spec: ObjectSpec,
+    ) -> Result<ObjectRef, StorageError>;
+
+    /// Explicitly destroys an object (the holder must have delete rights
+    /// at the interface layer above; the GC path bypasses this).
+    fn destroy_object(
+        &mut self,
+        space: &mut ObjectSpace,
+        obj: ObjectRef,
+    ) -> Result<(), StorageError>;
+
+    /// Creates a heap: a child SRO of `parent` at the given level with
+    /// the given quotas.
+    fn create_heap(
+        &mut self,
+        space: &mut ObjectSpace,
+        parent: ObjectRef,
+        level: i432_arch::Level,
+        quota: crate::sro::SroQuota,
+    ) -> Result<ObjectRef, StorageError>;
+
+    /// Destroys a heap and everything allocated from it (level-scoped
+    /// bulk reclamation). Returns the number of objects reclaimed.
+    fn destroy_heap(
+        &mut self,
+        space: &mut ObjectSpace,
+        sro: ObjectRef,
+    ) -> Result<u32, StorageError>;
+
+    /// Ensures a segment's data part is resident (no-op for the
+    /// non-swapping manager).
+    fn ensure_resident(
+        &mut self,
+        space: &mut ObjectSpace,
+        obj: ObjectRef,
+    ) -> Result<(), StorageError>;
+
+    /// Implementation-specific statistics (the "additional management
+    /// interface" of §6.2).
+    fn stats(&self) -> StorageStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = StorageError::QuotaExceeded {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e: StorageError = ArchError::TableExhausted.into();
+        assert!(matches!(e, StorageError::Arch(_)));
+    }
+}

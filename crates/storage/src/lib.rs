@@ -1,0 +1,38 @@
+//! # imax-storage — iMAX memory management
+//!
+//! Paper §5/§6.2: the 432 hardware provides storage resource objects
+//! (SROs) and the creation instruction; iMAX "provides operations to
+//! create and maintain both SROs and process objects" and layers the
+//! Ada-flavoured storage model on top:
+//!
+//! * **stack allocation** — contexts, allocated implicitly by CALL;
+//! * **global heap allocation** — objects from level-0 SROs, reclaimed
+//!   only by garbage collection;
+//! * **local heap allocation** — objects from an SRO fixed at the
+//!   process's current dynamic depth, reclaimed *en masse* when the
+//!   process returns above that depth.
+//!
+//! Configurability (§6.2) is realized as the paper describes: one
+//! interface ([`StorageManager`]), two implementations — the first-release
+//! non-swapping manager ([`FrozenManager`]) and the second-release
+//! swapping manager ([`SwappingManager`]) — "optimized internally to the
+//! level of function they provide", each with an additional
+//! implementation-specific management interface.
+
+#![warn(missing_docs)]
+
+pub mod backing;
+pub mod compact;
+pub mod frozen;
+pub mod heaps;
+pub mod iface;
+pub mod sro;
+pub mod swapping;
+
+pub use backing::BackingStore;
+pub use compact::{compact_sro, CompactionReport};
+pub use frozen::FrozenManager;
+pub use heaps::{close_local_heap, open_local_heap, open_local_heap_at};
+pub use iface::{StorageError, StorageManager, StorageStats};
+pub use sro::{create_sro, SroQuota};
+pub use swapping::SwappingManager;

@@ -1,0 +1,26 @@
+//! # imax-typemgr — user-defined types and type managers
+//!
+//! Paper §7.2: "via the user type definition facilities of the 432 such a
+//! guarantee [hardware-preserved type identity] is available to any user
+//! defined object type as well as to those object types recognized by the
+//! hardware."
+//!
+//! * [`tdo`] — type definition objects: creating a user type, binding a
+//!   destruction-filter port (paper §8.2).
+//! * [`manager`] — the type-manager pattern: a package that creates
+//!   instances of its type, hands out *sealed* (rights-restricted)
+//!   descriptors, and *amplifies* descriptors handed back to regain full
+//!   access — the 432's replacement for kernel mode.
+//! * [`package`] — "the raising of packages to the status of types":
+//!   dynamic creation of multiple domain instances from one prototype,
+//!   iMAX's major Ada extension (paper §6.3).
+
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod package;
+pub mod tdo;
+
+pub use manager::TypeManager;
+pub use package::PackagePrototype;
+pub use tdo::{bind_destruction_filter, create_tdo, filter_port_of};

@@ -1,0 +1,111 @@
+//! Quickstart: boot iMAX, create a port through the Figure-1 service,
+//! and run a producer/consumer pair of processes over it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
+use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
+use imax::arch::PortDiscipline;
+use imax::ipc::create_port;
+use imax::{Imax, ImaxConfig};
+
+const ITEMS: u64 = 10;
+
+fn main() {
+    // 1. Boot the development configuration: one processor, the
+    //    non-swapping (release 1) storage manager, garbage collection on.
+    let mut os = Imax::boot(&ImaxConfig::development());
+    println!("booted iMAX (storage: non-swapping, GC daemon: on)");
+
+    // 2. Create a communication port with the Figure-1 package.
+    let root = os.sys.space.root_sro();
+    let port = create_port(&mut os.sys.space, root, 4, PortDiscipline::Fifo)
+        .expect("port creation");
+    println!(
+        "created a FIFO port (message_count = 4): {}",
+        port.ad()
+    );
+
+    // 3. A producer: creates ITEMS message objects, tags each with its
+    //    sequence number, and SENDs them (blocking when the queue fills).
+    let producer_code = {
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.mov(DataRef::Imm(0), DataDst::Local(0)); // counter
+        p.bind(top);
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
+        p.mov(DataRef::Local(0), DataDst::Field(5, 0));
+        p.send(CTX_SLOT_ARG as u16, 5);
+        p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ITEMS), DataDst::Local(8));
+        p.jump_if_nonzero(DataRef::Local(8), top);
+        p.halt();
+        p.finish()
+    };
+
+    // 4. A consumer: RECEIVEs ITEMS messages (blocking when empty) and
+    //    accumulates their tags at local offset 16.
+    let consumer_code = {
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.mov(DataRef::Imm(0), DataDst::Local(0)); // counter
+        p.mov(DataRef::Imm(0), DataDst::Local(16)); // sum
+        p.bind(top);
+        p.receive(CTX_SLOT_ARG as u16, CTX_SLOT_FIRST_FREE as u16);
+        p.alu(
+            AluOp::Add,
+            DataRef::Local(16),
+            DataRef::Field(CTX_SLOT_FIRST_FREE as u16, 0),
+            DataDst::Local(16),
+        );
+        p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ITEMS), DataDst::Local(8));
+        p.jump_if_nonzero(DataRef::Local(8), top);
+        // Report the sum through the port: one final self-describing
+        // message the host reads back.
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 6);
+        p.mov(DataRef::Local(16), DataDst::Field(6, 0));
+        p.send(CTX_SLOT_ARG as u16, 6);
+        p.halt();
+        p.finish()
+    };
+
+    let producer_sub = os.sys.subprogram("producer", producer_code, 64, 8);
+    let consumer_sub = os.sys.subprogram("consumer", consumer_code, 64, 8);
+    let dom = os
+        .sys
+        .install_domain("pipeline", vec![producer_sub, consumer_sub], 0);
+
+    // 5. Spawn both processes; each receives the port as its argument —
+    //    capabilities are the only naming there is.
+    let producer = os.spawn_program(dom, 0, Some(port.ad()));
+    let consumer = os.spawn_program(dom, 1, Some(port.ad()));
+    println!("spawned producer {producer:?} and consumer {consumer:?}");
+
+    // 6. Run.
+    let outcome = os.run(2_000_000);
+    println!("run outcome: {outcome:?}");
+    println!(
+        "simulated time: {} cycles ({:.1} ms at 8 MHz)",
+        os.sys.now(),
+        os.sys.now() as f64 / 8_000.0
+    );
+
+    // 7. The consumer's report is waiting at the port.
+    let report = imax::ipc::untyped::receive(&mut os.sys.space, port)
+        .expect("receive")
+        .expect("consumer posted its sum");
+    let sum = os.sys.space.read_u64(report, 0).expect("read sum");
+    println!("consumer summed tags 0..{ITEMS}: {sum}");
+    assert_eq!(sum, ITEMS * (ITEMS - 1) / 2);
+
+    // 8. Port statistics show the blocking rendezvous behaviour of
+    //    Figure 1 (capacity 4, ten messages: someone must have waited).
+    let stats = os.sys.space.port(port.object()).expect("port state").stats;
+    println!(
+        "port stats: {} sends, {} receives, {} blocked sends, {} blocked receives",
+        stats.sends, stats.receives, stats.blocked_sends, stats.blocked_receives
+    );
+    println!("quickstart OK");
+}

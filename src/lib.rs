@@ -1,0 +1,2 @@
+//! Workspace-root library: re-exports for examples and integration tests.
+pub use imax;

@@ -1,0 +1,129 @@
+//! End-to-end boot: every configuration preset boots, runs work through
+//! the full stack (services, scheduler, GC, fault service) and reaches a
+//! clean stop.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
+use imax::sim::RunOutcome;
+use imax::{Imax, ImaxConfig, SchedulingChoice};
+
+fn mixed_workload(os: &mut Imax, n: u32) -> Vec<imax::arch::ObjectRef> {
+    use imax::arch::sysobj::CTX_SLOT_SRO;
+    // Allocate-and-drop loop: exercises storage + GC.
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(25), DataDst::Local(0));
+    p.bind(top);
+    p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(64), DataRef::Imm(2), 5);
+    p.work(200);
+    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.jump_if_nonzero(DataRef::Local(0), top);
+    p.halt();
+    let sub = os.sys.subprogram("churn", p.finish(), 64, 8);
+    let dom = os.sys.install_domain("app", vec![sub], 0);
+    (0..n).map(|_| os.spawn_program(dom, 0, None)).collect()
+}
+
+fn boots_and_finishes(cfg: &ImaxConfig, procs: u32) {
+    let mut os = Imax::boot(cfg);
+    let spawned = mixed_workload(&mut os, procs);
+    let outcome = os.run(30_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent),
+        "{outcome:?}"
+    );
+    for p in spawned {
+        assert_eq!(
+            os.sys.status_of(p),
+            Some(imax::arch::ProcessStatus::Terminated)
+        );
+        assert_eq!(os.sys.space.process(p).unwrap().fault_code, 0);
+    }
+    assert!(os.fault_log.is_empty(), "{:?}", os.fault_log);
+}
+
+#[test]
+fn development_configuration() {
+    boots_and_finishes(&ImaxConfig::development(), 3);
+}
+
+#[test]
+fn embedded_configuration() {
+    boots_and_finishes(&ImaxConfig::embedded(), 3);
+}
+
+#[test]
+fn multi_user_configuration() {
+    boots_and_finishes(&ImaxConfig::multi_user(4), 6);
+}
+
+#[test]
+fn round_robin_configuration() {
+    let cfg = ImaxConfig {
+        scheduling: SchedulingChoice::RoundRobin { quantum: 5_000 },
+        ..ImaxConfig::development()
+    };
+    boots_and_finishes(&cfg, 4);
+}
+
+#[test]
+fn gc_daemon_reclaims_program_garbage() {
+    let mut os = Imax::boot(&ImaxConfig::development());
+    let spawned = mixed_workload(&mut os, 2);
+    let outcome = os.run(30_000_000);
+    assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent));
+    // Give the daemon a little more time to finish cycles after the
+    // mutators exit.
+    for _ in 0..6 {
+        let _ = os.sys.run_to_quiescence(100_000);
+    }
+    let stats = os.collector.as_ref().unwrap().lock().stats;
+    assert!(stats.cycles >= 1, "{stats:?}");
+    assert!(
+        stats.reclaimed >= 40,
+        "the churn loops dropped ~50 objects: {stats:?}"
+    );
+    let _ = spawned;
+}
+
+#[test]
+fn fair_share_converges_under_contention() {
+    // Two long-running spinners on one processor, weights 1 and 4: the
+    // weighted process must accumulate clearly more cycles.
+    let cfg = ImaxConfig {
+        scheduling: SchedulingChoice::FairShare,
+        gc: None,
+        ..ImaxConfig::development()
+    };
+    let mut os = Imax::boot(&cfg);
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(4000), DataDst::Local(0));
+    p.bind(top);
+    p.work(400);
+    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.jump_if_nonzero(DataRef::Local(0), top);
+    p.halt();
+    let sub = os.sys.subprogram("spin", p.finish(), 64, 8);
+    let dom = os.sys.install_domain("spinners", vec![sub], 0);
+    let light = os.spawn_weighted(dom, 0, None, 1);
+    let heavy = os.spawn_weighted(dom, 0, None, 4);
+    // Short timeslices so the fair-share rebalancer gets traction.
+    for p in [light, heavy] {
+        os.sys.space.process_mut(p).unwrap().timeslice = 4_000;
+        os.sys.space.process_mut(p).unwrap().slice_remaining = 4_000;
+    }
+    // Run a bounded burst, then compare progress.
+    let _ = os.run(600_000);
+    let light_cycles = os.sys.space.process(light).unwrap().total_cycles;
+    let heavy_cycles = os.sys.space.process(heavy).unwrap().total_cycles;
+    // Both made progress; the heavy one made more (or both finished).
+    if os.sys.status_of(light) != Some(imax::arch::ProcessStatus::Terminated)
+        || os.sys.status_of(heavy) != Some(imax::arch::ProcessStatus::Terminated)
+    {
+        assert!(
+            heavy_cycles > light_cycles,
+            "weight 4 ({heavy_cycles}) should outrun weight 1 ({light_cycles})"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Whole-OS determinism: two boots of the same configuration running the
+//! same programs produce identical simulated time, identical fault logs,
+//! and identical GC statistics — the property that makes every number in
+//! EXPERIMENTS.md exactly reproducible.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
+use imax::arch::sysobj::CTX_SLOT_SRO;
+use imax::sim::RunOutcome;
+use imax::{Imax, ImaxConfig, SchedulingChoice};
+
+fn run_once() -> (u64, u64, usize, imax::gc::GcStats) {
+    let cfg = ImaxConfig {
+        scheduling: SchedulingChoice::RoundRobin { quantum: 6_000 },
+        ..ImaxConfig::development()
+    };
+    let mut os = Imax::boot(&cfg);
+    // A mixed workload: churners and a crasher.
+    let mut churn = ProgramBuilder::new();
+    let top = churn.new_label();
+    churn.mov(DataRef::Imm(30), DataDst::Local(0));
+    churn.bind(top);
+    churn.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(48), DataRef::Imm(2), 5);
+    churn.work(250);
+    churn.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    churn.jump_if_nonzero(DataRef::Local(0), top);
+    churn.halt();
+    let churn_sub = os.sys.subprogram("churn", churn.finish(), 64, 8);
+    let mut crash = ProgramBuilder::new();
+    crash.work(2_000);
+    crash.alu(AluOp::Div, DataRef::Imm(1), DataRef::Imm(0), DataDst::Local(0));
+    crash.halt();
+    let crash_sub = os.sys.subprogram("crash", crash.finish(), 32, 8);
+    let dom = os.sys.install_domain("apps", vec![churn_sub, crash_sub], 0);
+    for _ in 0..3 {
+        os.spawn_program(dom, 0, None);
+    }
+    os.spawn_program(dom, 1, None);
+    let outcome = os.run(5_000_000);
+    assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent));
+    let gc = os.collector.as_ref().unwrap().lock().stats;
+    (
+        os.sys.now(),
+        os.sys.steps(),
+        os.fault_log.len(),
+        gc,
+    )
+}
+
+#[test]
+fn identical_configurations_replay_exactly() {
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.0, b.0, "simulated time");
+    assert_eq!(a.1, b.1, "steps");
+    assert_eq!(a.2, b.2, "fault log");
+    assert_eq!(a.3, b.3, "gc stats");
+}

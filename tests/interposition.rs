@@ -1,0 +1,119 @@
+//! F-interposition — paper §4: "any system interface can be mimicked by
+//! a user package. This makes it straightforward for a user to extend
+//! the system interface, trap certain system calls, or otherwise alter
+//! iMAX services."
+//!
+//! A user-written *tracing* package exposes the same `create_port`
+//! interface as the real `Untyped_Ports` service (subprogram 0, same
+//! argument record, same return). It counts calls into its own state
+//! object and forwards to the real service it holds in its package
+//! state. Clients cannot tell the difference — they receive a working
+//! port either way — because OS calls and user calls are the *same
+//! mechanism*.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use imax::gdp::ProgramBuilder;
+use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_DOMAIN, CTX_SLOT_SRO};
+use imax::arch::{ObjectSpec, ProcessStatus, Rights};
+use imax::sim::RunOutcome;
+use imax::{Imax, ImaxConfig};
+
+#[test]
+fn user_package_interposes_on_a_system_service() {
+    let mut os = Imax::boot(&ImaxConfig::embedded());
+    let root = os.sys.space.root_sro();
+
+    // The interposer's own state: a call counter object.
+    let counter = os
+        .sys
+        .space
+        .create_object(root, ObjectSpec::generic(8, 0))
+        .unwrap();
+    let counter_ad = os.sys.space.mint(counter, Rights::READ | Rights::WRITE);
+
+    // The interposer package: subprogram 0 has the *same shape* as
+    // Untyped_Ports.create_port — it takes the argument record, bumps
+    // its counter, forwards to the real service (held in its domain
+    // state, slot 1), and returns the service's result.
+    let trace_code = {
+        let mut p = ProgramBuilder::new();
+        // Reach into the defining environment: slot 0 = counter object,
+        // slot 1 = the real untyped_ports domain.
+        p.load_ad(CTX_SLOT_DOMAIN as u16, DataRef::Imm(0), 5);
+        p.load_ad(CTX_SLOT_DOMAIN as u16, DataRef::Imm(1), 6);
+        // counter += 1 (package-private state).
+        p.alu(AluOp::Add, DataRef::Field(5, 0), DataRef::Imm(1), DataDst::Local(0));
+        p.mov(DataRef::Local(0), DataDst::Field(5, 0));
+        // Forward the original argument record to the real service and
+        // capture the returned port AD in slot 7.
+        p.call(6, 0, Some(CTX_SLOT_ARG as u16), Some(7), None);
+        // Return the port to our caller, exactly as the real service
+        // does.
+        p.ret(Some(7), None);
+        p.finish()
+    };
+    let trace_sub = os.sys.subprogram("create_port(traced)", trace_code, 64, 12);
+    let interposer = os.sys.install_domain("traced_untyped_ports", vec![trace_sub], 2);
+    os.sys
+        .space
+        .store_ad_hw(interposer.obj, 0, Some(counter_ad))
+        .unwrap();
+    os.sys
+        .space
+        .store_ad_hw(interposer.obj, 1, Some(os.services.untyped_ports))
+        .unwrap();
+
+    // The client program: identical no matter which "untyped_ports" it
+    // is handed — it builds the Figure-1 argument record, calls
+    // subprogram 0, and loops a message through the returned port.
+    let client_code = {
+        let mut p = ProgramBuilder::new();
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
+        p.mov(DataRef::Imm(4), DataDst::Field(5, 0)); // message_count
+        p.mov(DataRef::Imm(0), DataDst::Field(5, 8)); // FIFO
+        p.call(CTX_SLOT_ARG as u16, 0, Some(5), Some(6), None);
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(8), DataRef::Imm(0), 7);
+        p.mov(DataRef::Imm(0xAB), DataDst::Field(7, 0));
+        p.send(6, 7);
+        p.receive(6, 8);
+        let ok = p.new_label();
+        p.alu(AluOp::Eq, DataRef::Field(8, 0), DataRef::Imm(0xAB), DataDst::Local(0));
+        p.jump_if_nonzero(DataRef::Local(0), ok);
+        p.push(Instruction::RaiseFault { code: 80 });
+        p.bind(ok);
+        p.halt();
+        p.finish()
+    };
+    let client_sub = os.sys.subprogram("client", client_code, 64, 12);
+    let app = os.sys.install_domain("app", vec![client_sub], 0);
+
+    // Client 1 gets the real service; clients 2 and 3 get the
+    // interposer. Nobody's code changes.
+    let direct = os.spawn_program(app, 0, Some(os.services.untyped_ports));
+    let traced_a = os.spawn_program(app, 0, Some(interposer));
+    let traced_b = os.spawn_program(app, 0, Some(interposer));
+
+    let outcome = os.run(5_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent),
+        "{outcome:?}"
+    );
+    for p in [direct, traced_a, traced_b] {
+        let ps = os.sys.space.process(p).unwrap();
+        assert_eq!(ps.status, ProcessStatus::Terminated);
+        assert_eq!(ps.fault_code, 0, "{}", ps.fault_detail);
+    }
+    // The trap counted exactly the interposed calls.
+    assert_eq!(os.sys.space.read_u64(counter_ad, 0).unwrap(), 2);
+}
+
+#[test]
+fn callers_cannot_read_package_state_through_call_rights() {
+    // The flip side of the defining-environment view: a *caller* holding
+    // only call rights cannot inspect a domain's owned slots.
+    let mut os = Imax::boot(&ImaxConfig::embedded());
+    let svc = os.services.untyped_ports;
+    assert!(svc.allows(Rights::CALL));
+    assert!(!svc.allows(Rights::READ));
+    assert!(os.sys.space.load_ad(svc, 0).is_err(), "callers can't peek");
+}

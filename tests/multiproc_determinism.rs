@@ -1,0 +1,164 @@
+//! I5 — multiprocessing transparency, paper §3.
+//!
+//! "The 432 hardware ... makes the existence of multiple general data
+//! processors transparent to virtually all of the system software. ...
+//! it is merely necessary that the design of iMAX never assume that only
+//! a single processor is running."
+//!
+//! The same logical workload must produce the same logical results on
+//! 1, 2, 4 and 8 processors, and identical configurations must replay
+//! identically (determinism of the simulation).
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
+use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
+use imax::arch::{PortDiscipline, Rights};
+use imax::ipc::create_port;
+use imax::sim::{RunOutcome, System, SystemConfig};
+
+/// N workers each send `per_worker` tagged results through a shared
+/// port; the host sums what arrives. The sum is the logical result.
+fn run_workload(cpus: u32) -> (u64, u64) {
+    let mut sys = System::new(&SystemConfig::small().with_processors(cpus));
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 128, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    const WORKERS: u64 = 6;
+    const PER_WORKER: u64 = 8;
+
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(0), DataDst::Local(0));
+    p.bind(top);
+    p.work(300);
+    p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
+    // Tag = counter * 3 + 1 (any deterministic function works).
+    p.alu(AluOp::Mul, DataRef::Local(0), DataRef::Imm(3), DataDst::Local(8));
+    p.alu(AluOp::Add, DataRef::Local(8), DataRef::Imm(1), DataDst::Local(8));
+    p.mov(DataRef::Local(8), DataDst::Field(5, 0));
+    p.send(CTX_SLOT_ARG as u16, 5);
+    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(PER_WORKER),
+        DataDst::Local(16),
+    );
+    p.jump_if_nonzero(DataRef::Local(16), top);
+    p.halt();
+    let sub = sys.subprogram("worker", p.finish(), 64, 8);
+    let dom = sys.install_domain("pool", vec![sub], 0);
+    for _ in 0..WORKERS {
+        sys.spawn(dom, 0, Some(port.ad()));
+    }
+    let outcome = sys.run_to_completion(50_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped, "{cpus} cpus");
+
+    // Logical result: the multiset of delivered tags, summarized as a
+    // sum (order may differ across processor counts; content may not).
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    while let Some(msg) = imax::ipc::untyped::receive(&mut sys.space, port).unwrap() {
+        sum += sys
+            .space
+            .read_u64(msg.restricted(Rights::ALL), 0)
+            .unwrap();
+        count += 1;
+    }
+    assert_eq!(count, WORKERS * PER_WORKER);
+    (sum, sys.now())
+}
+
+#[test]
+fn logical_results_identical_across_processor_counts() {
+    let (sum1, t1) = run_workload(1);
+    let (sum2, t2) = run_workload(2);
+    let (sum4, t4) = run_workload(4);
+    let (sum8, _t8) = run_workload(8);
+    assert_eq!(sum1, sum2);
+    assert_eq!(sum1, sum4);
+    assert_eq!(sum1, sum8);
+    // And multiprocessing actually helped (the point of having it).
+    assert!(t2 < t1, "2 cpus {t2} !< 1 cpu {t1}");
+    assert!(t4 < t2, "4 cpus {t4} !< 2 cpus {t2}");
+}
+
+#[test]
+fn identical_runs_replay_identically() {
+    let a = run_workload(3);
+    let b = run_workload(3);
+    assert_eq!(a, b, "same configuration must replay exactly");
+}
+
+#[test]
+fn explicit_synchronization_only() {
+    // Paper §3: "all synchronization within the system must be explicit,
+    // never assuming that process priority or other scheduling artifact
+    // is sufficient to guarantee exclusion."
+    //
+    // Two processes of *different priorities* both increment a shared
+    // counter through a mutex port (one token circulates). If exclusion
+    // held only by priority, the high-priority process could starve or
+    // race the other; with the token it cannot.
+    let mut sys = System::new(&SystemConfig::small().with_processors(2));
+    let root = sys.space.root_sro();
+    let mutex = create_port(&mut sys.space, root, 1, PortDiscipline::Fifo).unwrap();
+    sys.anchor(mutex.ad());
+    // The shared counter object, reachable by both processes.
+    let shared = sys
+        .space
+        .create_object(root, imax::arch::ObjectSpec::generic(8, 0))
+        .unwrap();
+    let shared_ad = sys.space.mint(shared, Rights::READ | Rights::WRITE);
+    sys.anchor(shared_ad);
+    // The token: any object.
+    let token = sys
+        .space
+        .create_object(root, imax::arch::ObjectSpec::generic(8, 0))
+        .unwrap();
+    let token_ad = sys.space.mint(token, Rights::READ | Rights::WRITE);
+    imax::ipc::untyped::send(&mut sys.space, mutex, token_ad).unwrap();
+
+    const ROUNDS: u64 = 25;
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(0), DataDst::Local(0));
+    p.bind(top);
+    // P(mutex): take the token.
+    p.receive(CTX_SLOT_ARG as u16, 6);
+    // Critical section: read-modify-write the shared counter (slot 5).
+    p.mov(DataRef::Field(5, 0), DataDst::Local(8));
+    p.work(50); // widen the race window
+    p.alu(AluOp::Add, DataRef::Local(8), DataRef::Imm(1), DataDst::Local(8));
+    p.mov(DataRef::Local(8), DataDst::Field(5, 0));
+    // V(mutex): return the token.
+    p.send(CTX_SLOT_ARG as u16, 6);
+    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ROUNDS), DataDst::Local(16));
+    p.jump_if_nonzero(DataRef::Local(16), top);
+    p.halt();
+    let sub = sys.subprogram("incrementer", p.finish(), 64, 8);
+    let dom = sys.install_domain("racers", vec![sub], 0);
+
+    let a = sys.spawn(dom, 0, Some(mutex.ad()));
+    let b = sys.spawn(dom, 0, Some(mutex.ad()));
+    // Different priorities: exclusion must not depend on them.
+    sys.space.process_mut(a).unwrap().priority = 10;
+    sys.space.process_mut(b).unwrap().priority = 200;
+    for proc_ref in [a, b] {
+        let ctx = sys
+            .space
+            .load_ad_hw(proc_ref, imax::arch::sysobj::PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        sys.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE + 1, Some(shared_ad))
+            .unwrap();
+    }
+    let outcome = sys.run_to_completion(80_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    let final_count = sys.space.read_u64(shared_ad, 0).unwrap();
+    assert_eq!(final_count, 2 * ROUNDS, "no lost updates under the token");
+}

@@ -1,0 +1,195 @@
+//! F1 — Figure 1's blocking semantics, exercised through real processes.
+//!
+//! "If the message queue of the port is full then the calling process
+//! will block until a message slot becomes available. ... If no message
+//! is available the process will block until a message becomes
+//! available."
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
+use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
+use imax::arch::{PortDiscipline, ProcessStatus, Rights};
+use imax::ipc::create_port;
+use imax::sim::{RunOutcome, System, SystemConfig};
+
+/// Producer sending `n` messages through the argument port.
+fn producer(n: u64) -> Vec<imax::gdp::Instruction> {
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(0), DataDst::Local(0));
+    p.bind(top);
+    p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
+    p.mov(DataRef::Local(0), DataDst::Field(5, 0));
+    p.send(CTX_SLOT_ARG as u16, 5);
+    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(n), DataDst::Local(8));
+    p.jump_if_nonzero(DataRef::Local(8), top);
+    p.halt();
+    p.finish()
+}
+
+/// Consumer receiving `n` messages, checking they arrive in FIFO order.
+fn consumer(n: u64) -> Vec<imax::gdp::Instruction> {
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    let ok = p.new_label();
+    p.mov(DataRef::Imm(0), DataDst::Local(0));
+    p.bind(top);
+    p.receive(CTX_SLOT_ARG as u16, 6);
+    // FIFO check: the tag must equal the receive counter.
+    p.alu(
+        AluOp::Eq,
+        DataRef::Field(6, 0),
+        DataRef::Local(0),
+        DataDst::Local(8),
+    );
+    p.jump_if_nonzero(DataRef::Local(8), ok);
+    p.push(imax::gdp::Instruction::RaiseFault { code: 77 });
+    p.bind(ok);
+    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(n), DataDst::Local(8));
+    p.jump_if_nonzero(DataRef::Local(8), top);
+    p.halt();
+    p.finish()
+}
+
+#[test]
+fn sender_blocks_on_full_queue_and_recovers() {
+    // Capacity 2, producer sends 10 before the consumer even starts
+    // (consumer is made runnable only after the producer blocks).
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 2, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    let tx_sub = sys.subprogram("tx", producer(10), 64, 8);
+    let rx_sub = sys.subprogram("rx", consumer(10), 64, 12);
+    let dom = sys.install_domain("pair", vec![tx_sub, rx_sub], 0);
+    let tx = sys.spawn(dom, 0, Some(port.ad()));
+
+    // Run until the producer blocks (queue full, nobody consuming).
+    let outcome = sys.run_to_quiescence(100_000);
+    assert_eq!(outcome, RunOutcome::Quiescent);
+    assert_eq!(
+        sys.space.process(tx).unwrap().status,
+        ProcessStatus::BlockedSend
+    );
+    assert_eq!(sys.space.port(port.object()).unwrap().msg_count, 2);
+
+    // Now start the consumer: everything drains, both exit.
+    let rx = sys.spawn(dom, 1, Some(port.ad()));
+    let outcome = sys.run_to_completion(10_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    for p in [tx, rx] {
+        assert_eq!(sys.space.process(p).unwrap().status, ProcessStatus::Terminated);
+        assert_eq!(sys.space.process(p).unwrap().fault_code, 0);
+    }
+    let stats = sys.space.port(port.object()).unwrap().stats;
+    assert_eq!(stats.sends, 10);
+    assert_eq!(stats.receives, 10);
+    assert!(stats.blocked_sends >= 1);
+}
+
+#[test]
+fn receiver_blocks_on_empty_queue_and_recovers() {
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 4, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    let rx_sub = sys.subprogram("rx", consumer(5), 64, 12);
+    let tx_sub = sys.subprogram("tx", producer(5), 64, 8);
+    let dom = sys.install_domain("pair", vec![rx_sub, tx_sub], 0);
+    let rx = sys.spawn(dom, 0, Some(port.ad()));
+
+    let outcome = sys.run_to_quiescence(100_000);
+    assert_eq!(outcome, RunOutcome::Quiescent);
+    assert_eq!(
+        sys.space.process(rx).unwrap().status,
+        ProcessStatus::BlockedReceive
+    );
+
+    let tx = sys.spawn(dom, 1, Some(port.ad()));
+    let outcome = sys.run_to_completion(10_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    for p in [tx, rx] {
+        assert_eq!(sys.space.process(p).unwrap().fault_code, 0);
+    }
+}
+
+#[test]
+fn many_producers_one_consumer_fifo_total_order_per_sender() {
+    // Three producers, one consumer summing everything: total must match
+    // regardless of interleaving; run on two processors for real overlap.
+    let mut sys = System::new(&SystemConfig::small().with_processors(2));
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 8, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    const PER: u64 = 12;
+    let tx_sub = sys.subprogram("tx", producer(PER), 64, 8);
+    // Summing consumer.
+    let rx_code = {
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.mov(DataRef::Imm(0), DataDst::Local(0));
+        p.mov(DataRef::Imm(0), DataDst::Local(16));
+        p.bind(top);
+        p.receive(CTX_SLOT_ARG as u16, 6);
+        p.alu(
+            AluOp::Add,
+            DataRef::Local(16),
+            DataRef::Field(6, 0),
+            DataDst::Local(16),
+        );
+        p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Lt,
+            DataRef::Local(0),
+            DataRef::Imm(3 * PER),
+            DataDst::Local(8),
+        );
+        p.jump_if_nonzero(DataRef::Local(8), top);
+        // Publish the sum.
+        p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(8), DataRef::Imm(0), 7);
+        p.mov(DataRef::Local(16), DataDst::Field(7, 0));
+        p.send(CTX_SLOT_ARG as u16, 7);
+        p.halt();
+        p.finish()
+    };
+    let rx_sub = sys.subprogram("rx", rx_code, 64, 12);
+    let dom = sys.install_domain("fanin", vec![tx_sub, rx_sub], 0);
+    for _ in 0..3 {
+        sys.spawn(dom, 0, Some(port.ad()));
+    }
+    sys.spawn(dom, 1, Some(port.ad()));
+    let outcome = sys.run_to_completion(50_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    let report = imax::ipc::untyped::receive(&mut sys.space, port)
+        .unwrap()
+        .unwrap();
+    let sum = sys.space.read_u64(report.restricted(Rights::ALL), 0).unwrap();
+    assert_eq!(sum, 3 * (PER * (PER - 1) / 2));
+}
+
+#[test]
+fn priority_port_delivers_urgent_first() {
+    // Host-level: queue three keyed messages, receive by priority.
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 8, PortDiscipline::Priority).unwrap();
+    for (tag, key) in [(1u64, 50u64), (2, 10), (3, 30)] {
+        let o = sys
+            .space
+            .create_object(root, imax::arch::ObjectSpec::generic(8, 0))
+            .unwrap();
+        let ad = sys.space.mint(o, Rights::READ | Rights::WRITE);
+        sys.space.write_u64(ad, 0, tag).unwrap();
+        imax::gdp::port::send(&mut sys.space, None, port.ad(), ad, key, false, false).unwrap();
+    }
+    let mut order = Vec::new();
+    while let Some(m) = imax::ipc::untyped::receive(&mut sys.space, port).unwrap() {
+        order.push(sys.space.read_u64(m.restricted(Rights::ALL), 0).unwrap());
+    }
+    assert_eq!(order, vec![2, 3, 1]);
+}

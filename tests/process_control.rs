@@ -1,0 +1,210 @@
+//! End-to-end process control: nested start/stop on running computation
+//! trees (paper §6.1), earliest-deadline dispatching, and tree-capacity
+//! edges.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::process::ProcessSpec;
+use imax::gdp::ProgramBuilder;
+use imax::process::BasicProcessManager;
+use imax::arch::{PortDiscipline, ProcessStatus};
+use imax::sim::{RunOutcome, System, SystemConfig};
+
+/// An infinite spinner subprogram.
+fn spinner(sys: &mut System) -> imax::arch::AccessDescriptor {
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.bind(top);
+    p.work(200);
+    p.jump(top);
+    let sub = sys.subprogram("spin", p.finish(), 64, 8);
+    sys.install_domain("spinners", vec![sub], 0)
+}
+
+#[test]
+fn stop_parks_a_running_computation_and_start_resumes_it() {
+    let mut sys = System::new(&SystemConfig::small());
+    let dom = spinner(&mut sys);
+    let p = sys.spawn(dom, 0, None);
+    sys.space.process_mut(p).unwrap().timeslice = 5_000;
+    sys.space.process_mut(p).unwrap().slice_remaining = 5_000;
+    let mut mgr = BasicProcessManager::new();
+
+    // Let it run a little.
+    let _ = sys.run_until(2_000, |_, _| false);
+    let before = sys.space.process(p).unwrap().total_cycles;
+    assert!(before > 0);
+
+    // Stop it mid-flight: it leaves the mix at its next scheduling event
+    // and is parked.
+    mgr.stop(&mut sys.space, p).unwrap();
+    let _ = sys.run_to_quiescence(100_000);
+    assert_eq!(sys.space.process(p).unwrap().status, ProcessStatus::Stopped);
+    let parked_at = sys.space.process(p).unwrap().total_cycles;
+
+    // While stopped, it makes no progress.
+    let _ = sys.run_to_quiescence(10_000);
+    assert_eq!(sys.space.process(p).unwrap().total_cycles, parked_at);
+
+    // Start: it re-enters the mix and runs again.
+    mgr.start(&mut sys.space, p).unwrap();
+    let _ = sys.run_until(3_000, |_, _| false);
+    assert!(sys.space.process(p).unwrap().total_cycles > parked_at);
+}
+
+#[test]
+fn stopping_a_tree_stops_children_the_controller_never_saw() {
+    // Paper §6.1: "a user wishing to control a computation need not be
+    // aware of the internal structure of that process."
+    let mut sys = System::new(&SystemConfig::small().with_processors(2));
+    let dom = spinner(&mut sys);
+    let mut mgr = BasicProcessManager::new();
+    let dispatch = sys.dispatch_ad();
+    let root_sro = sys.space.root_sro();
+
+    // A parent with two children, built through the manager (the
+    // "computation" — its internal structure is the manager's business).
+    let parent = mgr
+        .create_process(
+            &mut sys.space,
+            root_sro,
+            dom,
+            0,
+            None,
+            ProcessSpec::new(dispatch),
+            None,
+        )
+        .unwrap();
+    let mut kids = Vec::new();
+    for _ in 0..2 {
+        kids.push(
+            mgr.create_process(
+                &mut sys.space,
+                root_sro,
+                dom,
+                0,
+                None,
+                ProcessSpec::new(dispatch),
+                Some(parent),
+            )
+            .unwrap(),
+        );
+    }
+    for p in std::iter::once(parent).chain(kids.iter().copied()) {
+        sys.space.process_mut(p).unwrap().timeslice = 4_000;
+        sys.space.process_mut(p).unwrap().slice_remaining = 4_000;
+        imax::gdp::port::make_ready(&mut sys.space, p).unwrap();
+        sys.anchor(sys.space.mint(p, imax::arch::Rights::CONTROL));
+    }
+
+    let _ = sys.run_until(5_000, |_, _| false);
+    // The controller stops *the parent*; the whole tree parks.
+    mgr.stop(&mut sys.space, parent).unwrap();
+    let _ = sys.run_to_quiescence(200_000);
+    for p in std::iter::once(parent).chain(kids.iter().copied()) {
+        assert_eq!(
+            sys.space.process(p).unwrap().status,
+            ProcessStatus::Stopped,
+            "whole tree parked"
+        );
+    }
+    // Start the parent: everyone resumes.
+    mgr.start(&mut sys.space, parent).unwrap();
+    let marks: Vec<u64> = kids
+        .iter()
+        .map(|p| sys.space.process(*p).unwrap().total_cycles)
+        .collect();
+    let _ = sys.run_until(10_000, |_, _| false);
+    for (p, mark) in kids.iter().zip(marks) {
+        assert!(
+            sys.space.process(*p).unwrap().total_cycles > mark,
+            "children resumed with the tree"
+        );
+    }
+}
+
+#[test]
+fn deadline_dispatching_runs_the_most_urgent_first() {
+    // A deadline-discipline dispatching port: the hardware binds the
+    // earliest-deadline ready process, with no scheduler software at all.
+    let mut cfg = SystemConfig::small();
+    cfg.dispatch_discipline = PortDiscipline::Deadline;
+    let mut sys = System::new(&cfg);
+
+    // Three short jobs with distinct deadlines, spawned before any runs.
+    let mut p = ProgramBuilder::new();
+    p.work(5_000);
+    p.halt();
+    let sub = sys.subprogram("job", p.finish(), 64, 8);
+    let dom = sys.install_domain("jobs", vec![sub], 0);
+    let spawn_with_deadline = |sys: &mut System, deadline: u64| {
+        let mut spec = ProcessSpec::new(sys.dispatch_ad());
+        spec.deadline = deadline;
+        sys.spawn_with(dom, 0, None, spec)
+    };
+    let late = spawn_with_deadline(&mut sys, 30_000);
+    let urgent = spawn_with_deadline(&mut sys, 1_000);
+    let middle = spawn_with_deadline(&mut sys, 10_000);
+
+    // Record completion order.
+    let mut order = Vec::new();
+    let outcome = sys.run_until(1_000_000, |_, e| {
+        if let imax::gdp::StepEvent::ProcessExited(p) = e {
+            order.push(*p);
+        }
+        order.len() == 3
+    });
+    assert_eq!(outcome, RunOutcome::Stopped);
+    assert_eq!(order, vec![urgent, middle, late], "EDF completion order");
+}
+
+#[test]
+fn child_list_capacity_is_enforced() {
+    use imax::arch::sysobj::PROC_CHILD_SLOTS;
+    let mut sys = System::new(&SystemConfig::small());
+    let dom = spinner(&mut sys);
+    let mut mgr = BasicProcessManager::new();
+    let dispatch = sys.dispatch_ad();
+    let root_sro = sys.space.root_sro();
+    let parent = mgr
+        .create_process(
+            &mut sys.space,
+            root_sro,
+            dom,
+            0,
+            None,
+            ProcessSpec::new(dispatch),
+            None,
+        )
+        .unwrap();
+    for _ in 0..PROC_CHILD_SLOTS {
+        mgr.create_process(
+            &mut sys.space,
+            root_sro,
+            dom,
+            0,
+            None,
+            ProcessSpec::new(dispatch),
+            Some(parent),
+        )
+        .unwrap();
+    }
+    // One more child than the process object can link: refused cleanly.
+    let err = mgr
+        .create_process(
+            &mut sys.space,
+            root_sro,
+            dom,
+            0,
+            None,
+            ProcessSpec::new(dispatch),
+            Some(parent),
+        )
+        .unwrap_err();
+    assert_eq!(err.kind, imax::gdp::FaultKind::QueueOverflow);
+    assert_eq!(
+        mgr.children(&mut sys.space, parent).unwrap().len(),
+        PROC_CHILD_SLOTS as usize
+    );
+    let _ = AluOp::Add;
+    let _ = (DataDst::Local(0), DataRef::Imm(0));
+}

@@ -1,0 +1,164 @@
+//! C9 — alternate storage implementations behind one interface, §6.2,
+//! including transparent swap-fault repair for running programs.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
+use imax::arch::sysobj::CTX_SLOT_FIRST_FREE;
+use imax::arch::{AccessDescriptor, ObjectRef, ObjectSpec, ProcessStatus, Rights};
+use imax::sim::RunOutcome;
+use imax::{FaultDisposition, Imax, ImaxConfig, StorageChoice};
+
+const PLANTED: usize = 8;
+const PLANT_BYTES: u32 = 8 * 1024;
+
+/// A program that sums the first words of the eight objects planted in
+/// its context slots 4..12, publishes the sum into the first object's
+/// second word, and halts.
+fn summer() -> Vec<imax::gdp::Instruction> {
+    let mut p = ProgramBuilder::new();
+    p.mov(DataRef::Imm(0), DataDst::Local(0));
+    for k in 0..PLANTED as u16 {
+        p.alu(
+            AluOp::Add,
+            DataRef::Local(0),
+            DataRef::Field(CTX_SLOT_FIRST_FREE as u16 + k, 0),
+            DataDst::Local(0),
+        );
+    }
+    p.mov(
+        DataRef::Local(0),
+        DataDst::Field(CTX_SLOT_FIRST_FREE as u16, 8),
+    );
+    p.halt();
+    p.finish()
+}
+
+struct Setup {
+    os: Imax,
+    proc_ref: ObjectRef,
+    objs: Vec<(ObjectRef, AccessDescriptor)>,
+}
+
+/// Boots the chosen configuration and plants the objects + program.
+fn setup(choice: StorageChoice) -> Setup {
+    let cfg = ImaxConfig {
+        storage: choice,
+        gc: None,
+        ..ImaxConfig::development()
+    };
+    let mut os = Imax::boot(&cfg);
+    let root = os.sys.space.root_sro();
+    let mut objs = Vec::new();
+    for i in 0..PLANTED as u64 {
+        let o = os
+            .sys
+            .space
+            .create_object(root, ObjectSpec::generic(PLANT_BYTES, 0))
+            .unwrap();
+        let ad = os.sys.space.mint(o, Rights::READ | Rights::WRITE);
+        os.sys.space.write_u64(ad, 0, (i + 1) * 10).unwrap();
+        objs.push((o, ad));
+    }
+    let sub = os.sys.subprogram("summer", summer(), 64, 16);
+    let dom = os.sys.install_domain("app", vec![sub], 0);
+    let proc_ref = os.spawn_program(dom, 0, None);
+    let ctx = os
+        .sys
+        .space
+        .load_ad_hw(proc_ref, imax::arch::sysobj::PROC_SLOT_CONTEXT)
+        .unwrap()
+        .unwrap()
+        .obj;
+    for (k, (_, ad)) in objs.iter().enumerate() {
+        os.sys
+            .space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE + k as u32, Some(*ad))
+            .unwrap();
+    }
+    Setup { os, proc_ref, objs }
+}
+
+fn finish(mut setup: Setup) -> (u64, Vec<FaultDisposition>) {
+    let outcome = setup.os.run(20_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent),
+        "{outcome:?}; faults: {:?}",
+        setup.os.fault_log
+    );
+    assert_eq!(
+        setup.os.sys.space.process(setup.proc_ref).unwrap().status,
+        ProcessStatus::Terminated,
+        "faults: {:?}",
+        setup.os.fault_log
+    );
+    // The result object may itself be swapped out by now; bring it back
+    // through the standard interface before reading.
+    let (result_obj, result_ad) = setup.objs[0];
+    setup
+        .os
+        .storage
+        .lock()
+        .ensure_resident(&mut setup.os.sys.space, result_obj)
+        .unwrap();
+    let sum = setup.os.sys.space.read_u64(result_ad, 8).unwrap();
+    (sum, setup.os.fault_log.clone())
+}
+
+#[test]
+fn same_program_same_answer_both_managers() {
+    let (a, faults_a) = finish(setup(StorageChoice::NonSwapping));
+    let (b, faults_b) = finish(setup(StorageChoice::Swapping));
+    assert_eq!(a, 360);
+    assert_eq!(a, b, "the program cannot tell the implementations apart");
+    assert!(faults_a.is_empty());
+    assert!(faults_b.is_empty());
+}
+
+#[test]
+fn swap_faults_are_transparent_to_the_program() {
+    let mut s = setup(StorageChoice::Swapping);
+    let root = s.os.sys.space.root_sro();
+
+    // Allocation pressure through the standard interface: keep creating
+    // 4 KiB hogs until at least half of the planted objects have been
+    // evicted (each planted object frees 8 KiB when it goes).
+    {
+        let mut guard = s.os.storage.lock();
+        for _ in 0..512 {
+            let absent = s
+                .objs
+                .iter()
+                .filter(|(o, _)| s.os.sys.space.table.get(*o).unwrap().desc.absent)
+                .count();
+            if absent >= PLANTED / 2 {
+                break;
+            }
+            let _ = guard.create_object(
+                &mut s.os.sys.space,
+                root,
+                ObjectSpec::generic(4 * 1024, 0),
+            );
+        }
+    }
+    let absent = s
+        .objs
+        .iter()
+        .filter(|(o, _)| s.os.sys.space.table.get(*o).unwrap().desc.absent)
+        .count();
+    assert!(absent >= 1, "pressure must have evicted something");
+
+    let (sum, faults) = finish(s);
+    assert_eq!(sum, 360, "right answer despite eviction");
+    assert!(
+        faults
+            .iter()
+            .any(|d| matches!(d, FaultDisposition::Restarted { .. })),
+        "expected repaired swap faults; log: {faults:?}"
+    );
+    assert!(
+        !faults
+            .iter()
+            .any(|d| matches!(d, FaultDisposition::Terminated { .. })),
+        "no process should die to a swap fault; log: {faults:?}"
+    );
+}

@@ -1,0 +1,142 @@
+//! I4 — iMAX system levels, paper §7.3: fault-permission tiers and the
+//! level-2/3 asynchrony rule, enforced end to end through the machine.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::{FaultKind, Instruction, ProgramBuilder, StepEvent};
+use imax::levels::SysLevel;
+use imax::sim::{RunOutcome, System, SystemConfig};
+
+/// Spawns one process at the given system level running `code`; returns
+/// the final event of interest.
+fn run_at_level(sys_level: u8, code: Vec<Instruction>) -> (System, StepEvent) {
+    let mut sys = System::new(&SystemConfig::small());
+    let sub = sys.subprogram("probe", code, 64, 8);
+    let dom = sys.install_domain("probe", vec![sub], 0);
+    let p = sys.spawn(dom, 0, None);
+    sys.space.process_mut(p).unwrap().sys_level = sys_level;
+    let mut last = StepEvent::Idle;
+    let outcome = sys.run_until(100_000, |_, e| {
+        match e {
+            StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_) => {
+                last = e.clone();
+                true
+            }
+            _ => false,
+        }
+    });
+    // System errors end the run before the predicate sees them.
+    if let RunOutcome::SystemError(fault) = outcome {
+        last = StepEvent::SystemError {
+            process: None,
+            fault,
+        };
+    }
+    (sys, last)
+}
+
+fn faulting_code() -> Vec<Instruction> {
+    let mut p = ProgramBuilder::new();
+    p.alu(
+        AluOp::Div,
+        DataRef::Imm(1),
+        DataRef::Imm(0),
+        DataDst::Local(0),
+    );
+    p.halt();
+    p.finish()
+}
+
+#[test]
+fn level3_faults_are_survivable() {
+    let (_, ev) = run_at_level(SysLevel::Level3.number(), faulting_code());
+    assert!(
+        matches!(ev, StepEvent::ProcessFaulted { kind: FaultKind::DivideByZero, .. }),
+        "{ev:?}"
+    );
+}
+
+#[test]
+fn level2_ordinary_fault_is_a_system_error() {
+    let (_, ev) = run_at_level(SysLevel::Level2.number(), faulting_code());
+    assert!(matches!(ev, StepEvent::SystemError { .. }), "{ev:?}");
+}
+
+#[test]
+fn level1_fault_is_a_system_error() {
+    let (_, ev) = run_at_level(SysLevel::Level1.number(), faulting_code());
+    assert!(matches!(ev, StepEvent::SystemError { .. }), "{ev:?}");
+}
+
+#[test]
+fn clean_code_runs_at_any_level() {
+    for lvl in [1u8, 2, 3] {
+        let mut p = ProgramBuilder::new();
+        p.work(100);
+        p.halt();
+        let (_, ev) = run_at_level(lvl, p.finish());
+        assert!(
+            matches!(ev, StepEvent::ProcessExited(_)),
+            "level {lvl}: {ev:?}"
+        );
+    }
+}
+
+#[test]
+fn system_error_halts_only_the_one_processor() {
+    // A level-1 process faulting halts its processor; the other
+    // processor keeps running its own work.
+    let mut sys = System::new(&SystemConfig::small().with_processors(2));
+    let crash_sub = sys.subprogram("crash", faulting_code(), 32, 8);
+    let crash_dom = sys.install_domain("crash", vec![crash_sub], 0);
+    let crasher = sys.spawn(crash_dom, 0, None);
+    sys.space.process_mut(crasher).unwrap().sys_level = 1;
+
+    let mut w = ProgramBuilder::new();
+    let top = w.new_label();
+    w.mov(DataRef::Imm(200), DataDst::Local(0));
+    w.bind(top);
+    w.work(200);
+    w.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    w.jump_if_nonzero(DataRef::Local(0), top);
+    w.halt();
+    let work_sub = sys.subprogram("work", w.finish(), 64, 8);
+    let work_dom = sys.install_domain("work", vec![work_sub], 0);
+    let worker = sys.spawn(work_dom, 0, None);
+
+    // The crasher halts its processor: the run reports the system error.
+    let mut worker_done = false;
+    let outcome = sys.run_until(10_000_000, |_, e| {
+        if let StepEvent::ProcessExited(p) = e {
+            if *p == worker {
+                worker_done = true;
+            }
+        }
+        false
+    });
+    assert!(
+        matches!(outcome, RunOutcome::SystemError(_)),
+        "the crasher produced a system error: {outcome:?}"
+    );
+    // Continue: the surviving processor finishes the worker.
+    let outcome = sys.run_until(10_000_000, |_, e| {
+        if let StepEvent::ProcessExited(p) = e {
+            if *p == worker {
+                worker_done = true;
+            }
+        }
+        worker_done
+    });
+    assert!(
+        matches!(outcome, RunOutcome::Stopped | RunOutcome::SystemError(_)),
+        "{outcome:?}"
+    );
+    assert!(worker_done, "the surviving processor finished the worker");
+}
+
+#[test]
+fn sync_call_direction_rule() {
+    // §7.3's structural rule, checked at configuration time.
+    assert!(SysLevel::Level3.may_call_sync(SysLevel::Level1));
+    assert!(!SysLevel::Level1.may_call_sync(SysLevel::Level3));
+    assert!(!SysLevel::Level2.may_call_sync(SysLevel::Level3));
+}

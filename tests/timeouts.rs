@@ -1,0 +1,126 @@
+//! Timed receives and timeout faults — the "limited set of timeout
+//! faults" that §7.3 permits system-level-2 processes.
+
+use imax::gdp::isa::{DataDst, DataRef, Instruction};
+use imax::gdp::{FaultKind, ProgramBuilder};
+use imax::arch::sysobj::CTX_SLOT_ARG;
+use imax::arch::{PortDiscipline, ProcessStatus, Rights};
+use imax::ipc::create_port;
+use imax::sim::{RunOutcome, System, SystemConfig};
+
+fn timed_receiver(timeout: u64) -> Vec<Instruction> {
+    let mut p = ProgramBuilder::new();
+    p.push(Instruction::ReceiveTimeout {
+        port: CTX_SLOT_ARG as u16,
+        dst: 6,
+        timeout: DataRef::Imm(timeout),
+    });
+    // If a message did arrive, record its payload.
+    p.mov(DataRef::Field(6, 0), DataDst::Local(0));
+    p.halt();
+    p.finish()
+}
+
+#[test]
+fn receive_times_out_on_silence() {
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 4, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+    let sub = sys.subprogram("waiter", timed_receiver(10_000), 64, 12);
+    let dom = sys.install_domain("app", vec![sub], 0);
+    let proc_ref = sys.spawn(dom, 0, Some(port.ad()));
+
+    // Nobody ever sends. A second spinner keeps the clock advancing past
+    // the deadline.
+    let mut spin = ProgramBuilder::new();
+    spin.work(50_000);
+    spin.halt();
+    let spin_sub = sys.subprogram("clock", spin.finish(), 32, 8);
+    let spin_dom = sys.install_domain("clock", vec![spin_sub], 0);
+    sys.spawn(spin_dom, 0, None);
+
+    let _ = sys.run_to_quiescence(1_000_000);
+    let ps = sys.space.process(proc_ref).unwrap();
+    assert_eq!(ps.fault_code, FaultKind::Timeout.code(), "{}", ps.fault_detail);
+    // No fault port: terminated by delivery.
+    assert_eq!(ps.status, ProcessStatus::Terminated);
+    // The port's waiting area is clean again.
+    let st = sys.space.port(port.object()).unwrap();
+    assert_eq!(st.wait_count, 0);
+}
+
+#[test]
+fn message_beats_the_deadline() {
+    let mut sys = System::new(&SystemConfig::small().with_processors(2));
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 4, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+    let rx_sub = sys.subprogram("waiter", timed_receiver(1_000_000), 64, 12);
+
+    // A sender that delivers promptly.
+    let mut tx = ProgramBuilder::new();
+    tx.create_object(
+        imax::arch::sysobj::CTX_SLOT_SRO as u16,
+        DataRef::Imm(8),
+        DataRef::Imm(0),
+        5,
+    );
+    tx.mov(DataRef::Imm(0xFEED), DataDst::Field(5, 0));
+    tx.send(CTX_SLOT_ARG as u16, 5);
+    tx.halt();
+    let tx_sub = sys.subprogram("sender", tx.finish(), 64, 8);
+    let dom = sys.install_domain("pair", vec![rx_sub, tx_sub], 0);
+    let rx = sys.spawn(dom, 0, Some(port.ad()));
+    sys.spawn(dom, 1, Some(port.ad()));
+
+    let outcome = sys.run_to_completion(5_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    let ps = sys.space.process(rx).unwrap();
+    assert_eq!(ps.fault_code, 0, "{}", ps.fault_detail);
+    assert_eq!(ps.status, ProcessStatus::Terminated);
+    assert_eq!(ps.timeout_at, 0, "timer disarmed by the rendezvous");
+}
+
+#[test]
+fn level2_process_survives_a_timeout_fault() {
+    // The §7.3 rule end to end: a level-2 process may take a timeout
+    // fault (delivered to its fault port) where any other fault would be
+    // a system error.
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 4, PortDiscipline::Fifo).unwrap();
+    let fault_port = create_port(&mut sys.space, root, 4, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+    sys.anchor(fault_port.ad());
+
+    let sub = sys.subprogram("svc_waiter", timed_receiver(5_000), 64, 12);
+    let dom = sys.install_domain("svc", vec![sub], 0);
+    let mut spec = imax::gdp::process::ProcessSpec::new(sys.dispatch_ad());
+    spec.sys_level = 2;
+    spec.fault_port = Some(fault_port.ad());
+    let proc_ref = sys.spawn_with(dom, 0, Some(port.ad()), spec);
+
+    let mut spin = ProgramBuilder::new();
+    spin.work(40_000);
+    spin.halt();
+    let spin_sub = sys.subprogram("clock", spin.finish(), 32, 8);
+    let spin_dom = sys.install_domain("clock", vec![spin_sub], 0);
+    sys.spawn(spin_dom, 0, None);
+
+    let outcome = sys.run_to_quiescence(1_000_000);
+    assert!(
+        !matches!(outcome, RunOutcome::SystemError(_)),
+        "timeouts are permitted at level 2: {outcome:?}"
+    );
+    // The faulted process was delivered to its fault port.
+    let delivered = imax::ipc::untyped::receive(&mut sys.space, fault_port)
+        .unwrap()
+        .expect("process delivered to fault port");
+    assert_eq!(delivered.obj, proc_ref);
+    assert_eq!(
+        sys.space.process(proc_ref).unwrap().fault_code,
+        FaultKind::Timeout.code()
+    );
+    let _ = Rights::NONE;
+}

@@ -1,0 +1,224 @@
+//! Machine-path tests for the user-defined-type instructions (CREATE
+//! TYPED OBJECT, AMPLIFY) and the conditional port operations — the
+//! instruction forms behind §4's dynamic typing and §8.2's type
+//! managers, executed by real simulated processes.
+
+use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use imax::gdp::{FaultKind, ProgramBuilder, StepEvent};
+use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
+use imax::arch::{ObjectType, PortDiscipline, Rights};
+use imax::ipc::create_port;
+use imax::sim::{RunOutcome, System, SystemConfig};
+use imax::typemgr::create_tdo;
+
+fn run_to_end(sys: &mut System, proc_ref: imax::arch::ObjectRef) -> u16 {
+    let _ = sys.run_until(1_000_000, |_, e| {
+        matches!(
+            e,
+            StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. }
+        )
+    });
+    sys.space.process(proc_ref).unwrap().fault_code
+}
+
+#[test]
+fn create_typed_object_carries_identity() {
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let tdo = create_tdo(&mut sys.space, root, "widget").unwrap();
+
+    // Program: create a typed instance from the argument TDO, stash it
+    // into its own slot 6, and halt.
+    let mut p = ProgramBuilder::new();
+    p.push(Instruction::CreateTypedObject {
+        sro: CTX_SLOT_SRO as u16,
+        tdo: CTX_SLOT_ARG as u16,
+        data_len: DataRef::Imm(16),
+        access_len: DataRef::Imm(0),
+        dst: 6,
+    });
+    // Inspect it: the type tag must be 255 (user) and the TDO index must
+    // match; fault otherwise.
+    p.push(Instruction::InspectAd {
+        slot: 6,
+        dst: DataDst::Local(0),
+    });
+    p.alu(AluOp::Shr, DataRef::Local(0), DataRef::Imm(24), DataDst::Local(8));
+    p.alu(AluOp::And, DataRef::Local(8), DataRef::Imm(0xff), DataDst::Local(8));
+    let ok = p.new_label();
+    p.alu(AluOp::Eq, DataRef::Local(8), DataRef::Imm(255), DataDst::Local(16));
+    p.jump_if_nonzero(DataRef::Local(16), ok);
+    p.push(Instruction::RaiseFault { code: 50 });
+    p.bind(ok);
+    p.halt();
+    let sub = sys.subprogram("maker", p.finish(), 64, 12);
+    let dom = sys.install_domain("app", vec![sub], 0);
+    let proc_ref = sys.spawn(dom, 0, Some(tdo));
+    assert_eq!(run_to_end(&mut sys, proc_ref), 0);
+    assert_eq!(sys.space.tdo(tdo.obj).unwrap().instances_created, 1);
+}
+
+#[test]
+fn create_typed_object_requires_create_rights() {
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let tdo = create_tdo(&mut sys.space, root, "widget").unwrap();
+    let weak = tdo.restricted(Rights::READ); // no CREATE_INSTANCE
+
+    let mut p = ProgramBuilder::new();
+    p.push(Instruction::CreateTypedObject {
+        sro: CTX_SLOT_SRO as u16,
+        tdo: CTX_SLOT_ARG as u16,
+        data_len: DataRef::Imm(8),
+        access_len: DataRef::Imm(0),
+        dst: 6,
+    });
+    p.halt();
+    let sub = sys.subprogram("forger", p.finish(), 64, 12);
+    let dom = sys.install_domain("app", vec![sub], 0);
+    let proc_ref = sys.spawn(dom, 0, Some(weak));
+    assert_eq!(run_to_end(&mut sys, proc_ref), FaultKind::Rights.code());
+}
+
+#[test]
+fn amplify_instruction_restores_rights_for_the_manager_only() {
+    // The "type manager" runs as a process holding the TDO; a sealed
+    // instance arrives as the argument and is amplified, written, and
+    // returned through a port.
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let tdo = create_tdo(&mut sys.space, root, "cell").unwrap();
+    let port = create_port(&mut sys.space, root, 2, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    // A sealed instance, host-minted (stands for a client's handle).
+    let inst = sys
+        .space
+        .create_object(
+            root,
+            imax::arch::ObjectSpec {
+                data_len: 16,
+                access_len: 0,
+                otype: ObjectType::User(tdo.obj),
+                level: None,
+                sys: imax::arch::SysState::Generic,
+            },
+        )
+        .unwrap();
+    let sealed = sys.space.mint(inst, Rights::NONE);
+
+    // Manager program: slot 4 (ARG) = sealed instance, slot 6 = TDO,
+    // slot 7 = reply port (planted). Amplify, write 0x777, send back.
+    let mut p = ProgramBuilder::new();
+    p.push(Instruction::Amplify {
+        slot: CTX_SLOT_ARG as u16,
+        tdo: 6,
+        add: Rights::READ | Rights::WRITE,
+    });
+    p.mov(DataRef::Imm(0x777), DataDst::Field(CTX_SLOT_ARG as u16, 0));
+    p.send(7, CTX_SLOT_ARG as u16);
+    p.halt();
+    let sub = sys.subprogram("manager", p.finish(), 64, 12);
+    let dom = sys.install_domain("mgr", vec![sub], 0);
+    let proc_ref = sys.spawn(dom, 0, Some(sealed));
+    let ctx = sys
+        .space
+        .load_ad_hw(proc_ref, imax::arch::sysobj::PROC_SLOT_CONTEXT)
+        .unwrap()
+        .unwrap()
+        .obj;
+    sys.space.store_ad_hw(ctx, 6, Some(tdo)).unwrap();
+    sys.space.store_ad_hw(ctx, 7, Some(port.ad())).unwrap();
+    assert_eq!(run_to_end(&mut sys, proc_ref), 0);
+
+    // The reply carries an amplified descriptor with the value written.
+    let reply = imax::ipc::untyped::receive(&mut sys.space, port)
+        .unwrap()
+        .unwrap();
+    assert!(reply.allows(Rights::READ | Rights::WRITE));
+    assert_eq!(sys.space.read_u64(reply, 0).unwrap(), 0x777);
+}
+
+#[test]
+fn amplify_without_tdo_rights_faults() {
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let tdo = create_tdo(&mut sys.space, root, "cell").unwrap();
+    let inst = sys
+        .space
+        .create_object(
+            root,
+            imax::arch::ObjectSpec {
+                data_len: 8,
+                access_len: 0,
+                otype: ObjectType::User(tdo.obj),
+                level: None,
+                sys: imax::arch::SysState::Generic,
+            },
+        )
+        .unwrap();
+    let sealed = sys.space.mint(inst, Rights::NONE);
+
+    let mut p = ProgramBuilder::new();
+    p.push(Instruction::Amplify {
+        slot: CTX_SLOT_ARG as u16,
+        tdo: 6,
+        add: Rights::ALL,
+    });
+    p.halt();
+    let sub = sys.subprogram("wannabe", p.finish(), 64, 12);
+    let dom = sys.install_domain("app", vec![sub], 0);
+    let proc_ref = sys.spawn(dom, 0, Some(sealed));
+    let ctx = sys
+        .space
+        .load_ad_hw(proc_ref, imax::arch::sysobj::PROC_SLOT_CONTEXT)
+        .unwrap()
+        .unwrap()
+        .obj;
+    // The wannabe only has a *read-restricted* TDO descriptor.
+    sys.space
+        .store_ad_hw(ctx, 6, Some(tdo.restricted(Rights::READ)))
+        .unwrap();
+    assert_eq!(run_to_end(&mut sys, proc_ref), FaultKind::Rights.code());
+}
+
+#[test]
+fn conditional_ops_never_block() {
+    // CondReceive on empty: done=0, slot nulled; CondSend to full port:
+    // done=0; both leave the process running.
+    let mut sys = System::new(&SystemConfig::small());
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, 1, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    let mut p = ProgramBuilder::new();
+    // 1. CondReceive on empty port -> done must be 0.
+    p.cond_receive(CTX_SLOT_ARG as u16, 6, DataDst::Local(0));
+    let step2 = p.new_label();
+    p.jump_if_zero(DataRef::Local(0), step2);
+    p.push(Instruction::RaiseFault { code: 60 });
+    p.bind(step2);
+    // 2. Fill the port (capacity 1): first CondSend succeeds.
+    p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(8), DataRef::Imm(0), 7);
+    p.cond_send(CTX_SLOT_ARG as u16, 7, DataDst::Local(8));
+    let step3 = p.new_label();
+    p.jump_if_nonzero(DataRef::Local(8), step3);
+    p.push(Instruction::RaiseFault { code: 61 });
+    p.bind(step3);
+    // 3. Second CondSend would block -> done must be 0.
+    p.cond_send(CTX_SLOT_ARG as u16, 7, DataDst::Local(16));
+    let done = p.new_label();
+    p.jump_if_zero(DataRef::Local(16), done);
+    p.push(Instruction::RaiseFault { code: 62 });
+    p.bind(done);
+    p.halt();
+    let sub = sys.subprogram("nonblocker", p.finish(), 64, 12);
+    let dom = sys.install_domain("app", vec![sub], 0);
+    let proc_ref = sys.spawn(dom, 0, Some(port.ad()));
+    let outcome = sys.run_to_completion(1_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    assert_eq!(sys.space.process(proc_ref).unwrap().fault_code, 0);
+    // Exactly one message sits in the port.
+    assert_eq!(sys.space.port(port.object()).unwrap().msg_count, 1);
+    let _ = CTX_SLOT_FIRST_FREE;
+}

@@ -122,7 +122,10 @@ impl fmt::Display for ArchError {
             }
             ArchError::NullAccess { slot } => write!(f, "access slot {slot} is null"),
             ArchError::PartTooLarge { requested, max } => {
-                write!(f, "segment part of {requested} exceeds architectural max {max}")
+                write!(
+                    f,
+                    "segment part of {requested} exceeds architectural max {max}"
+                )
             }
             ArchError::TypeMismatch { expected } => {
                 write!(f, "object is not of system type {expected}")
@@ -164,10 +167,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            ArchError::TableExhausted,
-            ArchError::TableExhausted,
-        );
+        assert_eq!(ArchError::TableExhausted, ArchError::TableExhausted,);
         assert_ne!(
             ArchError::TableExhausted,
             ArchError::ArenaExhausted { requested: 1 },

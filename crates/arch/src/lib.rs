@@ -37,8 +37,10 @@ pub mod memory;
 pub mod object_table;
 pub mod refs;
 pub mod rights;
+pub mod shard;
 pub mod space;
 pub mod sysobj;
+pub mod traits;
 
 pub use descriptor::{Color, ObjectDescriptor, ObjectType, SystemType};
 pub use error::{ArchError, ArchResult};
@@ -47,7 +49,10 @@ pub use memory::{AccessArena, DataArena, FreeList, Run};
 pub use object_table::{Entry, ObjectTable};
 pub use refs::{AccessDescriptor, CodeRef, NativeId, ObjectIndex, ObjectRef};
 pub use rights::Rights;
+pub use shard::{ShardedSpace, SharedSpace, SpaceAgent};
 pub use space::{ObjectSpace, ObjectSpec, SpaceStats};
+pub use traits::{SpaceAccess, SpaceAccessExt, SpaceMut};
+
 pub use sysobj::{
     CodeBody, ContextState, DomainState, PortDiscipline, PortState, PortStats, ProcessState,
     ProcessStatus, ProcessorState, ProcessorStatus, SroState, Subprogram, SysState, TdoState,

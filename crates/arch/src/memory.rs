@@ -445,7 +445,7 @@ mod tests {
         let c = fl.allocate(20).unwrap(); // [15,35)
         fl.release(a, 10).unwrap(); // hole of 10 at 0
         fl.release(c, 20).unwrap(); // hole of 20 at 15
-        // Best fit for 8 should use the 10-run at 0, not the larger hole.
+                                    // Best fit for 8 should use the 10-run at 0, not the larger hole.
         assert_eq!(fl.allocate(8).unwrap(), 0);
     }
 

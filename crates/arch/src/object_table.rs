@@ -30,21 +30,58 @@ pub struct Entry {
 }
 
 /// The global object table.
+///
+/// A table may cover the whole object-index space (`stride == 1`) or an
+/// address-interleaved *shard* of it: with stride `n` and offset `k`,
+/// the table owns exactly the global indices `i` with `i % n == k`.
+/// Entry storage is dense (local slot `s` holds global index
+/// `s * n + k`), so sharding costs no memory and the unsharded case
+/// degenerates to the identity mapping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ObjectTable {
     entries: Vec<Entry>,
+    /// Free *local* slots available for recycling.
     free: Vec<u32>,
     limit: u32,
+    stride: u32,
+    offset: u32,
 }
 
 impl ObjectTable {
-    /// A table that may grow up to `limit` entries.
+    /// A table that may grow up to `limit` entries, covering the whole
+    /// index space.
     pub fn new(limit: u32) -> ObjectTable {
+        ObjectTable::new_strided(limit, 1, 0)
+    }
+
+    /// A table owning the interleaved index class `offset (mod stride)`.
+    pub fn new_strided(limit: u32, stride: u32, offset: u32) -> ObjectTable {
+        assert!(stride >= 1 && offset < stride, "bad shard interleave");
         ObjectTable {
             entries: Vec::new(),
             free: Vec::new(),
             limit,
+            stride,
+            offset,
         }
+    }
+
+    /// Maps a global object index to this table's dense local slot.
+    /// `None` if the index belongs to a different shard.
+    fn local(&self, i: ObjectIndex) -> Option<u32> {
+        if self.stride == 1 {
+            return Some(i.0);
+        }
+        if i.0 % self.stride == self.offset {
+            Some(i.0 / self.stride)
+        } else {
+            None
+        }
+    }
+
+    /// Maps a dense local slot back to its global object index.
+    fn global(&self, slot: u32) -> ObjectIndex {
+        ObjectIndex(slot * self.stride + self.offset)
     }
 
     /// Number of live (allocated) entries.
@@ -62,23 +99,35 @@ impl ObjectTable {
         self.limit
     }
 
+    /// One past the largest global index this table can currently
+    /// resolve. Sweeps that scan by bare index must use this bound
+    /// rather than [`ObjectTable::capacity_used`], which counts dense
+    /// local slots and is not a valid index bound once `stride > 1`.
+    pub fn index_space_end(&self) -> u32 {
+        match self.entries.len() as u32 {
+            0 => 0,
+            n => (n - 1) * self.stride + self.offset + 1,
+        }
+    }
+
     /// Installs a new entry, returning a fresh reference to it.
     pub fn install(&mut self, desc: ObjectDescriptor, sys: SysState) -> ArchResult<ObjectRef> {
-        if let Some(idx) = self.free.pop() {
-            let e = &mut self.entries[idx as usize];
+        if let Some(slot) = self.free.pop() {
+            let index = self.global(slot);
+            let e = &mut self.entries[slot as usize];
             debug_assert!(!e.allocated);
             e.desc = desc;
             e.sys = sys;
             e.allocated = true;
             return Ok(ObjectRef {
-                index: ObjectIndex(idx),
+                index,
                 generation: e.generation,
             });
         }
         if self.entries.len() as u32 >= self.limit {
             return Err(ArchError::TableExhausted);
         }
-        let idx = self.entries.len() as u32;
+        let slot = self.entries.len() as u32;
         self.entries.push(Entry {
             desc,
             sys,
@@ -86,7 +135,7 @@ impl ObjectTable {
             allocated: true,
         });
         Ok(ObjectRef {
-            index: ObjectIndex(idx),
+            index: self.global(slot),
             generation: 0,
         })
     }
@@ -96,20 +145,22 @@ impl ObjectTable {
     pub fn reclaim(&mut self, r: ObjectRef) -> ArchResult<Entry> {
         // Validate before mutating.
         self.get(r)?;
-        let e = &mut self.entries[r.index.0 as usize];
+        let slot = self.local(r.index).expect("validated above");
+        let e = &mut self.entries[slot as usize];
         let old = e.clone();
         e.allocated = false;
         e.generation = e.generation.wrapping_add(1);
         e.sys = SysState::Generic;
-        self.free.push(r.index.0);
+        self.free.push(slot);
         Ok(old)
     }
 
     /// Resolves a reference to its entry, checking liveness and generation.
     pub fn get(&self, r: ObjectRef) -> ArchResult<&Entry> {
+        let slot = self.local(r.index).ok_or(ArchError::BadIndex(r.index))?;
         let e = self
             .entries
-            .get(r.index.0 as usize)
+            .get(slot as usize)
             .ok_or(ArchError::BadIndex(r.index))?;
         if !e.allocated {
             return Err(ArchError::FreeEntry(r.index));
@@ -122,9 +173,10 @@ impl ObjectTable {
 
     /// Mutable variant of [`ObjectTable::get`].
     pub fn get_mut(&mut self, r: ObjectRef) -> ArchResult<&mut Entry> {
+        let slot = self.local(r.index).ok_or(ArchError::BadIndex(r.index))?;
         let e = self
             .entries
-            .get_mut(r.index.0 as usize)
+            .get_mut(slot as usize)
             .ok_or(ArchError::BadIndex(r.index))?;
         if !e.allocated {
             return Err(ArchError::FreeEntry(r.index));
@@ -137,15 +189,18 @@ impl ObjectTable {
 
     /// Resolves by bare index (used by the garbage collector's sweep,
     /// which scans the whole table rather than holding references).
+    /// Indices belonging to another shard resolve to `None`.
     pub fn get_by_index(&self, i: ObjectIndex) -> Option<&Entry> {
-        self.entries.get(i.0 as usize).filter(|e| e.allocated)
+        let slot = self.local(i)?;
+        self.entries.get(slot as usize).filter(|e| e.allocated)
     }
 
     /// Returns the current full reference for a live index.
     pub fn ref_for(&self, i: ObjectIndex) -> ArchResult<ObjectRef> {
+        let slot = self.local(i).ok_or(ArchError::BadIndex(i))?;
         let e = self
             .entries
-            .get(i.0 as usize)
+            .get(slot as usize)
             .ok_or(ArchError::BadIndex(i))?;
         if !e.allocated {
             return Err(ArchError::FreeEntry(i));
@@ -156,22 +211,24 @@ impl ObjectTable {
         })
     }
 
-    /// Iterates all live entries with their indices.
+    /// Iterates all live entries with their (global) indices.
     pub fn iter_live(&self) -> impl Iterator<Item = (ObjectIndex, &Entry)> + '_ {
         self.entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.allocated)
-            .map(|(i, e)| (ObjectIndex(i as u32), e))
+            .map(|(s, e)| (self.global(s as u32), e))
     }
 
     /// Mutable iteration over all live entries (collector sweep).
     pub fn iter_live_mut(&mut self) -> impl Iterator<Item = (ObjectIndex, &mut Entry)> + '_ {
+        let stride = self.stride;
+        let offset = self.offset;
         self.entries
             .iter_mut()
             .enumerate()
             .filter(|(_, e)| e.allocated)
-            .map(|(i, e)| (ObjectIndex(i as u32), e))
+            .map(move |(s, e)| (ObjectIndex(s as u32 * stride + offset), e))
     }
 }
 
@@ -253,5 +310,38 @@ mod tests {
             generation: 0,
         };
         assert!(matches!(t.get(bogus), Err(ArchError::BadIndex(_))));
+    }
+
+    #[test]
+    fn strided_table_owns_interleaved_indices() {
+        let mut t = ObjectTable::new_strided(8, 4, 3);
+        let a = t.install(desc(), SysState::Generic).unwrap();
+        let b = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(a.index.0, 3);
+        assert_eq!(b.index.0, 7);
+        assert!(t.get(a).is_ok() && t.get(b).is_ok());
+        assert_eq!(t.index_space_end(), 8);
+        // Foreign-shard indices are rejected, not misresolved.
+        let foreign = ObjectRef {
+            index: ObjectIndex(4),
+            generation: 0,
+        };
+        assert!(matches!(t.get(foreign), Err(ArchError::BadIndex(_))));
+        assert!(t.get_by_index(ObjectIndex(4)).is_none());
+        assert!(t.get_by_index(ObjectIndex(7)).is_some());
+        let live: Vec<u32> = t.iter_live().map(|(i, _)| i.0).collect();
+        assert_eq!(live, vec![3, 7]);
+    }
+
+    #[test]
+    fn strided_recycling_preserves_global_index() {
+        let mut t = ObjectTable::new_strided(8, 2, 1);
+        let a = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(a.index.0, 1);
+        t.reclaim(a).unwrap();
+        let b = t.install(desc(), SysState::Generic).unwrap();
+        assert_eq!(b.index, a.index, "slot recycled at same global index");
+        assert_ne!(b.generation, a.generation);
+        assert_eq!(t.ref_for(b.index).unwrap(), b);
     }
 }

@@ -9,9 +9,7 @@ use std::fmt;
 ///
 /// On the 432 this is the "directory index / segment index" pair packed in
 /// an access descriptor; the emulator flattens it to one index.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectIndex(pub u32);
 
 impl fmt::Display for ObjectIndex {
@@ -28,9 +26,7 @@ impl fmt::Display for ObjectIndex {
 /// The emulator additionally carries a *generation* so that any software
 /// bug that violates that guarantee is detected as [`crate::ArchError::StaleRef`]
 /// rather than silently addressing a recycled descriptor.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectRef {
     /// Index of the entry in the object table.
     pub index: ObjectIndex,

@@ -1,0 +1,1044 @@
+//! Lock-striped sharding of the object space.
+//!
+//! The object table and both arenas are partitioned into `N`
+//! address-interleaved shards: object index `i` lives in shard
+//! `i % N`, each shard has its own [`ObjectSpace`] (table slice, data
+//! arena, access arena, stat counters, and root SRO). Since an object's
+//! storage always comes from an SRO in its own shard, allocation,
+//! destruction and SRO free-list traffic are shard-local; the only
+//! genuinely cross-shard operation is storing an access descriptor
+//! whose target lives elsewhere, which runs the decomposed
+//! container-side / target-side steps of [`ObjectSpace::store_ad`] on
+//! the two shards involved.
+//!
+//! Two types expose the partition:
+//!
+//! * [`ShardedSpace`] — exclusive ownership, no locks. The
+//!   deterministic simulator uses this; with one shard every operation
+//!   forwards to the identical [`ObjectSpace`] code path, so
+//!   single-shard runs are bit-identical to the unsharded space.
+//! * [`SharedSpace`] — the same [`ShardedSpace`] behind one mutex per
+//!   shard, shared by reference across host threads. Each thread works
+//!   through a [`SpaceAgent`], whose per-operation locking takes the
+//!   affected shard (or, for cross-shard AD stores, both shards in
+//!   canonical index order — lowest first — so lock acquisition cannot
+//!   deadlock). Multi-object sequences take every lock via
+//!   [`SpaceAccess::atomic`].
+
+use crate::{
+    descriptor::{Color, SystemType},
+    error::ArchResult,
+    memory::DataArena,
+    object_table::Entry,
+    refs::{AccessDescriptor, ObjectIndex, ObjectRef},
+    rights::Rights,
+    space::{ObjectSpace, ObjectSpec, SpaceStats},
+    sysobj::{PortState, ProcessState, ProcessorState, SroState, TdoState},
+    traits::{SpaceAccess, SpaceMut},
+};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+
+/// An object space partitioned into address-interleaved shards, owned
+/// exclusively (no internal locking).
+#[derive(Debug, Clone)]
+pub struct ShardedSpace {
+    shards: Vec<ObjectSpace>,
+}
+
+impl ShardedSpace {
+    /// Builds `n` shards splitting the given arena budget and table
+    /// limit evenly. `n == 1` produces a space whose behavior (and
+    /// operation-by-operation statistics) is identical to
+    /// `ObjectSpace::new(data_bytes, access_slots, table_limit)`.
+    pub fn new(data_bytes: u32, access_slots: u32, table_limit: u32, n: u32) -> ShardedSpace {
+        assert!(n >= 1, "at least one shard");
+        let shards = (0..n)
+            .map(|k| {
+                ObjectSpace::new_interleaved(
+                    data_bytes / n,
+                    access_slots / n,
+                    table_limit / n,
+                    n,
+                    k,
+                )
+            })
+            .collect();
+        ShardedSpace { shards }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard holding object index `i`.
+    #[inline]
+    fn shard_for(&self, r: ObjectRef) -> usize {
+        (r.index.0 as usize) % self.shards.len()
+    }
+
+    /// Direct access to one shard (collector per-shard passes).
+    pub fn shard(&self, k: u32) -> &ObjectSpace {
+        &self.shards[k as usize]
+    }
+
+    /// Mutable access to one shard.
+    pub fn shard_mut(&mut self, k: u32) -> &mut ObjectSpace {
+        &mut self.shards[k as usize]
+    }
+
+    /// Splits two distinct shards into simultaneous mutable borrows.
+    fn two_shards(&mut self, a: usize, b: usize) -> (&mut ObjectSpace, &mut ObjectSpace) {
+        debug_assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = self.shards.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.shards.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    /// The root SRO of shard 0 (the boot shard).
+    #[inline]
+    pub fn root_sro(&self) -> ObjectRef {
+        self.shards[0].root_sro()
+    }
+
+    /// The root SRO of shard `k`.
+    #[inline]
+    pub fn root_sro_of(&self, k: u32) -> ObjectRef {
+        self.shards[k as usize].root_sro()
+    }
+
+    /// See [`ObjectSpace::mint`].
+    #[inline]
+    pub fn mint(&self, r: ObjectRef, rights: Rights) -> AccessDescriptor {
+        AccessDescriptor::new(r, rights)
+    }
+
+    /// See [`ObjectSpace::qualify`].
+    pub fn qualify(&mut self, ad: AccessDescriptor, needed: Rights) -> ArchResult<ObjectRef> {
+        let k = self.shard_for(ad.obj);
+        self.shards[k].qualify(ad, needed)
+    }
+
+    /// See [`ObjectSpace::expect_type`].
+    pub fn expect_type(&self, ad: AccessDescriptor, t: SystemType) -> ArchResult<ObjectRef> {
+        let k = self.shard_for(ad.obj);
+        self.shards[k].expect_type(ad, t)
+    }
+
+    /// See [`ObjectSpace::create_object`]. The object is created in the
+    /// SRO's shard.
+    pub fn create_object(&mut self, sro: ObjectRef, spec: ObjectSpec) -> ArchResult<ObjectRef> {
+        let k = self.shard_for(sro);
+        self.shards[k].create_object(sro, spec)
+    }
+
+    /// See [`ObjectSpace::destroy_object`]. An object's SRO lives in its
+    /// own shard, so destruction is shard-local.
+    pub fn destroy_object(&mut self, r: ObjectRef) -> ArchResult<Entry> {
+        let k = self.shard_for(r);
+        self.shards[k].destroy_object(r)
+    }
+
+    /// See [`ObjectSpace::bulk_destroy_sro`].
+    pub fn bulk_destroy_sro(&mut self, sro: ObjectRef) -> ArchResult<u32> {
+        let k = self.shard_for(sro);
+        self.shards[k].bulk_destroy_sro(sro)
+    }
+
+    /// See [`ObjectSpace::read_data`].
+    pub fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()> {
+        let k = self.shard_for(ad.obj);
+        self.shards[k].read_data(ad, off, buf)
+    }
+
+    /// See [`ObjectSpace::write_data`].
+    pub fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()> {
+        let k = self.shard_for(ad.obj);
+        self.shards[k].write_data(ad, off, buf)
+    }
+
+    /// See [`ObjectSpace::read_u64`].
+    pub fn read_u64(&mut self, ad: AccessDescriptor, off: u32) -> ArchResult<u64> {
+        let mut b = [0u8; 8];
+        self.read_data(ad, off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// See [`ObjectSpace::write_u64`].
+    pub fn write_u64(&mut self, ad: AccessDescriptor, off: u32, v: u64) -> ArchResult<()> {
+        self.write_data(ad, off, &v.to_le_bytes())
+    }
+
+    /// See [`ObjectSpace::load_ad`].
+    pub fn load_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        let k = self.shard_for(container.obj);
+        self.shards[k].load_ad(container, slot)
+    }
+
+    /// See [`ObjectSpace::load_ad_required`].
+    pub fn load_ad_required(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<AccessDescriptor> {
+        let k = self.shard_for(container.obj);
+        self.shards[k].load_ad_required(container, slot)
+    }
+
+    /// See [`ObjectSpace::store_ad`]. Same-shard stores run the
+    /// unsharded path verbatim; cross-shard stores run its decomposed
+    /// container-side and target-side steps on the two shards.
+    pub fn store_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        let a = self.shard_for(container.obj);
+        match ad {
+            Some(t) if self.shard_for(t.obj) != a => {
+                let b = self.shard_for(t.obj);
+                let (ca, tb) = self.two_shards(a, b);
+                let (at, container_level) = ca.store_ad_prepare(container, slot)?;
+                tb.store_ad_admit(t.obj, container_level)?;
+                ca.store_ad_commit(at, ad)
+            }
+            _ => self.shards[a].store_ad(container, slot, ad),
+        }
+    }
+
+    /// See [`ObjectSpace::store_ad_hw`].
+    pub fn store_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        let a = self.shard_for(container);
+        match ad {
+            Some(t) if self.shard_for(t.obj) != a => {
+                let b = self.shard_for(t.obj);
+                let (ca, tb) = self.two_shards(a, b);
+                let at = ca.store_ad_prepare_hw(container, slot)?;
+                tb.store_ad_admit_hw(t.obj)?;
+                ca.store_ad_commit(at, ad)
+            }
+            _ => self.shards[a].store_ad_hw(container, slot, ad),
+        }
+    }
+
+    /// See [`ObjectSpace::load_ad_hw`].
+    pub fn load_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        let k = self.shard_for(container);
+        self.shards[k].load_ad_hw(container, slot)
+    }
+
+    /// See [`ObjectSpace::shade`].
+    pub fn shade(&mut self, r: ObjectRef) -> ArchResult<()> {
+        let k = self.shard_for(r);
+        self.shards[k].shade(r)
+    }
+
+    /// See [`ObjectSpace::color_of`].
+    pub fn color_of(&self, r: ObjectRef) -> ArchResult<Color> {
+        let k = self.shard_for(r);
+        self.shards[k].color_of(r)
+    }
+
+    /// See [`ObjectSpace::set_color`].
+    pub fn set_color(&mut self, r: ObjectRef, c: Color) -> ArchResult<()> {
+        let k = self.shard_for(r);
+        self.shards[k].set_color(r, c)
+    }
+
+    /// See [`ObjectSpace::scan_access_part`].
+    pub fn scan_access_part(&self, r: ObjectRef) -> ArchResult<Vec<AccessDescriptor>> {
+        let k = self.shard_for(r);
+        self.shards[k].scan_access_part(r)
+    }
+
+    /// Resolves a reference to its table entry (shard-routed
+    /// [`crate::ObjectTable::get`]).
+    pub fn entry(&self, r: ObjectRef) -> ArchResult<&Entry> {
+        let k = self.shard_for(r);
+        self.shards[k].table.get(r)
+    }
+
+    /// Mutable variant of [`ShardedSpace::entry`].
+    pub fn entry_mut(&mut self, r: ObjectRef) -> ArchResult<&mut Entry> {
+        let k = self.shard_for(r);
+        self.shards[k].table.get_mut(r)
+    }
+
+    /// Shard-routed [`crate::ObjectTable::get_by_index`].
+    pub fn entry_by_index(&self, i: ObjectIndex) -> Option<&Entry> {
+        let k = (i.0 as usize) % self.shards.len();
+        self.shards[k].table.get_by_index(i)
+    }
+
+    /// Shard-routed [`crate::ObjectTable::ref_for`].
+    pub fn ref_for(&self, i: ObjectIndex) -> ArchResult<ObjectRef> {
+        let k = (i.0 as usize) % self.shards.len();
+        self.shards[k].table.ref_for(i)
+    }
+
+    /// One past the largest valid object index across all shards.
+    pub fn index_space_end(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.table.index_space_end())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Live objects across all shards.
+    pub fn live_count(&self) -> u32 {
+        self.shards.iter().map(|s| s.table.live_count()).sum()
+    }
+
+    /// Every live object index, shard-major (shard 0's objects first).
+    pub fn live_indices(&self) -> Vec<ObjectIndex> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.table.iter_live().map(|(i, _)| i));
+        }
+        out
+    }
+
+    /// Operation counters merged across shards.
+    pub fn stats(&self) -> SpaceStats {
+        let mut total = SpaceStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
+    }
+
+    /// Per-shard counters (diagnostics; `stats()` is the merged view).
+    pub fn stats_of_shard(&self, k: u32) -> SpaceStats {
+        self.shards[k as usize].stats
+    }
+
+    /// See [`ObjectSpace::port`].
+    pub fn port(&self, r: ObjectRef) -> ArchResult<&PortState> {
+        let k = self.shard_for(r);
+        self.shards[k].port(r)
+    }
+
+    /// See [`ObjectSpace::port_mut`].
+    pub fn port_mut(&mut self, r: ObjectRef) -> ArchResult<&mut PortState> {
+        let k = self.shard_for(r);
+        self.shards[k].port_mut(r)
+    }
+
+    /// See [`ObjectSpace::process`].
+    pub fn process(&self, r: ObjectRef) -> ArchResult<&ProcessState> {
+        let k = self.shard_for(r);
+        self.shards[k].process(r)
+    }
+
+    /// See [`ObjectSpace::process_mut`].
+    pub fn process_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessState> {
+        let k = self.shard_for(r);
+        self.shards[k].process_mut(r)
+    }
+
+    /// See [`ObjectSpace::processor`].
+    pub fn processor(&self, r: ObjectRef) -> ArchResult<&ProcessorState> {
+        let k = self.shard_for(r);
+        self.shards[k].processor(r)
+    }
+
+    /// See [`ObjectSpace::processor_mut`].
+    pub fn processor_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessorState> {
+        let k = self.shard_for(r);
+        self.shards[k].processor_mut(r)
+    }
+
+    /// See [`ObjectSpace::sro`].
+    pub fn sro(&self, r: ObjectRef) -> ArchResult<&SroState> {
+        let k = self.shard_for(r);
+        self.shards[k].sro(r)
+    }
+
+    /// See [`ObjectSpace::sro_mut`].
+    pub fn sro_mut(&mut self, r: ObjectRef) -> ArchResult<&mut SroState> {
+        let k = self.shard_for(r);
+        self.shards[k].sro_mut(r)
+    }
+
+    /// See [`ObjectSpace::tdo`].
+    pub fn tdo(&self, r: ObjectRef) -> ArchResult<&TdoState> {
+        let k = self.shard_for(r);
+        self.shards[k].tdo(r)
+    }
+
+    /// See [`ObjectSpace::tdo_mut`].
+    pub fn tdo_mut(&mut self, r: ObjectRef) -> ArchResult<&mut TdoState> {
+        let k = self.shard_for(r);
+        self.shards[k].tdo_mut(r)
+    }
+}
+
+impl SpaceAccess for ShardedSpace {
+    fn root_sro(&self) -> ObjectRef {
+        ShardedSpace::root_sro(self)
+    }
+
+    fn root_sro_of(&self, shard: u32) -> ObjectRef {
+        ShardedSpace::root_sro_of(self, shard)
+    }
+
+    fn shard_count(&self) -> u32 {
+        ShardedSpace::shard_count(self)
+    }
+
+    fn qualify(&mut self, ad: AccessDescriptor, needed: Rights) -> ArchResult<ObjectRef> {
+        ShardedSpace::qualify(self, ad, needed)
+    }
+
+    fn expect_type(&mut self, ad: AccessDescriptor, t: SystemType) -> ArchResult<ObjectRef> {
+        ShardedSpace::expect_type(self, ad, t)
+    }
+
+    fn create_object(&mut self, sro: ObjectRef, spec: ObjectSpec) -> ArchResult<ObjectRef> {
+        ShardedSpace::create_object(self, sro, spec)
+    }
+
+    fn destroy_object(&mut self, r: ObjectRef) -> ArchResult<Entry> {
+        ShardedSpace::destroy_object(self, r)
+    }
+
+    fn bulk_destroy_sro(&mut self, sro: ObjectRef) -> ArchResult<u32> {
+        ShardedSpace::bulk_destroy_sro(self, sro)
+    }
+
+    fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()> {
+        ShardedSpace::read_data(self, ad, off, buf)
+    }
+
+    fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()> {
+        ShardedSpace::write_data(self, ad, off, buf)
+    }
+
+    fn load_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        ShardedSpace::load_ad(self, container, slot)
+    }
+
+    fn store_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        ShardedSpace::store_ad(self, container, slot, ad)
+    }
+
+    fn store_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        ShardedSpace::store_ad_hw(self, container, slot, ad)
+    }
+
+    fn load_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        ShardedSpace::load_ad_hw(self, container, slot)
+    }
+
+    fn shade(&mut self, r: ObjectRef) -> ArchResult<()> {
+        ShardedSpace::shade(self, r)
+    }
+
+    fn color_of(&mut self, r: ObjectRef) -> ArchResult<Color> {
+        ShardedSpace::color_of(self, r)
+    }
+
+    fn set_color(&mut self, r: ObjectRef, c: Color) -> ArchResult<()> {
+        ShardedSpace::set_color(self, r, c)
+    }
+
+    fn scan_access_part(&mut self, r: ObjectRef) -> ArchResult<Vec<AccessDescriptor>> {
+        ShardedSpace::scan_access_part(self, r)
+    }
+
+    fn live_indices(&mut self) -> Vec<ObjectIndex> {
+        ShardedSpace::live_indices(self)
+    }
+
+    fn stats(&mut self) -> SpaceStats {
+        ShardedSpace::stats(self)
+    }
+
+    fn with_entry(&mut self, r: ObjectRef, f: &mut dyn FnMut(&Entry)) -> ArchResult<()> {
+        f(self.entry(r)?);
+        Ok(())
+    }
+
+    fn with_entry_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut Entry)) -> ArchResult<()> {
+        f(self.entry_mut(r)?);
+        Ok(())
+    }
+
+    fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut)) {
+        f(self)
+    }
+}
+
+impl SpaceMut for ShardedSpace {
+    fn entry(&self, r: ObjectRef) -> ArchResult<&Entry> {
+        ShardedSpace::entry(self, r)
+    }
+
+    fn entry_mut(&mut self, r: ObjectRef) -> ArchResult<&mut Entry> {
+        ShardedSpace::entry_mut(self, r)
+    }
+
+    fn entry_by_index(&self, i: ObjectIndex) -> Option<&Entry> {
+        ShardedSpace::entry_by_index(self, i)
+    }
+
+    fn ref_for(&self, i: ObjectIndex) -> ArchResult<ObjectRef> {
+        ShardedSpace::ref_for(self, i)
+    }
+
+    fn index_space_end(&self) -> u32 {
+        ShardedSpace::index_space_end(self)
+    }
+
+    fn live_count(&self) -> u32 {
+        ShardedSpace::live_count(self)
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(ObjectIndex, &Entry)) {
+        for s in &self.shards {
+            for (i, e) in s.table.iter_live() {
+                f(i, e);
+            }
+        }
+    }
+
+    fn for_each_live_mut(&mut self, f: &mut dyn FnMut(ObjectIndex, &mut Entry)) {
+        for s in &mut self.shards {
+            for (i, e) in s.table.iter_live_mut() {
+                f(i, e);
+            }
+        }
+    }
+
+    fn data_arena(&self, r: ObjectRef) -> ArchResult<&DataArena> {
+        let k = self.shard_for(r);
+        Ok(&self.shards[k].data)
+    }
+
+    fn data_arena_mut(&mut self, r: ObjectRef) -> ArchResult<&mut DataArena> {
+        let k = self.shard_for(r);
+        Ok(&mut self.shards[k].data)
+    }
+
+    fn stats_mut_of(&mut self, r: ObjectRef) -> &mut SpaceStats {
+        let k = self.shard_for(r);
+        &mut self.shards[k].stats
+    }
+
+    fn port(&self, r: ObjectRef) -> ArchResult<&PortState> {
+        ShardedSpace::port(self, r)
+    }
+
+    fn port_mut(&mut self, r: ObjectRef) -> ArchResult<&mut PortState> {
+        ShardedSpace::port_mut(self, r)
+    }
+
+    fn process(&self, r: ObjectRef) -> ArchResult<&ProcessState> {
+        ShardedSpace::process(self, r)
+    }
+
+    fn process_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessState> {
+        ShardedSpace::process_mut(self, r)
+    }
+
+    fn processor(&self, r: ObjectRef) -> ArchResult<&ProcessorState> {
+        ShardedSpace::processor(self, r)
+    }
+
+    fn processor_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessorState> {
+        ShardedSpace::processor_mut(self, r)
+    }
+
+    fn sro(&self, r: ObjectRef) -> ArchResult<&SroState> {
+        ShardedSpace::sro(self, r)
+    }
+
+    fn sro_mut(&mut self, r: ObjectRef) -> ArchResult<&mut SroState> {
+        ShardedSpace::sro_mut(self, r)
+    }
+
+    fn tdo(&self, r: ObjectRef) -> ArchResult<&TdoState> {
+        ShardedSpace::tdo(self, r)
+    }
+
+    fn tdo_mut(&mut self, r: ObjectRef) -> ArchResult<&mut TdoState> {
+        ShardedSpace::tdo_mut(self, r)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared (lock-striped) form
+// ---------------------------------------------------------------------
+
+/// A [`ShardedSpace`] shared across host threads behind one mutex per
+/// shard.
+///
+/// # Safety invariants
+///
+/// * `base` points at the first element of the inner space's shard
+///   vector, which is heap storage fixed at construction — no method
+///   adds or removes shards, so the pointer stays valid even as the
+///   `SharedSpace` value itself moves.
+/// * A shard's `ObjectSpace` is only dereferenced while that shard's
+///   mutex is held; the whole `ShardedSpace` is only reborrowed (for
+///   [`SpaceAccess::atomic`]) while *every* mutex is held. Multi-lock
+///   acquisitions always take mutexes in ascending shard order, so two
+///   agents cannot deadlock.
+pub struct SharedSpace {
+    inner: UnsafeCell<ShardedSpace>,
+    base: *mut ObjectSpace,
+    locks: Box<[Mutex<()>]>,
+    roots: Box<[ObjectRef]>,
+}
+
+// SAFETY: all shard state is reached only under the per-shard mutexes
+// (see type-level invariants); the raw pointer is derived from owned
+// heap storage and never escapes.
+unsafe impl Send for SharedSpace {}
+unsafe impl Sync for SharedSpace {}
+
+impl SharedSpace {
+    /// Wraps an exclusively owned space for cross-thread sharing.
+    pub fn new(space: ShardedSpace) -> SharedSpace {
+        let n = space.shard_count() as usize;
+        let roots = (0..n as u32).map(|k| space.root_sro_of(k)).collect();
+        let locks = (0..n).map(|_| Mutex::new(())).collect();
+        let mut shared = SharedSpace {
+            inner: UnsafeCell::new(space),
+            base: std::ptr::null_mut(),
+            locks,
+            roots,
+        };
+        // Capture the shard base pointer once, while we still hold the
+        // space exclusively. The Vec is never resized afterwards.
+        shared.base = shared.inner.get_mut().shards.as_mut_ptr();
+        shared
+    }
+
+    /// Unwraps back to exclusive ownership (threads must have exited).
+    pub fn into_inner(self) -> ShardedSpace {
+        self.inner.into_inner()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.locks.len() as u32
+    }
+
+    /// A per-thread handle implementing [`SpaceAccess`].
+    pub fn agent(&self) -> SpaceAgent<'_> {
+        SpaceAgent { shared: self }
+    }
+
+    #[inline]
+    fn shard_for(&self, r: ObjectRef) -> usize {
+        (r.index.0 as usize) % self.locks.len()
+    }
+
+    /// Runs `f` on one shard under its lock.
+    fn with_shard<R>(&self, k: usize, f: impl FnOnce(&mut ObjectSpace) -> R) -> R {
+        let _g = self.locks[k].lock();
+        // SAFETY: shard k is only touched under lock k (see type-level
+        // invariants), which we hold for the duration of `f`.
+        f(unsafe { &mut *self.base.add(k) })
+    }
+
+    /// Runs `f` on two distinct shards, locking in ascending shard
+    /// order. Arguments reach `f` in the order given, not lock order.
+    fn with_two_shards<R>(
+        &self,
+        a: usize,
+        b: usize,
+        f: impl FnOnce(&mut ObjectSpace, &mut ObjectSpace) -> R,
+    ) -> R {
+        debug_assert_ne!(a, b);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let _g1 = self.locks[lo].lock();
+        let _g2 = self.locks[hi].lock();
+        // SAFETY: both locks held; a != b so the borrows are disjoint.
+        f(unsafe { &mut *self.base.add(a) }, unsafe {
+            &mut *self.base.add(b)
+        })
+    }
+
+    /// Runs `f` with every shard locked (ascending order) — the
+    /// indivisible multi-object sequences of the interpreter.
+    fn with_all<R>(&self, f: impl FnOnce(&mut ShardedSpace) -> R) -> R {
+        let _guards: Vec<_> = self.locks.iter().map(|l| l.lock()).collect();
+        // SAFETY: holding every shard lock excludes all other access to
+        // the space, so a unique reborrow of the whole is sound.
+        f(unsafe { &mut *self.inner.get() })
+    }
+}
+
+/// One thread's handle onto a [`SharedSpace`]. Implements
+/// [`SpaceAccess`]: each operation locks the shard(s) it touches and
+/// releases them before returning.
+pub struct SpaceAgent<'a> {
+    shared: &'a SharedSpace,
+}
+
+impl SpaceAccess for SpaceAgent<'_> {
+    fn root_sro(&self) -> ObjectRef {
+        self.shared.roots[0]
+    }
+
+    fn root_sro_of(&self, shard: u32) -> ObjectRef {
+        self.shared.roots[shard as usize]
+    }
+
+    fn shard_count(&self) -> u32 {
+        self.shared.shard_count()
+    }
+
+    fn qualify(&mut self, ad: AccessDescriptor, needed: Rights) -> ArchResult<ObjectRef> {
+        self.shared
+            .with_shard(self.shared.shard_for(ad.obj), |s| s.qualify(ad, needed))
+    }
+
+    fn expect_type(&mut self, ad: AccessDescriptor, t: SystemType) -> ArchResult<ObjectRef> {
+        self.shared
+            .with_shard(self.shared.shard_for(ad.obj), |s| s.expect_type(ad, t))
+    }
+
+    fn create_object(&mut self, sro: ObjectRef, spec: ObjectSpec) -> ArchResult<ObjectRef> {
+        self.shared
+            .with_shard(self.shared.shard_for(sro), |s| s.create_object(sro, spec))
+    }
+
+    fn destroy_object(&mut self, r: ObjectRef) -> ArchResult<Entry> {
+        self.shared
+            .with_shard(self.shared.shard_for(r), |s| s.destroy_object(r))
+    }
+
+    fn bulk_destroy_sro(&mut self, sro: ObjectRef) -> ArchResult<u32> {
+        self.shared
+            .with_shard(self.shared.shard_for(sro), |s| s.bulk_destroy_sro(sro))
+    }
+
+    fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()> {
+        self.shared
+            .with_shard(self.shared.shard_for(ad.obj), |s| s.read_data(ad, off, buf))
+    }
+
+    fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()> {
+        self.shared.with_shard(self.shared.shard_for(ad.obj), |s| {
+            s.write_data(ad, off, buf)
+        })
+    }
+
+    fn load_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        self.shared
+            .with_shard(self.shared.shard_for(container.obj), |s| {
+                s.load_ad(container, slot)
+            })
+    }
+
+    fn store_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        let a = self.shared.shard_for(container.obj);
+        match ad {
+            Some(t) if self.shared.shard_for(t.obj) != a => {
+                let b = self.shared.shard_for(t.obj);
+                self.shared.with_two_shards(a, b, |ca, tb| {
+                    let (at, container_level) = ca.store_ad_prepare(container, slot)?;
+                    tb.store_ad_admit(t.obj, container_level)?;
+                    ca.store_ad_commit(at, ad)
+                })
+            }
+            _ => self
+                .shared
+                .with_shard(a, |s| s.store_ad(container, slot, ad)),
+        }
+    }
+
+    fn store_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        let a = self.shared.shard_for(container);
+        match ad {
+            Some(t) if self.shared.shard_for(t.obj) != a => {
+                let b = self.shared.shard_for(t.obj);
+                self.shared.with_two_shards(a, b, |ca, tb| {
+                    let at = ca.store_ad_prepare_hw(container, slot)?;
+                    tb.store_ad_admit_hw(t.obj)?;
+                    ca.store_ad_commit(at, ad)
+                })
+            }
+            _ => self
+                .shared
+                .with_shard(a, |s| s.store_ad_hw(container, slot, ad)),
+        }
+    }
+
+    fn load_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        self.shared
+            .with_shard(self.shared.shard_for(container), |s| {
+                s.load_ad_hw(container, slot)
+            })
+    }
+
+    fn shade(&mut self, r: ObjectRef) -> ArchResult<()> {
+        self.shared
+            .with_shard(self.shared.shard_for(r), |s| s.shade(r))
+    }
+
+    fn color_of(&mut self, r: ObjectRef) -> ArchResult<Color> {
+        self.shared
+            .with_shard(self.shared.shard_for(r), |s| s.color_of(r))
+    }
+
+    fn set_color(&mut self, r: ObjectRef, c: Color) -> ArchResult<()> {
+        self.shared
+            .with_shard(self.shared.shard_for(r), |s| s.set_color(r, c))
+    }
+
+    fn scan_access_part(&mut self, r: ObjectRef) -> ArchResult<Vec<AccessDescriptor>> {
+        self.shared
+            .with_shard(self.shared.shard_for(r), |s| s.scan_access_part(r))
+    }
+
+    fn live_indices(&mut self) -> Vec<ObjectIndex> {
+        let mut out = Vec::new();
+        for k in 0..self.shared.locks.len() {
+            self.shared.with_shard(k, |s| {
+                out.extend(s.table.iter_live().map(|(i, _)| i));
+            });
+        }
+        out
+    }
+
+    fn stats(&mut self) -> SpaceStats {
+        let mut total = SpaceStats::default();
+        for k in 0..self.shared.locks.len() {
+            self.shared.with_shard(k, |s| total.merge(&s.stats));
+        }
+        total
+    }
+
+    fn with_entry(&mut self, r: ObjectRef, f: &mut dyn FnMut(&Entry)) -> ArchResult<()> {
+        self.shared.with_shard(self.shared.shard_for(r), |s| {
+            f(s.table.get(r)?);
+            Ok(())
+        })
+    }
+
+    fn with_entry_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut Entry)) -> ArchResult<()> {
+        self.shared.with_shard(self.shared.shard_for(r), |s| {
+            f(s.table.get_mut(r)?);
+            Ok(())
+        })
+    }
+
+    fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut)) {
+        self.shared.with_all(|space| f(space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ArchError;
+    use crate::level::Level;
+    use crate::traits::SpaceAccessExt;
+
+    /// A fixed op sequence run against any per-op space.
+    fn script<S: SpaceAccess + ?Sized>(s: &mut S) -> Vec<u64> {
+        let root = s.root_sro();
+        let a = s.create_object(root, ObjectSpec::generic(32, 4)).unwrap();
+        let b = s.create_object(root, ObjectSpec::generic(16, 2)).unwrap();
+        let a_ad = s.mint(a, Rights::ALL);
+        let b_ad = s.mint(b, Rights::ALL);
+        s.write_u64(a_ad, 0, 7).unwrap();
+        s.write_u64(b_ad, 8, 9).unwrap();
+        s.store_ad(a_ad, 0, Some(b_ad)).unwrap();
+        s.store_ad_hw(b, 0, Some(a_ad)).unwrap();
+        let x = s.read_u64(a_ad, 0).unwrap();
+        let y = s.read_u64(b_ad, 8).unwrap();
+        s.destroy_object(a).unwrap();
+        let st = s.stats();
+        vec![
+            x,
+            y,
+            st.objects_created,
+            st.objects_destroyed,
+            st.ad_stores,
+            st.ad_loads,
+            st.barrier_shades,
+            st.data_reads,
+            st.data_writes,
+        ]
+    }
+
+    #[test]
+    fn single_shard_matches_object_space_exactly() {
+        let mut plain = ObjectSpace::new(65536, 1024, 512);
+        let mut sharded = ShardedSpace::new(65536, 1024, 512, 1);
+        assert_eq!(script(&mut plain), script(&mut sharded));
+        // Same object indices were handed out, too.
+        assert_eq!(
+            SpaceAccess::live_indices(&mut plain),
+            SpaceAccess::live_indices(&mut sharded)
+        );
+    }
+
+    #[test]
+    fn shards_isolate_storage_but_share_index_space() {
+        let mut s = ShardedSpace::new(65536, 1024, 512, 4);
+        let roots: Vec<ObjectRef> = (0..4).map(|k| s.root_sro_of(k)).collect();
+        // Root SROs occupy interleaved indices 0..4.
+        for (k, r) in roots.iter().enumerate() {
+            assert_eq!(r.index.0, k as u32);
+        }
+        // Objects land in their SRO's shard.
+        for (k, &root) in roots.iter().enumerate() {
+            let r = s.create_object(root, ObjectSpec::generic(8, 1)).unwrap();
+            assert_eq!(r.index.0 % 4, k as u32);
+        }
+        assert_eq!(s.live_count(), 8);
+    }
+
+    #[test]
+    fn cross_shard_store_enforces_level_rule_and_barrier() {
+        let mut s = ShardedSpace::new(65536, 1024, 512, 4);
+        let container = s
+            .create_object(s.root_sro_of(0), ObjectSpec::generic(0, 2))
+            .unwrap();
+        let target = s
+            .create_object(s.root_sro_of(1), ObjectSpec::generic(8, 0))
+            .unwrap();
+        let deep = s
+            .create_object(
+                s.root_sro_of(2),
+                ObjectSpec {
+                    level: Some(Level(3)),
+                    ..ObjectSpec::generic(8, 0)
+                },
+            )
+            .unwrap();
+        let c_ad = s.mint(container, Rights::ALL);
+        // Legal cross-shard store runs the write barrier on the target's
+        // shard.
+        s.store_ad(c_ad, 0, Some(s.mint(target, Rights::READ)))
+            .unwrap();
+        assert_eq!(s.color_of(target).unwrap(), Color::Gray);
+        assert_eq!(s.stats_of_shard(1).barrier_shades, 1);
+        // Illegal (shorter-lived target) cross-shard store faults and
+        // charges the target's shard.
+        assert!(matches!(
+            s.store_ad(c_ad, 1, Some(s.mint(deep, Rights::READ))),
+            Err(ArchError::LevelViolation { .. })
+        ));
+        assert_eq!(s.stats_of_shard(2).level_faults, 1);
+        assert_eq!(s.stats().level_faults, 1);
+        // The failed store must not have written the slot.
+        assert_eq!(s.load_ad(c_ad, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn shared_space_agents_run_the_script() {
+        let shared = SharedSpace::new(ShardedSpace::new(65536, 1024, 512, 4));
+        let mut agent = shared.agent();
+        // Agents see the same semantics as exclusive owners.
+        let out = script(&mut agent);
+        assert_eq!(out[2], 2, "two objects created");
+        let space = shared.into_inner();
+        assert_eq!(space.stats().objects_destroyed, 1);
+    }
+
+    #[test]
+    fn parallel_agents_allocate_without_interference() {
+        let shared = SharedSpace::new(ShardedSpace::new(1 << 20, 8192, 4096, 4));
+        std::thread::scope(|scope| {
+            for k in 0..4u32 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut agent = shared.agent();
+                    let root = agent.root_sro_of(k);
+                    let mut objs = Vec::new();
+                    for i in 0..200u64 {
+                        let r = agent
+                            .create_object(root, ObjectSpec::generic(16, 2))
+                            .unwrap();
+                        let ad = agent.mint(r, Rights::ALL);
+                        agent.write_u64(ad, 0, i).unwrap();
+                        objs.push((r, i));
+                    }
+                    // Cross-shard linkage: store an AD to a neighbor
+                    // shard's root into our objects.
+                    let neighbor = agent.root_sro_of((k + 1) % 4);
+                    for (r, _) in &objs {
+                        let ad = agent.mint(*r, Rights::ALL);
+                        agent
+                            .store_ad(ad, 0, Some(agent.mint(neighbor, Rights::NONE)))
+                            .unwrap();
+                    }
+                    for (r, i) in &objs {
+                        let ad = agent.mint(*r, Rights::READ);
+                        assert_eq!(agent.read_u64(ad, 0).unwrap(), *i);
+                    }
+                    // And an atomic section sees a consistent whole.
+                    let live = agent.atomically(|sm| sm.live_count());
+                    assert!(live >= 200);
+                });
+            }
+        });
+        let space = shared.into_inner();
+        assert_eq!(space.stats().objects_created, 800);
+        assert_eq!(space.live_count(), 4 + 800);
+    }
+}

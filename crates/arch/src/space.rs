@@ -49,6 +49,41 @@ pub struct SpaceStats {
     pub rights_faults: u64,
 }
 
+impl SpaceStats {
+    /// Field-wise accumulation (merging per-shard counters).
+    pub fn merge(&mut self, other: &SpaceStats) {
+        self.ad_stores += other.ad_stores;
+        self.ad_loads += other.ad_loads;
+        self.barrier_shades += other.barrier_shades;
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.objects_created += other.objects_created;
+        self.objects_destroyed += other.objects_destroyed;
+        self.level_faults += other.level_faults;
+        self.rights_faults += other.rights_faults;
+    }
+}
+
+impl std::ops::Sub for SpaceStats {
+    type Output = SpaceStats;
+
+    /// Field-wise difference: `after - before` of two snapshots of
+    /// monotonically increasing counters.
+    fn sub(self, before: SpaceStats) -> SpaceStats {
+        SpaceStats {
+            ad_stores: self.ad_stores - before.ad_stores,
+            ad_loads: self.ad_loads - before.ad_loads,
+            barrier_shades: self.barrier_shades - before.barrier_shades,
+            data_reads: self.data_reads - before.data_reads,
+            data_writes: self.data_writes - before.data_writes,
+            objects_created: self.objects_created - before.objects_created,
+            objects_destroyed: self.objects_destroyed - before.objects_destroyed,
+            level_faults: self.level_faults - before.level_faults,
+            rights_faults: self.rights_faults - before.rights_faults,
+        }
+    }
+}
+
 /// Specification for a new object (argument of [`ObjectSpace::create_object`]).
 #[derive(Debug, Clone)]
 pub struct ObjectSpec {
@@ -101,7 +136,21 @@ impl ObjectSpace {
     /// Builds a space with the given arena sizes and table limit, and
     /// installs the *root SRO* owning all of both arenas at level 0.
     pub fn new(data_bytes: u32, access_slots: u32, table_limit: u32) -> ObjectSpace {
-        let mut table = ObjectTable::new(table_limit);
+        ObjectSpace::new_interleaved(data_bytes, access_slots, table_limit, 1, 0)
+    }
+
+    /// Builds one address-interleaved shard of a larger space: its table
+    /// owns the global object indices `offset (mod stride)` and its
+    /// arenas (with their root SRO) are private to the shard. With
+    /// `stride == 1` this is exactly [`ObjectSpace::new`].
+    pub fn new_interleaved(
+        data_bytes: u32,
+        access_slots: u32,
+        table_limit: u32,
+        stride: u32,
+        offset: u32,
+    ) -> ObjectSpace {
+        let mut table = ObjectTable::new_strided(table_limit, stride, offset);
         let mut sro = SroState::new(Level::GLOBAL);
         sro.data_free = FreeList::new(0, data_bytes);
         sro.access_free = FreeList::new(0, access_slots);
@@ -449,21 +498,60 @@ impl ObjectSpace {
         slot: u32,
         ad: Option<AccessDescriptor>,
     ) -> ArchResult<()> {
-        let at = self.access_slot_at(container, Rights::WRITE, slot)?;
+        let (at, container_level) = self.store_ad_prepare(container, slot)?;
         if let Some(ad) = ad {
-            let target = self.table.get(ad.obj)?;
-            let container_level = self.table.get(container.obj)?.desc.level;
-            let target_level = target.desc.level;
-            if !container_level.may_hold(target_level) {
-                self.stats.level_faults += 1;
-                return Err(ArchError::LevelViolation {
-                    stored: target_level,
-                    container: container_level,
-                });
-            }
-            // Dijkstra write barrier: shade the target of the new edge.
-            self.shade(ad.obj)?;
+            self.store_ad_admit(ad.obj, container_level)?;
         }
+        self.store_ad_commit(at, ad)
+    }
+
+    // The AD-store path is decomposed into three steps so a sharded
+    // space can run the container-side steps and the target-side step on
+    // *different* shards while keeping one copy of the enforcement
+    // logic. Container side: rights + bounds + level of the container.
+    // Target side: liveness, the level rule, and the write barrier.
+    // Commit: the actual slot write, on the container's shard.
+
+    /// Container-side checks of [`ObjectSpace::store_ad`]: write rights
+    /// and slot bounds. Returns the arena address of the slot and the
+    /// container's level for the target-side level-rule check.
+    pub(crate) fn store_ad_prepare(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<(u32, Level)> {
+        let at = self.access_slot_at(container, Rights::WRITE, slot)?;
+        let container_level = self.table.get(container.obj)?.desc.level;
+        Ok((at, container_level))
+    }
+
+    /// Target-side checks of [`ObjectSpace::store_ad`]: liveness, the
+    /// level rule against the container's level, and the write barrier.
+    /// `target` must live in this shard.
+    pub(crate) fn store_ad_admit(
+        &mut self,
+        target: ObjectRef,
+        container_level: Level,
+    ) -> ArchResult<()> {
+        let target_level = self.table.get(target)?.desc.level;
+        if !container_level.may_hold(target_level) {
+            self.stats.level_faults += 1;
+            return Err(ArchError::LevelViolation {
+                stored: target_level,
+                container: container_level,
+            });
+        }
+        // Dijkstra write barrier: shade the target of the new edge.
+        self.shade(target)
+    }
+
+    /// Commit step of [`ObjectSpace::store_ad`]: the slot write plus the
+    /// store counter, on the container's shard.
+    pub(crate) fn store_ad_commit(
+        &mut self,
+        at: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
         self.stats.ad_stores += 1;
         self.access.set(at, ad)
     }
@@ -485,6 +573,20 @@ impl ObjectSpace {
         slot: u32,
         ad: Option<AccessDescriptor>,
     ) -> ArchResult<()> {
+        let at = self.store_ad_prepare_hw(container, slot)?;
+        if let Some(ad) = ad {
+            self.store_ad_admit_hw(ad.obj)?;
+        }
+        self.store_ad_commit(at, ad)
+    }
+
+    /// Container-side step of [`ObjectSpace::store_ad_hw`]: bounds check
+    /// only (hardware linkage skips rights and levels).
+    pub(crate) fn store_ad_prepare_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+    ) -> ArchResult<u32> {
         let e = self.table.get(container)?;
         if slot >= e.desc.access_len {
             return Err(ArchError::AccessBounds {
@@ -492,13 +594,14 @@ impl ObjectSpace {
                 part_len: e.desc.access_len,
             });
         }
-        let at = e.desc.access_base + slot;
-        if let Some(ad) = ad {
-            self.table.get(ad.obj)?;
-            self.shade(ad.obj)?;
-        }
-        self.stats.ad_stores += 1;
-        self.access.set(at, ad)
+        Ok(e.desc.access_base + slot)
+    }
+
+    /// Target-side step of [`ObjectSpace::store_ad_hw`]: liveness plus
+    /// the write barrier.
+    pub(crate) fn store_ad_admit_hw(&mut self, target: ObjectRef) -> ArchResult<()> {
+        self.table.get(target)?;
+        self.shade(target)
     }
 
     /// Hardware-linkage load: reads a slot of `container`'s access part
@@ -578,7 +681,9 @@ impl ObjectSpace {
     pub fn process(&self, r: ObjectRef) -> ArchResult<&ProcessState> {
         match &self.table.get(r)?.sys {
             SysState::Process(p) => Ok(p),
-            _ => Err(ArchError::TypeMismatch { expected: "process" }),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "process",
+            }),
         }
     }
 
@@ -586,7 +691,9 @@ impl ObjectSpace {
     pub fn process_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessState> {
         match &mut self.table.get_mut(r)?.sys {
             SysState::Process(p) => Ok(p),
-            _ => Err(ArchError::TypeMismatch { expected: "process" }),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "process",
+            }),
         }
     }
 
@@ -726,7 +833,11 @@ mod tests {
         let b = s.create_object(root, ObjectSpec::generic(16, 2)).unwrap();
         let ad_b = s.mint(b, Rights::ALL);
         assert_eq!(s.read_u64(ad_b, 0).unwrap(), 0, "data part must be zeroed");
-        assert_eq!(s.load_ad(ad_b, 0).unwrap(), None, "access part must be nulled");
+        assert_eq!(
+            s.load_ad(ad_b, 0).unwrap(),
+            None,
+            "access part must be nulled"
+        );
     }
 
     #[test]
@@ -846,9 +957,7 @@ mod tests {
         // Data fits but access part cannot: allocation must roll back the
         // data carve.
         let before = s.sro(root).unwrap().data_free.total_free();
-        assert!(s
-            .create_object(root, ObjectSpec::generic(32, 100))
-            .is_err());
+        assert!(s.create_object(root, ObjectSpec::generic(32, 100)).is_err());
         assert_eq!(s.sro(root).unwrap().data_free.total_free(), before);
         assert_eq!(s.sro(root).unwrap().object_count, 0);
     }

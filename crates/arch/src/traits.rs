@@ -1,0 +1,665 @@
+//! The capability-kernel boundary: traits through which everything
+//! above the architecture layer reaches object storage.
+//!
+//! [`ObjectSpace`] began life as the single concrete type every crate
+//! mutated directly. Splitting the space into lock-striped shards
+//! (see [`crate::shard`]) forces an interface at exactly the points the
+//! 432 microcode enforced anyway — rights, bounds, the level rule, and
+//! the gray-bit write barrier stay one enforcement point *per shard*,
+//! and callers lose the ability to poke table internals.
+//!
+//! Two traits split the surface by locking discipline:
+//!
+//! * [`SpaceAccess`] — **per-operation** access. Each call is
+//!   individually atomic; a striped implementation takes and releases
+//!   the affected shard lock(s) inside the call. This is all the
+//!   instruction interpreter's data path needs, so independent
+//!   processors proceed in parallel when they touch different shards.
+//!   Multi-object read-modify-write sequences (port rendezvous,
+//!   dispatching, fault delivery) enter an [`SpaceAccess::atomic`]
+//!   section, which holds every shard and hands out the full
+//!   [`SpaceMut`] view.
+//! * [`SpaceMut`] — **exclusive** access. Adds reference-returning
+//!   views (table entries, typed system-object state, arenas), which
+//!   are only sound while no other thread can reach the space: either
+//!   single-threaded ownership ([`ObjectSpace`],
+//!   [`crate::shard::ShardedSpace`]) or inside an atomic section.
+//!
+//! Both traits are object-safe; trusted native services receive
+//! `&mut dyn SpaceMut`. The generic conveniences (closures returning
+//! values) live in the blanket extension trait [`SpaceAccessExt`].
+
+use crate::{
+    descriptor::{Color, ObjectType, SystemType},
+    error::{ArchError, ArchResult},
+    level::Level,
+    memory::DataArena,
+    object_table::Entry,
+    refs::{AccessDescriptor, ObjectIndex, ObjectRef},
+    rights::Rights,
+    space::{ObjectSpace, ObjectSpec, SpaceStats},
+    sysobj::{PortState, ProcessState, ProcessorState, SroState, SysState, TdoState},
+};
+
+/// Per-operation checked access to an object space.
+///
+/// Every method is one atomic unit with respect to other holders of the
+/// same space; implementations over shared shards lock internally. All
+/// checking semantics are exactly those of the corresponding
+/// [`ObjectSpace`] methods — implementations forward to them, so the
+/// enforcement logic exists once.
+///
+/// Methods take `&mut self` even where `ObjectSpace` offers `&self`:
+/// a striped implementation must be able to lock.
+pub trait SpaceAccess {
+    /// The root storage resource object of shard 0 (the boot shard).
+    fn root_sro(&self) -> ObjectRef;
+
+    /// The root SRO of a given shard. Objects are always created in the
+    /// shard of the SRO their storage comes from, so placement policy
+    /// is expressed by choosing a root.
+    fn root_sro_of(&self, shard: u32) -> ObjectRef;
+
+    /// Number of address-interleaved shards (1 for an unsharded space).
+    fn shard_count(&self) -> u32;
+
+    /// The shard an object lives in: its table index modulo
+    /// [`SpaceAccess::shard_count`].
+    fn shard_of(&self, r: ObjectRef) -> u32 {
+        r.index.0 % self.shard_count()
+    }
+
+    /// Mints an access descriptor (trusted fabrication path).
+    fn mint(&self, r: ObjectRef, rights: Rights) -> AccessDescriptor {
+        AccessDescriptor::new(r, rights)
+    }
+
+    /// See [`ObjectSpace::qualify`].
+    fn qualify(&mut self, ad: AccessDescriptor, needed: Rights) -> ArchResult<ObjectRef>;
+
+    /// See [`ObjectSpace::expect_type`].
+    fn expect_type(&mut self, ad: AccessDescriptor, t: SystemType) -> ArchResult<ObjectRef>;
+
+    /// See [`ObjectSpace::create_object`].
+    fn create_object(&mut self, sro: ObjectRef, spec: ObjectSpec) -> ArchResult<ObjectRef>;
+
+    /// See [`ObjectSpace::destroy_object`].
+    fn destroy_object(&mut self, r: ObjectRef) -> ArchResult<Entry>;
+
+    /// See [`ObjectSpace::bulk_destroy_sro`].
+    fn bulk_destroy_sro(&mut self, sro: ObjectRef) -> ArchResult<u32>;
+
+    /// See [`ObjectSpace::read_data`].
+    fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()>;
+
+    /// See [`ObjectSpace::write_data`].
+    fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()>;
+
+    /// See [`ObjectSpace::read_u64`].
+    fn read_u64(&mut self, ad: AccessDescriptor, off: u32) -> ArchResult<u64> {
+        let mut b = [0u8; 8];
+        self.read_data(ad, off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// See [`ObjectSpace::write_u64`].
+    fn write_u64(&mut self, ad: AccessDescriptor, off: u32, v: u64) -> ArchResult<()> {
+        self.write_data(ad, off, &v.to_le_bytes())
+    }
+
+    /// See [`ObjectSpace::load_ad`].
+    fn load_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>>;
+
+    /// See [`ObjectSpace::load_ad_required`].
+    fn load_ad_required(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<AccessDescriptor> {
+        self.load_ad(container, slot)?
+            .ok_or(ArchError::NullAccess { slot })
+    }
+
+    /// See [`ObjectSpace::store_ad`]. A striped implementation locks the
+    /// container's and the target's shards in canonical order.
+    fn store_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()>;
+
+    /// See [`ObjectSpace::store_ad_hw`].
+    fn store_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()>;
+
+    /// See [`ObjectSpace::load_ad_hw`].
+    fn load_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>>;
+
+    /// See [`ObjectSpace::shade`].
+    fn shade(&mut self, r: ObjectRef) -> ArchResult<()>;
+
+    /// See [`ObjectSpace::color_of`].
+    fn color_of(&mut self, r: ObjectRef) -> ArchResult<Color>;
+
+    /// See [`ObjectSpace::set_color`].
+    fn set_color(&mut self, r: ObjectRef, c: Color) -> ArchResult<()>;
+
+    /// See [`ObjectSpace::scan_access_part`].
+    fn scan_access_part(&mut self, r: ObjectRef) -> ArchResult<Vec<AccessDescriptor>>;
+
+    /// The lifetime level of a live object.
+    fn level_of(&mut self, r: ObjectRef) -> ArchResult<Level> {
+        let mut out = Level::GLOBAL;
+        self.with_entry(r, &mut |e| out = e.desc.level)?;
+        Ok(out)
+    }
+
+    /// The type identity of a live object.
+    fn otype_of(&mut self, r: ObjectRef) -> ArchResult<ObjectType> {
+        let mut out = ObjectType::GENERIC;
+        self.with_entry(r, &mut |e| out = e.desc.otype)?;
+        Ok(out)
+    }
+
+    /// Every live object index, across all shards. See
+    /// [`ObjectSpace::live_indices`].
+    fn live_indices(&mut self) -> Vec<ObjectIndex>;
+
+    /// Operation counters, merged across shards.
+    fn stats(&mut self) -> SpaceStats;
+
+    /// Runs `f` on the table entry of a live object (object-safe
+    /// primitive; prefer [`SpaceAccessExt::entry_view`]).
+    fn with_entry(&mut self, r: ObjectRef, f: &mut dyn FnMut(&Entry)) -> ArchResult<()>;
+
+    /// Runs `f` on the mutable table entry of a live object
+    /// (object-safe primitive; prefer [`SpaceAccessExt::entry_update`]).
+    fn with_entry_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut Entry)) -> ArchResult<()>;
+
+    /// Runs `f` with exclusive access to the whole space (object-safe
+    /// primitive; prefer [`SpaceAccessExt::atomically`]). A striped
+    /// implementation acquires every shard lock, in shard order, for the
+    /// duration of `f` — this is the emulator's stand-in for the 432's
+    /// indivisible microcode sequences (port rendezvous, dispatching).
+    fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut));
+}
+
+/// Generic conveniences over [`SpaceAccess`] (blanket-implemented).
+pub trait SpaceAccessExt: SpaceAccess {
+    /// Runs `f` on the table entry of a live object and returns its
+    /// result.
+    fn entry_view<R>(&mut self, r: ObjectRef, f: impl FnOnce(&Entry) -> R) -> ArchResult<R> {
+        let mut f = Some(f);
+        let mut out = None;
+        self.with_entry(r, &mut |e| {
+            if let Some(f) = f.take() {
+                out = Some(f(e));
+            }
+        })?;
+        Ok(out.expect("with_entry invokes its closure on success"))
+    }
+
+    /// Runs `f` on the mutable table entry of a live object and returns
+    /// its result.
+    fn entry_update<R>(&mut self, r: ObjectRef, f: impl FnOnce(&mut Entry) -> R) -> ArchResult<R> {
+        let mut f = Some(f);
+        let mut out = None;
+        self.with_entry_mut(r, &mut |e| {
+            if let Some(f) = f.take() {
+                out = Some(f(e));
+            }
+        })?;
+        Ok(out.expect("with_entry_mut invokes its closure on success"))
+    }
+
+    /// Runs `f` with exclusive access to the whole space and returns its
+    /// result.
+    fn atomically<R>(&mut self, f: impl FnOnce(&mut dyn SpaceMut) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.atomic(&mut |s| {
+            if let Some(f) = f.take() {
+                out = Some(f(s));
+            }
+        });
+        out.expect("atomic invokes its closure")
+    }
+
+    /// Reads a process's interpreted state.
+    fn with_process<R>(
+        &mut self,
+        r: ObjectRef,
+        f: impl FnOnce(&ProcessState) -> R,
+    ) -> ArchResult<R> {
+        self.entry_view(r, |e| match &e.sys {
+            SysState::Process(p) => Ok(f(p)),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "process",
+            }),
+        })?
+    }
+
+    /// Updates a process's interpreted state.
+    fn with_process_mut<R>(
+        &mut self,
+        r: ObjectRef,
+        f: impl FnOnce(&mut ProcessState) -> R,
+    ) -> ArchResult<R> {
+        self.entry_update(r, |e| match &mut e.sys {
+            SysState::Process(p) => Ok(f(p)),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "process",
+            }),
+        })?
+    }
+
+    /// Reads a processor's interpreted state.
+    fn with_processor<R>(
+        &mut self,
+        r: ObjectRef,
+        f: impl FnOnce(&ProcessorState) -> R,
+    ) -> ArchResult<R> {
+        self.entry_view(r, |e| match &e.sys {
+            SysState::Processor(p) => Ok(f(p)),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "processor",
+            }),
+        })?
+    }
+
+    /// Updates a processor's interpreted state.
+    fn with_processor_mut<R>(
+        &mut self,
+        r: ObjectRef,
+        f: impl FnOnce(&mut ProcessorState) -> R,
+    ) -> ArchResult<R> {
+        self.entry_update(r, |e| match &mut e.sys {
+            SysState::Processor(p) => Ok(f(p)),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "processor",
+            }),
+        })?
+    }
+
+    /// Reads a port's interpreted state.
+    fn with_port<R>(&mut self, r: ObjectRef, f: impl FnOnce(&PortState) -> R) -> ArchResult<R> {
+        self.entry_view(r, |e| match &e.sys {
+            SysState::Port(p) => Ok(f(p)),
+            _ => Err(ArchError::TypeMismatch { expected: "port" }),
+        })?
+    }
+
+    /// Reads an SRO's interpreted state.
+    fn with_sro<R>(&mut self, r: ObjectRef, f: impl FnOnce(&SroState) -> R) -> ArchResult<R> {
+        self.entry_view(r, |e| match &e.sys {
+            SysState::Sro(s) => Ok(f(s)),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "storage-resource",
+            }),
+        })?
+    }
+
+    /// Updates a type-definition object's interpreted state.
+    fn with_tdo_mut<R>(
+        &mut self,
+        r: ObjectRef,
+        f: impl FnOnce(&mut TdoState) -> R,
+    ) -> ArchResult<R> {
+        self.entry_update(r, |e| match &mut e.sys {
+            SysState::TypeDef(t) => Ok(f(t)),
+            _ => Err(ArchError::TypeMismatch {
+                expected: "type-definition",
+            }),
+        })?
+    }
+}
+
+impl<S: SpaceAccess + ?Sized> SpaceAccessExt for S {}
+
+/// Exclusive checked access: everything in [`SpaceAccess`], plus the
+/// reference-returning views that are only sound while the holder has
+/// the space to itself.
+pub trait SpaceMut: SpaceAccess {
+    /// Resolves a reference to its table entry. See
+    /// [`crate::ObjectTable::get`].
+    fn entry(&self, r: ObjectRef) -> ArchResult<&Entry>;
+
+    /// Mutable variant of [`SpaceMut::entry`].
+    fn entry_mut(&mut self, r: ObjectRef) -> ArchResult<&mut Entry>;
+
+    /// Resolves by bare index (collector sweeps). See
+    /// [`crate::ObjectTable::get_by_index`].
+    fn entry_by_index(&self, i: ObjectIndex) -> Option<&Entry>;
+
+    /// Current full reference for a live index. See
+    /// [`crate::ObjectTable::ref_for`].
+    fn ref_for(&self, i: ObjectIndex) -> ArchResult<ObjectRef>;
+
+    /// One past the largest valid object index, across all shards
+    /// (sweep bound). See [`crate::ObjectTable::index_space_end`].
+    fn index_space_end(&self) -> u32;
+
+    /// Number of live objects, across all shards.
+    fn live_count(&self) -> u32;
+
+    /// Visits every live entry with its global index.
+    fn for_each_live(&self, f: &mut dyn FnMut(ObjectIndex, &Entry));
+
+    /// Mutable variant of [`SpaceMut::for_each_live`].
+    fn for_each_live_mut(&mut self, f: &mut dyn FnMut(ObjectIndex, &mut Entry));
+
+    /// The data arena holding `r`'s data part (the object's shard's
+    /// arena; descriptor base addresses are offsets into it).
+    fn data_arena(&self, r: ObjectRef) -> ArchResult<&DataArena>;
+
+    /// Mutable variant of [`SpaceMut::data_arena`].
+    fn data_arena_mut(&mut self, r: ObjectRef) -> ArchResult<&mut DataArena>;
+
+    /// The stat counters charged for operations on `r`'s shard.
+    fn stats_mut_of(&mut self, r: ObjectRef) -> &mut SpaceStats;
+
+    /// See [`ObjectSpace::port`].
+    fn port(&self, r: ObjectRef) -> ArchResult<&PortState>;
+
+    /// See [`ObjectSpace::port_mut`].
+    fn port_mut(&mut self, r: ObjectRef) -> ArchResult<&mut PortState>;
+
+    /// See [`ObjectSpace::process`].
+    fn process(&self, r: ObjectRef) -> ArchResult<&ProcessState>;
+
+    /// See [`ObjectSpace::process_mut`].
+    fn process_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessState>;
+
+    /// See [`ObjectSpace::processor`].
+    fn processor(&self, r: ObjectRef) -> ArchResult<&ProcessorState>;
+
+    /// See [`ObjectSpace::processor_mut`].
+    fn processor_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessorState>;
+
+    /// See [`ObjectSpace::sro`].
+    fn sro(&self, r: ObjectRef) -> ArchResult<&SroState>;
+
+    /// See [`ObjectSpace::sro_mut`].
+    fn sro_mut(&mut self, r: ObjectRef) -> ArchResult<&mut SroState>;
+
+    /// See [`ObjectSpace::tdo`].
+    fn tdo(&self, r: ObjectRef) -> ArchResult<&TdoState>;
+
+    /// See [`ObjectSpace::tdo_mut`].
+    fn tdo_mut(&mut self, r: ObjectRef) -> ArchResult<&mut TdoState>;
+}
+
+// ---------------------------------------------------------------------
+// ObjectSpace: the single-shard implementation. Every method forwards
+// to the inherent one, so trait-generic code and legacy direct callers
+// run the identical checking path.
+// ---------------------------------------------------------------------
+
+impl SpaceAccess for ObjectSpace {
+    fn root_sro(&self) -> ObjectRef {
+        ObjectSpace::root_sro(self)
+    }
+
+    fn root_sro_of(&self, _shard: u32) -> ObjectRef {
+        ObjectSpace::root_sro(self)
+    }
+
+    fn shard_count(&self) -> u32 {
+        1
+    }
+
+    fn qualify(&mut self, ad: AccessDescriptor, needed: Rights) -> ArchResult<ObjectRef> {
+        ObjectSpace::qualify(self, ad, needed)
+    }
+
+    fn expect_type(&mut self, ad: AccessDescriptor, t: SystemType) -> ArchResult<ObjectRef> {
+        ObjectSpace::expect_type(self, ad, t)
+    }
+
+    fn create_object(&mut self, sro: ObjectRef, spec: ObjectSpec) -> ArchResult<ObjectRef> {
+        ObjectSpace::create_object(self, sro, spec)
+    }
+
+    fn destroy_object(&mut self, r: ObjectRef) -> ArchResult<Entry> {
+        ObjectSpace::destroy_object(self, r)
+    }
+
+    fn bulk_destroy_sro(&mut self, sro: ObjectRef) -> ArchResult<u32> {
+        ObjectSpace::bulk_destroy_sro(self, sro)
+    }
+
+    fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()> {
+        ObjectSpace::read_data(self, ad, off, buf)
+    }
+
+    fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()> {
+        ObjectSpace::write_data(self, ad, off, buf)
+    }
+
+    fn load_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        ObjectSpace::load_ad(self, container, slot)
+    }
+
+    fn store_ad(
+        &mut self,
+        container: AccessDescriptor,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        ObjectSpace::store_ad(self, container, slot, ad)
+    }
+
+    fn store_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+        ad: Option<AccessDescriptor>,
+    ) -> ArchResult<()> {
+        ObjectSpace::store_ad_hw(self, container, slot, ad)
+    }
+
+    fn load_ad_hw(
+        &mut self,
+        container: ObjectRef,
+        slot: u32,
+    ) -> ArchResult<Option<AccessDescriptor>> {
+        ObjectSpace::load_ad_hw(self, container, slot)
+    }
+
+    fn shade(&mut self, r: ObjectRef) -> ArchResult<()> {
+        ObjectSpace::shade(self, r)
+    }
+
+    fn color_of(&mut self, r: ObjectRef) -> ArchResult<Color> {
+        ObjectSpace::color_of(self, r)
+    }
+
+    fn set_color(&mut self, r: ObjectRef, c: Color) -> ArchResult<()> {
+        ObjectSpace::set_color(self, r, c)
+    }
+
+    fn scan_access_part(&mut self, r: ObjectRef) -> ArchResult<Vec<AccessDescriptor>> {
+        ObjectSpace::scan_access_part(self, r)
+    }
+
+    fn live_indices(&mut self) -> Vec<ObjectIndex> {
+        ObjectSpace::live_indices(self)
+    }
+
+    fn stats(&mut self) -> SpaceStats {
+        self.stats
+    }
+
+    fn with_entry(&mut self, r: ObjectRef, f: &mut dyn FnMut(&Entry)) -> ArchResult<()> {
+        f(self.table.get(r)?);
+        Ok(())
+    }
+
+    fn with_entry_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut Entry)) -> ArchResult<()> {
+        f(self.table.get_mut(r)?);
+        Ok(())
+    }
+
+    fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut)) {
+        f(self)
+    }
+}
+
+impl SpaceMut for ObjectSpace {
+    fn entry(&self, r: ObjectRef) -> ArchResult<&Entry> {
+        self.table.get(r)
+    }
+
+    fn entry_mut(&mut self, r: ObjectRef) -> ArchResult<&mut Entry> {
+        self.table.get_mut(r)
+    }
+
+    fn entry_by_index(&self, i: ObjectIndex) -> Option<&Entry> {
+        self.table.get_by_index(i)
+    }
+
+    fn ref_for(&self, i: ObjectIndex) -> ArchResult<ObjectRef> {
+        self.table.ref_for(i)
+    }
+
+    fn index_space_end(&self) -> u32 {
+        self.table.index_space_end()
+    }
+
+    fn live_count(&self) -> u32 {
+        self.table.live_count()
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(ObjectIndex, &Entry)) {
+        for (i, e) in self.table.iter_live() {
+            f(i, e);
+        }
+    }
+
+    fn for_each_live_mut(&mut self, f: &mut dyn FnMut(ObjectIndex, &mut Entry)) {
+        for (i, e) in self.table.iter_live_mut() {
+            f(i, e);
+        }
+    }
+
+    fn data_arena(&self, _r: ObjectRef) -> ArchResult<&DataArena> {
+        Ok(&self.data)
+    }
+
+    fn data_arena_mut(&mut self, _r: ObjectRef) -> ArchResult<&mut DataArena> {
+        Ok(&mut self.data)
+    }
+
+    fn stats_mut_of(&mut self, _r: ObjectRef) -> &mut SpaceStats {
+        &mut self.stats
+    }
+
+    fn port(&self, r: ObjectRef) -> ArchResult<&PortState> {
+        ObjectSpace::port(self, r)
+    }
+
+    fn port_mut(&mut self, r: ObjectRef) -> ArchResult<&mut PortState> {
+        ObjectSpace::port_mut(self, r)
+    }
+
+    fn process(&self, r: ObjectRef) -> ArchResult<&ProcessState> {
+        ObjectSpace::process(self, r)
+    }
+
+    fn process_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessState> {
+        ObjectSpace::process_mut(self, r)
+    }
+
+    fn processor(&self, r: ObjectRef) -> ArchResult<&ProcessorState> {
+        ObjectSpace::processor(self, r)
+    }
+
+    fn processor_mut(&mut self, r: ObjectRef) -> ArchResult<&mut ProcessorState> {
+        ObjectSpace::processor_mut(self, r)
+    }
+
+    fn sro(&self, r: ObjectRef) -> ArchResult<&SroState> {
+        ObjectSpace::sro(self, r)
+    }
+
+    fn sro_mut(&mut self, r: ObjectRef) -> ArchResult<&mut SroState> {
+        ObjectSpace::sro_mut(self, r)
+    }
+
+    fn tdo(&self, r: ObjectRef) -> ArchResult<&TdoState> {
+        ObjectSpace::tdo(self, r)
+    }
+
+    fn tdo_mut(&mut self, r: ObjectRef) -> ArchResult<&mut TdoState> {
+        ObjectSpace::tdo_mut(self, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A function generic over the per-op boundary, exercised both with a
+    // concrete space and with the `dyn SpaceMut` view an atomic section
+    // (or a native service) receives — the latter checks that trait
+    // objects of the subtrait satisfy `SpaceAccess` bounds.
+    fn make_and_link<S: SpaceAccess + ?Sized>(s: &mut S) -> ArchResult<ObjectRef> {
+        let root = s.root_sro();
+        let a = s.create_object(root, ObjectSpec::generic(16, 2))?;
+        let b = s.create_object(root, ObjectSpec::generic(8, 0))?;
+        let a_ad = s.mint(a, Rights::ALL);
+        s.store_ad(a_ad, 0, Some(s.mint(b, Rights::READ)))?;
+        s.write_u64(a_ad, 0, 42)?;
+        Ok(a)
+    }
+
+    #[test]
+    fn generic_path_matches_inherent_semantics() {
+        let mut s = ObjectSpace::new(4096, 512, 256);
+        let a = make_and_link(&mut s).unwrap();
+        let ad = AccessDescriptor::new(a, Rights::READ);
+        assert_eq!(ObjectSpace::read_u64(&mut s, ad, 0).unwrap(), 42);
+        let st = SpaceAccess::stats(&mut s);
+        assert_eq!(st.objects_created, 2);
+        assert_eq!(st.ad_stores, 1);
+        assert_eq!(st.barrier_shades, 1);
+    }
+
+    #[test]
+    fn atomic_section_exposes_space_mut() {
+        let mut s = ObjectSpace::new(4096, 512, 256);
+        let a = s.atomically(|sm| {
+            let a = make_and_link(sm).unwrap();
+            assert!(sm.entry(a).is_ok());
+            assert_eq!(sm.live_count(), 3); // root SRO + two objects
+            a
+        });
+        assert_eq!(s.level_of(a).unwrap(), Level::GLOBAL);
+    }
+
+    #[test]
+    fn typed_closures_reject_wrong_sys_state() {
+        let mut s = ObjectSpace::new(4096, 512, 256);
+        let root = s.root_sro();
+        let r = s.create_object(root, ObjectSpec::generic(0, 0)).unwrap();
+        assert!(s.with_process(r, |_| ()).is_err());
+        assert!(s.with_sro(root, |sro| sro.object_count).is_ok());
+    }
+}

@@ -12,10 +12,10 @@
 //! * A4 — write-barrier traffic: how many AD stores actually shade
 //!   (the hardware gray-bit duty cycle) across workload shapes.
 
-use i432_gdp::cost::cycles_to_us;
-use i432_gdp::CostModel;
 use i432_arch::memory::FitPolicy;
 use i432_arch::{FreeList, ObjectSpace, ObjectSpec, Rights};
+use i432_gdp::cost::cycles_to_us;
+use i432_gdp::CostModel;
 use imax_gc::{Collector, GcPhase};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 

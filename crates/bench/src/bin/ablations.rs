@@ -11,13 +11,22 @@ fn main() {
     println!();
     println!("== A1: CALL's context-allocation fast path =======================");
     let r = a1_context_fast_path();
-    println!("   with fast path (shipped):    {:>7.2} us per domain switch", r.with_fast_path_us);
-    println!("   via general CREATE OBJECT:   {:>7.2} us per domain switch", r.without_fast_path_us);
+    println!(
+        "   with fast path (shipped):    {:>7.2} us per domain switch",
+        r.with_fast_path_us
+    );
+    println!(
+        "   via general CREATE OBJECT:   {:>7.2} us per domain switch",
+        r.without_fast_path_us
+    );
     println!("   (the paper's 65us switch + 80us allocation numbers force the fast path)");
 
     println!();
     println!("== A2: collector increment granularity ===========================");
-    println!("   {:<12} {:>12} {:>16} {:>12}", "sweep chunk", "total (cy)", "max increment", "increments");
+    println!(
+        "   {:<12} {:>12} {:>16} {:>12}",
+        "sweep chunk", "total (cy)", "max increment", "increments"
+    );
     for row in a2_gc_granularity(&[4, 16, 64, 256, 4096]) {
         println!(
             "   {:<12} {:>12} {:>16} {:>12}",
@@ -28,7 +37,10 @@ fn main() {
 
     println!();
     println!("== A3: SRO free-list fit policy ===================================");
-    println!("   {:<12} {:>16} {:>12} {:>14}", "policy", "frag failures", "final runs", "largest free");
+    println!(
+        "   {:<12} {:>16} {:>12} {:>14}",
+        "policy", "frag failures", "final runs", "largest free"
+    );
     for row in a3_fit_policy(42, 20_000) {
         println!(
             "   {:<12} {:>16} {:>12} {:>14}",
@@ -41,10 +53,16 @@ fn main() {
 
     println!();
     println!("== A4: gray-bit write-barrier duty cycle ==========================");
-    println!("   {:<22} {:>10} {:>14}", "stores per object", "stores", "shaded");
+    println!(
+        "   {:<22} {:>10} {:>14}",
+        "stores per object", "stores", "shaded"
+    );
     for fanout in [1u32, 2, 4, 8] {
         let r = a4_barrier_duty(fanout);
-        println!("   {:<22} {:>10} {:>13.1}%", fanout, r.stores, r.shade_percent);
+        println!(
+            "   {:<22} {:>10} {:>13.1}%",
+            fanout, r.stores, r.shade_percent
+        );
     }
     println!("   (only the first store of a white object shades: the barrier is cheap)");
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p imax-bench --bin repro`
 
-use imax_bench::*;
 use i432_arch::PortDiscipline;
+use imax_bench::*;
 
 fn header(id: &str, claim: &str) {
     println!();
@@ -17,7 +17,10 @@ fn header(id: &str, claim: &str) {
 fn main() {
     println!("iMAX-432 reproduction harness (deterministic simulated measurements)");
 
-    header("C1", "a domain switch takes about 65 us at 8 MHz (~520 cycles)  [s2]");
+    header(
+        "C1",
+        "a domain switch takes about 65 us at 8 MHz (~520 cycles)  [s2]",
+    );
     let r = c1_domain_switch(200);
     println!("   {:<38} {:>10} {:>10}", "", "cycles", "us@8MHz");
     println!(
@@ -32,10 +35,15 @@ fn main() {
     );
     println!(
         "   {:<38} {:>10.1} {:>10.2}",
-        "call+return loop average", r.pair_avg, r.pair_avg / 8.0
+        "call+return loop average",
+        r.pair_avg,
+        r.pair_avg / 8.0
     );
 
-    header("C2", "allocating a segment from an SRO takes 80 us at 8 MHz  [s5]");
+    header(
+        "C2",
+        "allocating a segment from an SRO takes 80 us at 8 MHz  [s5]",
+    );
     println!(
         "   {:<12} {:<8} {:>10} {:>10}",
         "data bytes", "slots", "cycles", "us@8MHz"
@@ -47,7 +55,10 @@ fn main() {
         );
     }
 
-    header("C3", "a factor of 10 in total processing power is realizable  [s3]");
+    header(
+        "C3",
+        "a factor of 10 in total processing power is realizable  [s3]",
+    );
     println!("   interleaved buses = 4, 120 independent jobs");
     println!("   {:<6} {:>14} {:>9}", "cpus", "makespan(cy)", "speedup");
     for p in c3_scaling(&[1, 2, 4, 6, 8, 10, 12], 4, 120) {
@@ -82,7 +93,10 @@ fn main() {
         "runtime-checked variant (+check)", r.checked_cycles_per_op
     );
 
-    header("C5", "a system-wide parallel garbage collector with minimal synchronization  [s8.1]");
+    header(
+        "C5",
+        "a system-wide parallel garbage collector with minimal synchronization  [s8.1]",
+    );
     for cpus in [1u32, 2, 3] {
         println!("   processors = {cpus}");
         println!(
@@ -105,7 +119,10 @@ fn main() {
         }
     }
 
-    header("C6", "local heaps are collected more efficiently at scope exit  [s5/s8.1]");
+    header(
+        "C6",
+        "local heaps are collected more efficiently at scope exit  [s5/s8.1]",
+    );
     let r = c6_local_heaps(128);
     println!("   {:<42} {:>14}", "", "cycles/object");
     println!(
@@ -121,7 +138,10 @@ fn main() {
         r.gc_cycles_per_object / r.bulk_cycles_per_object
     );
 
-    header("C7", "send/receive are single instructions; blocking per Figure 1  [s2/s4]");
+    header(
+        "C7",
+        "send/receive are single instructions; blocking per Figure 1  [s2/s4]",
+    );
     for disc in [PortDiscipline::Fifo, PortDiscipline::Priority] {
         println!("   discipline = {disc:?}");
         println!(
@@ -136,13 +156,19 @@ fn main() {
         }
     }
 
-    header("C8", "many resource-control policies layer over the basic process manager  [s6.1]");
+    header(
+        "C8",
+        "many resource-control policies layer over the basic process manager  [s6.1]",
+    );
     for row in c8_schedulers() {
         println!("   {:<30} progress {:?}", row.policy, row.progress);
         println!("   {:<30} unfairness (max/min) = {:.2}", "", row.unfairness);
     }
 
-    header("C9", "swapping and non-swapping meet one interface; programs are oblivious  [s6.2]");
+    header(
+        "C9",
+        "swapping and non-swapping meet one interface; programs are oblivious  [s6.2]",
+    );
     println!(
         "   {:<12} {:>10} {:>10} {:>10} {:>14} {:>10}",
         "working set", "resident", "swap-outs", "swap-ins", "transfer(cy)", "slowdown"
@@ -151,11 +177,19 @@ fn main() {
         let r = c9_swapping(32, frac, 4);
         println!(
             "   {:<12} {:>9}% {:>10} {:>10} {:>14} {:>9.2}x",
-            r.working_set, r.resident_percent, r.swap_outs, r.swap_ins, r.transfer_cycles, r.slowdown
+            r.working_set,
+            r.resident_percent,
+            r.swap_outs,
+            r.swap_ins,
+            r.transfer_cycles,
+            r.slowdown
         );
     }
 
-    header("C10", "destruction filters recover lost objects (tape drives)  [s8.2]");
+    header(
+        "C10",
+        "destruction filters recover lost objects (tape drives)  [s8.2]",
+    );
     println!(
         "   {:<8} {:>8} {:>11} {:>12} {:>22}",
         "drives", "leaked", "recovered", "free after", "free without filter"

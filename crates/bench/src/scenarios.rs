@@ -1,9 +1,9 @@
 //! The experiment implementations (C1–C10 of DESIGN.md).
 
-use i432_gdp::isa::{AluOp, DataDst, DataRef, Instruction};
-use i432_gdp::{cost::cycles_to_us, CostModel, ProgramBuilder, StepEvent};
 use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
 use i432_arch::{ObjectSpec, PortDiscipline, Rights};
+use i432_gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use i432_gdp::{cost::cycles_to_us, CostModel, ProgramBuilder, StepEvent};
 use i432_sim::{RunOutcome, System, SystemConfig};
 use imax_gc::{install_gc_daemon, Collector};
 use imax_ipc::create_port;
@@ -67,7 +67,12 @@ pub fn c1_domain_switch(loop_calls: u64) -> DomainSwitch {
         if with_call {
             p.call(CTX_SLOT_ARG as u16, 0, None, None, None);
         }
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = sys.subprogram("loop", p.finish(), 64, 8);
@@ -108,10 +113,17 @@ pub struct AllocationCost {
 
 /// Measures CREATE OBJECT for a sweep of segment sizes.
 pub fn c2_allocation() -> Vec<AllocationCost> {
-    let sizes = [(64u32, 4u32), (256, 8), (1024, 16), (4096, 64), (16384, 128)];
+    let sizes = [
+        (64u32, 4u32),
+        (256, 8),
+        (1024, 16),
+        (4096, 64),
+        (16384, 128),
+    ];
     sizes
         .iter()
         .map(|&(data_bytes, access_slots)| {
+            use imax::inspect::{StatsDelta, StatsSnapshot};
             let mut sys = System::new(&SystemConfig::small());
             let mut p = ProgramBuilder::new();
             p.create_object(
@@ -124,6 +136,7 @@ pub fn c2_allocation() -> Vec<AllocationCost> {
             let sub = sys.subprogram("alloc", p.finish(), 32, 8);
             let dom = sys.install_domain("app", vec![sub], 0);
             sys.spawn(dom, 0, None);
+            let before = StatsSnapshot::take(&mut sys.space);
             let mut create_cycles = 0;
             sys.run_until(10_000, |_, e| {
                 if let StepEvent::Executed { cycles, .. } = e {
@@ -133,6 +146,10 @@ pub fn c2_allocation() -> Vec<AllocationCost> {
                 }
                 matches!(e, StepEvent::ProcessExited(_))
             });
+            // Cross-check against the space counters: the measured region
+            // is exactly one CREATE OBJECT.
+            let delta: StatsDelta = before.delta(&mut sys.space);
+            assert_eq!(delta.objects_created, 1, "one allocation per run");
             AllocationCost {
                 data_bytes,
                 access_slots,
@@ -173,7 +190,12 @@ pub fn c3_scaling(cpu_counts: &[u32], buses: usize, jobs: u32) -> Vec<ScalingPoi
         p.work(400);
         p.mov(DataRef::Local(0), DataDst::Local(8));
         p.mov(DataRef::Local(8), DataDst::Local(16));
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = sys.subprogram("job", p.finish(), 64, 8);
@@ -194,6 +216,93 @@ pub fn c3_scaling(cpu_counts: &[u32], buses: usize, jobs: u32) -> Vec<ScalingPoi
                 cpus,
                 makespan,
                 speedup: t1 as f64 / makespan as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// C3t — host-thread scaling of the lock-striped runner (real wall clock).
+// ---------------------------------------------------------------------------
+
+/// One point of the host-threaded scaling curve: the same batch run by
+/// N host threads against the lock-striped space and against the
+/// global-lock baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedPoint {
+    /// Host threads (= emulated processors).
+    pub threads: u32,
+    /// Wall-clock microseconds, lock-striped runner.
+    pub striped_wall_us: u64,
+    /// Wall-clock microseconds, global-lock baseline.
+    pub global_lock_wall_us: u64,
+    /// Wall-clock speedup of striping over the global lock.
+    pub speedup: f64,
+    /// System errors across both runs (must be zero).
+    pub system_errors: u64,
+}
+
+/// Runs the independent-jobs batch on real host threads, once against
+/// the lock-striped shared space ([`i432_sim::run_threaded`]) and once
+/// against the global-lock baseline, and reports the wall-clock speedup
+/// striping buys at each thread count. Unlike every other scenario this
+/// one measures *host* time: it validates that shard locking turns the
+/// threaded runner into an actually-parallel program.
+pub fn c3_threaded(
+    thread_counts: &[u32],
+    shards: u32,
+    jobs: u32,
+    iters: u64,
+) -> Vec<ThreadedPoint> {
+    use i432_sim::{run_threaded, run_threaded_global_lock};
+    use std::time::Instant;
+    let build = |cpus: u32| -> System {
+        // Scale the arenas with the stripe count so per-shard capacity
+        // stays constant.
+        let mut cfg = SystemConfig::small()
+            .with_processors(cpus)
+            .with_shards(shards);
+        cfg.data_bytes *= shards;
+        cfg.access_slots *= shards;
+        cfg.table_limit *= shards;
+        let mut sys = System::new(&cfg);
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.mov(DataRef::Imm(iters), DataDst::Local(0));
+        p.bind(top);
+        p.work(400);
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
+        p.jump_if_nonzero(DataRef::Local(0), top);
+        p.halt();
+        let sub = sys.subprogram("job", p.finish(), 64, 8);
+        let dom = sys.install_domain("batch", vec![sub], 0);
+        for _ in 0..jobs {
+            sys.spawn(dom, 0, None);
+        }
+        sys
+    };
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let t0 = Instant::now();
+            let (_, striped) = run_threaded(build(threads), u64::MAX);
+            let striped_wall = t0.elapsed();
+            assert!(striped.completed, "striped run must finish: {striped:?}");
+            let t1 = Instant::now();
+            let (_, global) = run_threaded_global_lock(build(threads), u64::MAX);
+            let global_wall = t1.elapsed();
+            assert!(global.completed, "global-lock run must finish: {global:?}");
+            ThreadedPoint {
+                threads,
+                striped_wall_us: striped_wall.as_micros() as u64,
+                global_lock_wall_us: global_wall.as_micros() as u64,
+                speedup: global_wall.as_secs_f64() / striped_wall.as_secs_f64(),
+                system_errors: striped.system_errors + global.system_errors,
             }
         })
         .collect()
@@ -241,7 +350,12 @@ fn send_receive_loop<M: imax_ipc::PortMessage>(rounds: u64, checked: bool) -> Ve
     }
     p.send(CTX_SLOT_ARG as u16, 5);
     p.receive(CTX_SLOT_ARG as u16, 5);
-    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     p.jump_if_nonzero(DataRef::Local(0), top);
     p.halt();
     p.finish()
@@ -315,7 +429,12 @@ pub fn c5_gc_overhead(cpus: u32, configs: &[u32]) -> Vec<GcOverhead> {
         p.bind(top);
         p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(64), DataRef::Imm(2), 5);
         p.work(300);
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = sys.subprogram("churn", p.finish(), 64, 8);
@@ -458,8 +577,18 @@ pub fn c7_port_throughput(capacities: &[u32], discipline: PortDiscipline) -> Vec
             tx.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
             tx.bind(top);
             tx.send_keyed(CTX_SLOT_ARG as u16, 5, DataRef::Local(0));
-            tx.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-            tx.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(MESSAGES), DataDst::Local(8));
+            tx.alu(
+                AluOp::Add,
+                DataRef::Local(0),
+                DataRef::Imm(1),
+                DataDst::Local(0),
+            );
+            tx.alu(
+                AluOp::Lt,
+                DataRef::Local(0),
+                DataRef::Imm(MESSAGES),
+                DataDst::Local(8),
+            );
             tx.jump_if_nonzero(DataRef::Local(8), top);
             tx.halt();
             let tx_sub = sys.subprogram("tx", tx.finish(), 64, 8);
@@ -472,8 +601,18 @@ pub fn c7_port_throughput(capacities: &[u32], discipline: PortDiscipline) -> Vec
             // Per-message processing: the consumer is the bottleneck, so
             // queue capacity governs how often the producer blocks.
             rx.work(150);
-            rx.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-            rx.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(MESSAGES), DataDst::Local(8));
+            rx.alu(
+                AluOp::Add,
+                DataRef::Local(0),
+                DataRef::Imm(1),
+                DataDst::Local(0),
+            );
+            rx.alu(
+                AluOp::Lt,
+                DataRef::Local(0),
+                DataRef::Imm(MESSAGES),
+                DataDst::Local(8),
+            );
             rx.jump_if_nonzero(DataRef::Local(8), top);
             rx.halt();
             let rx_sub = sys.subprogram("rx", rx.finish(), 64, 12);
@@ -570,7 +709,9 @@ pub fn c8_schedulers() -> Vec<SchedulingOutcome> {
         };
         let mut os = Imax::boot(&cfg);
         let dom = spin(&mut os);
-        let procs: Vec<_> = (0..SPINNERS).map(|_| os.spawn_program(dom, 0, None)).collect();
+        let procs: Vec<_> = (0..SPINNERS)
+            .map(|_| os.spawn_program(dom, 0, None))
+            .collect();
         let _ = os.run(BUDGET);
         let progress: Vec<u64> = procs
             .iter()
@@ -672,7 +813,7 @@ pub fn c9_swapping(working_set: u32, resident_fraction: f64, sweeps: u32) -> Swa
                 .unwrap();
             let ad = sys.space.mint(o, Rights::READ | Rights::WRITE);
             sys.space.write_u64(ad, 0, i as u64).ok();
-            if sys.space.table.get(o).unwrap().desc.absent {
+            if sys.space.entry(o).unwrap().desc.absent {
                 // Freshly evicted before we wrote: bring back and write.
                 mgr.ensure_resident(&mut sys.space, o).unwrap();
                 sys.space.write_u64(ad, 0, i as u64).unwrap();
@@ -682,7 +823,7 @@ pub fn c9_swapping(working_set: u32, resident_fraction: f64, sweeps: u32) -> Swa
         // Sweep the set.
         for _ in 0..sweeps {
             for (i, (o, ad)) in objs.iter().enumerate() {
-                if sys.space.table.get(*o).unwrap().desc.absent {
+                if sys.space.entry(*o).unwrap().desc.absent {
                     mgr.ensure_resident(&mut sys.space, *o).unwrap();
                 }
                 assert_eq!(sys.space.read_u64(*ad, 0).unwrap(), i as u64);
@@ -809,10 +950,7 @@ mod tests {
     #[test]
     fn c6_bulk_beats_gc() {
         let r = c6_local_heaps(64);
-        assert!(
-            r.bulk_cycles_per_object < r.gc_cycles_per_object,
-            "{r:?}"
-        );
+        assert!(r.bulk_cycles_per_object < r.gc_cycles_per_object, "{r:?}");
     }
 
     #[test]

@@ -16,15 +16,11 @@ use crate::{
     faults::{make_fault_port, service_faults, FaultDisposition},
 };
 use i432_arch::{AccessDescriptor, CodeBody, ObjectRef, Rights, Subprogram};
-use i432_gdp::{
-    native::NativeReturn,
-    process::ProcessSpec,
-    Fault, FaultKind,
-};
+use i432_gdp::{native::NativeReturn, process::ProcessSpec, Fault, FaultKind};
 use i432_sim::{RunOutcome, System};
 use imax_gc::{install_gc_daemon, Collector};
-use imax_ipc::{register_port_services, Port};
 use imax_io::IoSubsystem;
+use imax_ipc::{register_port_services, Port};
 use imax_process::{BasicProcessManager, FairShareScheduler, NullScheduler, RoundRobinScheduler};
 use imax_storage::{
     close_local_heap, open_local_heap_at, FrozenManager, SroQuota, StorageManager, SwappingManager,
@@ -126,7 +122,7 @@ impl Imax {
                         .ok_or_else(|| {
                             Fault::with_detail(FaultKind::NullAccess, "service call has no caller")
                         })?;
-                    let depth = cx.space.table.get(caller.obj).map_err(Fault::from)?.desc.level;
+                    let depth = cx.space.entry(caller.obj).map_err(Fault::from)?.desc.level;
                     let mut mgr = storage.lock();
                     let heap = open_local_heap_at(
                         mgr.as_mut(),
@@ -139,10 +135,9 @@ impl Imax {
                         Some(depth),
                     )
                     .map_err(|e| Fault::with_detail(FaultKind::StorageExhausted, e.to_string()))?;
-                    Ok(NativeReturn::ad(cx.space.mint(
-                        heap,
-                        Rights::ALLOCATE | Rights::RECLAIM,
-                    )))
+                    Ok(NativeReturn::ad(
+                        cx.space.mint(heap, Rights::ALLOCATE | Rights::RECLAIM),
+                    ))
                 })
         };
         let close_id = {
@@ -151,8 +146,9 @@ impl Imax {
                 .register("storage_management.close_local_heap", move |cx| {
                     cx.charge(200);
                     let mut mgr = storage.lock();
-                    let n = close_local_heap(mgr.as_mut(), cx.space, cx.process)
-                        .map_err(|e| Fault::with_detail(FaultKind::StorageExhausted, e.to_string()))?;
+                    let n = close_local_heap(mgr.as_mut(), cx.space, cx.process).map_err(|e| {
+                        Fault::with_detail(FaultKind::StorageExhausted, e.to_string())
+                    })?;
                     cx.charge(n as u64 * 20);
                     Ok(NativeReturn::value(n as u64))
                 })
@@ -375,9 +371,9 @@ impl LockAsMut for parking_lot::MutexGuard<'_, Box<dyn StorageManager>> {
 mod tests {
     use super::*;
     use crate::config::{GcChoice, ImaxConfig, SchedulingChoice};
+    use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
     use i432_gdp::isa::{AluOp, DataDst, DataRef};
     use i432_gdp::ProgramBuilder;
-    use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
 
     fn worker(imax: &mut Imax, iters: u64) -> AccessDescriptor {
         let mut p = ProgramBuilder::new();
@@ -385,7 +381,12 @@ mod tests {
         p.mov(DataRef::Imm(iters), DataDst::Local(0));
         p.bind(top);
         p.work(500);
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = imax.sys.subprogram("work", p.finish(), 64, 8);
@@ -472,7 +473,12 @@ mod tests {
         p.null_ad(6);
         p.call(CTX_SLOT_ARG as u16, 1, None, None, Some(24)); // close → count
         let ok = p.new_label();
-        p.alu(AluOp::Eq, DataRef::Local(24), DataRef::Imm(3), DataDst::Local(32));
+        p.alu(
+            AluOp::Eq,
+            DataRef::Local(24),
+            DataRef::Imm(3),
+            DataDst::Local(32),
+        );
         p.jump_if_nonzero(DataRef::Local(32), ok);
         p.push(i432_gdp::Instruction::RaiseFault { code: 2 });
         p.bind(ok);
@@ -532,9 +538,8 @@ mod tests {
         let dom = imax.sys.install_domain("app", vec![sub], 0);
         let proc_ref = imax.spawn_program(dom, 0, None);
         let _ = imax.run(500_000);
-        assert!(imax
-            .fault_log
-            .iter()
-            .any(|d| matches!(d, FaultDisposition::Terminated { process, .. } if *process == proc_ref)));
+        assert!(imax.fault_log.iter().any(
+            |d| matches!(d, FaultDisposition::Terminated { process, .. } if *process == proc_ref)
+        ));
     }
 }

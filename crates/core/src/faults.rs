@@ -12,7 +12,7 @@
 //!   the process is terminated (a richer system could forward these to a
 //!   per-application debugger port — the structure is the same).
 
-use i432_arch::{ObjectIndex, ObjectRef, ObjectSpace, ProcessStatus};
+use i432_arch::{ObjectIndex, ObjectRef, ProcessStatus, SpaceMut};
 use i432_gdp::{port, Fault, FaultKind};
 use imax_ipc::{untyped, Port};
 use imax_storage::StorageManager;
@@ -44,7 +44,7 @@ pub enum FaultDisposition {
 /// through the storage manager's `drain_cycles` (swapping manager) and
 /// are charged by the caller's service-pass accounting.
 pub fn service_faults(
-    space: &mut ObjectSpace,
+    space: &mut dyn SpaceMut,
     fault_port: Port,
     storage: &mut dyn StorageManager,
 ) -> Result<Vec<FaultDisposition>, Fault> {
@@ -58,7 +58,7 @@ pub fn service_faults(
         if code == FaultKind::SegmentAbsent.code() {
             // Repair: swap the segment back in and restart.
             let index = ObjectIndex(aux as u32);
-            match space.table.ref_for(index) {
+            match space.ref_for(index) {
                 Ok(obj) => {
                     storage
                         .ensure_resident(space, obj)
@@ -91,8 +91,8 @@ pub fn service_faults(
 
 /// Receives one carrier message (process AD) from a port the service
 /// holds with full trust.
-fn receive_carrier(
-    space: &mut ObjectSpace,
+fn receive_carrier<S: SpaceMut + ?Sized>(
+    space: &mut S,
     port: Port,
 ) -> Result<Option<i432_arch::AccessDescriptor>, Fault> {
     use i432_gdp::port::RecvOutcome;
@@ -104,14 +104,16 @@ fn receive_carrier(
 }
 
 /// Convenience used by boot: builds the system fault port.
-pub fn make_fault_port(space: &mut ObjectSpace, sro: ObjectRef) -> Result<Port, Fault> {
+pub fn make_fault_port<S: SpaceMut + ?Sized>(space: &mut S, sro: ObjectRef) -> Result<Port, Fault> {
     untyped::create_port(space, sro, 64, i432_arch::PortDiscipline::Fifo)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{Level, ObjectSpec, ObjectType, ProcessState, Rights, SysState, SystemType};
+    use i432_arch::{
+        Level, ObjectSpace, ObjectSpec, ObjectType, ProcessState, Rights, SysState, SystemType,
+    };
     use imax_storage::{FrozenManager, SwappingManager};
 
     fn faulted_process(space: &mut ObjectSpace, code: u16, aux: u64) -> ObjectRef {
@@ -153,10 +155,7 @@ mod tests {
         let outcomes = service_faults(&mut space, fport, &mut mgr).unwrap();
         assert_eq!(outcomes.len(), 1);
         assert!(matches!(&outcomes[0], FaultDisposition::Terminated { .. }));
-        assert_eq!(
-            space.process(p).unwrap().status,
-            ProcessStatus::Terminated
-        );
+        assert_eq!(space.process(p).unwrap().status, ProcessStatus::Terminated);
     }
 
     #[test]

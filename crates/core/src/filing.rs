@@ -21,7 +21,7 @@
 //! running process was out of scope for iMAX release 2 as well.
 
 use i432_arch::{
-    AccessDescriptor, Level, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, Rights, SysState,
+    AccessDescriptor, Level, ObjectRef, ObjectSpec, ObjectType, Rights, SpaceMut, SysState,
     SystemType,
 };
 use i432_gdp::{Fault, FaultKind};
@@ -104,7 +104,10 @@ impl PassiveStore {
         let mut r = Reader { bytes, at: 0 };
         let magic = r.take(8)?;
         if magic != b"iMAXFILE" {
-            return Err(Fault::with_detail(FaultKind::TypeMismatch, "bad file magic"));
+            return Err(Fault::with_detail(
+                FaultKind::TypeMismatch,
+                "bad file magic",
+            ));
         }
         let version = r.u32()?;
         if version != 1 {
@@ -174,7 +177,10 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], Fault> {
         if self.at + n > self.bytes.len() {
-            return Err(Fault::with_detail(FaultKind::Bounds, "truncated file image"));
+            return Err(Fault::with_detail(
+                FaultKind::Bounds,
+                "truncated file image",
+            ));
         }
         let s = &self.bytes[self.at..self.at + n];
         self.at += n;
@@ -193,7 +199,10 @@ impl<'a> Reader<'a> {
 ///
 /// Requires read rights on every reachable object (you cannot file what
 /// you cannot read). Fails on active system objects.
-pub fn passivate(space: &mut ObjectSpace, root: AccessDescriptor) -> Result<PassiveStore, Fault> {
+pub fn passivate<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    root: AccessDescriptor,
+) -> Result<PassiveStore, Fault> {
     let mut ids: HashMap<ObjectRef, u32> = HashMap::new();
     let mut store = PassiveStore {
         root: 0,
@@ -205,7 +214,7 @@ pub fn passivate(space: &mut ObjectSpace, root: AccessDescriptor) -> Result<Pass
     // Reserve slots so ids equal discovery order.
     while let Some(obj) = queue.pop() {
         let id = ids[&obj] as usize;
-        let entry = space.table.get(obj).map_err(Fault::from)?;
+        let entry = space.entry(obj).map_err(Fault::from)?;
         let otype = match (&entry.sys, entry.desc.otype) {
             (SysState::Generic, ObjectType::System(SystemType::Generic)) => PassiveType::Generic,
             (SysState::Generic, ObjectType::User(tdo)) => {
@@ -227,14 +236,16 @@ pub fn passivate(space: &mut ObjectSpace, root: AccessDescriptor) -> Result<Pass
                 ))
             }
         };
-        let entry = space.table.get(obj).map_err(Fault::from)?;
+        let entry = space.entry(obj).map_err(Fault::from)?;
         let level = entry.desc.level.0;
         let access_len = entry.desc.access_len;
         let data_len = entry.desc.data_len;
         let mut data = vec![0u8; data_len as usize];
         let read_ad = space.mint(obj, Rights::READ);
         if data_len > 0 {
-            space.read_data(read_ad, 0, &mut data).map_err(Fault::from)?;
+            space
+                .read_data(read_ad, 0, &mut data)
+                .map_err(Fault::from)?;
         }
         let mut edges = Vec::new();
         for slot in 0..access_len {
@@ -248,15 +259,13 @@ pub fn passivate(space: &mut ObjectSpace, root: AccessDescriptor) -> Result<Pass
             }
         }
         if store.objects.len() <= id {
-            store
-                .objects
-                .resize_with(ids.len(), || PassiveObject {
-                    otype: PassiveType::Generic,
-                    level: 0,
-                    data: Vec::new(),
-                    access_len: 0,
-                    edges: Vec::new(),
-                });
+            store.objects.resize_with(ids.len(), || PassiveObject {
+                otype: PassiveType::Generic,
+                level: 0,
+                data: Vec::new(),
+                access_len: 0,
+                edges: Vec::new(),
+            });
         }
         store.objects[id] = PassiveObject {
             otype,
@@ -284,8 +293,8 @@ pub fn passivate(space: &mut ObjectSpace, root: AccessDescriptor) -> Result<Pass
 /// identity is *preserved and checked*, never silently dropped (paper
 /// §7.2). Returns an access descriptor for the new root carrying the
 /// filed rights.
-pub fn activate(
-    space: &mut ObjectSpace,
+pub fn activate<S: SpaceMut + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
     store: &PassiveStore,
     mut resolve_type: impl FnMut(&str) -> Option<ObjectRef>,
@@ -344,6 +353,7 @@ pub fn activate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
     use imax_typemgr::TypeManager;
 
     fn space() -> ObjectSpace {
@@ -355,9 +365,15 @@ mod tests {
         let mut s = space();
         let root_sro = s.root_sro();
         // root -> {a, b}; a -> b (shared target).
-        let root = s.create_object(root_sro, ObjectSpec::generic(8, 2)).unwrap();
-        let a = s.create_object(root_sro, ObjectSpec::generic(8, 1)).unwrap();
-        let b = s.create_object(root_sro, ObjectSpec::generic(8, 0)).unwrap();
+        let root = s
+            .create_object(root_sro, ObjectSpec::generic(8, 2))
+            .unwrap();
+        let a = s
+            .create_object(root_sro, ObjectSpec::generic(8, 1))
+            .unwrap();
+        let b = s
+            .create_object(root_sro, ObjectSpec::generic(8, 0))
+            .unwrap();
         let (root_ad, a_ad, b_ad) = (
             s.mint(root, Rights::READ | Rights::WRITE),
             s.mint(a, Rights::READ | Rights::WRITE),
@@ -413,9 +429,13 @@ mod tests {
         .unwrap();
         // The revived object is a real instance: amplifiable by its
         // manager, rejected by others.
-        assert!(mgr2.amplify(&mut s2, revived.restricted(Rights::NONE)).is_ok());
+        assert!(mgr2
+            .amplify(&mut s2, revived.restricted(Rights::NONE))
+            .is_ok());
         let other = TypeManager::new(&mut s2, sro2, "other").unwrap();
-        assert!(other.amplify(&mut s2, revived.restricted(Rights::NONE)).is_err());
+        assert!(other
+            .amplify(&mut s2, revived.restricted(Rights::NONE))
+            .is_err());
 
         // Activation *without* the manager fails — identity is never
         // silently dropped.
@@ -428,8 +448,8 @@ mod tests {
     fn active_system_objects_refuse_to_file() {
         let mut s = space();
         let root_sro = s.root_sro();
-        let port = imax_ipc::create_port(&mut s, root_sro, 4, i432_arch::PortDiscipline::Fifo)
-            .unwrap();
+        let port =
+            imax_ipc::create_port(&mut s, root_sro, 4, i432_arch::PortDiscipline::Fifo).unwrap();
         assert!(passivate(&mut s, port.ad()).is_err());
     }
 
@@ -438,7 +458,9 @@ mod tests {
         assert!(PassiveStore::from_bytes(b"not a file").is_err());
         let mut s = space();
         let root_sro = s.root_sro();
-        let o = s.create_object(root_sro, ObjectSpec::generic(8, 0)).unwrap();
+        let o = s
+            .create_object(root_sro, ObjectSpec::generic(8, 0))
+            .unwrap();
         let o_ad = s.mint(o, Rights::READ);
         let filed = passivate(&mut s, o_ad).unwrap();
         let mut bytes = filed.to_bytes();

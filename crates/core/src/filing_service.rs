@@ -54,7 +54,6 @@ impl FilingService {
         // passivate(graph_root) -> sealed file object.
         let pass_id = {
             let cabinet = Arc::clone(&cabinet);
-            let file_type = file_type;
             sys.natives.register("filing.passivate", move |cx| {
                 let arg = cx.arg().ok_or_else(|| {
                     Fault::with_detail(FaultKind::NullAccess, "passivate needs a graph root")
@@ -79,7 +78,6 @@ impl FilingService {
         // activate(file) -> new graph root.
         let act_id = {
             let cabinet = Arc::clone(&cabinet);
-            let file_type = file_type;
             sys.natives.register("filing.activate", move |cx| {
                 let arg = cx.arg().ok_or_else(|| {
                     Fault::with_detail(FaultKind::NullAccess, "activate needs a file object")
@@ -91,13 +89,9 @@ impl FilingService {
                 let root = cx.space.root_sro();
                 let (store, types) = {
                     let cab = cabinet.lock();
-                    let store = cab
-                        .images
-                        .get(key)
-                        .cloned()
-                        .ok_or_else(|| {
-                            Fault::with_detail(FaultKind::Bounds, "file names no image")
-                        })?;
+                    let store = cab.images.get(key).cloned().ok_or_else(|| {
+                        Fault::with_detail(FaultKind::Bounds, "file names no image")
+                    })?;
                     (store, cab.types.clone())
                 };
                 let revived = activate(cx.space, root, &store, |name| types.get(name).copied())?;
@@ -151,9 +145,9 @@ impl FilingService {
     }
 
     /// Host-side activation (management interface).
-    pub fn activate_host(
+    pub fn activate_host<S: i432_arch::SpaceMut + ?Sized>(
         &self,
-        space: &mut i432_arch::ObjectSpace,
+        space: &mut S,
         key: usize,
     ) -> Result<i432_arch::AccessDescriptor, Fault> {
         let (store, types) = {
@@ -180,10 +174,10 @@ impl FilingService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_gdp::isa::{AluOp, DataDst, DataRef, Instruction};
-    use i432_gdp::ProgramBuilder;
     use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
     use i432_arch::ProcessStatus;
+    use i432_gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+    use i432_gdp::ProgramBuilder;
     use i432_sim::{RunOutcome, SystemConfig};
 
     #[test]

@@ -8,7 +8,9 @@
 //! own protection domain, not to anything an application could do with
 //! its capabilities.
 
-use i432_arch::{Color, ObjectIndex, ObjectRef, ObjectSpace, ObjectType, SysState};
+use i432_arch::{
+    Color, ObjectIndex, ObjectRef, ObjectType, SpaceAccess, SpaceMut, SpaceStats, SysState,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -35,9 +37,12 @@ pub struct Census {
 }
 
 /// Counts everything live in the space.
-pub fn census(space: &ObjectSpace) -> Census {
+pub fn census<S: SpaceMut + ?Sized>(space: &S) -> Census {
     let mut c = Census::default();
-    for (_, e) in space.table.iter_live() {
+    // User-typed objects need a second lookup (their TDO's name); collect
+    // the raw facts during the scan, resolve names after it.
+    let mut user_typed = Vec::new();
+    space.for_each_live(&mut |_, e| {
         c.live += 1;
         c.data_bytes += e.desc.data_len as u64;
         c.access_slots += e.desc.access_len as u64;
@@ -49,30 +54,32 @@ pub fn census(space: &ObjectSpace) -> Census {
         if e.desc.absent {
             c.absent += 1;
         }
-        let key = match e.desc.otype {
-            ObjectType::System(t) => t.name().to_string(),
-            ObjectType::User(tdo) => {
-                let name = space
-                    .tdo(tdo)
-                    .map(|t| t.name.clone())
-                    .unwrap_or_else(|_| "?".into());
-                format!("user:{name}")
+        match e.desc.otype {
+            ObjectType::System(t) => {
+                *c.by_type.entry(t.name().to_string()).or_insert(0) += 1;
             }
-        };
-        *c.by_type.entry(key).or_insert(0) += 1;
+            ObjectType::User(tdo) => user_typed.push(tdo),
+        }
+    });
+    for tdo in user_typed {
+        let name = space
+            .tdo(tdo)
+            .map(|t| t.name.clone())
+            .unwrap_or_else(|_| "?".into());
+        *c.by_type.entry(format!("user:{name}")).or_insert(0) += 1;
     }
     c
 }
 
 /// One line per live process: status, priority, cycles, fault state.
-pub fn process_report(space: &ObjectSpace) -> String {
+pub fn process_report<S: SpaceMut + ?Sized>(space: &S) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<8} {:<14} {:>4} {:>6} {:>12} {:>6}  detail",
         "object", "status", "prio", "stops", "cycles", "fault"
     );
-    for (i, e) in space.table.iter_live() {
+    space.for_each_live(&mut |i, e| {
         if let SysState::Process(p) = &e.sys {
             let _ = writeln!(
                 out,
@@ -86,19 +93,19 @@ pub fn process_report(space: &ObjectSpace) -> String {
                 p.fault_detail
             );
         }
-    }
+    });
     out
 }
 
 /// One line per live port: geometry, occupancy, waiters, counters.
-pub fn port_report(space: &ObjectSpace) -> String {
+pub fn port_report<S: SpaceMut + ?Sized>(space: &S) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<8} {:<10} {:>5} {:>5} {:>8} {:>8} {:>8} {:>8}",
         "object", "disc", "cap", "msgs", "waiters", "sends", "recvs", "blocked"
     );
-    for (i, e) in space.table.iter_live() {
+    space.for_each_live(&mut |i, e| {
         if let SysState::Port(p) = &e.sys {
             let _ = writeln!(
                 out,
@@ -113,19 +120,19 @@ pub fn port_report(space: &ObjectSpace) -> String {
                 p.stats.blocked_sends + p.stats.blocked_receives
             );
         }
-    }
+    });
     out
 }
 
 /// Storage accounting per SRO: free/used, object counts.
-pub fn storage_report(space: &ObjectSpace) -> String {
+pub fn storage_report<S: SpaceMut + ?Sized>(space: &S) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<8} {:>6} {:>12} {:>12} {:>8} {:>10}",
         "sro", "level", "data free", "slots free", "objects", "created"
     );
-    for (i, e) in space.table.iter_live() {
+    space.for_each_live(&mut |i, e| {
         if let SysState::Sro(s) = &e.sys {
             let _ = writeln!(
                 out,
@@ -138,17 +145,17 @@ pub fn storage_report(space: &ObjectSpace) -> String {
                 s.created_total
             );
         }
-    }
+    });
     out
 }
 
 /// Dumps the object graph reachable from `root` as indented text,
 /// following access parts depth-first (cycles elided with `^#n`).
-pub fn graph_dump(space: &ObjectSpace, root: ObjectRef, max_depth: u32) -> String {
+pub fn graph_dump<S: SpaceMut + ?Sized>(space: &mut S, root: ObjectRef, max_depth: u32) -> String {
     let mut out = String::new();
     let mut seen = std::collections::HashSet::new();
-    fn describe(space: &ObjectSpace, r: ObjectRef) -> String {
-        match space.table.get(r) {
+    fn describe<S: SpaceMut + ?Sized>(space: &S, r: ObjectRef) -> String {
+        match space.entry(r) {
             Ok(e) => format!(
                 "#{} {} lvl{} d{} a{}",
                 r.index.0, e.desc.otype, e.desc.level.0, e.desc.data_len, e.desc.access_len
@@ -156,8 +163,8 @@ pub fn graph_dump(space: &ObjectSpace, root: ObjectRef, max_depth: u32) -> Strin
             Err(_) => format!("#{} <dead>", r.index.0),
         }
     }
-    fn walk(
-        space: &ObjectSpace,
+    fn walk<S: SpaceMut + ?Sized>(
+        space: &mut S,
         r: ObjectRef,
         depth: u32,
         max_depth: u32,
@@ -173,7 +180,7 @@ pub fn graph_dump(space: &ObjectSpace, root: ObjectRef, max_depth: u32) -> Strin
         if depth >= max_depth {
             return;
         }
-        if let Ok(ads) = space.scan_access_part(r) {
+        if let Ok(ads) = SpaceAccess::scan_access_part(space, r) {
             for ad in ads {
                 walk(space, ad.obj, depth + 1, max_depth, seen, out);
             }
@@ -183,18 +190,53 @@ pub fn graph_dump(space: &ObjectSpace, root: ObjectRef, max_depth: u32) -> Strin
     out
 }
 
+// ---------------------------------------------------------------------------
+// SpaceStats snapshots
+// ---------------------------------------------------------------------------
+
+/// The field-wise difference of two [`SpaceStats`] snapshots: what a
+/// measured region of a run cost in hardware-level operations.
+pub type StatsDelta = SpaceStats;
+
+/// A point-in-time [`SpaceStats`] snapshot; the counters are monotonic,
+/// so `after - before` is a well-defined per-region cost.
+///
+/// ```ignore
+/// let before = StatsSnapshot::take(&mut space);
+/// /* ... the region of interest ... */
+/// let delta: StatsDelta = before.delta(&mut space);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot(SpaceStats);
+
+impl StatsSnapshot {
+    /// Snapshots the space counters (merged across shards).
+    pub fn take<S: SpaceAccess + ?Sized>(space: &mut S) -> StatsSnapshot {
+        StatsSnapshot(space.stats())
+    }
+
+    /// The cost accrued since this snapshot was taken.
+    pub fn delta<S: SpaceAccess + ?Sized>(&self, space: &mut S) -> StatsDelta {
+        space.stats() - self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{ObjectSpec, PortDiscipline, Rights};
+    use i432_arch::{ObjectSpace, ObjectSpec, PortDiscipline, Rights};
     use imax_ipc::create_port;
 
     fn populated_space() -> (ObjectSpace, ObjectRef) {
         let mut s = ObjectSpace::new(64 * 1024, 8 * 1024, 1024);
         let root_sro = s.root_sro();
         let port = create_port(&mut s, root_sro, 4, PortDiscipline::Fifo).unwrap();
-        let a = s.create_object(root_sro, ObjectSpec::generic(32, 2)).unwrap();
-        let b = s.create_object(root_sro, ObjectSpec::generic(16, 0)).unwrap();
+        let a = s
+            .create_object(root_sro, ObjectSpec::generic(32, 2))
+            .unwrap();
+        let b = s
+            .create_object(root_sro, ObjectSpec::generic(16, 0))
+            .unwrap();
         let a_ad = s.mint(a, Rights::READ | Rights::WRITE);
         let b_ad = s.mint(b, Rights::READ);
         s.store_ad(a_ad, 0, Some(b_ad)).unwrap();
@@ -216,8 +258,9 @@ mod tests {
 
     #[test]
     fn graph_dump_handles_cycles() {
-        let (s, a) = populated_space();
-        let dump = graph_dump(&s, s.table.ref_for(a.index).unwrap(), 5);
+        let (mut s, a) = populated_space();
+        let root = s.table.ref_for(a.index).unwrap();
+        let dump = graph_dump(&mut s, root, 5);
         assert!(dump.contains("generic"));
         assert!(dump.contains('^'), "cycle marker present:\n{dump}");
     }

@@ -24,9 +24,7 @@
 //! them is sound even while mutators keep running.
 
 use crate::{filter, roots::find_roots};
-use i432_arch::{
-    AccessDescriptor, Color, ObjectRef, ObjectSpace, ObjectType, SysState, SystemType,
-};
+use i432_arch::{AccessDescriptor, Color, ObjectRef, ObjectType, SpaceMut, SysState, SystemType};
 use i432_gdp::Fault;
 
 /// Collector phase.
@@ -103,12 +101,12 @@ impl Collector {
     }
 
     /// Begins a collection cycle: shades the roots gray.
-    pub fn start_cycle(&mut self, space: &mut ObjectSpace) -> Result<(), Fault> {
+    pub fn start_cycle<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<(), Fault> {
         debug_assert_eq!(self.phase, GcPhase::Idle);
         let mut roots = find_roots(space);
         roots.extend(self.config.extra_roots.iter().copied());
         for r in roots {
-            if space.table.get(r).is_ok() {
+            if space.entry(r).is_ok() {
                 space.shade(r).map_err(Fault::from)?;
                 self.gray_stack.push(r);
             }
@@ -120,7 +118,7 @@ impl Collector {
 
     /// Runs one collector increment. Returns `true` when a full cycle
     /// completed with this step.
-    pub fn step(&mut self, space: &mut ObjectSpace) -> Result<bool, Fault> {
+    pub fn step<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<bool, Fault> {
         match self.phase {
             GcPhase::Idle => {
                 self.start_cycle(space)?;
@@ -135,12 +133,12 @@ impl Collector {
     }
 
     /// Runs a complete cycle to the end (start → mark → sweep).
-    pub fn collect_full(&mut self, space: &mut ObjectSpace) -> Result<(), Fault> {
+    pub fn collect_full<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<(), Fault> {
         if self.phase == GcPhase::Idle {
             self.start_cycle(space)?;
         }
         // A bound far above any possible work guards against bugs.
-        for _ in 0..(space.table.capacity_used() as u64 * 8 + 1024) {
+        for _ in 0..(space.index_space_end() as u64 * 8 + 1024) {
             if self.step(space)? {
                 return Ok(());
             }
@@ -148,19 +146,19 @@ impl Collector {
         panic!("collector failed to terminate");
     }
 
-    fn mark_step(&mut self, space: &mut ObjectSpace) -> Result<(), Fault> {
+    fn mark_step<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<(), Fault> {
         self.stats.mark_steps += 1;
         if let Some(obj) = self.gray_stack.pop() {
             // The object may have been reclaimed (scope exit) since it
             // was pushed.
-            if space.table.get(obj).is_err() {
+            if space.entry(obj).is_err() {
                 return Ok(());
             }
             // Scan: shade every target, blacken the object.
             let ads = space.scan_access_part(obj).map_err(Fault::from)?;
             self.stats.sim_cycles += 20 + 4 * ads.len() as u64;
             for ad in ads {
-                if space.table.get(ad.obj).is_ok()
+                if space.entry(ad.obj).is_ok()
                     && space.color_of(ad.obj).map_err(Fault::from)? == Color::White
                 {
                     space.shade(ad.obj).map_err(Fault::from)?;
@@ -172,17 +170,18 @@ impl Collector {
         }
         // Stack drained: verification scan for mutator-shaded grays.
         self.stats.verification_scans += 1;
-        self.stats.sim_cycles += space.table.capacity_used() as u64;
+        self.stats.sim_cycles += space.index_space_end() as u64;
         let mut found = false;
-        for (i, e) in space.table.iter_live() {
+        let gray_stack = &mut self.gray_stack;
+        space.for_each_live(&mut |i, e| {
             if e.desc.color == Color::Gray {
-                self.gray_stack.push(ObjectRef {
+                gray_stack.push(ObjectRef {
                     index: i,
                     generation: e.generation,
                 });
                 found = true;
             }
-        }
+        });
         if !found {
             self.phase = GcPhase::Sweep;
             self.sweep_cursor = 0;
@@ -190,12 +189,12 @@ impl Collector {
         Ok(())
     }
 
-    fn sweep_step(&mut self, space: &mut ObjectSpace) -> Result<bool, Fault> {
+    fn sweep_step<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<bool, Fault> {
         self.stats.sweep_steps += 1;
         let chunk = self.config.sweep_chunk.max(1);
-        let end = (self.sweep_cursor + chunk).min(space.table.capacity_used());
+        let end = (self.sweep_cursor + chunk).min(space.index_space_end());
         for idx in self.sweep_cursor..end {
-            let Some(e) = space.table.get_by_index(i432_arch::ObjectIndex(idx)) else {
+            let Some(e) = space.entry_by_index(i432_arch::ObjectIndex(idx)) else {
                 continue;
             };
             let r = ObjectRef {
@@ -217,7 +216,7 @@ impl Collector {
             }
         }
         self.sweep_cursor = end;
-        if self.sweep_cursor >= space.table.capacity_used() {
+        if self.sweep_cursor >= space.index_space_end() {
             self.phase = GcPhase::Idle;
             self.stats.cycles += 1;
             return Ok(true);
@@ -225,8 +224,12 @@ impl Collector {
         Ok(false)
     }
 
-    fn reclaim_or_finalize(&mut self, space: &mut ObjectSpace, r: ObjectRef) -> Result<(), Fault> {
-        let e = space.table.get(r).map_err(Fault::from)?;
+    fn reclaim_or_finalize<S: SpaceMut + ?Sized>(
+        &mut self,
+        space: &mut S,
+        r: ObjectRef,
+    ) -> Result<(), Fault> {
+        let e = space.entry(r).map_err(Fault::from)?;
         // The root SRO has no parent and is indestructible; it is also
         // always a root, so a white root SRO indicates a bug.
         if e.desc.sro.is_none() {
@@ -246,7 +249,11 @@ impl Collector {
             };
             if let Some(port) = filter_port {
                 if filter::deliver(space, port, r)? {
-                    space.table.get_mut(r).map_err(Fault::from)?.desc.filter_notified = true;
+                    space
+                        .entry_mut(r)
+                        .map_err(Fault::from)?
+                        .desc
+                        .filter_notified = true;
                     self.stats.finalized += 1;
                     self.stats.sim_cycles += 120;
                     return Ok(());
@@ -260,7 +267,7 @@ impl Collector {
         // its objects are garbage too (nothing outside an SRO's clients
         // references it) and will be reclaimed as the sweep reaches them,
         // after which a later cycle reclaims the SRO itself.
-        if let SysState::Sro(st) = &space.table.get(r).map_err(Fault::from)?.sys {
+        if let SysState::Sro(st) = &space.entry(r).map_err(Fault::from)?.sys {
             if st.object_count > 0 {
                 return Ok(());
             }
@@ -282,7 +289,7 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{ObjectSpec, ProcessorState, Rights};
+    use i432_arch::{ObjectSpace, ObjectSpec, ProcessorState, Rights};
 
     /// A space with one processor whose root-directory slot anchors a
     /// "keep" object.

@@ -12,9 +12,9 @@
 //! synchronization with the rest of iMAX is the hardware gray bit.
 
 use crate::collector::Collector;
-use i432_sim::System;
 use i432_arch::{CodeBody, ObjectRef, Subprogram};
 use i432_gdp::{native::NativeReturn, process::ProcessSpec, ProgramBuilder};
+use i432_sim::System;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -104,7 +104,12 @@ mod tests {
             DataRef::Imm(0),
             6,
         );
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = sys.subprogram("garbage_maker", p.finish(), 64, 8);
@@ -119,7 +124,10 @@ mod tests {
             "{outcome:?}"
         );
         let stats = collector.lock().stats;
-        assert!(stats.cycles >= 1, "daemon completed at least one cycle: {stats:?}");
+        assert!(
+            stats.cycles >= 1,
+            "daemon completed at least one cycle: {stats:?}"
+        );
         assert!(
             stats.reclaimed >= 30,
             "dropped objects were reclaimed: {stats:?}"
@@ -130,7 +138,7 @@ mod tests {
             Some(i432_arch::ProcessStatus::Terminated)
         );
         // Live system structures survived: spot-check the dispatch port.
-        assert!(sys.space.table.get(sys.dispatch_port()).is_ok());
+        assert!(sys.space.entry(sys.dispatch_port()).is_ok());
         let _ = sys
             .space
             .create_object(sys.space.root_sro(), ObjectSpec::generic(8, 0))

@@ -6,7 +6,7 @@
 //! garbage collector will manufacture an access descriptor for such
 //! objects and send them to a port defined by the type manager."
 
-use i432_arch::{AccessDescriptor, ObjectRef, ObjectSpace, Rights};
+use i432_arch::{AccessDescriptor, ObjectRef, Rights, SpaceMut};
 use i432_gdp::{
     port::{self, RecvOutcome, SendOutcome},
     Fault,
@@ -14,11 +14,11 @@ use i432_gdp::{
 use imax_typemgr::filter_port_of;
 
 /// The filter port for a user type, if one is bound.
-pub fn filter_port_for(
-    space: &mut ObjectSpace,
+pub fn filter_port_for<S: SpaceMut + ?Sized>(
+    space: &mut S,
     tdo: ObjectRef,
 ) -> Result<Option<AccessDescriptor>, Fault> {
-    if space.table.get(tdo).is_err() {
+    if space.entry(tdo).is_err() {
         // The type definition itself is garbage; no one is left to
         // finalize instances.
         return Ok(None);
@@ -30,12 +30,12 @@ pub fn filter_port_for(
 /// and sends it to the filter port (carrier send: the collector is
 /// trusted microcode-level machinery). Returns `false` when the port
 /// could not take the message.
-pub fn deliver(
-    space: &mut ObjectSpace,
+pub fn deliver<S: SpaceMut + ?Sized>(
+    space: &mut S,
     port_ad: AccessDescriptor,
     garbage: ObjectRef,
 ) -> Result<bool, Fault> {
-    if space.table.get(port_ad.obj).is_err() {
+    if space.entry(port_ad.obj).is_err() {
         return Ok(false);
     }
     // "The garbage collector will manufacture an access descriptor":
@@ -51,8 +51,8 @@ pub fn deliver(
 /// Drains a filter port on behalf of a type manager, returning the
 /// recovered objects (host-level convenience used by managers and
 /// tests).
-pub fn drain_filter_port(
-    space: &mut ObjectSpace,
+pub fn drain_filter_port<S: SpaceMut + ?Sized>(
+    space: &mut S,
     port_ad: AccessDescriptor,
 ) -> Result<Vec<AccessDescriptor>, Fault> {
     let mut out = Vec::new();
@@ -70,7 +70,7 @@ mod tests {
     use super::*;
     use crate::collector::Collector;
     use i432_arch::{
-        ObjectSpec, ObjectType, PortDiscipline, ProcessorState, SysState, SystemType,
+        ObjectSpace, ObjectSpec, ObjectType, PortDiscipline, ProcessorState, SysState, SystemType,
     };
     use imax_ipc::create_port;
     use imax_typemgr::{bind_destruction_filter, TypeManager};
@@ -181,7 +181,10 @@ mod tests {
             )
             .unwrap();
         gc.collect_full(&mut s).unwrap();
-        assert!(s.table.get(lost).is_ok(), "process recovered, not reclaimed");
+        assert!(
+            s.table.get(lost).is_ok(),
+            "process recovered, not reclaimed"
+        );
         let recovered = drain_filter_port(&mut s, fport.ad()).unwrap();
         assert_eq!(recovered.len(), 1);
         assert_eq!(recovered[0].obj, lost);

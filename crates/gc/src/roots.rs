@@ -1,6 +1,6 @@
 //! Garbage-collection roots.
 
-use i432_arch::{ObjectRef, ObjectSpace, ObjectType, SystemType};
+use i432_arch::{ObjectRef, ObjectType, SpaceMut, SystemType};
 
 /// Discovers the root set: every processor object plus the root SRO.
 ///
@@ -9,23 +9,28 @@ use i432_arch::{ObjectRef, ObjectSpace, ObjectType, SystemType};
 /// process, or its root-directory slot (global domains and services).
 /// This is the capability answer to "what is live": there is no central
 /// registry to consult (paper §7.1).
-pub fn find_roots(space: &ObjectSpace) -> Vec<ObjectRef> {
+pub fn find_roots<S: SpaceMut + ?Sized>(space: &S) -> Vec<ObjectRef> {
     let mut roots = vec![space.root_sro()];
-    for (i, e) in space.table.iter_live() {
+    // Every shard root SRO is a root: objects charge their storage to
+    // their shard's root when no intermediate SRO intervenes.
+    for k in 1..space.shard_count() {
+        roots.push(space.root_sro_of(k));
+    }
+    space.for_each_live(&mut |i, e| {
         if e.desc.otype == ObjectType::System(SystemType::Processor) {
             roots.push(ObjectRef {
                 index: i,
                 generation: e.generation,
             });
         }
-    }
+    });
     roots
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{ObjectSpec, ProcessorState, SysState};
+    use i432_arch::{ObjectSpace, ObjectSpec, ProcessorState, SysState};
 
     #[test]
     fn processors_and_root_sro_are_roots() {

@@ -11,29 +11,29 @@
 use crate::fault::{Fault, FaultKind};
 use i432_arch::{
     sysobj::{CTX_SLOT_ARG, CTX_SLOT_CALLER, CTX_SLOT_DOMAIN, CTX_SLOT_SRO},
-    AccessDescriptor, ContextState, Level, ObjectRef, ObjectSpace, ObjectSpec,
-    ObjectType, Rights, Subprogram, SysState, SystemType,
+    AccessDescriptor, ContextState, Level, ObjectRef, ObjectSpec, ObjectType, Rights, SpaceAccess,
+    SpaceAccessExt, Subprogram, SysState, SystemType,
 };
 
 /// Looks up (and clones) a domain's subprogram entry.
-pub fn subprogram_of(
-    space: &ObjectSpace,
+pub fn subprogram_of<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     domain: ObjectRef,
     index: u32,
 ) -> Result<Subprogram, Fault> {
-    let entry = space.table.get(domain).map_err(Fault::from)?;
-    let SysState::Domain(d) = &entry.sys else {
-        return Err(Fault::with_detail(FaultKind::TypeMismatch, "not a domain"));
-    };
-    d.subprograms
-        .get(index as usize)
-        .cloned()
-        .ok_or_else(|| {
-            Fault::with_detail(
-                FaultKind::BadSubprogram,
-                format!("domain '{}' has no subprogram {}", d.name, index),
-            )
+    space
+        .entry_view(domain, |entry| {
+            let SysState::Domain(d) = &entry.sys else {
+                return Err(Fault::with_detail(FaultKind::TypeMismatch, "not a domain"));
+            };
+            d.subprograms.get(index as usize).cloned().ok_or_else(|| {
+                Fault::with_detail(
+                    FaultKind::BadSubprogram,
+                    format!("domain '{}' has no subprogram {}", d.name, index),
+                )
+            })
         })
+        .map_err(Fault::from)?
 }
 
 /// Creates a context for `subprogram` of `domain`, at one level deeper
@@ -42,8 +42,8 @@ pub fn subprogram_of(
 /// Linkage slots are filled: domain, caller (if any), SRO, argument (if
 /// any). Returns the new context.
 #[allow(clippy::too_many_arguments)]
-pub fn create_context(
-    space: &mut ObjectSpace,
+pub fn create_context<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
     domain_ad: AccessDescriptor,
     subprogram: u32,
@@ -83,10 +83,8 @@ pub fn create_context(
     // read amplification happens here, in the hardware's environment
     // switch — this is what makes packages protection domains rather
     // than mere code).
-    let own_view = i432_arch::AccessDescriptor::new(
-        domain_ad.obj,
-        domain_ad.rights.union(Rights::READ),
-    );
+    let own_view =
+        i432_arch::AccessDescriptor::new(domain_ad.obj, domain_ad.rights.union(Rights::READ));
     space
         .store_ad_hw(ctx, CTX_SLOT_DOMAIN, Some(own_view))
         .map_err(Fault::from)?;
@@ -104,35 +102,45 @@ pub fn create_context(
 }
 
 /// Destroys a context, returning its storage to its SRO.
-pub fn destroy_context(space: &mut ObjectSpace, ctx: ObjectRef) -> Result<(), Fault> {
+pub fn destroy_context<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    ctx: ObjectRef,
+) -> Result<(), Fault> {
     space.destroy_object(ctx).map_err(Fault::from)?;
     Ok(())
 }
 
 /// Reads a context's interpreted state.
-pub fn context_state(space: &ObjectSpace, ctx: ObjectRef) -> Result<ContextState, Fault> {
-    match &space.table.get(ctx).map_err(Fault::from)?.sys {
-        SysState::Context(c) => Ok(*c),
-        _ => Err(Fault::with_detail(FaultKind::TypeMismatch, "not a context")),
-    }
+pub fn context_state<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    ctx: ObjectRef,
+) -> Result<ContextState, Fault> {
+    space
+        .entry_view(ctx, |e| match &e.sys {
+            SysState::Context(c) => Ok(*c),
+            _ => Err(Fault::with_detail(FaultKind::TypeMismatch, "not a context")),
+        })
+        .map_err(Fault::from)?
 }
 
 /// Mutates a context's interpreted state.
-pub fn with_context_state<R>(
-    space: &mut ObjectSpace,
+pub fn with_context_state<S: SpaceAccess + ?Sized, R>(
+    space: &mut S,
     ctx: ObjectRef,
     f: impl FnOnce(&mut ContextState) -> R,
 ) -> Result<R, Fault> {
-    match &mut space.table.get_mut(ctx).map_err(Fault::from)?.sys {
-        SysState::Context(c) => Ok(f(c)),
-        _ => Err(Fault::with_detail(FaultKind::TypeMismatch, "not a context")),
-    }
+    space
+        .entry_update(ctx, |e| match &mut e.sys {
+            SysState::Context(c) => Ok(f(c)),
+            _ => Err(Fault::with_detail(FaultKind::TypeMismatch, "not a context")),
+        })
+        .map_err(Fault::from)?
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{CodeBody, CodeRef, DomainState};
+    use i432_arch::{CodeBody, CodeRef, DomainState, ObjectSpace};
 
     fn domain_with_sub(space: &mut ObjectSpace) -> ObjectRef {
         let root = space.root_sro();
@@ -164,22 +172,23 @@ mod tests {
         let root = s.root_sro();
         let dom = domain_with_sub(&mut s);
         let dad = s.mint(dom, Rights::CALL);
-        let sub = subprogram_of(&s, dom, 0).unwrap();
-        let ctx = create_context(
-            &mut s, root, dad, 0, &sub, None, None, Level(0), None, None,
-        )
-        .unwrap();
+        let sub = subprogram_of(&mut s, dom, 0).unwrap();
+        let ctx =
+            create_context(&mut s, root, dad, 0, &sub, None, None, Level(0), None, None).unwrap();
         assert_eq!(s.table.get(ctx).unwrap().desc.level, Level(1));
         let ctx_ad = s.mint(ctx, Rights::READ);
         // The context holds the defining-environment view: the caller's
         // call rights plus read access to the package's own state.
         assert_eq!(
             s.load_ad(ctx_ad, CTX_SLOT_DOMAIN).unwrap(),
-            Some(AccessDescriptor::new(dad.obj, dad.rights.union(Rights::READ)))
+            Some(AccessDescriptor::new(
+                dad.obj,
+                dad.rights.union(Rights::READ)
+            ))
         );
         assert_eq!(s.load_ad(ctx_ad, CTX_SLOT_CALLER).unwrap(), None);
         assert!(s.load_ad(ctx_ad, CTX_SLOT_SRO).unwrap().is_some());
-        let st = context_state(&s, ctx).unwrap();
+        let st = context_state(&mut s, ctx).unwrap();
         assert_eq!(st.ip, 0);
         assert_eq!(st.subprogram, 0);
     }
@@ -188,7 +197,7 @@ mod tests {
     fn bad_subprogram_index_faults() {
         let mut s = ObjectSpace::new(8192, 512, 128);
         let dom = domain_with_sub(&mut s);
-        let e = subprogram_of(&s, dom, 5).unwrap_err();
+        let e = subprogram_of(&mut s, dom, 5).unwrap_err();
         assert_eq!(e.kind, FaultKind::BadSubprogram);
     }
 
@@ -198,12 +207,10 @@ mod tests {
         let root = s.root_sro();
         let dom = domain_with_sub(&mut s);
         let dad = s.mint(dom, Rights::CALL);
-        let sub = subprogram_of(&s, dom, 0).unwrap();
+        let sub = subprogram_of(&mut s, dom, 0).unwrap();
         let before = s.sro(root).unwrap().data_free.total_free();
-        let ctx = create_context(
-            &mut s, root, dad, 0, &sub, None, None, Level(0), None, None,
-        )
-        .unwrap();
+        let ctx =
+            create_context(&mut s, root, dad, 0, &sub, None, None, Level(0), None, None).unwrap();
         assert!(s.sro(root).unwrap().data_free.total_free() < before);
         destroy_context(&mut s, ctx).unwrap();
         assert_eq!(s.sro(root).unwrap().data_free.total_free(), before);

@@ -20,14 +20,19 @@ use crate::{
 };
 use i432_arch::{
     sysobj::{CTX_SLOT_CALLER, CTX_SLOT_SRO, PROC_SLOT_CONTEXT, PROC_SLOT_LOCAL_HEAP},
-    AccessDescriptor, CodeBody, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, ProcessStatus,
-    ProcessorStatus, Rights, SysState, SystemType,
+    AccessDescriptor, CodeBody, ObjectRef, ObjectSpec, ObjectType, ProcessStatus, ProcessorStatus,
+    Rights, SpaceAccess, SpaceAccessExt, SysState, SystemType,
 };
 
 /// Everything a processor needs besides its own state.
-pub struct Env<'a> {
+///
+/// `S` is any object-space implementation: the plain [`i432_arch::ObjectSpace`],
+/// the deterministic sharded space, or a per-thread
+/// [`i432_arch::SpaceAgent`] over a lock-striped shared space. All
+/// capability checks stay behind the [`SpaceAccess`] boundary.
+pub struct Env<'a, S: SpaceAccess + ?Sized> {
     /// The shared object space.
-    pub space: &'a mut ObjectSpace,
+    pub space: &'a mut S,
     /// The shared code store.
     pub code: &'a CodeStore,
     /// Registered native service bodies.
@@ -122,13 +127,16 @@ enum Ctl {
 /// Extra cycles a RECEIVE pays to select among queued messages: FIFO
 /// takes the head for free; priority/deadline disciplines scan the keys
 /// (2 cycles per queued entry, the hardware's linear selection).
-fn queue_scan_cost(space: &ObjectSpace, port_ad: AccessDescriptor) -> u64 {
-    match space.table.get(port_ad.obj).map(|e| &e.sys) {
-        Ok(SysState::Port(p)) if p.discipline != i432_arch::PortDiscipline::Fifo => {
-            2 * p.msg_count as u64
-        }
-        _ => 0,
-    }
+fn queue_scan_cost<S: SpaceAccess + ?Sized>(space: &mut S, port_ad: AccessDescriptor) -> u64 {
+    space
+        .with_port(port_ad.obj, |p| {
+            if p.discipline != i432_arch::PortDiscipline::Fifo {
+                2 * p.msg_count as u64
+            } else {
+                0
+            }
+        })
+        .unwrap_or(0)
 }
 
 /// One emulated General Data Processor.
@@ -147,9 +155,9 @@ impl Gdp {
     }
 
     /// Advances this processor by one unit of work.
-    pub fn step(&mut self, env: &mut Env<'_>) -> StepEvent {
-        let status = match env.space.processor(self.cpu) {
-            Ok(p) => p.status,
+    pub fn step<S: SpaceAccess + ?Sized>(&mut self, env: &mut Env<'_, S>) -> StepEvent {
+        let status = match env.space.with_processor(self.cpu, |p| p.status) {
+            Ok(status) => status,
             Err(e) => {
                 return StepEvent::SystemError {
                     process: None,
@@ -165,7 +173,7 @@ impl Gdp {
         let proc_ref = match current_process(env.space, self.cpu) {
             Ok(Some(p)) => p,
             Ok(None) => {
-                return match try_dispatch(env.space, self.cpu) {
+                return match env.space.atomically(|sm| try_dispatch(sm, self.cpu)) {
                     Ok(Some(p)) => {
                         self.tick(env, env.cost.dispatch_fixed, true);
                         StepEvent::Dispatched(p)
@@ -187,26 +195,35 @@ impl Gdp {
     }
 
     /// Advances the local clock and processor accounting.
-    fn tick(&mut self, env: &mut Env<'_>, cycles: u64, busy: bool) {
+    fn tick<S: SpaceAccess + ?Sized>(&mut self, env: &mut Env<'_, S>, cycles: u64, busy: bool) {
         self.clock += cycles;
-        if let Ok(p) = env.space.processor_mut(self.cpu) {
+        let _ = env.space.with_processor_mut(self.cpu, |p| {
             if busy {
                 p.busy_cycles += cycles;
             } else {
                 p.idle_cycles += cycles;
             }
-        }
+        });
     }
 
-    fn system_error(&mut self, env: &mut Env<'_>, process: Option<ObjectRef>, fault: Fault) -> StepEvent {
-        if let Ok(p) = env.space.processor_mut(self.cpu) {
-            p.status = ProcessorStatus::Halted;
-        }
+    fn system_error<S: SpaceAccess + ?Sized>(
+        &mut self,
+        env: &mut Env<'_, S>,
+        process: Option<ObjectRef>,
+        fault: Fault,
+    ) -> StepEvent {
+        let _ = env
+            .space
+            .with_processor_mut(self.cpu, |p| p.status = ProcessorStatus::Halted);
         StepEvent::SystemError { process, fault }
     }
 
     /// Executes one instruction of the bound process.
-    fn run_one(&mut self, env: &mut Env<'_>, proc_ref: ObjectRef) -> Result<StepEvent, Fault> {
+    fn run_one<S: SpaceAccess + ?Sized>(
+        &mut self,
+        env: &mut Env<'_, S>,
+        proc_ref: ObjectRef,
+    ) -> Result<StepEvent, Fault> {
         let ctx = env
             .space
             .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)
@@ -230,30 +247,39 @@ impl Gdp {
             }
             CodeBody::Native(id) => {
                 // A process whose root body is native: run it to
-                // completion in one step, then exit.
-                let mut ncx = NativeCtx {
-                    space: env.space,
-                    process: proc_ref,
-                    context: ctx,
-                    cycles: 0,
-                };
-                let result = env.natives.invoke(id, &mut ncx);
-                charge.add(ncx.cycles);
+                // completion in one step, then exit. Native bodies see
+                // the whole space at once (indivisible section).
+                let natives = env.natives;
+                let (result, ncycles) = env.space.atomically(|sm| {
+                    let mut ncx = NativeCtx {
+                        space: sm,
+                        process: proc_ref,
+                        context: ctx,
+                        cycles: 0,
+                    };
+                    let r = natives.invoke(id, &mut ncx);
+                    (r, ncx.cycles)
+                });
+                charge.add(ncycles);
                 result?;
                 Ctl::Exited
             }
         };
 
         // Bus contention and accounting.
-        let cpu_id = env.space.processor(self.cpu).map_err(Fault::from)?.id;
+        let cpu_id = env
+            .space
+            .with_processor(self.cpu, |p| p.id)
+            .map_err(Fault::from)?;
         let wait = env.bus.access(cpu_id, self.clock, charge.words);
         let total = charge.cycles + wait;
         self.tick(env, total, true);
-        {
-            let ps = env.space.process_mut(proc_ref).map_err(Fault::from)?;
-            ps.total_cycles += total;
-            ps.slice_remaining = ps.slice_remaining.saturating_sub(total);
-        }
+        env.space
+            .with_process_mut(proc_ref, |ps| {
+                ps.total_cycles += total;
+                ps.slice_remaining = ps.slice_remaining.saturating_sub(total);
+            })
+            .map_err(Fault::from)?;
 
         match ctl {
             Ctl::Next => {
@@ -278,18 +304,20 @@ impl Gdp {
     }
 
     /// Requeues the process at its dispatching port if its slice expired.
-    fn maybe_preempt(
+    fn maybe_preempt<S: SpaceAccess + ?Sized>(
         &mut self,
-        env: &mut Env<'_>,
+        env: &mut Env<'_, S>,
         proc_ref: ObjectRef,
         cycles: u64,
     ) -> Result<StepEvent, Fault> {
-        let expired = {
-            let ps = env.space.process(proc_ref).map_err(Fault::from)?;
-            ps.slice_remaining == 0 && ps.status == ProcessStatus::Running
-        };
+        let expired = env
+            .space
+            .with_process(proc_ref, |ps| {
+                ps.slice_remaining == 0 && ps.status == ProcessStatus::Running
+            })
+            .map_err(Fault::from)?;
         if expired {
-            port::make_ready(env.space, proc_ref)?;
+            env.space.atomically(|sm| port::make_ready(sm, proc_ref))?;
             unbind(env.space, self.cpu)?;
             return Ok(StepEvent::TimesliceEnd(proc_ref));
         }
@@ -301,7 +329,11 @@ impl Gdp {
 
     /// Terminates the process: tears down its context chain, notifies its
     /// scheduler, and idles the processor.
-    fn exit_process(&mut self, env: &mut Env<'_>, proc_ref: ObjectRef) -> Result<(), Fault> {
+    fn exit_process<S: SpaceAccess + ?Sized>(
+        &mut self,
+        env: &mut Env<'_, S>,
+        proc_ref: ObjectRef,
+    ) -> Result<(), Fault> {
         // Destroy the context chain (implicit hardware cleanup; any local
         // heaps die with their SROs via the same path at RETURNs — a HALT
         // deep in a call chain reclaims the whole chain here).
@@ -333,8 +365,10 @@ impl Gdp {
                 .store_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP, None)
                 .map_err(Fault::from)?;
         }
-        env.space.process_mut(proc_ref).map_err(Fault::from)?.status = ProcessStatus::Terminated;
-        let _ = notify_scheduler(env.space, proc_ref);
+        env.space
+            .with_process_mut(proc_ref, |ps| ps.status = ProcessStatus::Terminated)
+            .map_err(Fault::from)?;
+        let _ = env.space.atomically(|sm| notify_scheduler(sm, proc_ref));
         unbind(env.space, self.cpu)?;
         Ok(())
     }
@@ -342,23 +376,30 @@ impl Gdp {
     /// Handles a process-level fault: checks the system-level permission
     /// tiers of paper §7.3, records the fault, and delivers the process to
     /// its fault port.
-    fn process_fault(&mut self, env: &mut Env<'_>, proc_ref: ObjectRef, fault: Fault) -> StepEvent {
+    fn process_fault<S: SpaceAccess + ?Sized>(
+        &mut self,
+        env: &mut Env<'_, S>,
+        proc_ref: ObjectRef,
+        fault: Fault,
+    ) -> StepEvent {
         let sys_level = env
             .space
-            .process(proc_ref)
-            .map(|p| p.sys_level)
+            .with_process(proc_ref, |p| p.sys_level)
             .unwrap_or(3);
         if !fault.kind.permitted_at(sys_level) {
             return self.system_error(env, Some(proc_ref), fault);
         }
         self.tick(env, env.cost.fault_delivery, true);
-        if let Ok(ps) = env.space.process_mut(proc_ref) {
+        let code = fault.kind.code();
+        let detail = fault.to_string();
+        let aux = fault.aux;
+        let _ = env.space.with_process_mut(proc_ref, |ps| {
             ps.status = ProcessStatus::Faulted;
-            ps.fault_code = fault.kind.code();
-            ps.fault_detail = fault.to_string();
-            ps.fault_aux = fault.aux;
-        }
-        match deliver_fault(env.space, proc_ref) {
+            ps.fault_code = code;
+            ps.fault_detail = detail;
+            ps.fault_aux = aux;
+        });
+        match env.space.atomically(|sm| deliver_fault(sm, proc_ref)) {
             Ok(_) => {}
             Err(f) => return self.system_error(env, Some(proc_ref), f),
         }
@@ -373,9 +414,9 @@ impl Gdp {
 
     // -- Operand helpers --------------------------------------------------------
 
-    fn read_ref(
+    fn read_ref<S: SpaceAccess + ?Sized>(
         &self,
-        env: &mut Env<'_>,
+        env: &mut Env<'_, S>,
         ctx_ad: AccessDescriptor,
         r: DataRef,
         charge: &mut Charge,
@@ -398,9 +439,9 @@ impl Gdp {
         }
     }
 
-    fn write_dst(
+    fn write_dst<S: SpaceAccess + ?Sized>(
         &self,
-        env: &mut Env<'_>,
+        env: &mut Env<'_, S>,
         ctx_ad: AccessDescriptor,
         d: DataDst,
         v: u64,
@@ -426,9 +467,9 @@ impl Gdp {
     // -- The instruction dispatch ---------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn exec_instr(
+    fn exec_instr<S: SpaceAccess + ?Sized>(
         &mut self,
-        env: &mut Env<'_>,
+        env: &mut Env<'_, S>,
         proc_ref: ObjectRef,
         ctx: ObjectRef,
         instr: Instruction,
@@ -495,7 +536,9 @@ impl Gdp {
                     .map_err(Fault::from)?;
                 let idx = self.read_ref(env, ctx_ad, index, charge)? as u32;
                 let ad = env.space.load_ad(ctx_ad, src as u32).map_err(Fault::from)?;
-                env.space.store_ad(container, idx, ad).map_err(Fault::from)?;
+                env.space
+                    .store_ad(container, idx, ad)
+                    .map_err(Fault::from)?;
                 Ok(Ctl::Next)
             }
             Instruction::NullAd { dst } => {
@@ -584,7 +627,9 @@ impl Gdp {
                         },
                     )
                     .map_err(Fault::from)?;
-                env.space.tdo_mut(tdo_ad.obj).map_err(Fault::from)?.instances_created += 1;
+                env.space
+                    .with_tdo_mut(tdo_ad.obj, |t| t.instances_created += 1)
+                    .map_err(Fault::from)?;
                 let new_ad = env.space.mint(new, Rights::ALL);
                 env.space
                     .store_ad(ctx_ad, dst as u32, Some(new_ad))
@@ -609,7 +654,7 @@ impl Gdp {
                     .space
                     .load_ad_required(ctx_ad, slot as u32)
                     .map_err(Fault::from)?;
-                let otype = env.space.table.get(target.obj).map_err(Fault::from)?.desc.otype;
+                let otype = env.space.otype_of(target.obj).map_err(Fault::from)?;
                 if otype.user_tdo() != Some(tdo_ad.obj) {
                     return Err(Fault::with_detail(
                         FaultKind::TypeMismatch,
@@ -628,7 +673,9 @@ impl Gdp {
                 arg,
                 ret_ad,
                 ret_val,
-            } => self.exec_call(env, proc_ref, ctx, domain, subprogram, arg, ret_ad, ret_val, charge),
+            } => self.exec_call(
+                env, proc_ref, ctx, domain, subprogram, arg, ret_ad, ret_val, charge,
+            ),
             Instruction::Return { ad, value } => {
                 self.exec_return(env, proc_ref, ctx, ad, value, charge)
             }
@@ -644,7 +691,9 @@ impl Gdp {
                     .load_ad_required(ctx_ad, msg as u32)
                     .map_err(Fault::from)?;
                 let k = self.read_ref(env, ctx_ad, key, charge)?;
-                match port::send(env.space, Some(proc_ref), port_ad, msg_ad, k, true, false)? {
+                match env.space.atomically(|sm| {
+                    port::send(sm, Some(proc_ref), port_ad, msg_ad, k, true, false)
+                })? {
                     SendOutcome::Blocked => Ok(Ctl::Blocked),
                     _ => Ok(Ctl::Next),
                 }
@@ -666,7 +715,9 @@ impl Gdp {
                     .load_ad_required(ctx_ad, msg as u32)
                     .map_err(Fault::from)?;
                 let k = self.read_ref(env, ctx_ad, key, charge)?;
-                let ok = match port::send(env.space, Some(proc_ref), port_ad, msg_ad, k, false, false)? {
+                let ok = match env.space.atomically(|sm| {
+                    port::send(sm, Some(proc_ref), port_ad, msg_ad, k, false, false)
+                })? {
                     SendOutcome::WouldBlock => 0,
                     _ => 1,
                 };
@@ -681,13 +732,9 @@ impl Gdp {
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
                 charge.add(queue_scan_cost(env.space, port_ad));
-                match port::receive(
-                    env.space,
-                    Some((proc_ref, dst as u32)),
-                    port_ad,
-                    true,
-                    false,
-                )? {
+                match env.space.atomically(|sm| {
+                    port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)
+                })? {
                     RecvOutcome::Received(msg) => {
                         env.space
                             .store_ad(ctx_ad, dst as u32, Some(msg))
@@ -698,7 +745,11 @@ impl Gdp {
                     RecvOutcome::WouldBlock => unreachable!("blocking receive cannot would-block"),
                 }
             }
-            Instruction::ReceiveTimeout { port: p, dst, timeout } => {
+            Instruction::ReceiveTimeout {
+                port: p,
+                dst,
+                timeout,
+            } => {
                 charge.ot(&env.cost);
                 charge.add(env.cost.recv_fixed);
                 let port_ad = env
@@ -706,13 +757,9 @@ impl Gdp {
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
                 let t = self.read_ref(env, ctx_ad, timeout, charge)?;
-                match port::receive(
-                    env.space,
-                    Some((proc_ref, dst as u32)),
-                    port_ad,
-                    true,
-                    false,
-                )? {
+                match env.space.atomically(|sm| {
+                    port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)
+                })? {
                     RecvOutcome::Received(msg) => {
                         env.space
                             .store_ad(ctx_ad, dst as u32, Some(msg))
@@ -721,8 +768,10 @@ impl Gdp {
                     }
                     RecvOutcome::Blocked => {
                         // Arm the timer: absolute simulated deadline.
-                        env.space.process_mut(proc_ref).map_err(Fault::from)?.timeout_at =
-                            self.clock + t;
+                        let deadline = self.clock + t;
+                        env.space
+                            .with_process_mut(proc_ref, |ps| ps.timeout_at = deadline)
+                            .map_err(Fault::from)?;
                         Ok(Ctl::Blocked)
                     }
                     RecvOutcome::WouldBlock => unreachable!("blocking receive cannot would-block"),
@@ -735,7 +784,10 @@ impl Gdp {
                     .space
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
-                match port::receive(env.space, None, port_ad, false, false)? {
+                match env
+                    .space
+                    .atomically(|sm| port::receive(sm, None, port_ad, false, false))?
+                {
                     RecvOutcome::Received(msg) => {
                         env.space
                             .store_ad(ctx_ad, dst as u32, Some(msg))
@@ -785,11 +837,18 @@ impl Gdp {
             }
             Instruction::InspectAd { slot, dst } => {
                 charge.ot(&env.cost);
-                let word = match env.space.load_ad(ctx_ad, slot as u32).map_err(Fault::from)? {
+                let word = match env
+                    .space
+                    .load_ad(ctx_ad, slot as u32)
+                    .map_err(Fault::from)?
+                {
                     None => 1u64 << 63,
                     Some(ad) => {
-                        let e = env.space.table.get(ad.obj).map_err(Fault::from)?;
-                        let (tag, tdo_index) = match e.desc.otype {
+                        let (ad_otype, ad_level) = env
+                            .space
+                            .entry_view(ad.obj, |e| (e.desc.otype, e.desc.level))
+                            .map_err(Fault::from)?;
+                        let (tag, tdo_index) = match ad_otype {
                             ObjectType::System(t) => {
                                 use i432_arch::SystemType as S;
                                 let tag = match t {
@@ -808,7 +867,7 @@ impl Gdp {
                             ObjectType::User(tdo) => (255, tdo.index.0 as u64),
                         };
                         ad.rights.bits() as u64
-                            | (e.desc.level.0 as u64) << 8
+                            | (ad_level.0 as u64) << 8
                             | tag << 24
                             | tdo_index << 32
                     }
@@ -831,9 +890,9 @@ impl Gdp {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_call(
+    fn exec_call<S: SpaceAccess + ?Sized>(
         &mut self,
-        env: &mut Env<'_>,
+        env: &mut Env<'_, S>,
         proc_ref: ObjectRef,
         ctx: ObjectRef,
         domain: u16,
@@ -853,17 +912,22 @@ impl Gdp {
         env.space
             .expect_type(dom_ad, SystemType::Domain)
             .map_err(Fault::from)?;
-        env.space.qualify(dom_ad, Rights::CALL).map_err(Fault::from)?;
+        env.space
+            .qualify(dom_ad, Rights::CALL)
+            .map_err(Fault::from)?;
         let sub = subprogram_of(env.space, dom_ad.obj, subprogram)?;
         let arg_ad = match arg {
-            Some(slot) => env.space.load_ad(ctx_ad, slot as u32).map_err(Fault::from)?,
+            Some(slot) => env
+                .space
+                .load_ad(ctx_ad, slot as u32)
+                .map_err(Fault::from)?,
             None => None,
         };
         let sro_ad = env
             .space
             .load_ad_required(ctx_ad, CTX_SLOT_SRO)
             .map_err(Fault::from)?;
-        let cur_level = env.space.table.get(ctx).map_err(Fault::from)?.desc.level;
+        let cur_level = env.space.level_of(ctx).map_err(Fault::from)?;
 
         let callee = create_context(
             env.space,
@@ -899,14 +963,18 @@ impl Gdp {
                 env.space
                     .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, Some(callee_ad))
                     .map_err(Fault::from)?;
-                let mut ncx = NativeCtx {
-                    space: env.space,
-                    process: proc_ref,
-                    context: callee,
-                    cycles: 0,
-                };
-                let result = env.natives.invoke(id, &mut ncx);
-                charge.add(ncx.cycles);
+                let natives = env.natives;
+                let (result, ncycles) = env.space.atomically(|sm| {
+                    let mut ncx = NativeCtx {
+                        space: sm,
+                        process: proc_ref,
+                        context: callee,
+                        cycles: 0,
+                    };
+                    let r = natives.invoke(id, &mut ncx);
+                    (r, ncx.cycles)
+                });
+                charge.add(ncycles);
                 env.space
                     .store_ad_hw(proc_ref, PROC_SLOT_CONTEXT, Some(ctx_ad))
                     .map_err(Fault::from)?;
@@ -934,9 +1002,9 @@ impl Gdp {
         }
     }
 
-    fn exec_return(
+    fn exec_return<S: SpaceAccess + ?Sized>(
         &mut self,
-        env: &mut Env<'_>,
+        env: &mut Env<'_, S>,
         proc_ref: ObjectRef,
         ctx: ObjectRef,
         ad: Option<u16>,
@@ -952,7 +1020,10 @@ impl Gdp {
             .load_ad(ctx_ad, CTX_SLOT_CALLER)
             .map_err(Fault::from)?;
         let ret_ad_value = match ad {
-            Some(slot) => env.space.load_ad(ctx_ad, slot as u32).map_err(Fault::from)?,
+            Some(slot) => env
+                .space
+                .load_ad(ctx_ad, slot as u32)
+                .map_err(Fault::from)?,
             None => None,
         };
         let ret_scalar = match value {
@@ -975,24 +1046,20 @@ impl Gdp {
                 .map_err(Fault::from)?;
         }
         if let (Some(off), Some(v)) = (cstate.ret_val_off, ret_scalar) {
-            env.space.write_u64(caller_ad, off, v).map_err(Fault::from)?;
+            env.space
+                .write_u64(caller_ad, off, v)
+                .map_err(Fault::from)?;
         }
 
         // Scope-exit reclamation of the local heap, if one was opened at
         // this depth or deeper (paper §5).
-        let caller_level = env
-            .space
-            .table
-            .get(caller_ad.obj)
-            .map_err(Fault::from)?
-            .desc
-            .level;
+        let caller_level = env.space.level_of(caller_ad.obj).map_err(Fault::from)?;
         if let Some(lh) = env
             .space
             .load_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP)
             .map_err(Fault::from)?
         {
-            let lh_level = env.space.table.get(lh.obj).map_err(Fault::from)?.desc.level;
+            let lh_level = env.space.level_of(lh.obj).map_err(Fault::from)?;
             if lh_level > caller_level {
                 let reclaimed = env.space.bulk_destroy_sro(lh.obj).map_err(Fault::from)?;
                 charge.add(reclaimed as u64 * 20);
@@ -1020,7 +1087,7 @@ mod tests {
         program::ProgramBuilder,
     };
     use i432_arch::{
-        sysobj::CTX_SLOT_FIRST_FREE, DomainState, Level, PortDiscipline, PortState,
+        sysobj::CTX_SLOT_FIRST_FREE, DomainState, Level, ObjectSpace, PortDiscipline, PortState,
         Subprogram,
     };
 
@@ -1112,15 +1179,18 @@ mod tests {
         pub(crate) fn cpu(&mut self) -> &mut Gdp {
             if self.gdp.is_none() {
                 let root = self.space.root_sro();
-                let cpu =
-                    make_processor(&mut self.space, root, 0, self.dispatch).unwrap();
+                let cpu = make_processor(&mut self.space, root, 0, self.dispatch).unwrap();
                 self.gdp = Some(Gdp::new(cpu));
             }
             self.gdp.as_mut().unwrap()
         }
 
         /// Steps until the predicate holds or the step budget runs out.
-        pub(crate) fn run_until(&mut self, max_steps: u32, mut stop: impl FnMut(&StepEvent) -> bool) -> Vec<StepEvent> {
+        pub(crate) fn run_until(
+            &mut self,
+            max_steps: u32,
+            mut stop: impl FnMut(&StepEvent) -> bool,
+        ) -> Vec<StepEvent> {
             self.cpu();
             let mut events = Vec::new();
             let mut gdp = self.gdp.take().unwrap();
@@ -1153,7 +1223,12 @@ mod tests {
         let top = p.new_label();
         p.mov(DataRef::Imm(5), DataDst::Local(0));
         p.bind(top);
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = rig.sub("main", p.finish());
@@ -1292,7 +1367,10 @@ mod tests {
         let events = rig.run_until(100, |e| matches!(e, StepEvent::ProcessFaulted { .. }));
         assert!(matches!(
             events.last(),
-            Some(StepEvent::ProcessFaulted { kind: FaultKind::Explicit(3), .. })
+            Some(StepEvent::ProcessFaulted {
+                kind: FaultKind::Explicit(3),
+                ..
+            })
         ));
         // No fault port: terminated.
         assert_eq!(
@@ -1407,7 +1485,10 @@ mod tests {
         let st = rig.space.port(port).unwrap();
         assert_eq!(st.stats.sends, 1);
         assert_eq!(st.stats.receives, 1);
-        assert_eq!(st.stats.blocked_receives, 1, "receiver ran first and blocked");
+        assert_eq!(
+            st.stats.blocked_receives, 1,
+            "receiver ran first and blocked"
+        );
     }
 
     #[test]
@@ -1431,7 +1512,12 @@ mod tests {
         // message area of the process via a created object is overkill;
         // simply fault if the value is wrong.
         let ok = caller.new_label();
-        caller.alu(AluOp::Eq, DataRef::Local(16), DataRef::Imm(42), DataDst::Local(24));
+        caller.alu(
+            AluOp::Eq,
+            DataRef::Local(16),
+            DataRef::Imm(42),
+            DataDst::Local(24),
+        );
         caller.jump_if_nonzero(DataRef::Local(24), ok);
         caller.push(Instruction::RaiseFault { code: 99 });
         caller.bind(ok);
@@ -1451,7 +1537,10 @@ mod tests {
             .unwrap();
 
         let events = rig.run_until(100, |e| {
-            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+            matches!(
+                e,
+                StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. }
+            )
         });
         assert!(
             matches!(events.last(), Some(StepEvent::ProcessExited(_))),
@@ -1527,7 +1616,12 @@ mod tests {
         // the callee) and have the callee use slot 3.
         // Rebuild callee to use the argument slot.
         let mut callee2 = ProgramBuilder::new();
-        callee2.create_object(i432_arch::sysobj::CTX_SLOT_ARG as u16, DataRef::Imm(16), DataRef::Imm(0), 7);
+        callee2.create_object(
+            i432_arch::sysobj::CTX_SLOT_ARG as u16,
+            DataRef::Imm(16),
+            DataRef::Imm(0),
+            7,
+        );
         callee2.ret(Some(7), None);
         let callee2_sub = rig.sub("callee2", callee2.finish());
         let svc2 = rig.domain("svc2", vec![callee2_sub]);
@@ -1555,12 +1649,18 @@ mod tests {
         .unwrap();
 
         let events = rig.run_until(100, |e| {
-            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+            matches!(
+                e,
+                StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_)
+            )
         });
         assert!(
             matches!(
                 events.last(),
-                Some(StepEvent::ProcessFaulted { kind: FaultKind::Level, .. })
+                Some(StepEvent::ProcessFaulted {
+                    kind: FaultKind::Level,
+                    ..
+                })
             ),
             "returning a local object must level-fault; events: {events:?}"
         );
@@ -1607,7 +1707,10 @@ mod isa_extension_tests {
         let dom = rig.domain("d", vec![sub]);
         let proc_ref = rig.spawn(dom, 0);
         rig.run_until(100, |e| {
-            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+            matches!(
+                e,
+                StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. }
+            )
         });
         assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 0);
     }
@@ -1632,11 +1735,17 @@ mod isa_extension_tests {
         let dom = rig.domain("d", vec![sub]);
         let _ = rig.spawn(dom, 0);
         let events = rig.run_until(100, |e| {
-            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+            matches!(
+                e,
+                StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. }
+            )
         });
         assert!(matches!(
             events.last(),
-            Some(StepEvent::ProcessFaulted { kind: FaultKind::Rights, .. })
+            Some(StepEvent::ProcessFaulted {
+                kind: FaultKind::Rights,
+                ..
+            })
         ));
     }
 
@@ -1670,7 +1779,10 @@ mod isa_extension_tests {
         let dom = rig.domain("d", vec![sub]);
         let proc_ref = rig.spawn(dom, 0);
         rig.run_until(100, |e| {
-            matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+            matches!(
+                e,
+                StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. }
+            )
         });
         assert_eq!(rig.space.process(proc_ref).unwrap().fault_code, 0);
         // Re-run, stopping right before Halt, to read the locals.
@@ -1737,11 +1849,17 @@ mod control_flow_edge_tests {
         let dom = rig.domain("d", vec![sub]);
         let proc_ref = rig.spawn(dom, 0);
         let events = rig.run_until(50, |e| {
-            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+            matches!(
+                e,
+                StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_)
+            )
         });
         assert!(matches!(
             events.last(),
-            Some(StepEvent::ProcessFaulted { kind: FaultKind::BadIp, .. })
+            Some(StepEvent::ProcessFaulted {
+                kind: FaultKind::BadIp,
+                ..
+            })
         ));
         assert_eq!(
             rig.space.process(proc_ref).unwrap().fault_code,
@@ -1759,11 +1877,17 @@ mod control_flow_edge_tests {
         let dom = rig.domain("d", vec![sub]);
         let _ = rig.spawn(dom, 0);
         let events = rig.run_until(50, |e| {
-            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+            matches!(
+                e,
+                StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_)
+            )
         });
         assert!(matches!(
             events.last(),
-            Some(StepEvent::ProcessFaulted { kind: FaultKind::BadIp, .. })
+            Some(StepEvent::ProcessFaulted {
+                kind: FaultKind::BadIp,
+                ..
+            })
         ));
     }
 
@@ -1778,11 +1902,17 @@ mod control_flow_edge_tests {
         let dom = rig.domain("d", vec![sub]);
         let _ = rig.spawn(dom, 0);
         let events = rig.run_until(50, |e| {
-            matches!(e, StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_))
+            matches!(
+                e,
+                StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_)
+            )
         });
         assert!(matches!(
             events.last(),
-            Some(StepEvent::ProcessFaulted { kind: FaultKind::TypeMismatch, .. })
+            Some(StepEvent::ProcessFaulted {
+                kind: FaultKind::TypeMismatch,
+                ..
+            })
         ));
     }
 }

@@ -372,7 +372,14 @@ mod tests {
 
     #[test]
     fn alu_comparisons_are_boolean() {
-        for op in [AluOp::Eq, AluOp::Ne, AluOp::Lt, AluOp::Le, AluOp::Gt, AluOp::Ge] {
+        for op in [
+            AluOp::Eq,
+            AluOp::Ne,
+            AluOp::Lt,
+            AluOp::Le,
+            AluOp::Gt,
+            AluOp::Ge,
+        ] {
             for (a, b) in [(1u64, 2u64), (2, 2), (3, 2)] {
                 let v = op.apply(a, b).unwrap();
                 assert!(v == 0 || v == 1, "{op:?}({a},{b}) = {v}");

@@ -13,7 +13,7 @@
 //! asynchronous inter-level communication (paper §7.3).
 
 use crate::fault::Fault;
-use i432_arch::{AccessDescriptor, NativeId, ObjectRef, ObjectSpace};
+use i432_arch::{AccessDescriptor, NativeId, ObjectRef, SpaceMut};
 use std::fmt;
 
 /// What a native body hands back to the CALL machinery.
@@ -51,8 +51,12 @@ impl NativeReturn {
 /// Execution context handed to a native body.
 pub struct NativeCtx<'a> {
     /// The object space (full kernel-mode access: the body *is* the
-    /// trusted implementation inside its protection domain).
-    pub space: &'a mut ObjectSpace,
+    /// trusted implementation inside its protection domain). Native
+    /// bodies run as an indivisible section — on a sharded space the
+    /// caller holds every shard lock for the duration, which is what
+    /// lets executive services (GC, storage compaction, the type
+    /// manager) see a consistent whole.
+    pub space: &'a mut dyn SpaceMut,
     /// The process on whose behalf the call runs.
     pub process: ObjectRef,
     /// The native call's own context object; its `CTX_SLOT_ARG` slot holds
@@ -71,9 +75,10 @@ impl NativeCtx<'_> {
 
     /// Convenience: reads the argument AD passed by the caller, if any.
     pub fn arg(&mut self) -> Option<AccessDescriptor> {
-        let ctx_ad = self
-            .space
-            .mint(self.context, i432_arch::Rights::READ | i432_arch::Rights::WRITE);
+        let ctx_ad = self.space.mint(
+            self.context,
+            i432_arch::Rights::READ | i432_arch::Rights::WRITE,
+        );
         self.space
             .load_ad(ctx_ad, i432_arch::sysobj::CTX_SLOT_ARG)
             .ok()
@@ -140,6 +145,7 @@ impl fmt::Debug for NativeRegistry {
 mod tests {
     use super::*;
     use crate::fault::FaultKind;
+    use i432_arch::ObjectSpace;
 
     #[test]
     fn register_and_invoke() {

@@ -20,7 +20,7 @@
 use crate::fault::{Fault, FaultKind};
 use i432_arch::{
     sysobj::{PROC_SLOT_CONTEXT, PROC_SLOT_DISPATCH_PORT, PROC_SLOT_MSG},
-    AccessDescriptor, ArchError, ObjectRef, ObjectSpace, PortDiscipline, ProcessStatus, Rights,
+    AccessDescriptor, ArchError, ObjectRef, PortDiscipline, ProcessStatus, Rights, SpaceMut,
     SystemType, WaiterKind,
 };
 
@@ -66,8 +66,8 @@ fn pick_index(discipline: PortDiscipline, keys: &[u64], count: u32) -> u32 {
 }
 
 /// Appends a message to the message area (caller has verified space).
-fn queue_push(
-    space: &mut ObjectSpace,
+fn queue_push<S: SpaceMut + ?Sized>(
+    space: &mut S,
     port: ObjectRef,
     msg: AccessDescriptor,
     key: u64,
@@ -77,7 +77,9 @@ fn queue_push(
         debug_assert!(st.msg_count < st.capacity);
         st.msg_count
     };
-    space.store_ad_hw(port, idx, Some(msg)).map_err(Fault::from)?;
+    space
+        .store_ad_hw(port, idx, Some(msg))
+        .map_err(Fault::from)?;
     let st = space.port_mut(port).map_err(Fault::from)?;
     st.msg_keys[idx as usize] = key;
     st.msg_count += 1;
@@ -85,8 +87,8 @@ fn queue_push(
 }
 
 /// Removes and returns the message at `idx`, compacting the area.
-fn queue_remove(
-    space: &mut ObjectSpace,
+fn queue_remove<S: SpaceMut + ?Sized>(
+    space: &mut S,
     port: ObjectRef,
     idx: u32,
 ) -> Result<AccessDescriptor, Fault> {
@@ -105,13 +107,18 @@ fn queue_remove(
         .store_ad_hw(port, count - 1, None)
         .map_err(Fault::from)?;
     let st = space.port_mut(port).map_err(Fault::from)?;
-    st.msg_keys.copy_within(idx as usize + 1..count as usize, idx as usize);
+    st.msg_keys
+        .copy_within(idx as usize + 1..count as usize, idx as usize);
     st.msg_count -= 1;
     Ok(msg)
 }
 
 /// Appends a process to the waiting area.
-fn wait_push(space: &mut ObjectSpace, port: ObjectRef, proc_ref: ObjectRef) -> Result<(), Fault> {
+fn wait_push<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    port: ObjectRef,
+    proc_ref: ObjectRef,
+) -> Result<(), Fault> {
     let (cap, wcap, wcount) = {
         let st = space.port(port).map_err(Fault::from)?;
         (st.capacity, st.wait_capacity, st.wait_count)
@@ -131,7 +138,10 @@ fn wait_push(space: &mut ObjectSpace, port: ObjectRef, proc_ref: ObjectRef) -> R
 }
 
 /// Pops the longest-waiting process from the waiting area.
-fn wait_pop(space: &mut ObjectSpace, port: ObjectRef) -> Result<Option<ObjectRef>, Fault> {
+fn wait_pop<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    port: ObjectRef,
+) -> Result<Option<ObjectRef>, Fault> {
     let (cap, wcount) = {
         let st = space.port(port).map_err(Fault::from)?;
         (st.capacity, st.wait_count)
@@ -145,7 +155,9 @@ fn wait_pop(space: &mut ObjectSpace, port: ObjectRef) -> Result<Option<ObjectRef
         .ok_or_else(|| Fault::with_detail(FaultKind::NullAccess, "empty wait slot"))?;
     for i in 0..wcount - 1 {
         let next = space.load_ad_hw(port, cap + i + 1).map_err(Fault::from)?;
-        space.store_ad_hw(port, cap + i, next).map_err(Fault::from)?;
+        space
+            .store_ad_hw(port, cap + i, next)
+            .map_err(Fault::from)?;
     }
     space
         .store_ad_hw(port, cap + wcount - 1, None)
@@ -166,8 +178,8 @@ fn wait_pop(space: &mut ObjectSpace, port: ObjectRef) -> Result<Option<ObjectRef
 /// * `carrier` — hardware-carrier sends (process delivery to dispatch,
 ///   scheduler and fault ports) bypass the program-level rights and level
 ///   checks, exactly as the 432's implicit port operations did.
-pub fn send(
-    space: &mut ObjectSpace,
+pub fn send<S: SpaceMut + ?Sized>(
+    space: &mut S,
     sender: Option<ObjectRef>,
     port_ad: AccessDescriptor,
     msg: AccessDescriptor,
@@ -182,10 +194,10 @@ pub fn send(
         space.qualify(port_ad, Rights::SEND).map_err(Fault::from)?;
         // Program-level sends obey the lifetime rule: the message must be
         // at least as long-lived as the port (paper §5).
-        let port_level = space.table.get(port).map_err(Fault::from)?.desc.level;
-        let msg_level = space.table.get(msg.obj).map_err(Fault::from)?.desc.level;
+        let port_level = space.entry(port).map_err(Fault::from)?.desc.level;
+        let msg_level = space.entry(msg.obj).map_err(Fault::from)?.desc.level;
         if !port_level.may_hold(msg_level) {
-            space.stats.level_faults += 1;
+            space.stats_mut_of(port).level_faults += 1;
             return Err(Fault::from(ArchError::LevelViolation {
                 stored: msg_level,
                 container: port_level,
@@ -245,8 +257,8 @@ pub fn send(
 ///   `dst_slot` is the context access slot the message must eventually
 ///   land in (recorded for rendezvous delivery while blocked).
 /// * `carrier` — processor dispatching receives bypass the rights check.
-pub fn receive(
-    space: &mut ObjectSpace,
+pub fn receive<S: SpaceMut + ?Sized>(
+    space: &mut S,
     receiver: Option<(ObjectRef, u32)>,
     port_ad: AccessDescriptor,
     blocking: bool,
@@ -320,8 +332,8 @@ pub fn receive(
 
 /// Delivers a message straight into a blocked receiver's context slot
 /// (rendezvous completion).
-fn deliver_to_receiver(
-    space: &mut ObjectSpace,
+fn deliver_to_receiver<S: SpaceMut + ?Sized>(
+    space: &mut S,
     receiver: ObjectRef,
     msg: AccessDescriptor,
 ) -> Result<(), Fault> {
@@ -353,8 +365,8 @@ fn deliver_to_receiver(
 /// Schedulers use this to re-key *queued* processes after a rebalance —
 /// without it a priority change would only take effect at the next
 /// requeue, starving processes parked under a stale key.
-pub fn update_queued_key(
-    space: &mut ObjectSpace,
+pub fn update_queued_key<S: SpaceMut + ?Sized>(
+    space: &mut S,
     port: ObjectRef,
     target: ObjectRef,
     key: u64,
@@ -376,7 +388,7 @@ pub fn update_queued_key(
 /// The queueing key is the process's priority or deadline depending on
 /// the dispatching port's discipline — this is how the hardware realizes
 /// priority dispatching without any software in the loop.
-pub fn make_ready(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<(), Fault> {
+pub fn make_ready<S: SpaceMut + ?Sized>(space: &mut S, proc_ref: ObjectRef) -> Result<(), Fault> {
     let (timeslice, priority, deadline) = {
         let ps = space.process_mut(proc_ref).map_err(Fault::from)?;
         ps.status = ProcessStatus::Ready;
@@ -417,7 +429,10 @@ pub fn make_ready(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<(), Fa
 /// waiting area and leaves it Faulted with a timeout, ready for fault
 /// delivery. Returns `false` when the process was no longer blocked
 /// (the rendezvous won the race).
-pub fn expire_timeout(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<bool, Fault> {
+pub fn expire_timeout<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    proc_ref: ObjectRef,
+) -> Result<bool, Fault> {
     let (status, port) = {
         let ps = space.process(proc_ref).map_err(Fault::from)?;
         (ps.status, ps.blocked_port)
@@ -472,7 +487,7 @@ pub fn expire_timeout(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<bo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{ObjectSpec, ObjectType, PortState, SysState};
+    use i432_arch::{ObjectSpace, ObjectSpec, ObjectType, PortState, SysState};
 
     fn space() -> ObjectSpace {
         ObjectSpace::new(64 * 1024, 4096, 1024)
@@ -657,7 +672,7 @@ mod tests {
 #[cfg(test)]
 mod rekey_tests {
     use super::*;
-    use i432_arch::{ObjectSpec, ObjectType, PortState, SysState};
+    use i432_arch::{ObjectSpace, ObjectSpec, ObjectType, PortState, SysState};
 
     #[test]
     fn update_queued_key_reorders_delivery() {
@@ -686,7 +701,10 @@ mod rekey_tests {
         send(&mut s, None, pad, b, 9, false, false).unwrap();
         // Re-key b below a: it now delivers first.
         assert!(update_queued_key(&mut s, port, b.obj, 1).unwrap());
-        assert!(!update_queued_key(&mut s, port, root, 0).unwrap(), "absent target");
+        assert!(
+            !update_queued_key(&mut s, port, root, 0).unwrap(),
+            "absent target"
+        );
         match receive(&mut s, None, pad, false, false).unwrap() {
             RecvOutcome::Received(m) => assert_eq!(m, b),
             other => panic!("{other:?}"),

@@ -17,8 +17,9 @@ use i432_arch::{
         PROC_SLOT_CONTEXT, PROC_SLOT_DISPATCH_PORT, PROC_SLOT_FAULT_PORT, PROC_SLOT_SCHED_PORT,
         PROC_SLOT_SRO,
     },
-    AccessDescriptor, Level, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, ProcessState,
-    ProcessStatus, ProcessorState, ProcessorStatus, Rights, SysState, SystemType,
+    AccessDescriptor, Level, ObjectRef, ObjectSpec, ObjectType, ProcessState, ProcessStatus,
+    ProcessorState, ProcessorStatus, Rights, SpaceAccess, SpaceAccessExt, SpaceMut, SysState,
+    SystemType,
 };
 
 /// Bytes of scratch data every process object carries (accounting area).
@@ -66,8 +67,8 @@ impl ProcessSpec {
 /// `domain` with the given argument. The process is left in `Ready`
 /// status but **not** enqueued; call [`port::make_ready`] (or iMAX's
 /// process manager) to enter it into the dispatching mix.
-pub fn make_process(
-    space: &mut ObjectSpace,
+pub fn make_process<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
     domain_ad: AccessDescriptor,
     subprogram: u32,
@@ -121,8 +122,8 @@ pub fn make_process(
 }
 
 /// Creates a processor object bound to a dispatching port.
-pub fn make_processor(
-    space: &mut ObjectSpace,
+pub fn make_processor<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
     id: u32,
     dispatch_port: AccessDescriptor,
@@ -146,28 +147,40 @@ pub fn make_processor(
 }
 
 /// Binds `proc_ref` to the processor (dispatch completion).
-pub fn bind(space: &mut ObjectSpace, cpu: ObjectRef, proc_ref: ObjectRef) -> Result<(), Fault> {
+pub fn bind<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    cpu: ObjectRef,
+    proc_ref: ObjectRef,
+) -> Result<(), Fault> {
     let pad = space.mint(proc_ref, Rights::NONE);
     space
         .store_ad_hw(cpu, CPU_SLOT_PROCESS, Some(pad))
         .map_err(Fault::from)?;
-    space.processor_mut(cpu).map_err(Fault::from)?.status = ProcessorStatus::Running;
-    let ps = space.process_mut(proc_ref).map_err(Fault::from)?;
-    ps.status = ProcessStatus::Running;
+    space
+        .with_processor_mut(cpu, |p| p.status = ProcessorStatus::Running)
+        .map_err(Fault::from)?;
+    space
+        .with_process_mut(proc_ref, |ps| ps.status = ProcessStatus::Running)
+        .map_err(Fault::from)?;
     Ok(())
 }
 
 /// Unbinds the current process from the processor, which goes idle.
-pub fn unbind(space: &mut ObjectSpace, cpu: ObjectRef) -> Result<(), Fault> {
+pub fn unbind<S: SpaceAccess + ?Sized>(space: &mut S, cpu: ObjectRef) -> Result<(), Fault> {
     space
         .store_ad_hw(cpu, CPU_SLOT_PROCESS, None)
         .map_err(Fault::from)?;
-    space.processor_mut(cpu).map_err(Fault::from)?.status = ProcessorStatus::Idle;
+    space
+        .with_processor_mut(cpu, |p| p.status = ProcessorStatus::Idle)
+        .map_err(Fault::from)?;
     Ok(())
 }
 
 /// Returns the process currently bound to the processor, if any.
-pub fn current_process(space: &mut ObjectSpace, cpu: ObjectRef) -> Result<Option<ObjectRef>, Fault> {
+pub fn current_process<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    cpu: ObjectRef,
+) -> Result<Option<ObjectRef>, Fault> {
     Ok(space
         .load_ad_hw(cpu, CPU_SLOT_PROCESS)
         .map_err(Fault::from)?
@@ -177,7 +190,10 @@ pub fn current_process(space: &mut ObjectSpace, cpu: ObjectRef) -> Result<Option
 /// Attempts to dispatch a ready process from the processor's dispatching
 /// port. Stopped or non-ready processes found in the queue are handed to
 /// their scheduler port instead of being bound.
-pub fn try_dispatch(space: &mut ObjectSpace, cpu: ObjectRef) -> Result<Option<ObjectRef>, Fault> {
+pub fn try_dispatch<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    cpu: ObjectRef,
+) -> Result<Option<ObjectRef>, Fault> {
     let dispatch = space
         .load_ad_hw(cpu, CPU_SLOT_DISPATCH_PORT)
         .map_err(Fault::from)?
@@ -212,7 +228,10 @@ pub fn try_dispatch(space: &mut ObjectSpace, cpu: ObjectRef) -> Result<Option<Ob
 
 /// Sends the process to its scheduler port (scheduling event). Returns
 /// `false` when the process has no scheduler port.
-pub fn notify_scheduler(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<bool, Fault> {
+pub fn notify_scheduler<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    proc_ref: ObjectRef,
+) -> Result<bool, Fault> {
     let Some(sched) = space
         .load_ad_hw(proc_ref, PROC_SLOT_SCHED_PORT)
         .map_err(Fault::from)?
@@ -226,7 +245,10 @@ pub fn notify_scheduler(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<
 
 /// Delivers a faulted process to its fault port. Returns `false` when the
 /// process has no fault port (the process is then terminated).
-pub fn deliver_fault(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<bool, Fault> {
+pub fn deliver_fault<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    proc_ref: ObjectRef,
+) -> Result<bool, Fault> {
     let Some(fault_port) = space
         .load_ad_hw(proc_ref, PROC_SLOT_FAULT_PORT)
         .map_err(Fault::from)?
@@ -242,7 +264,9 @@ pub fn deliver_fault(space: &mut ObjectSpace, proc_ref: ObjectRef) -> Result<boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{CodeBody, CodeRef, DomainState, PortDiscipline, PortState, Subprogram};
+    use i432_arch::{
+        CodeBody, CodeRef, DomainState, ObjectSpace, PortDiscipline, PortState, Subprogram,
+    };
 
     fn setup() -> (ObjectSpace, ObjectRef, AccessDescriptor, AccessDescriptor) {
         let mut s = ObjectSpace::new(64 * 1024, 4096, 1024);
@@ -287,23 +311,9 @@ mod tests {
     #[test]
     fn make_process_builds_linkage() {
         let (mut s, root, dispatch, dom_ad) = setup();
-        let p = make_process(
-            &mut s,
-            root,
-            dom_ad,
-            0,
-            None,
-            ProcessSpec::new(dispatch),
-        )
-        .unwrap();
-        assert!(s
-            .load_ad_hw(p, PROC_SLOT_CONTEXT)
-            .unwrap()
-            .is_some());
-        assert!(s
-            .load_ad_hw(p, PROC_SLOT_DISPATCH_PORT)
-            .unwrap()
-            .is_some());
+        let p = make_process(&mut s, root, dom_ad, 0, None, ProcessSpec::new(dispatch)).unwrap();
+        assert!(s.load_ad_hw(p, PROC_SLOT_CONTEXT).unwrap().is_some());
+        assert!(s.load_ad_hw(p, PROC_SLOT_DISPATCH_PORT).unwrap().is_some());
         assert_eq!(s.process(p).unwrap().status, ProcessStatus::Ready);
     }
 
@@ -316,10 +326,7 @@ mod tests {
         let got = try_dispatch(&mut s, cpu).unwrap();
         assert_eq!(got, Some(p));
         assert_eq!(s.process(p).unwrap().status, ProcessStatus::Running);
-        assert_eq!(
-            s.processor(cpu).unwrap().status,
-            ProcessorStatus::Running
-        );
+        assert_eq!(s.processor(cpu).unwrap().status, ProcessorStatus::Running);
         assert_eq!(current_process(&mut s, cpu).unwrap(), Some(p));
     }
 

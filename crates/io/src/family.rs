@@ -65,69 +65,77 @@ impl DeviceFamily {
         let mut subs = Vec::new();
 
         let u = Arc::clone(&units);
-        let id = sys.natives.register(format!("{family_name}.open"), move |cx| {
-            let k = unit_of(cx)?;
-            cx.charge(60);
-            let dev = u.lock()[k].clone();
-            let mut dev = dev.lock();
-            dev.open()?;
-            Ok(NativeReturn::value(0))
-        });
+        let id = sys
+            .natives
+            .register(format!("{family_name}.open"), move |cx| {
+                let k = unit_of(cx)?;
+                cx.charge(60);
+                let dev = u.lock()[k].clone();
+                let mut dev = dev.lock();
+                dev.open()?;
+                Ok(NativeReturn::value(0))
+            });
         subs.push(sub(format!("{family_name}.open"), CodeBody::Native(id)));
 
         let u = Arc::clone(&units);
-        let id = sys.natives.register(format!("{family_name}.close"), move |cx| {
-            let k = unit_of(cx)?;
-            cx.charge(60);
-            let dev = u.lock()[k].clone();
-            let mut dev = dev.lock();
-            dev.close()?;
-            Ok(NativeReturn::value(0))
-        });
+        let id = sys
+            .natives
+            .register(format!("{family_name}.close"), move |cx| {
+                let k = unit_of(cx)?;
+                cx.charge(60);
+                let dev = u.lock()[k].clone();
+                let mut dev = dev.lock();
+                dev.close()?;
+                Ok(NativeReturn::value(0))
+            });
         subs.push(sub(format!("{family_name}.close"), CodeBody::Native(id)));
 
         let u = Arc::clone(&units);
-        let id = sys.natives.register(format!("{family_name}.read"), move |cx| {
-            let k = unit_of(cx)?;
-            let arg = cx.arg().ok_or_else(|| {
-                Fault::with_detail(FaultKind::NullAccess, "read needs an argument record")
-            })?;
-            let len = cx.space.read_u64(arg, ARG_LEN_OFF).map_err(Fault::from)? as usize;
-            let dev = u.lock()[k].clone();
-            let mut buf = vec![0u8; len];
-            let (n, cpb) = {
-                let mut dev = dev.lock();
-                let n = dev.read(&mut buf)?;
-                (n, dev.cycles_per_byte())
-            };
-            cx.space
-                .write_data(arg, ARG_DATA_OFF, &buf[..n])
-                .map_err(Fault::from)?;
-            cx.charge(80 + n as u64 * cpb);
-            Ok(NativeReturn::value(n as u64))
-        });
+        let id = sys
+            .natives
+            .register(format!("{family_name}.read"), move |cx| {
+                let k = unit_of(cx)?;
+                let arg = cx.arg().ok_or_else(|| {
+                    Fault::with_detail(FaultKind::NullAccess, "read needs an argument record")
+                })?;
+                let len = cx.space.read_u64(arg, ARG_LEN_OFF).map_err(Fault::from)? as usize;
+                let dev = u.lock()[k].clone();
+                let mut buf = vec![0u8; len];
+                let (n, cpb) = {
+                    let mut dev = dev.lock();
+                    let n = dev.read(&mut buf)?;
+                    (n, dev.cycles_per_byte())
+                };
+                cx.space
+                    .write_data(arg, ARG_DATA_OFF, &buf[..n])
+                    .map_err(Fault::from)?;
+                cx.charge(80 + n as u64 * cpb);
+                Ok(NativeReturn::value(n as u64))
+            });
         subs.push(sub(format!("{family_name}.read"), CodeBody::Native(id)));
 
         let u = Arc::clone(&units);
-        let id = sys.natives.register(format!("{family_name}.write"), move |cx| {
-            let k = unit_of(cx)?;
-            let arg = cx.arg().ok_or_else(|| {
-                Fault::with_detail(FaultKind::NullAccess, "write needs an argument record")
-            })?;
-            let len = cx.space.read_u64(arg, ARG_LEN_OFF).map_err(Fault::from)? as usize;
-            let mut buf = vec![0u8; len];
-            cx.space
-                .read_data(arg, ARG_DATA_OFF, &mut buf)
-                .map_err(Fault::from)?;
-            let dev = u.lock()[k].clone();
-            let (n, cpb) = {
-                let mut dev = dev.lock();
-                let n = dev.write(&buf)?;
-                (n, dev.cycles_per_byte())
-            };
-            cx.charge(80 + n as u64 * cpb);
-            Ok(NativeReturn::value(n as u64))
-        });
+        let id = sys
+            .natives
+            .register(format!("{family_name}.write"), move |cx| {
+                let k = unit_of(cx)?;
+                let arg = cx.arg().ok_or_else(|| {
+                    Fault::with_detail(FaultKind::NullAccess, "write needs an argument record")
+                })?;
+                let len = cx.space.read_u64(arg, ARG_LEN_OFF).map_err(Fault::from)? as usize;
+                let mut buf = vec![0u8; len];
+                cx.space
+                    .read_data(arg, ARG_DATA_OFF, &mut buf)
+                    .map_err(Fault::from)?;
+                let dev = u.lock()[k].clone();
+                let (n, cpb) = {
+                    let mut dev = dev.lock();
+                    let n = dev.write(&buf)?;
+                    (n, dev.cycles_per_byte())
+                };
+                cx.charge(80 + n as u64 * cpb);
+                Ok(NativeReturn::value(n as u64))
+            });
         subs.push(sub(format!("{family_name}.write"), CodeBody::Native(id)));
 
         let u = Arc::clone(&units);
@@ -175,9 +183,9 @@ impl DeviceFamily {
         sys.space
             .write_u64(state_ad, 0, unit as u64)
             .map_err(Fault::from)?;
-        let dom =
-            self.prototype
-                .instantiate_with_state(&mut sys.space, root, &[state_ad])?;
+        let dom = self
+            .prototype
+            .instantiate_with_state(&mut sys.space, root, &[state_ad])?;
         sys.anchor(dom);
         Ok(dom)
     }
@@ -197,9 +205,9 @@ mod tests {
     use super::*;
     use crate::console::ConsoleDevice;
     use crate::iface::{OP_OPEN, OP_WRITE};
+    use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
     use i432_gdp::isa::{DataDst, DataRef};
     use i432_gdp::ProgramBuilder;
-    use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
     use i432_sim::{RunOutcome, SystemConfig};
 
     #[test]

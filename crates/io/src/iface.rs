@@ -7,9 +7,9 @@
 //! can drive it through the common subset without knowing what it is —
 //! and there is deliberately no registry mapping names to devices.
 
-use i432_sim::System;
 use i432_arch::{AccessDescriptor, CodeBody, Subprogram};
 use i432_gdp::{native::NativeReturn, Fault, FaultKind};
+use i432_sim::System;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;

@@ -26,7 +26,7 @@
 //! count, `[32..]` = transfer data. Access part: slot 0 = reply port.
 
 use crate::iface::{DeviceImpl, OP_CLOSE, OP_CONTROL_BASE, OP_OPEN, OP_READ, OP_STATUS, OP_WRITE};
-use i432_arch::{AccessDescriptor, ObjectRef, ObjectSpace, Rights};
+use i432_arch::{AccessDescriptor, ObjectRef, Rights, SpaceMut};
 use i432_gdp::{
     port::{self, RecvOutcome, SendOutcome},
     Fault, FaultKind,
@@ -70,18 +70,14 @@ pub struct AsyncDevice {
 impl AsyncDevice {
     /// Binds a device implementation to a fresh request port allocated
     /// from `sro`.
-    pub fn new(
-        space: &mut ObjectSpace,
+    pub fn new<S: SpaceMut + ?Sized>(
+        space: &mut S,
         sro: ObjectRef,
         device: Arc<Mutex<dyn DeviceImpl>>,
         queue_depth: u32,
     ) -> Result<AsyncDevice, Fault> {
-        let request_port = imax_ipc::create_port(
-            space,
-            sro,
-            queue_depth,
-            i432_arch::PortDiscipline::Fifo,
-        )?;
+        let request_port =
+            imax_ipc::create_port(space, sro, queue_depth, i432_arch::PortDiscipline::Fifo)?;
         Ok(AsyncDevice {
             device,
             request_port,
@@ -95,7 +91,7 @@ impl AsyncDevice {
     }
 
     /// Services every pending request; returns how many completed.
-    pub fn service(&mut self, space: &mut ObjectSpace) -> Result<u32, Fault> {
+    pub fn service<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<u32, Fault> {
         let mut done = 0;
         loop {
             let req = match port::receive(space, None, self.request_port.ad(), false, true)? {
@@ -108,7 +104,11 @@ impl AsyncDevice {
         }
     }
 
-    fn complete_one(&mut self, space: &mut ObjectSpace, req: AccessDescriptor) -> Result<(), Fault> {
+    fn complete_one<S: SpaceMut + ?Sized>(
+        &mut self,
+        space: &mut S,
+        req: AccessDescriptor,
+    ) -> Result<(), Fault> {
         // The subsystem is trusted: full access to the request object.
         let req = AccessDescriptor::new(req.obj, Rights::ALL);
         let op = space.read_u64(req, REQ_OP_OFF).map_err(Fault::from)? as u32;
@@ -206,9 +206,9 @@ impl IoSubsystem {
     }
 
     /// Attaches a device; returns its request port.
-    pub fn attach(
+    pub fn attach<S: SpaceMut + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sro: ObjectRef,
         device: Arc<Mutex<dyn DeviceImpl>>,
         queue_depth: u32,
@@ -220,7 +220,7 @@ impl IoSubsystem {
     }
 
     /// Services every attached device once; returns total completions.
-    pub fn service(&mut self, space: &mut ObjectSpace) -> Result<u32, Fault> {
+    pub fn service<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<u32, Fault> {
         let mut total = 0;
         for d in &mut self.devices {
             total += d.service(space)?;
@@ -244,7 +244,7 @@ impl IoSubsystem {
 mod tests {
     use super::*;
     use crate::console::ConsoleDevice;
-    use i432_arch::ObjectSpec;
+    use i432_arch::{ObjectSpace, ObjectSpec};
     use imax_ipc::untyped;
 
     fn request(
@@ -256,10 +256,7 @@ mod tests {
     ) -> AccessDescriptor {
         let root = space.root_sro();
         let o = space
-            .create_object(
-                root,
-                ObjectSpec::generic(REQ_DATA_OFF + 64, 2),
-            )
+            .create_object(root, ObjectSpec::generic(REQ_DATA_OFF + 64, 2))
             .unwrap();
         let ad = space.mint(o, Rights::ALL);
         space.write_u64(ad, REQ_OP_OFF, op as u64).unwrap();
@@ -280,8 +277,8 @@ mod tests {
         let console = Arc::new(Mutex::new(ConsoleDevice::new("tty0", b"pong")));
         let mut iop = IoSubsystem::new();
         let req_port = iop.attach(&mut s, root, console.clone(), 8).unwrap();
-        let reply = imax_ipc::create_port(&mut s, root, 8, i432_arch::PortDiscipline::Fifo)
-            .unwrap();
+        let reply =
+            imax_ipc::create_port(&mut s, root, 8, i432_arch::PortDiscipline::Fifo).unwrap();
 
         // Submit open + write + read; nothing happens until the
         // subsystem runs (asynchrony).
@@ -317,8 +314,8 @@ mod tests {
         let console = Arc::new(Mutex::new(ConsoleDevice::new("tty0", b"")));
         let mut iop = IoSubsystem::new();
         let req_port = iop.attach(&mut s, root, console, 4).unwrap();
-        let reply = imax_ipc::create_port(&mut s, root, 4, i432_arch::PortDiscipline::Fifo)
-            .unwrap();
+        let reply =
+            imax_ipc::create_port(&mut s, root, 4, i432_arch::PortDiscipline::Fifo).unwrap();
         // Read before open: fails, but the completion still arrives.
         let r = request(&mut s, OP_READ, 4, &[], reply);
         untyped::send(&mut s, req_port, r).unwrap();
@@ -339,8 +336,8 @@ mod tests {
         let mut iop_b = IoSubsystem::new();
         let port_a = iop_a.attach(&mut s, root, a.clone(), 4).unwrap();
         let port_b = iop_b.attach(&mut s, root, b.clone(), 4).unwrap();
-        let reply = imax_ipc::create_port(&mut s, root, 8, i432_arch::PortDiscipline::Fifo)
-            .unwrap();
+        let reply =
+            imax_ipc::create_port(&mut s, root, 8, i432_arch::PortDiscipline::Fifo).unwrap();
         let ra = request(&mut s, OP_OPEN, 0, &[], reply);
         let rb = request(&mut s, OP_OPEN, 0, &[], reply);
         untyped::send(&mut s, port_a, ra).unwrap();

@@ -39,9 +39,9 @@ pub mod tape;
 pub use console::ConsoleDevice;
 pub use disk::RamDisk;
 pub use family::DeviceFamily;
-pub use iop::{AsyncDevice, IoSubsystem, IopStats};
 pub use iface::{
     install_device, DeviceError, DeviceHandle, DeviceImpl, DeviceStatus, OP_CLOSE, OP_CONTROL_BASE,
     OP_OPEN, OP_READ, OP_STATUS, OP_WRITE,
 };
+pub use iop::{AsyncDevice, IoSubsystem, IopStats};
 pub use tape::{TapeDrive, TapePool};

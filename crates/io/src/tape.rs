@@ -14,7 +14,7 @@
 //! handles to the pool (the end-to-end recovery experiment is C10).
 
 use crate::iface::{DeviceError, DeviceImpl, DeviceStatus};
-use i432_arch::{AccessDescriptor, ObjectRef, ObjectSpace, PortDiscipline, Rights};
+use i432_arch::{AccessDescriptor, ObjectRef, PortDiscipline, Rights, SpaceMut};
 use i432_gdp::{Fault, FaultKind};
 use imax_ipc::{create_port, Port};
 use imax_typemgr::{bind_destruction_filter, TypeManager};
@@ -150,9 +150,18 @@ pub struct TapePool {
 impl TapePool {
     /// A pool of `n` drives with its own `tape_drive` type and a bound
     /// destruction filter.
-    pub fn new(space: &mut ObjectSpace, sro: ObjectRef, n: usize) -> Result<TapePool, Fault> {
+    pub fn new<S: SpaceMut + ?Sized>(
+        space: &mut S,
+        sro: ObjectRef,
+        n: usize,
+    ) -> Result<TapePool, Fault> {
         let manager = TypeManager::new(space, sro, "tape_drive")?;
-        let filter_port = create_port(space, sro, 64.min(n as u32 * 2).max(4), PortDiscipline::Fifo)?;
+        let filter_port = create_port(
+            space,
+            sro,
+            64.min(n as u32 * 2).max(4),
+            PortDiscipline::Fifo,
+        )?;
         bind_destruction_filter(space, manager.tdo_ad(), filter_port.ad())?;
         Ok(TapePool {
             manager,
@@ -179,9 +188,9 @@ impl TapePool {
     }
 
     /// Acquires a drive, returning a sealed handle.
-    pub fn acquire(
+    pub fn acquire<S: SpaceMut + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sro: ObjectRef,
     ) -> Result<AccessDescriptor, Fault> {
         let Some(idx) = self.allocated.iter().position(|a| !*a) else {
@@ -199,9 +208,9 @@ impl TapePool {
         Ok(handle)
     }
 
-    fn drive_index(
+    fn drive_index<S: SpaceMut + ?Sized>(
         &self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         handle: AccessDescriptor,
     ) -> Result<usize, Fault> {
         let full = self.manager.amplify(space, handle)?;
@@ -213,9 +222,9 @@ impl TapePool {
     }
 
     /// Operates on the drive behind a handle.
-    pub fn with_drive<R>(
+    pub fn with_drive<S: SpaceMut + ?Sized, R>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         handle: AccessDescriptor,
         f: impl FnOnce(&mut TapeDrive) -> R,
     ) -> Result<R, Fault> {
@@ -225,9 +234,9 @@ impl TapePool {
 
     /// Returns a drive properly: the handle object is destroyed and the
     /// drive freed.
-    pub fn release(
+    pub fn release<S: SpaceMut + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         handle: AccessDescriptor,
     ) -> Result<(), Fault> {
         let idx = self.drive_index(space, handle)?;
@@ -240,7 +249,7 @@ impl TapePool {
     /// Services the destruction filter: every lost handle the collector
     /// delivered is mapped back to its drive, which is closed and freed.
     /// Returns the number of drives recovered.
-    pub fn recover_lost(&mut self, space: &mut ObjectSpace) -> Result<u32, Fault> {
+    pub fn recover_lost<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<u32, Fault> {
         let mut recovered = 0;
         let handles = imax_gc_support::drain(space, self.filter_port)?;
         for handle in handles {
@@ -264,8 +273,8 @@ mod imax_gc_support {
     use super::*;
     use i432_gdp::port::{self, RecvOutcome};
 
-    pub fn drain(
-        space: &mut ObjectSpace,
+    pub fn drain<S: SpaceMut + ?Sized>(
+        space: &mut S,
         port: Port,
     ) -> Result<Vec<AccessDescriptor>, Fault> {
         let mut out = Vec::new();
@@ -282,6 +291,7 @@ mod imax_gc_support {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
 
     fn space() -> ObjectSpace {
         ObjectSpace::new(64 * 1024, 8 * 1024, 1024)

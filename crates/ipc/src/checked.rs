@@ -133,9 +133,7 @@ mod tests {
         let root = s.root_sro();
         let raw = untyped::create_port(&mut s, root, 4, PortDiscipline::Fifo).unwrap();
         let prt = CheckedPort::bind(raw, tdo);
-        let generic = s
-            .create_object(root, ObjectSpec::generic(16, 0))
-            .unwrap();
+        let generic = s.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
         let msg = s.mint(generic, Rights::READ);
         let e = prt.send(&mut s, msg).unwrap_err();
         assert_eq!(e.kind, FaultKind::TypeMismatch);
@@ -170,9 +168,7 @@ mod tests {
         let raw = untyped::create_port(&mut s, root, 4, PortDiscipline::Fifo).unwrap();
         let prt = CheckedPort::bind(raw, tdo);
         // Someone with raw send rights bypasses the wrapper.
-        let generic = s
-            .create_object(root, ObjectSpec::generic(8, 0))
-            .unwrap();
+        let generic = s.create_object(root, ObjectSpec::generic(8, 0)).unwrap();
         let msg = s.mint(generic, Rights::READ);
         untyped::send(&mut s, raw, msg).unwrap();
         assert!(prt.receive(&mut s).is_err());

@@ -130,12 +130,7 @@ impl<M: PortMessage> TypedPort<M> {
     /// Figure 2's `Send`: marshals `msg` into a fresh object from `sro`
     /// and sends its access descriptor. Compiles to the untyped send.
     #[inline]
-    pub fn send(
-        &self,
-        space: &mut ObjectSpace,
-        sro: ObjectRef,
-        msg: &M,
-    ) -> Result<(), Fault> {
+    pub fn send(&self, space: &mut ObjectSpace, sro: ObjectRef, msg: &M) -> Result<(), Fault> {
         let obj = space
             .create_object(sro, ObjectSpec::generic(M::DATA_LEN, M::ACCESS_LEN))
             .map_err(Fault::from)?;
@@ -180,8 +175,7 @@ mod tests {
     fn figure2_typed_roundtrip() {
         let mut s = space();
         let root = s.root_sro();
-        let prt: TypedPort<u64> =
-            TypedPort::create(&mut s, root, 4, PortDiscipline::Fifo).unwrap();
+        let prt: TypedPort<u64> = TypedPort::create(&mut s, root, 4, PortDiscipline::Fifo).unwrap();
         prt.send(&mut s, root, &12345).unwrap();
         prt.send(&mut s, root, &67890).unwrap();
         assert_eq!(prt.receive(&mut s).unwrap(), Some(12345));
@@ -214,8 +208,7 @@ mod tests {
         // cannot tell them apart.
         let mut s = space();
         let root = s.root_sro();
-        let prt: TypedPort<u64> =
-            TypedPort::create(&mut s, root, 4, PortDiscipline::Fifo).unwrap();
+        let prt: TypedPort<u64> = TypedPort::create(&mut s, root, 4, PortDiscipline::Fifo).unwrap();
         prt.send(&mut s, root, &1).unwrap();
         // Untyped view of the same port.
         let raw = prt.as_port();

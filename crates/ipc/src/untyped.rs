@@ -21,8 +21,8 @@
 //! programs as a native iMAX service via [`register_port_services`].
 
 use i432_arch::{
-    AccessDescriptor, NativeId, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, PortDiscipline,
-    PortState, Rights, SysState, SystemType,
+    AccessDescriptor, NativeId, ObjectRef, ObjectSpec, ObjectType, PortDiscipline, PortState,
+    Rights, SpaceAccess, SpaceMut, SysState, SystemType,
 };
 use i432_gdp::{
     native::{NativeRegistry, NativeReturn},
@@ -85,8 +85,8 @@ impl Port {
 /// Allocates the port object (its access part sized for the message area
 /// plus the waiting-process area) from `sro` and returns a send+receive
 /// capable [`Port`].
-pub fn create_port(
-    space: &mut ObjectSpace,
+pub fn create_port<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
     message_count: u32,
     discipline: PortDiscipline,
@@ -125,7 +125,11 @@ pub fn create_port(
 /// fault. Processes inside the simulation use the SEND instruction, which
 /// blocks exactly as Figure 1 specifies.
 #[inline]
-pub fn send(space: &mut ObjectSpace, prt: Port, msg: AccessDescriptor) -> Result<(), Fault> {
+pub fn send<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    prt: Port,
+    msg: AccessDescriptor,
+) -> Result<(), Fault> {
     match port::send(space, None, prt.ad, msg, 0, false, false)? {
         SendOutcome::Delivered | SendOutcome::Queued => Ok(()),
         SendOutcome::WouldBlock | SendOutcome::Blocked => Err(Fault::with_detail(
@@ -139,7 +143,10 @@ pub fn send(space: &mut ObjectSpace, prt: Port, msg: AccessDescriptor) -> Result
 ///
 /// Host-level, non-blocking: an empty queue returns `Ok(None)`.
 #[inline]
-pub fn receive(space: &mut ObjectSpace, prt: Port) -> Result<Option<AccessDescriptor>, Fault> {
+pub fn receive<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    prt: Port,
+) -> Result<Option<AccessDescriptor>, Fault> {
     match port::receive(space, None, prt.ad, false, false)? {
         RecvOutcome::Received(msg) => Ok(Some(msg)),
         RecvOutcome::WouldBlock => Ok(None),
@@ -164,7 +171,10 @@ pub struct PortServiceIds {
 pub fn register_port_services(natives: &mut NativeRegistry) -> PortServiceIds {
     let create_port_id = natives.register("untyped_ports.create_port", |cx| {
         let arg = cx.arg().ok_or_else(|| {
-            Fault::with_detail(FaultKind::NullAccess, "create_port needs an argument record")
+            Fault::with_detail(
+                FaultKind::NullAccess,
+                "create_port needs an argument record",
+            )
         })?;
         let message_count = cx.space.read_u64(arg, 0).map_err(Fault::from)? as u32;
         let discipline = match cx.space.read_u64(arg, 8).map_err(Fault::from)? {
@@ -197,6 +207,7 @@ pub fn register_port_services(natives: &mut NativeRegistry) -> PortServiceIds {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
 
     fn space() -> ObjectSpace {
         ObjectSpace::new(64 * 1024, 8 * 1024, 1024)
@@ -281,10 +292,9 @@ mod tests {
             )
             .unwrap();
         let sro_ad = s.mint(root, Rights::ALLOCATE);
-        s.store_ad_hw(proc_obj, PROC_SLOT_SRO, Some(sro_ad)).unwrap();
-        let ctx_obj = s
-            .create_object(root, ObjectSpec::generic(0, 8))
+        s.store_ad_hw(proc_obj, PROC_SLOT_SRO, Some(sro_ad))
             .unwrap();
+        let ctx_obj = s.create_object(root, ObjectSpec::generic(0, 8)).unwrap();
         let arg = s.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
         let arg_ad = s.mint(arg, Rights::READ | Rights::WRITE);
         s.write_u64(arg_ad, 0, 8).unwrap(); // message_count

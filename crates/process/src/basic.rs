@@ -14,7 +14,7 @@
 
 use i432_arch::{
     sysobj::{PROC_CHILD_BASE, PROC_CHILD_SLOTS, PROC_SLOT_PARENT},
-    AccessDescriptor, ObjectRef, ObjectSpace, ProcessStatus, Rights,
+    AccessDescriptor, ObjectRef, ProcessStatus, Rights, SpaceMut,
 };
 use i432_gdp::{
     port,
@@ -52,9 +52,9 @@ impl BasicProcessManager {
     /// Creates a process, optionally as a child of `parent` (the Ada task
     /// model: a task cannot outlive its parent's scope).
     #[allow(clippy::too_many_arguments)] // Mirrors the service's record.
-    pub fn create_process(
+    pub fn create_process<S: SpaceMut + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sro: ObjectRef,
         domain: AccessDescriptor,
         subprogram: u32,
@@ -71,13 +71,17 @@ impl BasicProcessManager {
     }
 
     /// Enters a process into the dispatching mix.
-    pub fn ready(&mut self, space: &mut ObjectSpace, p: ObjectRef) -> Result<(), Fault> {
+    pub fn ready<S: SpaceMut + ?Sized>(
+        &mut self,
+        space: &mut S,
+        p: ObjectRef,
+    ) -> Result<(), Fault> {
         port::make_ready(space, p)
     }
 
-    fn link_child(
+    fn link_child<S: SpaceMut + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         parent: ObjectRef,
         child: ObjectRef,
     ) -> Result<(), Fault> {
@@ -87,7 +91,11 @@ impl BasicProcessManager {
             .map_err(Fault::from)?;
         for i in 0..PROC_CHILD_SLOTS {
             let slot = PROC_CHILD_BASE + i;
-            if space.load_ad_hw(parent, slot).map_err(Fault::from)?.is_none() {
+            if space
+                .load_ad_hw(parent, slot)
+                .map_err(Fault::from)?
+                .is_none()
+            {
                 let child_ad = space.mint(child, Rights::CONTROL);
                 space
                     .store_ad_hw(parent, slot, Some(child_ad))
@@ -102,7 +110,11 @@ impl BasicProcessManager {
     }
 
     /// Children of a process, via the links in its own object.
-    pub fn children(&self, space: &mut ObjectSpace, p: ObjectRef) -> Result<Vec<ObjectRef>, Fault> {
+    pub fn children<S: SpaceMut + ?Sized>(
+        &self,
+        space: &mut S,
+        p: ObjectRef,
+    ) -> Result<Vec<ObjectRef>, Fault> {
         let mut out = Vec::new();
         for i in 0..PROC_CHILD_SLOTS {
             if let Some(ad) = space
@@ -115,7 +127,11 @@ impl BasicProcessManager {
         Ok(out)
     }
 
-    fn tree_of(&self, space: &mut ObjectSpace, root: ObjectRef) -> Result<Vec<ObjectRef>, Fault> {
+    fn tree_of<S: SpaceMut + ?Sized>(
+        &self,
+        space: &mut S,
+        root: ObjectRef,
+    ) -> Result<Vec<ObjectRef>, Fault> {
         let mut all = vec![root];
         let mut i = 0;
         while i < all.len() {
@@ -129,7 +145,11 @@ impl BasicProcessManager {
     /// Stops a process tree: every member's outstanding stop count is
     /// incremented. Members leave the dispatching mix at their next
     /// scheduling event.
-    pub fn stop(&mut self, space: &mut ObjectSpace, root: ObjectRef) -> Result<u32, Fault> {
+    pub fn stop<S: SpaceMut + ?Sized>(
+        &mut self,
+        space: &mut S,
+        root: ObjectRef,
+    ) -> Result<u32, Fault> {
         let tree = self.tree_of(space, root)?;
         for &p in &tree {
             space.process_mut(p).map_err(Fault::from)?.stop_count += 1;
@@ -141,7 +161,11 @@ impl BasicProcessManager {
     /// Starts a process tree: every member's count is decremented; any
     /// member that becomes runnable and was parked re-enters the
     /// dispatching mix.
-    pub fn start(&mut self, space: &mut ObjectSpace, root: ObjectRef) -> Result<u32, Fault> {
+    pub fn start<S: SpaceMut + ?Sized>(
+        &mut self,
+        space: &mut S,
+        root: ObjectRef,
+    ) -> Result<u32, Fault> {
         let tree = self.tree_of(space, root)?;
         for &p in &tree {
             let became_runnable = {
@@ -159,13 +183,13 @@ impl BasicProcessManager {
     }
 
     /// Outstanding stop count of one process.
-    pub fn stop_count(&self, space: &ObjectSpace, p: ObjectRef) -> Result<u32, Fault> {
+    pub fn stop_count<S: SpaceMut + ?Sized>(&self, space: &S, p: ObjectRef) -> Result<u32, Fault> {
         Ok(space.process(p).map_err(Fault::from)?.stop_count)
     }
 
     /// Reaps a terminated process: unlinks it from its parent and
     /// destroys its object. Fails unless the process has terminated.
-    pub fn reap(&mut self, space: &mut ObjectSpace, p: ObjectRef) -> Result<(), Fault> {
+    pub fn reap<S: SpaceMut + ?Sized>(&mut self, space: &mut S, p: ObjectRef) -> Result<(), Fault> {
         let status = space.process(p).map_err(Fault::from)?.status;
         if status != ProcessStatus::Terminated {
             return Err(Fault::with_detail(
@@ -177,10 +201,7 @@ impl BasicProcessManager {
         if let Some(parent) = space.load_ad_hw(p, PROC_SLOT_PARENT).map_err(Fault::from)? {
             for i in 0..PROC_CHILD_SLOTS {
                 let slot = PROC_CHILD_BASE + i;
-                if let Some(ad) = space
-                    .load_ad_hw(parent.obj, slot)
-                    .map_err(Fault::from)?
-                {
+                if let Some(ad) = space.load_ad_hw(parent.obj, slot).map_err(Fault::from)? {
                     if ad.obj == p {
                         space
                             .store_ad_hw(parent.obj, slot, None)
@@ -198,6 +219,7 @@ impl BasicProcessManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
     use i432_arch::{
         CodeBody, CodeRef, DomainState, ObjectSpec, ObjectType, PortDiscipline, PortState,
         Subprogram, SysState, SystemType,

@@ -14,7 +14,7 @@
 //! *manager*, and it tracks only its own clients, not "all the processes
 //! in the system".
 
-use i432_arch::{ObjectRef, ObjectSpace};
+use i432_arch::{ObjectRef, SpaceMut};
 use i432_gdp::Fault;
 
 /// One managed process's share configuration and bookkeeping.
@@ -64,7 +64,7 @@ impl FairShareScheduler {
     /// Rebalances: reads consumption since the last pass, updates decayed
     /// weighted usage, and writes back hardware priorities (lower value =
     /// more urgent = less over-consumed).
-    pub fn rebalance(&mut self, space: &mut ObjectSpace) -> Result<(), Fault> {
+    pub fn rebalance<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<(), Fault> {
         // Gather deltas.
         for c in &mut self.clients {
             let total = match space.process(c.process) {
@@ -75,8 +75,7 @@ impl FairShareScheduler {
             c.last_cycles = total;
             c.usage = c.usage * self.decay + delta as f64 / c.weight as f64;
         }
-        self.clients
-            .retain(|c| space.process(c.process).is_ok());
+        self.clients.retain(|c| space.process(c.process).is_ok());
         // Rank by weighted usage: the least-served gets priority 0.
         let mut order: Vec<usize> = (0..self.clients.len()).collect();
         order.sort_by(|&a, &b| {
@@ -91,10 +90,9 @@ impl FairShareScheduler {
             space.process_mut(process).map_err(Fault::from)?.priority = prio;
             // Refresh the key of an already-queued client, or a stale key
             // would override the new ranking until the next requeue.
-            if let Ok(Some(dp)) = space.load_ad_hw(
-                process,
-                i432_arch::sysobj::PROC_SLOT_DISPATCH_PORT,
-            ) {
+            if let Ok(Some(dp)) =
+                space.load_ad_hw(process, i432_arch::sysobj::PROC_SLOT_DISPATCH_PORT)
+            {
                 let _ = i432_gdp::port::update_queued_key(space, dp.obj, process, prio as u64);
             }
         }
@@ -119,7 +117,9 @@ impl Default for FairShareScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{Level, ObjectSpec, ObjectType, ProcessState, SysState, SystemType};
+    use i432_arch::{
+        Level, ObjectSpace, ObjectSpec, ObjectType, ProcessState, SysState, SystemType,
+    };
 
     fn process(space: &mut ObjectSpace) -> ObjectRef {
         let root = space.root_sro();

@@ -7,9 +7,9 @@
 //! (stopped, faulted out of the mix, or exited) are parked, re-entered
 //! when runnable again, or queued for reaping.
 
-use imax_ipc::{untyped, Port};
-use i432_arch::{ObjectRef, ObjectSpace, ProcessStatus};
+use i432_arch::{ObjectRef, ProcessStatus, SpaceMut};
 use i432_gdp::{port, Fault};
+use imax_ipc::{untyped, Port};
 
 /// What the scheduler did during one service pass.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl RoundRobinScheduler {
     ///
     /// (The process must have been created with this scheduler's port as
     /// its scheduler port for events to arrive here.)
-    pub fn adopt(&self, space: &mut ObjectSpace, p: ObjectRef) -> Result<(), Fault> {
+    pub fn adopt<S: SpaceMut + ?Sized>(&self, space: &mut S, p: ObjectRef) -> Result<(), Fault> {
         let ps = space.process_mut(p).map_err(Fault::from)?;
         ps.timeslice = self.quantum;
         ps.slice_remaining = ps.slice_remaining.min(self.quantum);
@@ -59,7 +59,7 @@ impl RoundRobinScheduler {
 
     /// Services the scheduler port: drains delivered processes and
     /// decides for each, then retries parked processes.
-    pub fn service(&mut self, space: &mut ObjectSpace) -> Result<ServiceReport, Fault> {
+    pub fn service<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<ServiceReport, Fault> {
         let mut report = ServiceReport::default();
         while let Some(msg) = untyped::receive(space, self.port)? {
             report.events += 1;
@@ -112,8 +112,8 @@ impl RoundRobinScheduler {
 mod tests {
     use super::*;
     use i432_arch::{
-        AccessDescriptor, CodeBody, CodeRef, DomainState, ObjectSpec, ObjectType, PortDiscipline,
-        ProcessState, Rights, Subprogram, SysState, SystemType,
+        AccessDescriptor, CodeBody, CodeRef, DomainState, ObjectSpace, ObjectSpec, ObjectType,
+        PortDiscipline, ProcessState, Rights, Subprogram, SysState, SystemType,
     };
     use imax_ipc::create_port;
 
@@ -126,11 +126,7 @@ mod tests {
         (space, rr, dispatch.ad())
     }
 
-    fn bare_process(
-        space: &mut ObjectSpace,
-        dispatch: AccessDescriptor,
-        sched: Port,
-    ) -> ObjectRef {
+    fn bare_process(space: &mut ObjectSpace, dispatch: AccessDescriptor, sched: Port) -> ObjectRef {
         use i432_arch::sysobj::{PROC_SLOT_DISPATCH_PORT, PROC_SLOT_SCHED_PORT};
         let root = space.root_sro();
         let p = space

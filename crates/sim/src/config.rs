@@ -5,8 +5,8 @@
 //! (`imax::builder`) layers package selection and alternate
 //! implementations on top.
 
-use i432_gdp::CostModel;
 use i432_arch::PortDiscipline;
+use i432_gdp::CostModel;
 
 /// Hardware configuration of a simulated 432 system.
 #[derive(Debug, Clone)]
@@ -17,6 +17,11 @@ pub struct SystemConfig {
     pub access_slots: u32,
     /// Object table limit.
     pub table_limit: u32,
+    /// Number of object-space shards (lock stripes). The data arena,
+    /// access arena and object table are divided evenly between them and
+    /// the index space is address-interleaved (index mod `shards`). One
+    /// shard reproduces the unsharded space exactly.
+    pub shards: u32,
     /// Number of general data processors.
     pub processors: u32,
     /// Number of interleaved memory buses.
@@ -39,6 +44,7 @@ impl Default for SystemConfig {
             data_bytes: 4 * 1024 * 1024,
             access_slots: 256 * 1024,
             table_limit: 64 * 1024,
+            shards: 1,
             processors: 1,
             buses: 4,
             bus_cycles_per_word: 2,
@@ -71,6 +77,12 @@ impl SystemConfig {
     pub fn with_buses(mut self, buses: usize, cycles_per_word: u64) -> SystemConfig {
         self.buses = buses;
         self.bus_cycles_per_word = cycles_per_word;
+        self
+    }
+
+    /// Sets the object-space shard (lock stripe) count.
+    pub fn with_shards(mut self, n: u32) -> SystemConfig {
+        self.shards = n.max(1);
         self
     }
 }

@@ -6,8 +6,8 @@ use crate::{
     trace::{TraceBuffer, TraceEntry},
 };
 use i432_arch::{
-    AccessDescriptor, CodeBody, DomainState, ObjectRef, ObjectSpace, ObjectSpec, ObjectType,
-    PortState, ProcessStatus, ProcessorStatus, Rights, Subprogram, SysState, SystemType,
+    AccessDescriptor, CodeBody, DomainState, ObjectRef, ObjectSpec, ObjectType, PortState,
+    ProcessStatus, ProcessorStatus, Rights, ShardedSpace, Subprogram, SysState, SystemType,
 };
 use i432_gdp::{
     code::CodeStore,
@@ -41,8 +41,9 @@ pub enum RunOutcome {
 /// Fields are public for the iMAX layers; applications interact through
 /// iMAX's interface packages.
 pub struct System {
-    /// The shared object space.
-    pub space: ObjectSpace,
+    /// The shared object space, partitioned into address-interleaved
+    /// shards (one shard with the default configuration).
+    pub space: ShardedSpace,
     /// The shared code store.
     pub code: CodeStore,
     /// Registered native service bodies.
@@ -57,6 +58,7 @@ pub struct System {
     dispatch_port: ObjectRef,
     root_dir: ObjectRef,
     next_anchor: u32,
+    next_home: u32,
     processes: Vec<ObjectRef>,
     services: Vec<ObjectRef>,
     timers: BinaryHeap<Reverse<(u64, ObjectRef)>>,
@@ -70,7 +72,15 @@ impl System {
     /// Builds a system per the hardware configuration: arenas, object
     /// table, the system dispatching port, and the processors.
     pub fn new(config: &SystemConfig) -> System {
-        let mut space = ObjectSpace::new(config.data_bytes, config.access_slots, config.table_limit);
+        let mut space = ShardedSpace::new(
+            config.data_bytes,
+            config.access_slots,
+            config.table_limit,
+            config.shards,
+        );
+        // System-wide objects (dispatching port, root directory) live in
+        // shard 0; processors round-robin over the shard roots so their
+        // per-processor state spreads across the stripes.
         let root = space.root_sro();
         let dispatch_port = space
             .create_object(
@@ -99,7 +109,8 @@ impl System {
             .expect("root directory fits a fresh arena");
         let mut gdps = Vec::new();
         for id in 0..config.processors {
-            let cpu = make_processor(&mut space, root, id, dispatch_ad)
+            let home = space.root_sro_of(id % space.shard_count());
+            let cpu = make_processor(&mut space, home, id, dispatch_ad)
                 .expect("processor objects fit a fresh arena");
             let dir_ad = space.mint(root_dir, Rights::READ | Rights::WRITE);
             space
@@ -118,6 +129,7 @@ impl System {
             dispatch_port,
             root_dir,
             next_anchor: 0,
+            next_home: 0,
             processes: Vec::new(),
             services: Vec::new(),
             timers: BinaryHeap::new(),
@@ -280,7 +292,12 @@ impl System {
         arg: Option<AccessDescriptor>,
         spec: ProcessSpec,
     ) -> ObjectRef {
-        let root = self.space.root_sro();
+        // Round-robin the process's home shard: its process object,
+        // contexts and local heap all allocate from that shard's root
+        // SRO, so independent processes touch independent stripes.
+        let home = self.next_home % self.space.shard_count();
+        self.next_home = self.next_home.wrapping_add(1);
+        let root = self.space.root_sro_of(home);
         let p = make_process(&mut self.space, root, domain, subprogram, arg, spec)
             .expect("process creation");
         port::make_ready(&mut self.space, p).expect("dispatch enqueue");
@@ -474,7 +491,12 @@ mod tests {
         p.mov(DataRef::Imm(iters), DataDst::Local(0));
         p.bind(top);
         p.work(per_iter);
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = sys.subprogram("work", p.finish(), 64, 8);
@@ -561,7 +583,12 @@ mod tests {
             p.bind(top);
             p.mov(DataRef::Local(0), DataDst::Local(8));
             p.mov(DataRef::Local(8), DataDst::Local(16));
-            p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+            p.alu(
+                AluOp::Sub,
+                DataRef::Local(0),
+                DataRef::Imm(1),
+                DataDst::Local(0),
+            );
             p.jump_if_nonzero(DataRef::Local(0), top);
             p.halt();
             let sub = sys.subprogram("memhog", p.finish(), 64, 8);

@@ -7,20 +7,30 @@
 //! never assuming that process priority or other scheduling artifact is
 //! sufficient to guarantee exclusion."
 //!
-//! Each host thread embodies one GDP and steps it against the shared
-//! object space under a lock (the space lock stands in for the 432's
-//! memory-bus arbitration and the RMW semantics its port instructions
-//! had). Interleaving is whatever the host scheduler produces —
+//! Two runners are provided:
+//!
+//! * [`run_threaded`] — each host thread embodies one GDP and steps it
+//!   against the shared *lock-striped* object space
+//!   ([`i432_arch::SharedSpace`]): every operation locks only the shard
+//!   (or, for a cross-shard AD store, the two shards in canonical order)
+//!   it touches, so threads whose processes live in different stripes
+//!   genuinely run in parallel. This is the moral equivalent of the
+//!   432's interleaved memory buses: disjoint addresses never contend.
+//! * [`run_threaded_global_lock`] — the original design, one mutex
+//!   around the whole system. Kept as the contention baseline that the
+//!   `c3_threaded` benchmark measures speedup against.
+//!
+//! Interleaving is whatever the host scheduler produces —
 //! nondeterministic — yet every logical result must match the
 //! deterministic runner, because the *system's* synchronization is all
 //! in ports, never in scheduling accidents. `tests/threaded_runner.rs`
-//! checks exactly that.
+//! checks exactly that across thread-count × shard-count combinations.
 
 use crate::system::System;
-use i432_arch::ProcessStatus;
-use i432_gdp::{Env, NullInterconnect, StepEvent};
+use i432_arch::{ProcessStatus, ShardedSpace, SharedSpace, SpaceAccessExt};
+use i432_gdp::{Env, Gdp, NullInterconnect, StepEvent};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Outcome of a threaded run.
@@ -34,22 +44,116 @@ pub struct ThreadedOutcome {
     pub system_errors: u64,
 }
 
-/// Runs the system's processors on real threads until every registered
-/// process terminates or `max_steps` total steps elapse.
+/// Runs the system's processors on real threads against the lock-striped
+/// shared space until every registered process terminates or `max_steps`
+/// total steps elapse.
 ///
-/// The system is taken by value (threads need ownership) and handed
-/// back with the final state. Interconnect modeling is disabled
-/// (contention here is *real*); simulated clocks still advance, but
-/// their values are interleaving-dependent — use the deterministic
+/// The system is taken by value (the space moves into the shared handle)
+/// and handed back with the final state. Interconnect modeling is
+/// disabled (contention here is *real*); simulated clocks still advance,
+/// but their values are interleaving-dependent — use the deterministic
 /// runner for measurements.
-pub fn run_threaded(sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
-    // Dismantle the system into shared state.
+pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
+    let processes: Vec<_> = sys.processes().to_vec();
+    let gdps: Vec<_> = sys.processors().into_iter().map(Gdp::new).collect();
+    // Move the space into the striped handle; park a minimal placeholder
+    // in the System until the threads are done.
+    let space = std::mem::replace(&mut sys.space, ShardedSpace::new(4096, 64, 16, 1));
+    let shared = SharedSpace::new(space);
+    let code = &sys.code;
+    let natives = &sys.natives;
+    let cost = sys.cost;
+
+    let remaining0 = {
+        let mut agent = shared.agent();
+        processes
+            .iter()
+            .filter(|p| {
+                !matches!(
+                    agent.with_process(**p, |s| s.status),
+                    Ok(ProcessStatus::Terminated)
+                )
+            })
+            .count()
+    };
+    let remaining = AtomicUsize::new(remaining0);
+    let total_steps = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let done = AtomicBool::new(remaining0 == 0);
+
+    std::thread::scope(|scope| {
+        for mut gdp in gdps {
+            let shared = &shared;
+            let processes = &processes;
+            let remaining = &remaining;
+            let total_steps = &total_steps;
+            let errors = &errors;
+            let done = &done;
+            scope.spawn(move || {
+                let mut agent = shared.agent();
+                let mut bus = NullInterconnect;
+                loop {
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if total_steps.fetch_add(1, Ordering::AcqRel) >= max_steps {
+                        done.store(true, Ordering::Release);
+                        return;
+                    }
+                    let event = {
+                        let mut env = Env {
+                            space: &mut agent,
+                            code,
+                            natives,
+                            bus: &mut bus,
+                            cost,
+                        };
+                        gdp.step(&mut env)
+                    };
+                    match event {
+                        StepEvent::SystemError { .. } => {
+                            errors.fetch_add(1, Ordering::AcqRel);
+                            done.store(true, Ordering::Release);
+                            return;
+                        }
+                        StepEvent::ProcessExited(p)
+                            if processes.contains(&p)
+                                && remaining.fetch_sub(1, Ordering::AcqRel) <= 1 =>
+                        {
+                            done.store(true, Ordering::Release);
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+            });
+        }
+    });
+
+    sys.space = shared.into_inner();
+    let completed = processes.iter().all(|p| {
+        matches!(
+            sys.space.process(*p).map(|s| s.status),
+            Ok(ProcessStatus::Terminated) | Err(_)
+        )
+    });
+    let outcome = ThreadedOutcome {
+        completed,
+        steps: total_steps.load(Ordering::Acquire),
+        system_errors: errors.load(Ordering::Acquire),
+    };
+    (sys, outcome)
+}
+
+/// The original threaded runner: one mutex around the whole system, every
+/// step serialized. Logically equivalent to [`run_threaded`]; kept as the
+/// baseline the striped runner's speedup is measured against.
+pub fn run_threaded_global_lock(sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
     let processes: Vec<_> = sys.processes().to_vec();
     let mut gdps = Vec::new();
     for cpu in sys.processors() {
-        gdps.push(i432_gdp::Gdp::new(cpu));
+        gdps.push(Gdp::new(cpu));
     }
-    // Clocks were consumed fresh; runs always start threaded from t=0.
     let shared = Arc::new(Mutex::new(sys));
     let total_steps = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
@@ -140,23 +244,48 @@ mod tests {
     use i432_gdp::isa::{AluOp, DataDst, DataRef};
     use i432_gdp::ProgramBuilder;
 
-    #[test]
-    fn threaded_run_completes_simple_batch() {
-        let mut sys = System::new(&SystemConfig::small().with_processors(4));
+    fn batch_system(shards: u32, cpus: u32, jobs: usize) -> System {
+        let mut sys = System::new(
+            &SystemConfig::small()
+                .with_processors(cpus)
+                .with_shards(shards),
+        );
         let mut p = ProgramBuilder::new();
         let top = p.new_label();
         p.mov(DataRef::Imm(20), DataDst::Local(0));
         p.bind(top);
         p.work(100);
-        p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Sub,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), top);
         p.halt();
         let sub = sys.subprogram("job", p.finish(), 64, 8);
         let dom = sys.install_domain("batch", vec![sub], 0);
-        for _ in 0..8 {
+        for _ in 0..jobs {
             sys.spawn(dom, 0, None);
         }
+        sys
+    }
+
+    #[test]
+    fn threaded_run_completes_simple_batch() {
+        let sys = batch_system(4, 4, 8);
         let (sys, outcome) = run_threaded(sys, 10_000_000);
+        assert!(outcome.completed, "{outcome:?}");
+        assert_eq!(outcome.system_errors, 0);
+        for p in sys.processes() {
+            assert_eq!(sys.space.process(*p).unwrap().fault_code, 0);
+        }
+    }
+
+    #[test]
+    fn global_lock_run_completes_simple_batch() {
+        let sys = batch_system(1, 4, 8);
+        let (sys, outcome) = run_threaded_global_lock(sys, 10_000_000);
         assert!(outcome.completed, "{outcome:?}");
         assert_eq!(outcome.system_errors, 0);
         for p in sys.processes() {

@@ -83,13 +83,19 @@ mod tests {
     use super::*;
 
     fn k(i: u32) -> ObjectRef {
-        ObjectRef { index: i432_arch::ObjectIndex(i), generation: 0 }
+        ObjectRef {
+            index: i432_arch::ObjectIndex(i),
+            generation: 0,
+        }
     }
 
     #[test]
     fn write_read_roundtrip() {
         let mut b = BackingStore::new();
-        let key = ObjectRef { index: i432_arch::ObjectIndex(7), generation: 0 };
+        let key = ObjectRef {
+            index: i432_arch::ObjectIndex(7),
+            generation: 0,
+        };
         let cycles = b.write(key, vec![1, 2, 3, 4]);
         assert_eq!(cycles, 8);
         assert_eq!(b.resident_pages(), 1);

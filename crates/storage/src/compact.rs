@@ -16,7 +16,7 @@
 //! atomic between instructions.
 
 use crate::iface::StorageError;
-use i432_arch::{ObjectRef, ObjectSpace};
+use i432_arch::{ObjectRef, SpaceMut};
 
 /// The result of one compaction pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +41,8 @@ pub struct CompactionReport {
 /// Absent (swapped-out) segments own no data run, so they neither move
 /// nor block movers. Access parts are not compacted (capability topology
 /// stays put).
-pub fn compact_sro(
-    space: &mut ObjectSpace,
+pub fn compact_sro<S: SpaceMut + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
 ) -> Result<CompactionReport, StorageError> {
     // An SRO that has donated part of its span to child SROs cannot be
@@ -50,8 +50,9 @@ pub fn compact_sro(
     // sliding segments across them would corrupt the children. (iMAX
     // compacts leaf heaps; parents compact after their children are
     // destroyed.)
-    let has_children = space.table.iter_live().any(|(_, e)| {
-        matches!(&e.sys, i432_arch::SysState::Sro(st) if st.parent == Some(sro))
+    let mut has_children = false;
+    space.for_each_live(&mut |_, e| {
+        has_children |= matches!(&e.sys, i432_arch::SysState::Sro(st) if st.parent == Some(sro));
     });
     if has_children {
         return Err(StorageError::NotEligible(
@@ -61,21 +62,19 @@ pub fn compact_sro(
     let largest_before = space.sro(sro)?.data_free.largest_free();
 
     // Collect the SRO's resident segments in address order.
-    let mut segments: Vec<(ObjectRef, u32, u32)> = space
-        .table
-        .iter_live()
-        .filter(|(_, e)| e.desc.sro == Some(sro) && !e.desc.absent && e.desc.data_len > 0)
-        .map(|(i, e)| {
-            (
+    let mut segments: Vec<(ObjectRef, u32, u32)> = Vec::new();
+    space.for_each_live(&mut |i, e| {
+        if e.desc.sro == Some(sro) && !e.desc.absent && e.desc.data_len > 0 {
+            segments.push((
                 ObjectRef {
                     index: i,
                     generation: e.generation,
                 },
                 e.desc.data_base,
                 e.desc.data_len,
-            )
-        })
-        .collect();
+            ));
+        }
+    });
     segments.sort_by_key(|&(_, base, _)| base);
 
     // The SRO's span: the lowest point of (free runs ∪ segments).
@@ -107,8 +106,8 @@ pub fn compact_sro(
     for (r, base, len) in segments {
         debug_assert!(cursor <= base);
         if cursor != base {
-            space.data.copy_within(base, cursor, len)?;
-            space.table.get_mut(r)?.desc.data_base = cursor;
+            space.data_arena_mut(r)?.copy_within(base, cursor, len)?;
+            space.entry_mut(r)?.desc.data_base = cursor;
             report.moved += 1;
             report.bytes_copied += len as u64;
             report.sim_cycles += (len as u64).div_ceil(4) * 2 + 20;
@@ -131,7 +130,7 @@ pub fn compact_sro(
 mod tests {
     use super::*;
     use crate::sro::{create_sro, SroQuota};
-    use i432_arch::{Level, ObjectSpec, Rights};
+    use i432_arch::{Level, ObjectSpace, ObjectSpec, Rights};
 
     fn fragmented_sro(space: &mut ObjectSpace) -> (ObjectRef, Vec<(ObjectRef, u64)>) {
         let root = space.root_sro();
@@ -268,16 +267,13 @@ mod tests {
         .unwrap();
         let report = compact_sro(&mut space, sro).unwrap();
         assert_eq!(report.moved, 0);
-        assert_eq!(
-            space.sro(sro).unwrap().data_free.total_free(),
-            1024
-        );
+        assert_eq!(space.sro(sro).unwrap().data_free.total_free(), 1024);
     }
 
     #[test]
     fn absent_segments_do_not_block_compaction() {
-        use crate::swapping::SwappingManager;
         use crate::iface::StorageManager;
+        use crate::swapping::SwappingManager;
         let mut space = ObjectSpace::new(64 * 1024, 4096, 512);
         let (sro, survivors) = fragmented_sro(&mut space);
         let mut mgr = SwappingManager::new();

@@ -9,7 +9,7 @@ use crate::{
     iface::{StorageError, StorageManager, StorageStats},
     sro::{create_sro, SroQuota},
 };
-use i432_arch::{Level, ObjectRef, ObjectSpace, ObjectSpec};
+use i432_arch::{Level, ObjectRef, ObjectSpec, SpaceMut};
 
 /// The release-1 manager: direct pass-through with accounting.
 #[derive(Debug, Default)]
@@ -31,7 +31,7 @@ impl StorageManager for FrozenManager {
 
     fn create_object(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
         spec: ObjectSpec,
     ) -> Result<ObjectRef, StorageError> {
@@ -42,7 +42,7 @@ impl StorageManager for FrozenManager {
 
     fn destroy_object(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError> {
         space.destroy_object(obj)?;
@@ -52,7 +52,7 @@ impl StorageManager for FrozenManager {
 
     fn create_heap(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         parent: ObjectRef,
         level: Level,
         quota: SroQuota,
@@ -64,7 +64,7 @@ impl StorageManager for FrozenManager {
 
     fn destroy_heap(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
     ) -> Result<u32, StorageError> {
         let n = space.bulk_destroy_sro(sro)?;
@@ -75,12 +75,12 @@ impl StorageManager for FrozenManager {
 
     fn ensure_resident(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError> {
         // Nothing is ever absent under this manager; validate the
         // reference for parity with the swapping implementation.
-        space.table.get(obj)?;
+        space.entry(obj)?;
         Ok(())
     }
 
@@ -92,6 +92,7 @@ impl StorageManager for FrozenManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
 
     #[test]
     fn pass_through_allocation_and_accounting() {

@@ -18,7 +18,7 @@ use crate::{
 };
 use i432_arch::{
     sysobj::{PROC_SLOT_CONTEXT, PROC_SLOT_LOCAL_HEAP},
-    ObjectRef, ObjectSpace, Rights,
+    ObjectRef, Rights, SpaceMut,
 };
 
 /// Opens a local heap for the process at its *current* dynamic depth.
@@ -33,7 +33,7 @@ use i432_arch::{
 /// frame).
 pub fn open_local_heap(
     manager: &mut dyn StorageManager,
-    space: &mut ObjectSpace,
+    space: &mut dyn SpaceMut,
     proc_ref: ObjectRef,
     quota: SroQuota,
 ) -> Result<ObjectRef, StorageError> {
@@ -48,7 +48,7 @@ pub fn open_local_heap(
 /// the frame that asked for it.
 pub fn open_local_heap_at(
     manager: &mut dyn StorageManager,
-    space: &mut ObjectSpace,
+    space: &mut dyn SpaceMut,
     proc_ref: ObjectRef,
     quota: SroQuota,
     depth: Option<i432_arch::Level>,
@@ -63,7 +63,7 @@ pub fn open_local_heap_at(
             let ctx = space
                 .load_ad_hw(proc_ref, PROC_SLOT_CONTEXT)?
                 .ok_or(StorageError::NotEligible("process has no context"))?;
-            space.table.get(ctx.obj)?.desc.level
+            space.entry(ctx.obj)?.desc.level
         }
     };
     let parent = space.root_sro();
@@ -78,7 +78,7 @@ pub fn open_local_heap_at(
 /// reclaimed, or 0 when no heap was open.
 pub fn close_local_heap(
     manager: &mut dyn StorageManager,
-    space: &mut ObjectSpace,
+    space: &mut dyn SpaceMut,
     proc_ref: ObjectRef,
 ) -> Result<u32, StorageError> {
     let Some(heap) = space.load_ad_hw(proc_ref, PROC_SLOT_LOCAL_HEAP)? else {
@@ -93,7 +93,8 @@ mod tests {
     use super::*;
     use crate::frozen::FrozenManager;
     use i432_arch::{
-        ContextState, Level, ObjectSpec, ObjectType, ProcessState, SysState, SystemType,
+        ContextState, Level, ObjectSpace, ObjectSpec, ObjectType, ProcessState, SysState,
+        SystemType,
     };
 
     /// Builds a bare process with a context at the given level.

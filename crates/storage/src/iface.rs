@@ -8,7 +8,7 @@
 //! selecting one of the alternate implementations; most applications will
 //! not be affected by this selection."
 
-use i432_arch::{ArchError, ObjectRef, ObjectSpace, ObjectSpec};
+use i432_arch::{ArchError, ObjectRef, ObjectSpec, SpaceMut};
 use std::fmt;
 
 /// Storage-management failures.
@@ -40,7 +40,10 @@ impl fmt::Display for StorageError {
             StorageError::QuotaExceeded {
                 requested,
                 available,
-            } => write!(f, "quota exceeded: requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "quota exceeded: requested {requested}, available {available}"
+            ),
             StorageError::CannotMakeRoom { needed } => {
                 write!(f, "cannot make room for {needed} bytes")
             }
@@ -80,7 +83,8 @@ pub struct StorageStats {
 
 /// The single storage interface both implementations meet.
 ///
-/// All operations take the [`ObjectSpace`] explicitly — a manager is an
+/// All operations take the object space explicitly (any [`SpaceMut`]
+/// implementation — the plain space or a sharded one) — a manager is an
 /// iMAX *package* (policy + bookkeeping), not an owner of the hardware.
 pub trait StorageManager: Send {
     /// Implementation name ("non-swapping", "swapping").
@@ -91,7 +95,7 @@ pub trait StorageManager: Send {
     /// when the arena is exhausted).
     fn create_object(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
         spec: ObjectSpec,
     ) -> Result<ObjectRef, StorageError>;
@@ -100,7 +104,7 @@ pub trait StorageManager: Send {
     /// at the interface layer above; the GC path bypasses this).
     fn destroy_object(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError>;
 
@@ -108,7 +112,7 @@ pub trait StorageManager: Send {
     /// the given quotas.
     fn create_heap(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         parent: ObjectRef,
         level: i432_arch::Level,
         quota: crate::sro::SroQuota,
@@ -118,7 +122,7 @@ pub trait StorageManager: Send {
     /// bulk reclamation). Returns the number of objects reclaimed.
     fn destroy_heap(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
     ) -> Result<u32, StorageError>;
 
@@ -126,7 +130,7 @@ pub trait StorageManager: Send {
     /// non-swapping manager).
     fn ensure_resident(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError>;
 

@@ -8,7 +8,7 @@
 
 use crate::iface::StorageError;
 use i432_arch::{
-    Level, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, SroState, SysState, SystemType,
+    Level, ObjectRef, ObjectSpec, ObjectType, SpaceMut, SroState, SysState, SystemType,
 };
 
 /// How much space a new SRO is given.
@@ -36,8 +36,8 @@ impl SroQuota {
 /// The donation is taken as single contiguous runs from the parent (the
 /// simplest policy, and what keeps bulk restitution exact). Fails with
 /// the parent's exhaustion error when it cannot supply the quota.
-pub fn create_sro(
-    space: &mut ObjectSpace,
+pub fn create_sro<S: SpaceMut + ?Sized>(
+    space: &mut S,
     parent: ObjectRef,
     level: Level,
     quota: SroQuota,
@@ -99,7 +99,7 @@ pub fn create_sro(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::Rights;
+    use i432_arch::{ObjectSpace, Rights};
 
     #[test]
     fn child_sro_allocates_from_donation() {

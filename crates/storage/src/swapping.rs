@@ -24,7 +24,7 @@ use crate::{
     iface::{StorageError, StorageManager, StorageStats},
     sro::{create_sro, SroQuota},
 };
-use i432_arch::{Level, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, SysState};
+use i432_arch::{Level, ObjectRef, ObjectSpec, ObjectType, SpaceMut, SysState};
 
 /// The release-2 manager: eviction + demand swap-in.
 #[derive(Debug)]
@@ -54,8 +54,8 @@ impl SwappingManager {
     }
 
     /// Whether a segment is eligible for eviction.
-    fn eligible(space: &ObjectSpace, r: ObjectRef) -> bool {
-        let Ok(e) = space.table.get(r) else {
+    fn eligible(space: &dyn SpaceMut, r: ObjectRef) -> bool {
+        let Ok(e) = space.entry(r) else {
             return false;
         };
         if e.desc.absent || e.desc.data_len == 0 {
@@ -68,28 +68,24 @@ impl SwappingManager {
     }
 
     /// Evicts one segment's data part to the backing store.
-    pub fn swap_out(
-        &mut self,
-        space: &mut ObjectSpace,
-        r: ObjectRef,
-    ) -> Result<(), StorageError> {
+    pub fn swap_out(&mut self, space: &mut dyn SpaceMut, r: ObjectRef) -> Result<(), StorageError> {
         if !Self::eligible(space, r) {
             return Err(StorageError::NotEligible(
                 "pinned, absent, or zero-length segment",
             ));
         }
         let (base, len, sro) = {
-            let e = space.table.get(r)?;
+            let e = space.entry(r)?;
             (e.desc.data_base, e.desc.data_len, e.desc.sro)
         };
         let mut buf = vec![0u8; len as usize];
-        space.data.read(base, &mut buf)?;
+        space.data_arena(r)?.read(base, &mut buf)?;
         self.pending_cycles += self.backing.write(r, buf);
         // Return the run to the owning SRO.
         if let Some(sro) = sro {
             space.sro_mut(sro)?.data_free.release(base, len)?;
         }
-        let e = space.table.get_mut(r)?;
+        let e = space.entry_mut(r)?;
         e.desc.absent = true;
         e.desc.accessed = false;
         e.desc.dirty = false;
@@ -99,9 +95,9 @@ impl SwappingManager {
 
     /// Brings an absent segment's data part back, evicting peers from the
     /// same SRO if necessary.
-    pub fn swap_in(&mut self, space: &mut ObjectSpace, r: ObjectRef) -> Result<(), StorageError> {
+    pub fn swap_in(&mut self, space: &mut dyn SpaceMut, r: ObjectRef) -> Result<(), StorageError> {
         let (len, sro) = {
-            let e = space.table.get(r)?;
+            let e = space.entry(r)?;
             if !e.desc.absent {
                 return Ok(());
             }
@@ -116,8 +112,8 @@ impl SwappingManager {
             .read(r)
             .ok_or(StorageError::NotEligible("no backing page for segment"))?;
         self.pending_cycles += cycles;
-        space.data.write(base, &data)?;
-        let e = space.table.get_mut(r)?;
+        space.data_arena_mut(r)?.write(base, &data)?;
+        let e = space.entry_mut(r)?;
         e.desc.data_base = base;
         e.desc.absent = false;
         e.desc.accessed = true;
@@ -129,7 +125,7 @@ impl SwappingManager {
     /// than `protect`) as needed.
     fn allocate_with_eviction(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
         len: u32,
         protect: Option<ObjectRef>,
@@ -143,15 +139,15 @@ impl SwappingManager {
         // pass takes anything eligible.
         for pass in 0..2 {
             self.stats.eviction_rounds += 1;
-            let victims: Vec<ObjectRef> = space
-                .table
-                .iter_live()
-                .filter(|(_, e)| e.desc.sro == Some(sro))
-                .map(|(i, e)| ObjectRef {
-                    index: i,
-                    generation: e.generation,
-                })
-                .collect();
+            let mut victims: Vec<ObjectRef> = Vec::new();
+            space.for_each_live(&mut |i, e| {
+                if e.desc.sro == Some(sro) {
+                    victims.push(ObjectRef {
+                        index: i,
+                        generation: e.generation,
+                    });
+                }
+            });
             // Rotate the scan start to spread eviction pressure (the
             // clock hand).
             let start = if victims.is_empty() {
@@ -166,7 +162,7 @@ impl SwappingManager {
                 }
                 if pass == 0 {
                     // First pass: skip (but age) recently used segments.
-                    let e = space.table.get_mut(v)?;
+                    let e = space.entry_mut(v)?;
                     if e.desc.accessed {
                         e.desc.accessed = false;
                         continue;
@@ -195,19 +191,18 @@ impl SwappingManager {
 
     /// Drops backing pages whose object no longer exists (reclaimed while
     /// swapped out, e.g. by the garbage collector).
-    pub fn scrub(&mut self, space: &ObjectSpace) -> usize {
+    pub fn scrub(&mut self, space: &dyn SpaceMut) -> usize {
         let mut dead = Vec::new();
         // BackingStore has no iterator by design; scrub via the object
         // table instead: a page is live only while its exact reference
         // resolves.
-        let live: std::collections::HashSet<ObjectRef> = space
-            .table
-            .iter_live()
-            .map(|(i, e)| ObjectRef {
+        let mut live = std::collections::HashSet::new();
+        space.for_each_live(&mut |i, e| {
+            live.insert(ObjectRef {
                 index: i,
                 generation: e.generation,
-            })
-            .collect();
+            });
+        });
         for key in self.backing.keys() {
             if !live.contains(&key) {
                 dead.push(key);
@@ -233,7 +228,7 @@ impl StorageManager for SwappingManager {
 
     fn create_object(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
         spec: ObjectSpec,
     ) -> Result<ObjectRef, StorageError> {
@@ -258,10 +253,10 @@ impl StorageManager for SwappingManager {
 
     fn destroy_object(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError> {
-        let absent = space.table.get(obj)?.desc.absent;
+        let absent = space.entry(obj)?.desc.absent;
         if absent {
             self.backing.discard(obj);
         }
@@ -272,7 +267,7 @@ impl StorageManager for SwappingManager {
 
     fn create_heap(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         parent: ObjectRef,
         level: Level,
         quota: SroQuota,
@@ -284,7 +279,7 @@ impl StorageManager for SwappingManager {
 
     fn destroy_heap(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         sro: ObjectRef,
     ) -> Result<u32, StorageError> {
         let n = space.bulk_destroy_sro(sro)?;
@@ -298,7 +293,7 @@ impl StorageManager for SwappingManager {
 
     fn ensure_resident(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError> {
         self.swap_in(space, obj)
@@ -312,7 +307,7 @@ impl StorageManager for SwappingManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::Rights;
+    use i432_arch::{ObjectSpace, Rights};
 
     fn tight_space() -> (ObjectSpace, ObjectRef) {
         // Room for about four 256-byte objects in the child SRO.

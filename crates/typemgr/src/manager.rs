@@ -16,7 +16,8 @@
 
 use crate::tdo::create_tdo;
 use i432_arch::{
-    AccessDescriptor, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, Rights, SysState,
+    AccessDescriptor, ObjectRef, ObjectSpec, ObjectType, Rights, SpaceAccess, SpaceAccessExt,
+    SpaceMut, SysState,
 };
 use i432_gdp::{Fault, FaultKind};
 
@@ -32,7 +33,11 @@ pub struct TypeManager {
 
 impl TypeManager {
     /// Creates a new type and its manager.
-    pub fn new(space: &mut ObjectSpace, sro: ObjectRef, name: &str) -> Result<TypeManager, Fault> {
+    pub fn new<S: SpaceAccess + ?Sized>(
+        space: &mut S,
+        sro: ObjectRef,
+        name: &str,
+    ) -> Result<TypeManager, Fault> {
         Ok(TypeManager {
             tdo: create_tdo(space, sro, name)?,
             client_rights: Rights::NONE,
@@ -60,9 +65,9 @@ impl TypeManager {
 
     /// Creates an instance, returning a *sealed* descriptor carrying only
     /// [`TypeManager::client_rights`].
-    pub fn create_instance(
+    pub fn create_instance<S: SpaceAccess + ?Sized>(
         &self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sro: ObjectRef,
         data_len: u32,
         access_len: u32,
@@ -82,7 +87,9 @@ impl TypeManager {
                 },
             )
             .map_err(Fault::from)?;
-        space.tdo_mut(self.tdo.obj).map_err(Fault::from)?.instances_created += 1;
+        space
+            .with_tdo_mut(self.tdo.obj, |t| t.instances_created += 1)
+            .map_err(Fault::from)?;
         Ok(space.mint(obj, self.client_rights))
     }
 
@@ -90,15 +97,15 @@ impl TypeManager {
     /// verifying the hardware type identity. This is the 432's AMPLIFY
     /// operation: possible only while holding the TDO with amplify
     /// rights.
-    pub fn amplify(
+    pub fn amplify<S: SpaceAccess + ?Sized>(
         &self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sealed: AccessDescriptor,
     ) -> Result<AccessDescriptor, Fault> {
         space
             .qualify(self.tdo, Rights::AMPLIFY)
             .map_err(Fault::from)?;
-        let otype = space.table.get(sealed.obj).map_err(Fault::from)?.desc.otype;
+        let otype = space.otype_of(sealed.obj).map_err(Fault::from)?;
         if otype.user_tdo() != Some(self.tdo.obj) {
             return Err(Fault::with_detail(
                 FaultKind::TypeMismatch,
@@ -107,28 +114,31 @@ impl TypeManager {
         }
         Ok(AccessDescriptor::new(
             sealed.obj,
-            sealed.rights.union(Rights::READ | Rights::WRITE | Rights::DELETE),
+            sealed
+                .rights
+                .union(Rights::READ | Rights::WRITE | Rights::DELETE),
         ))
     }
 
     /// Destroys an instance handed back by a client (amplify + reclaim).
     /// Returns its storage to its SRO.
-    pub fn destroy_instance(
+    pub fn destroy_instance<S: SpaceAccess + ?Sized>(
         &self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sealed: AccessDescriptor,
     ) -> Result<(), Fault> {
         let full = self.amplify(space, sealed)?;
         space.destroy_object(full.obj).map_err(Fault::from)?;
-        space.tdo_mut(self.tdo.obj).map_err(Fault::from)?.instances_reclaimed += 1;
+        space
+            .with_tdo_mut(self.tdo.obj, |t| t.instances_reclaimed += 1)
+            .map_err(Fault::from)?;
         Ok(())
     }
 
     /// True when `ad` designates an instance of this manager's type.
-    pub fn is_instance(&self, space: &ObjectSpace, ad: AccessDescriptor) -> bool {
+    pub fn is_instance<S: SpaceMut + ?Sized>(&self, space: &S, ad: AccessDescriptor) -> bool {
         space
-            .table
-            .get(ad.obj)
+            .entry(ad.obj)
             .map(|e| e.desc.otype.user_tdo() == Some(self.tdo.obj))
             .unwrap_or(false)
     }
@@ -137,6 +147,7 @@ impl TypeManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
 
     fn setup() -> (ObjectSpace, TypeManager) {
         let mut s = ObjectSpace::new(64 * 1024, 4096, 512);

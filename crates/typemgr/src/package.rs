@@ -13,7 +13,7 @@
 //! (see `imax-io`).
 
 use i432_arch::{
-    AccessDescriptor, DomainState, ObjectRef, ObjectSpace, ObjectSpec, ObjectType, Rights,
+    AccessDescriptor, DomainState, ObjectRef, ObjectSpec, ObjectType, Rights, SpaceAccess,
     Subprogram, SysState, SystemType,
 };
 use i432_gdp::Fault;
@@ -58,9 +58,9 @@ impl PackagePrototype {
     /// prototype's subprograms, with its own (empty) state slots. Returns
     /// a call-rights descriptor — exactly what clients of any package
     /// hold.
-    pub fn instantiate(
+    pub fn instantiate<S: SpaceAccess + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sro: ObjectRef,
     ) -> Result<AccessDescriptor, Fault> {
         let k = self.instances;
@@ -85,9 +85,9 @@ impl PackagePrototype {
 
     /// Creates an instance and stores per-instance state objects into its
     /// domain slots (the "package body" variables).
-    pub fn instantiate_with_state(
+    pub fn instantiate_with_state<S: SpaceAccess + ?Sized>(
         &mut self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         sro: ObjectRef,
         state: &[AccessDescriptor],
     ) -> Result<AccessDescriptor, Fault> {
@@ -104,7 +104,7 @@ impl PackagePrototype {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::{CodeBody, CodeRef};
+    use i432_arch::{CodeBody, CodeRef, ObjectSpace};
 
     fn proto() -> PackagePrototype {
         PackagePrototype::new(

@@ -1,8 +1,8 @@
 //! Type definition objects.
 
 use i432_arch::{
-    sysobj::TDO_SLOT_FILTER_PORT, AccessDescriptor, ObjectRef, ObjectSpace, ObjectSpec,
-    ObjectType, Rights, SysState, SystemType, TdoState,
+    sysobj::TDO_SLOT_FILTER_PORT, AccessDescriptor, ObjectRef, ObjectSpec, ObjectType, Rights,
+    SpaceAccess, SpaceAccessExt, SysState, SystemType, TdoState,
 };
 use i432_gdp::{Fault, FaultKind};
 
@@ -11,8 +11,8 @@ use i432_gdp::{Fault, FaultKind};
 /// The returned access descriptor carries the full type-manager rights:
 /// create-instance, amplify, read, write. The manager hands restricted
 /// copies (or none at all) to everyone else.
-pub fn create_tdo(
-    space: &mut ObjectSpace,
+pub fn create_tdo<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     sro: ObjectRef,
     name: &str,
 ) -> Result<AccessDescriptor, Fault> {
@@ -41,8 +41,8 @@ pub fn create_tdo(
 /// they become garbage. The garbage collector will manufacture an access
 /// descriptor for such objects and send them to a port defined by the
 /// type manager." Requires write rights on the TDO.
-pub fn bind_destruction_filter(
-    space: &mut ObjectSpace,
+pub fn bind_destruction_filter<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     tdo: AccessDescriptor,
     filter_port: AccessDescriptor,
 ) -> Result<(), Fault> {
@@ -56,24 +56,26 @@ pub fn bind_destruction_filter(
     space
         .store_ad_hw(tdo.obj, TDO_SLOT_FILTER_PORT, Some(filter_port))
         .map_err(Fault::from)?;
-    space.tdo_mut(tdo.obj).map_err(Fault::from)?.filter_enabled = true;
+    space
+        .with_tdo_mut(tdo.obj, |t| t.filter_enabled = true)
+        .map_err(Fault::from)?;
     Ok(())
 }
 
 /// The destruction-filter port bound to a type, if any (collector use).
-pub fn filter_port_of(
-    space: &mut ObjectSpace,
+pub fn filter_port_of<S: SpaceAccess + ?Sized>(
+    space: &mut S,
     tdo: ObjectRef,
 ) -> Result<Option<AccessDescriptor>, Fault> {
-    let enabled = match &space.table.get(tdo).map_err(Fault::from)?.sys {
-        SysState::TypeDef(t) => t.filter_enabled,
-        _ => {
-            return Err(Fault::with_detail(
+    let enabled = space
+        .entry_view(tdo, |e| match &e.sys {
+            SysState::TypeDef(t) => Ok(t.filter_enabled),
+            _ => Err(Fault::with_detail(
                 FaultKind::TypeMismatch,
                 "not a type definition object",
-            ))
-        }
-    };
+            )),
+        })
+        .map_err(Fault::from)??;
     if !enabled {
         return Ok(None);
     }
@@ -85,7 +87,7 @@ pub fn filter_port_of(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i432_arch::PortDiscipline;
+    use i432_arch::{ObjectSpace, PortDiscipline};
     use imax_ipc::create_port;
 
     #[test]
@@ -124,9 +126,7 @@ mod tests {
         let mut s = ObjectSpace::new(32 * 1024, 4096, 256);
         let root = s.root_sro();
         let tdo = create_tdo(&mut s, root, "t").unwrap();
-        let not_port = s
-            .create_object(root, ObjectSpec::generic(8, 0))
-            .unwrap();
+        let not_port = s.create_object(root, ObjectSpec::generic(8, 0)).unwrap();
         let bad = s.mint(not_port, Rights::ALL);
         assert!(bind_destruction_filter(&mut s, tdo, bad).is_err());
     }

@@ -20,8 +20,12 @@ fn main() {
     let documents = TypeManager::new(&mut m1, root, "document").expect("type");
 
     // Two documents sharing one attachment (read-only from doc B).
-    let doc_a = documents.create_instance(&mut m1, root, 32, 2).expect("doc");
-    let doc_b = documents.create_instance(&mut m1, root, 32, 2).expect("doc");
+    let doc_a = documents
+        .create_instance(&mut m1, root, 32, 2)
+        .expect("doc");
+    let doc_b = documents
+        .create_instance(&mut m1, root, 32, 2)
+        .expect("doc");
     let full_a = documents.amplify(&mut m1, doc_a).expect("amplify");
     let full_b = documents.amplify(&mut m1, doc_b).expect("amplify");
     m1.write_u64(full_a, 0, 0xA11CE).unwrap();
@@ -43,7 +47,7 @@ fn main() {
 
     println!("machine 1 census:\n{:#?}", inspect::census(&m1).by_type);
     println!("folder graph:");
-    print!("{}", inspect::graph_dump(&m1, folder, 3));
+    print!("{}", inspect::graph_dump(&mut m1, folder, 3));
 
     let image = passivate(&mut m1, folder_ad).expect("passivate").to_bytes();
     println!("filed {} objects into {} bytes", 5, image.len());

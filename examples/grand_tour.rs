@@ -40,7 +40,10 @@ fn main() {
 
     // A client leaks a drive before the applications even start.
     let _leaked = pool.acquire(&mut os.sys.space, root).expect("acquire");
-    println!("a client leaked a tape drive ({} of 2 free)", pool.free_count());
+    println!(
+        "a client leaked a tape drive ({} of 2 free)",
+        pool.free_count()
+    );
 
     // ------------------------------------------------------------------
     // Applications: two async writers (different fair-share weights) and
@@ -107,7 +110,12 @@ fn main() {
     let w_b = os.sys.subprogram("writer_b", writer(b'B', 20_000), 64, 12);
     let mut crash = ProgramBuilder::new();
     crash.work(5_000);
-    crash.alu(AluOp::Div, DataRef::Imm(1), DataRef::Imm(0), DataDst::Local(0));
+    crash.alu(
+        AluOp::Div,
+        DataRef::Imm(1),
+        DataRef::Imm(0),
+        DataDst::Local(0),
+    );
     crash.halt();
     let crash_sub = os.sys.subprogram("crasher", crash.finish(), 32, 8);
     let dom = os.sys.install_domain("apps", vec![w_a, w_b, crash_sub], 0);
@@ -129,7 +137,10 @@ fn main() {
         let ps = os.sys.space.process(p).unwrap();
         assert_eq!(ps.status, ProcessStatus::Terminated);
         assert_eq!(ps.fault_code, 0, "{name}: {}", ps.fault_detail);
-        println!("  {name}: terminated cleanly after {} cycles", ps.total_cycles);
+        println!(
+            "  {name}: terminated cleanly after {} cycles",
+            ps.total_cycles
+        );
     }
     let crash_state = os.sys.space.process(crasher).unwrap();
     println!(
@@ -143,7 +154,10 @@ fn main() {
     let mut transcript = console.lock().transcript().to_vec();
     transcript.sort_unstable();
     assert_eq!(transcript, b"AB");
-    println!("console transcript (sorted): {:?}", String::from_utf8_lossy(&transcript));
+    println!(
+        "console transcript (sorted): {:?}",
+        String::from_utf8_lossy(&transcript)
+    );
 
     // ------------------------------------------------------------------
     // Lost-object recovery: the daemon has been collecting; service the
@@ -157,8 +171,16 @@ fn main() {
             break;
         }
     }
-    assert_eq!(recovered, 1, "gc stats: {:?}", os.collector.as_ref().unwrap().lock().stats);
-    println!("destruction filter recovered the leaked drive ({} of 2 free)", pool.free_count());
+    assert_eq!(
+        recovered,
+        1,
+        "gc stats: {:?}",
+        os.collector.as_ref().unwrap().lock().stats
+    );
+    println!(
+        "destruction filter recovered the leaked drive ({} of 2 free)",
+        pool.free_count()
+    );
 
     // ------------------------------------------------------------------
     // File the run's result as a persistent object graph.
@@ -173,13 +195,19 @@ fn main() {
         .write_u64(full, 0, transcript.len() as u64)
         .unwrap();
     let image = passivate(&mut os.sys.space, full).unwrap().to_bytes();
-    println!("filed the run report: {} bytes, type identity included", image.len());
+    println!(
+        "filed the run report: {} bytes, type identity included",
+        image.len()
+    );
 
     // ------------------------------------------------------------------
     // The debugging base (§9).
     // ------------------------------------------------------------------
     let census = inspect::census(&os.sys.space);
-    println!("\nobject census: {} live objects, {} bytes of data parts", census.live, census.data_bytes);
+    println!(
+        "\nobject census: {} live objects, {} bytes of data parts",
+        census.live, census.data_bytes
+    );
     for (t, n) in &census.by_type {
         println!("  {t:<24} {n}");
     }

@@ -32,7 +32,12 @@ fn makespan(cpus: u32, buses: usize) -> u64 {
     p.work(WORK_PER_ITER);
     p.mov(DataRef::Local(0), DataDst::Local(8));
     p.mov(DataRef::Local(8), DataDst::Local(16));
-    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     p.jump_if_nonzero(DataRef::Local(0), top);
     p.halt();
     let sub = sys.subprogram("job", p.finish(), 64, 8);
@@ -49,7 +54,10 @@ fn main() {
     println!("multiprocessor scaling: {JOBS} jobs x {ITERS} iterations");
     println!();
     println!("interleaved buses = 4 (the 432's multi-bus scheme)");
-    println!("{:>6} {:>14} {:>9} {:>11}", "cpus", "makespan(cy)", "speedup", "efficiency");
+    println!(
+        "{:>6} {:>14} {:>9} {:>11}",
+        "cpus", "makespan(cy)", "speedup", "efficiency"
+    );
     let t1 = makespan(1, 4);
     for cpus in [1u32, 2, 4, 6, 8, 10, 12] {
         let t = makespan(cpus, 4);

@@ -3,10 +3,10 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
 use imax::arch::PortDiscipline;
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
 use imax::ipc::create_port;
 use imax::{Imax, ImaxConfig};
 
@@ -20,12 +20,9 @@ fn main() {
 
     // 2. Create a communication port with the Figure-1 package.
     let root = os.sys.space.root_sro();
-    let port = create_port(&mut os.sys.space, root, 4, PortDiscipline::Fifo)
-        .expect("port creation");
-    println!(
-        "created a FIFO port (message_count = 4): {}",
-        port.ad()
-    );
+    let port =
+        create_port(&mut os.sys.space, root, 4, PortDiscipline::Fifo).expect("port creation");
+    println!("created a FIFO port (message_count = 4): {}", port.ad());
 
     // 3. A producer: creates ITEMS message objects, tags each with its
     //    sequence number, and SENDs them (blocking when the queue fills).
@@ -37,8 +34,18 @@ fn main() {
         p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
         p.mov(DataRef::Local(0), DataDst::Field(5, 0));
         p.send(CTX_SLOT_ARG as u16, 5);
-        p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-        p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ITEMS), DataDst::Local(8));
+        p.alu(
+            AluOp::Add,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
+        p.alu(
+            AluOp::Lt,
+            DataRef::Local(0),
+            DataRef::Imm(ITEMS),
+            DataDst::Local(8),
+        );
         p.jump_if_nonzero(DataRef::Local(8), top);
         p.halt();
         p.finish()
@@ -59,8 +66,18 @@ fn main() {
             DataRef::Field(CTX_SLOT_FIRST_FREE as u16, 0),
             DataDst::Local(16),
         );
-        p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-        p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ITEMS), DataDst::Local(8));
+        p.alu(
+            AluOp::Add,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
+        p.alu(
+            AluOp::Lt,
+            DataRef::Local(0),
+            DataRef::Imm(ITEMS),
+            DataDst::Local(8),
+        );
         p.jump_if_nonzero(DataRef::Local(8), top);
         // Report the sum through the port: one final self-describing
         // message the host reads back.

@@ -13,9 +13,9 @@
 //!
 //! Run with: `cargo run --example swapping`
 
+use imax::arch::Level;
 use imax::arch::{ObjectSpace, ObjectSpec, Rights};
 use imax::storage::{create_sro, FrozenManager, SroQuota, StorageManager, SwappingManager};
-use imax::arch::Level;
 
 const OBJECTS: usize = 24;
 const OBJ_BYTES: u32 = 256;

@@ -35,7 +35,10 @@ fn main() {
     })
     .expect("with_drive");
     pool.release(&mut sys.space, h1).expect("release");
-    println!("client 1 used and returned a drive ({} free)", pool.free_count());
+    println!(
+        "client 1 used and returned a drive ({} free)",
+        pool.free_count()
+    );
 
     // Clients 2 and 3 (buggy): acquire drives and lose the handles.
     let _lost_a = pool.acquire(&mut sys.space, root).expect("acquire");

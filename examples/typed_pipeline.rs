@@ -28,12 +28,19 @@ struct Sample {
 impl PortMessage for Sample {
     const DATA_LEN: u32 = 8;
 
-    fn store(&self, space: &mut ObjectSpace, ad: imax::arch::AccessDescriptor) -> Result<(), imax::gdp::Fault> {
+    fn store(
+        &self,
+        space: &mut ObjectSpace,
+        ad: imax::arch::AccessDescriptor,
+    ) -> Result<(), imax::gdp::Fault> {
         let packed = ((self.sensor as u64) << 32) | self.millikelvin as u64;
         space.write_u64(ad, 0, packed).map_err(Into::into)
     }
 
-    fn load(space: &mut ObjectSpace, ad: imax::arch::AccessDescriptor) -> Result<Sample, imax::gdp::Fault> {
+    fn load(
+        space: &mut ObjectSpace,
+        ad: imax::arch::AccessDescriptor,
+    ) -> Result<Sample, imax::gdp::Fault> {
         let packed = space.read_u64(ad, 0)?;
         Ok(Sample {
             sensor: (packed >> 32) as u32,
@@ -67,14 +74,24 @@ fn main() {
         TypedPort::create(&mut space, root, 8, PortDiscipline::Fifo).expect("typed port");
     for (sensor, mk) in [(1u32, 295_150u32), (2, 273_150), (3, 310_000)] {
         samples
-            .send(&mut space, root, &Sample { sensor, millikelvin: mk })
+            .send(
+                &mut space,
+                root,
+                &Sample {
+                    sensor,
+                    millikelvin: mk,
+                },
+            )
             .expect("typed send");
     }
     let mut readings = Vec::new();
     while let Some(s) = samples.receive(&mut space).expect("typed receive") {
         readings.push(s);
     }
-    println!("typed:   {} samples through TypedPort<Sample>:", readings.len());
+    println!(
+        "typed:   {} samples through TypedPort<Sample>:",
+        readings.len()
+    );
     for s in &readings {
         println!(
             "         sensor {} reads {:.2} K",

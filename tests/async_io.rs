@@ -3,11 +3,13 @@
 //! independent I/O subsystems), with the subsystem serviced by iMAX's
 //! ordinary service passes.
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
 use imax::arch::{ProcessStatus, Rights};
-use imax::io::iop::{REQ_COUNT_OFF, REQ_DATA_OFF, REQ_LEN_OFF, REQ_OP_OFF, REQ_SLOT_REPLY, REQ_STATUS_OFF};
+use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use imax::gdp::ProgramBuilder;
+use imax::io::iop::{
+    REQ_COUNT_OFF, REQ_DATA_OFF, REQ_LEN_OFF, REQ_OP_OFF, REQ_SLOT_REPLY, REQ_STATUS_OFF,
+};
 use imax::io::{ConsoleDevice, DeviceImpl, OP_OPEN, OP_WRITE};
 use imax::sim::RunOutcome;
 use imax::{Imax, ImaxConfig};
@@ -26,13 +28,9 @@ fn process_overlaps_compute_with_device_io() {
     // It builds an OPEN request, sends it, computes while the subsystem
     // works, receives the completion, then does a WRITE the same way.
     let root = os.sys.space.root_sro();
-    let reply_port = imax::ipc::create_port(
-        &mut os.sys.space,
-        root,
-        8,
-        imax::arch::PortDiscipline::Fifo,
-    )
-    .unwrap();
+    let reply_port =
+        imax::ipc::create_port(&mut os.sys.space, root, 8, imax::arch::PortDiscipline::Fifo)
+            .unwrap();
     os.sys.anchor(reply_port.ad());
     let params = os
         .sys
@@ -53,8 +51,13 @@ fn process_overlaps_compute_with_device_io() {
     // Pull the two ports out of the parameter object.
     p.load_ad(CTX_SLOT_ARG as u16, DataRef::Imm(0), 5); // request port
     p.load_ad(CTX_SLOT_ARG as u16, DataRef::Imm(1), 6); // reply port
-    // Build the OPEN request: data 32+8, access 2 slots.
-    p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm((REQ_DATA_OFF + 8) as u64), DataRef::Imm(2), 7);
+                                                        // Build the OPEN request: data 32+8, access 2 slots.
+    p.create_object(
+        CTX_SLOT_SRO as u16,
+        DataRef::Imm((REQ_DATA_OFF + 8) as u64),
+        DataRef::Imm(2),
+        7,
+    );
     p.mov(DataRef::Imm(OP_OPEN as u64), DataDst::Field(7, REQ_OP_OFF));
     p.store_ad(6, 7, DataRef::Imm(REQ_SLOT_REPLY as u64));
     p.send(5, 7);
@@ -125,13 +128,9 @@ fn many_clients_share_one_subsystem() {
 
     let mut procs = Vec::new();
     for i in 0..4u64 {
-        let reply = imax::ipc::create_port(
-            &mut os.sys.space,
-            root,
-            4,
-            imax::arch::PortDiscipline::Fifo,
-        )
-        .unwrap();
+        let reply =
+            imax::ipc::create_port(&mut os.sys.space, root, 4, imax::arch::PortDiscipline::Fifo)
+                .unwrap();
         os.sys.anchor(reply.ad());
         let params = os
             .sys
@@ -159,7 +158,10 @@ fn many_clients_share_one_subsystem() {
         );
         p.mov(DataRef::Imm(OP_WRITE as u64), DataDst::Field(7, REQ_OP_OFF));
         p.mov(DataRef::Imm(1), DataDst::Field(7, REQ_LEN_OFF));
-        p.mov(DataRef::Imm(b'a' as u64 + i), DataDst::Field(7, REQ_DATA_OFF));
+        p.mov(
+            DataRef::Imm(b'a' as u64 + i),
+            DataDst::Field(7, REQ_DATA_OFF),
+        );
         p.store_ad(6, 7, DataRef::Imm(REQ_SLOT_REPLY as u64));
         p.send(5, 7);
         p.receive(6, 8);

@@ -16,7 +16,12 @@ fn mixed_workload(os: &mut Imax, n: u32) -> Vec<imax::arch::ObjectRef> {
     p.bind(top);
     p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(64), DataRef::Imm(2), 5);
     p.work(200);
-    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     p.jump_if_nonzero(DataRef::Local(0), top);
     p.halt();
     let sub = os.sys.subprogram("churn", p.finish(), 64, 8);
@@ -71,7 +76,10 @@ fn gc_daemon_reclaims_program_garbage() {
     let mut os = Imax::boot(&ImaxConfig::development());
     let spawned = mixed_workload(&mut os, 2);
     let outcome = os.run(30_000_000);
-    assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent));
+    assert!(matches!(
+        outcome,
+        RunOutcome::Stopped | RunOutcome::Quiescent
+    ));
     // Give the daemon a little more time to finish cycles after the
     // mutators exit.
     for _ in 0..6 {
@@ -101,7 +109,12 @@ fn fair_share_converges_under_contention() {
     p.mov(DataRef::Imm(4000), DataDst::Local(0));
     p.bind(top);
     p.work(400);
-    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     p.jump_if_nonzero(DataRef::Local(0), top);
     p.halt();
     let sub = os.sys.subprogram("spin", p.finish(), 64, 8);

@@ -3,9 +3,9 @@
 //! and identical GC statistics — the property that makes every number in
 //! EXPERIMENTS.md exactly reproducible.
 
+use imax::arch::sysobj::CTX_SLOT_SRO;
 use imax::gdp::isa::{AluOp, DataDst, DataRef};
 use imax::gdp::ProgramBuilder;
-use imax::arch::sysobj::CTX_SLOT_SRO;
 use imax::sim::RunOutcome;
 use imax::{Imax, ImaxConfig, SchedulingChoice};
 
@@ -22,13 +22,23 @@ fn run_once() -> (u64, u64, usize, imax::gc::GcStats) {
     churn.bind(top);
     churn.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(48), DataRef::Imm(2), 5);
     churn.work(250);
-    churn.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    churn.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     churn.jump_if_nonzero(DataRef::Local(0), top);
     churn.halt();
     let churn_sub = os.sys.subprogram("churn", churn.finish(), 64, 8);
     let mut crash = ProgramBuilder::new();
     crash.work(2_000);
-    crash.alu(AluOp::Div, DataRef::Imm(1), DataRef::Imm(0), DataDst::Local(0));
+    crash.alu(
+        AluOp::Div,
+        DataRef::Imm(1),
+        DataRef::Imm(0),
+        DataDst::Local(0),
+    );
     crash.halt();
     let crash_sub = os.sys.subprogram("crash", crash.finish(), 32, 8);
     let dom = os.sys.install_domain("apps", vec![churn_sub, crash_sub], 0);
@@ -37,14 +47,12 @@ fn run_once() -> (u64, u64, usize, imax::gc::GcStats) {
     }
     os.spawn_program(dom, 1, None);
     let outcome = os.run(5_000_000);
-    assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Quiescent));
+    assert!(matches!(
+        outcome,
+        RunOutcome::Stopped | RunOutcome::Quiescent
+    ));
     let gc = os.collector.as_ref().unwrap().lock().stats;
-    (
-        os.sys.now(),
-        os.sys.steps(),
-        os.fault_log.len(),
-        gc,
-    )
+    (os.sys.now(), os.sys.steps(), os.fault_log.len(), gc)
 }
 
 #[test]

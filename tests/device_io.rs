@@ -4,10 +4,10 @@
 //! subprograms for device-specific work — with no device registry
 //! anywhere.
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
 use imax::arch::Rights;
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
 use imax::io::{
     install_device, ConsoleDevice, DeviceImpl, DeviceStatus, RamDisk, TapeDrive, OP_CONTROL_BASE,
     OP_OPEN, OP_READ, OP_STATUS, OP_WRITE,
@@ -48,8 +48,18 @@ fn common_writer(payload: &[u8]) -> Vec<imax::gdp::Instruction> {
     // status() -> local 8; fault if not open+ready.
     p.call(CTX_SLOT_ARG as u16, OP_STATUS, None, None, Some(8));
     let ok = p.new_label();
-    p.alu(AluOp::And, DataRef::Local(8), DataRef::Imm(3), DataDst::Local(16));
-    p.alu(AluOp::Eq, DataRef::Local(16), DataRef::Imm(3), DataDst::Local(16));
+    p.alu(
+        AluOp::And,
+        DataRef::Local(8),
+        DataRef::Imm(3),
+        DataDst::Local(16),
+    );
+    p.alu(
+        AluOp::Eq,
+        DataRef::Local(16),
+        DataRef::Imm(3),
+        DataDst::Local(16),
+    );
     p.jump_if_nonzero(DataRef::Local(16), ok);
     p.push(imax::gdp::Instruction::RaiseFault { code: 40 });
     p.bind(ok);
@@ -57,7 +67,11 @@ fn common_writer(payload: &[u8]) -> Vec<imax::gdp::Instruction> {
     p.finish()
 }
 
-fn run_one(sys: &mut System, dom: imax::arch::AccessDescriptor, device: imax::arch::AccessDescriptor) {
+fn run_one(
+    sys: &mut System,
+    dom: imax::arch::AccessDescriptor,
+    device: imax::arch::AccessDescriptor,
+) {
     let code = common_writer(b"hello device");
     let sub = sys.subprogram("writer", code, 64, 12);
     let app = sys.install_domain("writer_app", vec![sub], 0);
@@ -126,12 +140,18 @@ fn device_specific_ops_extend_the_subset() {
     // check we are back at record 0.
     p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(24), DataRef::Imm(0), 5);
     p.mov(DataRef::Imm(4), DataDst::Field(5, 0));
-    p.mov(DataRef::Imm(u64::from_le_bytes(*b"AAAA\0\0\0\0")), DataDst::Field(5, 16));
+    p.mov(
+        DataRef::Imm(u64::from_le_bytes(*b"AAAA\0\0\0\0")),
+        DataDst::Field(5, 16),
+    );
     p.call(CTX_SLOT_ARG as u16, OP_WRITE, Some(5), None, None);
-    p.mov(DataRef::Imm(u64::from_le_bytes(*b"BBBB\0\0\0\0")), DataDst::Field(5, 16));
+    p.mov(
+        DataRef::Imm(u64::from_le_bytes(*b"BBBB\0\0\0\0")),
+        DataDst::Field(5, 16),
+    );
     p.call(CTX_SLOT_ARG as u16, OP_WRITE, Some(5), None, None);
     p.call(CTX_SLOT_ARG as u16, OP_CONTROL_BASE, None, None, None); // rewind
-    // read -> the first record again.
+                                                                    // read -> the first record again.
     p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(24), DataRef::Imm(0), 6);
     p.mov(DataRef::Imm(8), DataDst::Field(6, 0));
     p.call(CTX_SLOT_ARG as u16, OP_READ, Some(6), None, Some(0));

@@ -11,10 +11,10 @@
 //! port either way — because OS calls and user calls are the *same
 //! mechanism*.
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_DOMAIN, CTX_SLOT_SRO};
 use imax::arch::{ObjectSpec, ProcessStatus, Rights};
+use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use imax::gdp::ProgramBuilder;
 use imax::sim::RunOutcome;
 use imax::{Imax, ImaxConfig};
 
@@ -42,7 +42,12 @@ fn user_package_interposes_on_a_system_service() {
         p.load_ad(CTX_SLOT_DOMAIN as u16, DataRef::Imm(0), 5);
         p.load_ad(CTX_SLOT_DOMAIN as u16, DataRef::Imm(1), 6);
         // counter += 1 (package-private state).
-        p.alu(AluOp::Add, DataRef::Field(5, 0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Add,
+            DataRef::Field(5, 0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.mov(DataRef::Local(0), DataDst::Field(5, 0));
         // Forward the original argument record to the real service and
         // capture the returned port AD in slot 7.
@@ -53,7 +58,9 @@ fn user_package_interposes_on_a_system_service() {
         p.finish()
     };
     let trace_sub = os.sys.subprogram("create_port(traced)", trace_code, 64, 12);
-    let interposer = os.sys.install_domain("traced_untyped_ports", vec![trace_sub], 2);
+    let interposer = os
+        .sys
+        .install_domain("traced_untyped_ports", vec![trace_sub], 2);
     os.sys
         .space
         .store_ad_hw(interposer.obj, 0, Some(counter_ad))
@@ -77,7 +84,12 @@ fn user_package_interposes_on_a_system_service() {
         p.send(6, 7);
         p.receive(6, 8);
         let ok = p.new_label();
-        p.alu(AluOp::Eq, DataRef::Field(8, 0), DataRef::Imm(0xAB), DataDst::Local(0));
+        p.alu(
+            AluOp::Eq,
+            DataRef::Field(8, 0),
+            DataRef::Imm(0xAB),
+            DataDst::Local(0),
+        );
         p.jump_if_nonzero(DataRef::Local(0), ok);
         p.push(Instruction::RaiseFault { code: 80 });
         p.bind(ok);

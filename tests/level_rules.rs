@@ -3,9 +3,7 @@
 //! "The hardware ensures that an access for an object may never be stored
 //! into an object with a lower (more global) level number."
 
-use imax::arch::{
-    ArchError, Level, ObjectSpace, ObjectSpec, Rights,
-};
+use imax::arch::{ArchError, Level, ObjectSpace, ObjectSpec, Rights};
 use proptest::prelude::*;
 
 fn space() -> ObjectSpace {
@@ -117,10 +115,10 @@ proptest! {
 /// takes a level fault.
 #[test]
 fn machine_path_enforcement() {
+    use imax::arch::sysobj::CTX_SLOT_FIRST_FREE;
     use imax::gdp::isa::DataRef;
     use imax::gdp::{FaultKind, ProgramBuilder, StepEvent};
     use imax::sim::{System, SystemConfig};
-    use imax::arch::sysobj::CTX_SLOT_FIRST_FREE;
 
     let mut sys = System::new(&SystemConfig::small());
     let root = sys.space.root_sro();

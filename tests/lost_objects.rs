@@ -1,10 +1,10 @@
 //! C10 end-to-end — destruction filters recover lost objects while the
 //! whole system (processes, daemon, pool) runs together, paper §8.2.
 
+use imax::arch::Rights;
 use imax::gc::{drain_filter_port, install_gc_daemon, Collector};
 use imax::io::TapePool;
 use imax::ipc::Port;
-use imax::arch::Rights;
 use imax::sim::{System, SystemConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -49,13 +49,8 @@ fn lost_processes_recovered_via_process_filter() {
     use imax::arch::{ObjectSpec, ObjectType, ProcessState, SysState, SystemType};
     let mut sys = System::new(&SystemConfig::small());
     let root = sys.space.root_sro();
-    let fport = imax::ipc::create_port(
-        &mut sys.space,
-        root,
-        16,
-        imax::arch::PortDiscipline::Fifo,
-    )
-    .unwrap();
+    let fport =
+        imax::ipc::create_port(&mut sys.space, root, 16, imax::arch::PortDiscipline::Fifo).unwrap();
     sys.anchor(fport.ad());
 
     let mut gc = Collector::new();
@@ -83,14 +78,14 @@ fn lost_processes_recovered_via_process_filter() {
     let recovered = drain_filter_port(&mut sys.space, fport.ad()).unwrap();
     assert_eq!(recovered.len(), 3);
     for p in &lost {
-        assert!(sys.space.table.get(*p).is_ok(), "recovered, not reclaimed");
+        assert!(sys.space.entry(*p).is_ok(), "recovered, not reclaimed");
     }
     // A process manager would now reap them; we drop them — the next
     // cycles reclaim without renotification.
     gc.collect_full(&mut sys.space).unwrap();
     gc.collect_full(&mut sys.space).unwrap();
     for p in &lost {
-        assert!(sys.space.table.get(*p).is_err());
+        assert!(sys.space.entry(*p).is_err());
     }
     assert_eq!(gc.stats.finalized, 3);
 }
@@ -109,7 +104,7 @@ fn filterless_types_leak_nothing_but_lose_resources() {
     let lost = mgr.create_instance(&mut sys.space, root, 16, 0).unwrap();
     gc.collect_full(&mut sys.space).unwrap();
     gc.collect_full(&mut sys.space).unwrap();
-    assert!(sys.space.table.get(lost.obj).is_err(), "object reclaimed");
+    assert!(sys.space.entry(lost.obj).is_err(), "object reclaimed");
     assert_eq!(gc.stats.finalized, 0, "nobody was told");
 }
 
@@ -121,13 +116,8 @@ fn dead_filter_port_degrades_to_reclamation() {
     let root = sys.space.root_sro();
     let mgr = imax::typemgr::TypeManager::new(&mut sys.space, root, "orphan_type").unwrap();
     sys.anchor(sys.space.mint(mgr.tdo(), Rights::NONE));
-    let fport = imax::ipc::create_port(
-        &mut sys.space,
-        root,
-        4,
-        imax::arch::PortDiscipline::Fifo,
-    )
-    .unwrap();
+    let fport =
+        imax::ipc::create_port(&mut sys.space, root, 4, imax::arch::PortDiscipline::Fifo).unwrap();
     imax::typemgr::bind_destruction_filter(&mut sys.space, mgr.tdo_ad(), fport.ad()).unwrap();
 
     let lost = mgr.create_instance(&mut sys.space, root, 8, 0).unwrap();
@@ -136,6 +126,9 @@ fn dead_filter_port_degrades_to_reclamation() {
     let mut gc = Collector::new();
     gc.collect_full(&mut sys.space).unwrap();
     gc.collect_full(&mut sys.space).unwrap();
-    assert!(sys.space.table.get(lost.obj).is_err(), "reclaimed despite dead port");
+    assert!(
+        sys.space.entry(lost.obj).is_err(),
+        "reclaimed despite dead port"
+    );
     let _ = Port::from_ad(fport.ad());
 }

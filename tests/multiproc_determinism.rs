@@ -9,10 +9,10 @@
 //! 1, 2, 4 and 8 processors, and identical configurations must replay
 //! identically (determinism of the simulation).
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
 use imax::arch::{PortDiscipline, Rights};
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
 use imax::ipc::create_port;
 use imax::sim::{RunOutcome, System, SystemConfig};
 
@@ -34,11 +34,26 @@ fn run_workload(cpus: u32) -> (u64, u64) {
     p.work(300);
     p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
     // Tag = counter * 3 + 1 (any deterministic function works).
-    p.alu(AluOp::Mul, DataRef::Local(0), DataRef::Imm(3), DataDst::Local(8));
-    p.alu(AluOp::Add, DataRef::Local(8), DataRef::Imm(1), DataDst::Local(8));
+    p.alu(
+        AluOp::Mul,
+        DataRef::Local(0),
+        DataRef::Imm(3),
+        DataDst::Local(8),
+    );
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(8),
+        DataRef::Imm(1),
+        DataDst::Local(8),
+    );
     p.mov(DataRef::Local(8), DataDst::Field(5, 0));
     p.send(CTX_SLOT_ARG as u16, 5);
-    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     p.alu(
         AluOp::Lt,
         DataRef::Local(0),
@@ -60,10 +75,7 @@ fn run_workload(cpus: u32) -> (u64, u64) {
     let mut sum = 0u64;
     let mut count = 0u64;
     while let Some(msg) = imax::ipc::untyped::receive(&mut sys.space, port).unwrap() {
-        sum += sys
-            .space
-            .read_u64(msg.restricted(Rights::ALL), 0)
-            .unwrap();
+        sum += sys.space.read_u64(msg.restricted(Rights::ALL), 0).unwrap();
         count += 1;
     }
     assert_eq!(count, WORKERS * PER_WORKER);
@@ -130,12 +142,27 @@ fn explicit_synchronization_only() {
     // Critical section: read-modify-write the shared counter (slot 5).
     p.mov(DataRef::Field(5, 0), DataDst::Local(8));
     p.work(50); // widen the race window
-    p.alu(AluOp::Add, DataRef::Local(8), DataRef::Imm(1), DataDst::Local(8));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(8),
+        DataRef::Imm(1),
+        DataDst::Local(8),
+    );
     p.mov(DataRef::Local(8), DataDst::Field(5, 0));
     // V(mutex): return the token.
     p.send(CTX_SLOT_ARG as u16, 6);
-    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ROUNDS), DataDst::Local(16));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(ROUNDS),
+        DataDst::Local(16),
+    );
     p.jump_if_nonzero(DataRef::Local(16), top);
     p.halt();
     let sub = sys.subprogram("incrementer", p.finish(), 64, 8);

@@ -134,5 +134,9 @@ fn garbage_collector_needs_no_table_either() {
             .unwrap();
     }
     let roots = imax::gc::find_roots(&space);
-    assert_eq!(roots, vec![root], "nothing but the root SRO (no processors here)");
+    assert_eq!(
+        roots,
+        vec![root],
+        "nothing but the root SRO (no processors here)"
+    );
 }

@@ -1,9 +1,7 @@
 //! Property-based tests on the hardware port mechanism: conservation,
 //! ordering, and waiter exclusivity under random operation sequences.
 
-use imax::arch::{
-    AccessDescriptor, ObjectSpace, ObjectSpec, PortDiscipline, Rights, WaiterKind,
-};
+use imax::arch::{AccessDescriptor, ObjectSpace, ObjectSpec, PortDiscipline, Rights, WaiterKind};
 use imax::gdp::port::{receive, send, RecvOutcome, SendOutcome};
 use imax::ipc::create_port;
 use proptest::prelude::*;

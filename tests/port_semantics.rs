@@ -5,10 +5,10 @@
 //! is available the process will block until a message becomes
 //! available."
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
 use imax::arch::{PortDiscipline, ProcessStatus, Rights};
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
 use imax::ipc::create_port;
 use imax::sim::{RunOutcome, System, SystemConfig};
 
@@ -21,8 +21,18 @@ fn producer(n: u64) -> Vec<imax::gdp::Instruction> {
     p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
     p.mov(DataRef::Local(0), DataDst::Field(5, 0));
     p.send(CTX_SLOT_ARG as u16, 5);
-    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(n), DataDst::Local(8));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(n),
+        DataDst::Local(8),
+    );
     p.jump_if_nonzero(DataRef::Local(8), top);
     p.halt();
     p.finish()
@@ -46,8 +56,18 @@ fn consumer(n: u64) -> Vec<imax::gdp::Instruction> {
     p.jump_if_nonzero(DataRef::Local(8), ok);
     p.push(imax::gdp::Instruction::RaiseFault { code: 77 });
     p.bind(ok);
-    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(n), DataDst::Local(8));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(n),
+        DataDst::Local(8),
+    );
     p.jump_if_nonzero(DataRef::Local(8), top);
     p.halt();
     p.finish()
@@ -81,7 +101,10 @@ fn sender_blocks_on_full_queue_and_recovers() {
     let outcome = sys.run_to_completion(10_000_000);
     assert_eq!(outcome, RunOutcome::Stopped);
     for p in [tx, rx] {
-        assert_eq!(sys.space.process(p).unwrap().status, ProcessStatus::Terminated);
+        assert_eq!(
+            sys.space.process(p).unwrap().status,
+            ProcessStatus::Terminated
+        );
         assert_eq!(sys.space.process(p).unwrap().fault_code, 0);
     }
     let stats = sys.space.port(port.object()).unwrap().stats;
@@ -142,7 +165,12 @@ fn many_producers_one_consumer_fifo_total_order_per_sender() {
             DataRef::Field(6, 0),
             DataDst::Local(16),
         );
-        p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+        p.alu(
+            AluOp::Add,
+            DataRef::Local(0),
+            DataRef::Imm(1),
+            DataDst::Local(0),
+        );
         p.alu(
             AluOp::Lt,
             DataRef::Local(0),
@@ -168,7 +196,10 @@ fn many_producers_one_consumer_fifo_total_order_per_sender() {
     let report = imax::ipc::untyped::receive(&mut sys.space, port)
         .unwrap()
         .unwrap();
-    let sum = sys.space.read_u64(report.restricted(Rights::ALL), 0).unwrap();
+    let sum = sys
+        .space
+        .read_u64(report.restricted(Rights::ALL), 0)
+        .unwrap();
     assert_eq!(sum, 3 * (PER * (PER - 1) / 2));
 }
 

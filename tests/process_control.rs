@@ -2,11 +2,11 @@
 //! trees (paper §6.1), earliest-deadline dispatching, and tree-capacity
 //! edges.
 
+use imax::arch::{PortDiscipline, ProcessStatus};
 use imax::gdp::isa::{AluOp, DataDst, DataRef};
 use imax::gdp::process::ProcessSpec;
 use imax::gdp::ProgramBuilder;
 use imax::process::BasicProcessManager;
-use imax::arch::{PortDiscipline, ProcessStatus};
 use imax::sim::{RunOutcome, System, SystemConfig};
 
 /// An infinite spinner subprogram.

@@ -1,10 +1,10 @@
 //! C9 — alternate storage implementations behind one interface, §6.2,
 //! including transparent swap-fault repair for running programs.
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::CTX_SLOT_FIRST_FREE;
 use imax::arch::{AccessDescriptor, ObjectRef, ObjectSpec, ProcessStatus, Rights};
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
 use imax::sim::RunOutcome;
 use imax::{FaultDisposition, Imax, ImaxConfig, StorageChoice};
 
@@ -128,22 +128,19 @@ fn swap_faults_are_transparent_to_the_program() {
             let absent = s
                 .objs
                 .iter()
-                .filter(|(o, _)| s.os.sys.space.table.get(*o).unwrap().desc.absent)
+                .filter(|(o, _)| s.os.sys.space.entry(*o).unwrap().desc.absent)
                 .count();
             if absent >= PLANTED / 2 {
                 break;
             }
-            let _ = guard.create_object(
-                &mut s.os.sys.space,
-                root,
-                ObjectSpec::generic(4 * 1024, 0),
-            );
+            let _ =
+                guard.create_object(&mut s.os.sys.space, root, ObjectSpec::generic(4 * 1024, 0));
         }
     }
     let absent = s
         .objs
         .iter()
-        .filter(|(o, _)| s.os.sys.space.table.get(*o).unwrap().desc.absent)
+        .filter(|(o, _)| s.os.sys.space.entry(*o).unwrap().desc.absent)
         .count();
     assert!(absent >= 1, "pressure must have evicted something");
 

@@ -15,14 +15,12 @@ fn run_at_level(sys_level: u8, code: Vec<Instruction>) -> (System, StepEvent) {
     let p = sys.spawn(dom, 0, None);
     sys.space.process_mut(p).unwrap().sys_level = sys_level;
     let mut last = StepEvent::Idle;
-    let outcome = sys.run_until(100_000, |_, e| {
-        match e {
-            StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_) => {
-                last = e.clone();
-                true
-            }
-            _ => false,
+    let outcome = sys.run_until(100_000, |_, e| match e {
+        StepEvent::ProcessFaulted { .. } | StepEvent::ProcessExited(_) => {
+            last = e.clone();
+            true
         }
+        _ => false,
     });
     // System errors end the run before the predicate sees them.
     if let RunOutcome::SystemError(fault) = outcome {
@@ -50,7 +48,13 @@ fn faulting_code() -> Vec<Instruction> {
 fn level3_faults_are_survivable() {
     let (_, ev) = run_at_level(SysLevel::Level3.number(), faulting_code());
     assert!(
-        matches!(ev, StepEvent::ProcessFaulted { kind: FaultKind::DivideByZero, .. }),
+        matches!(
+            ev,
+            StepEvent::ProcessFaulted {
+                kind: FaultKind::DivideByZero,
+                ..
+            }
+        ),
         "{ev:?}"
     );
 }
@@ -96,7 +100,12 @@ fn system_error_halts_only_the_one_processor() {
     w.mov(DataRef::Imm(200), DataDst::Local(0));
     w.bind(top);
     w.work(200);
-    w.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    w.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     w.jump_if_nonzero(DataRef::Local(0), top);
     w.halt();
     let work_sub = sys.subprogram("work", w.finish(), 64, 8);

@@ -3,19 +3,27 @@
 //! deterministic runner — because the system's synchronization is all
 //! explicit (ports), exactly as paper §3 prescribes.
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef};
-use imax::gdp::ProgramBuilder;
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
 use imax::arch::{PortDiscipline, Rights};
+use imax::gdp::isa::{AluOp, DataDst, DataRef};
+use imax::gdp::ProgramBuilder;
 use imax::ipc::create_port;
 use imax::sim::{run_threaded, System, SystemConfig};
 
 /// Builds the token-mutex increment workload (the same one the
 /// deterministic test uses): two processes bump a shared counter 25
 /// times each under a one-token port mutex.
-fn build_mutex_workload(cpus: u32) -> (System, imax::arch::AccessDescriptor, u64) {
+fn build_mutex_workload(cpus: u32, shards: u32) -> (System, imax::arch::AccessDescriptor, u64) {
     const ROUNDS: u64 = 25;
-    let mut sys = System::new(&SystemConfig::small().with_processors(cpus));
+    // Scale the arenas with the stripe count so per-shard capacity stays
+    // constant (system objects all land in shard 0).
+    let mut cfg = SystemConfig::small()
+        .with_processors(cpus)
+        .with_shards(shards);
+    cfg.data_bytes *= shards;
+    cfg.access_slots *= shards;
+    cfg.table_limit *= shards;
+    let mut sys = System::new(&cfg);
     let root = sys.space.root_sro();
     let mutex = create_port(&mut sys.space, root, 1, PortDiscipline::Fifo).unwrap();
     sys.anchor(mutex.ad());
@@ -39,11 +47,26 @@ fn build_mutex_workload(cpus: u32) -> (System, imax::arch::AccessDescriptor, u64
     p.receive(CTX_SLOT_ARG as u16, 6);
     p.mov(DataRef::Field(5, 0), DataDst::Local(8));
     p.work(50);
-    p.alu(AluOp::Add, DataRef::Local(8), DataRef::Imm(1), DataDst::Local(8));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(8),
+        DataRef::Imm(1),
+        DataDst::Local(8),
+    );
     p.mov(DataRef::Local(8), DataDst::Field(5, 0));
     p.send(CTX_SLOT_ARG as u16, 6);
-    p.alu(AluOp::Add, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
-    p.alu(AluOp::Lt, DataRef::Local(0), DataRef::Imm(ROUNDS), DataDst::Local(16));
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(ROUNDS),
+        DataDst::Local(16),
+    );
     p.jump_if_nonzero(DataRef::Local(16), top);
     p.halt();
     let sub = sys.subprogram("incrementer", p.finish(), 64, 8);
@@ -67,7 +90,7 @@ fn build_mutex_workload(cpus: u32) -> (System, imax::arch::AccessDescriptor, u64
 #[test]
 fn threaded_mutex_has_no_lost_updates() {
     for cpus in [2u32, 4] {
-        let (sys, shared_ad, expect) = build_mutex_workload(cpus);
+        let (sys, shared_ad, expect) = build_mutex_workload(cpus, 1);
         let (sys, outcome) = run_threaded(sys, 50_000_000);
         assert!(outcome.completed, "{cpus} cpus: {outcome:?}");
         assert_eq!(outcome.system_errors, 0);
@@ -83,13 +106,13 @@ fn threaded_mutex_has_no_lost_updates() {
 #[test]
 fn threaded_matches_deterministic_logical_result() {
     // Deterministic arm.
-    let (mut det, det_shared, expect) = build_mutex_workload(2);
+    let (mut det, det_shared, expect) = build_mutex_workload(2, 1);
     let outcome = det.run_to_completion(50_000_000);
     assert_eq!(outcome, imax::sim::RunOutcome::Stopped);
     let det_value = det.space.read_u64(det_shared, 0).unwrap();
 
     // Threaded arm (fresh system, same construction).
-    let (sys, thr_shared, _) = build_mutex_workload(2);
+    let (sys, thr_shared, _) = build_mutex_workload(2, 1);
     let (sys, thr_outcome) = run_threaded(sys, 50_000_000);
     assert!(thr_outcome.completed);
     let mut space = sys.space;
@@ -111,7 +134,12 @@ fn threaded_allocation_churn_is_safe() {
     p.bind(top);
     p.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(64), DataRef::Imm(2), 5);
     p.mov(DataRef::Imm(7), DataDst::Field(5, 0));
-    p.alu(AluOp::Sub, DataRef::Local(0), DataRef::Imm(1), DataDst::Local(0));
+    p.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
     p.jump_if_nonzero(DataRef::Local(0), top);
     p.halt();
     let sub = sys.subprogram("churn", p.finish(), 64, 8);
@@ -126,5 +154,38 @@ fn threaded_allocation_churn_is_safe() {
         assert_eq!(sys.space.process(*p).unwrap().fault_code, 0);
     }
     // 6 churners x 30 objects were created.
-    assert!(sys.space.stats.objects_created >= 180);
+    assert!(sys.space.stats().objects_created >= 180);
+}
+
+#[test]
+fn thread_shard_matrix_matches_deterministic() {
+    // The same workload, same seed, across host-thread counts and shard
+    // (lock stripe) counts: every combination must reach the identical
+    // logical result the deterministic runner computes. Interleaving and
+    // lock granularity are free to vary; outcomes are not.
+    let (mut det, det_shared, expect) = build_mutex_workload(2, 1);
+    assert_eq!(
+        det.run_to_completion(50_000_000),
+        imax::sim::RunOutcome::Stopped
+    );
+    let det_value = det.space.read_u64(det_shared, 0).unwrap();
+    assert_eq!(det_value, expect);
+
+    for cpus in [1u32, 4, 8] {
+        for shards in [1u32, 4, 16] {
+            let (sys, shared_ad, _) = build_mutex_workload(cpus, shards);
+            let (sys, outcome) = run_threaded(sys, 50_000_000);
+            assert!(
+                outcome.completed,
+                "{cpus} threads x {shards} shards: {outcome:?}"
+            );
+            assert_eq!(outcome.system_errors, 0, "{cpus} threads x {shards} shards");
+            let mut space = sys.space;
+            assert_eq!(
+                space.read_u64(shared_ad, 0).unwrap(),
+                det_value,
+                "{cpus} threads x {shards} shards must match the deterministic run"
+            );
+        }
+    }
 }

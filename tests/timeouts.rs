@@ -1,10 +1,10 @@
 //! Timed receives and timeout faults — the "limited set of timeout
 //! faults" that §7.3 permits system-level-2 processes.
 
-use imax::gdp::isa::{DataDst, DataRef, Instruction};
-use imax::gdp::{FaultKind, ProgramBuilder};
 use imax::arch::sysobj::CTX_SLOT_ARG;
 use imax::arch::{PortDiscipline, ProcessStatus, Rights};
+use imax::gdp::isa::{DataDst, DataRef, Instruction};
+use imax::gdp::{FaultKind, ProgramBuilder};
 use imax::ipc::create_port;
 use imax::sim::{RunOutcome, System, SystemConfig};
 
@@ -42,7 +42,12 @@ fn receive_times_out_on_silence() {
 
     let _ = sys.run_to_quiescence(1_000_000);
     let ps = sys.space.process(proc_ref).unwrap();
-    assert_eq!(ps.fault_code, FaultKind::Timeout.code(), "{}", ps.fault_detail);
+    assert_eq!(
+        ps.fault_code,
+        FaultKind::Timeout.code(),
+        "{}",
+        ps.fault_detail
+    );
     // No fault port: terminated by delivery.
     assert_eq!(ps.status, ProcessStatus::Terminated);
     // The port's waiting area is clean again.

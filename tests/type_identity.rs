@@ -76,7 +76,9 @@ fn identity_survives_the_filing_system() {
     .unwrap();
 
     // Contents and identity both intact.
-    let full2 = mgr2.amplify(&mut s2, revived.restricted(Rights::NONE)).unwrap();
+    let full2 = mgr2
+        .amplify(&mut s2, revived.restricted(Rights::NONE))
+        .unwrap();
     assert_eq!(s2.read_u64(full2, 0).unwrap(), 0xC0DE);
 
     // And the checked-port machinery recognizes the revived instance.
@@ -116,7 +118,10 @@ fn filing_composite_graph_with_mixed_types() {
     let a2 = s2.load_ad(rec2, 0).unwrap().unwrap();
     let b2 = s2.load_ad(rec2, 1).unwrap().unwrap();
     assert!(mgr_a2.amplify(&mut s2, a2).is_ok());
-    assert!(mgr_a2.amplify(&mut s2, b2).is_err(), "alpha cannot claim beta");
+    assert!(
+        mgr_a2.amplify(&mut s2, b2).is_err(),
+        "alpha cannot claim beta"
+    );
     assert!(mgr_b2.amplify(&mut s2, b2).is_ok());
 }
 

@@ -3,10 +3,10 @@
 //! instruction forms behind §4's dynamic typing and §8.2's type
 //! managers, executed by real simulated processes.
 
-use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
-use imax::gdp::{FaultKind, ProgramBuilder, StepEvent};
 use imax::arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
 use imax::arch::{ObjectType, PortDiscipline, Rights};
+use imax::gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use imax::gdp::{FaultKind, ProgramBuilder, StepEvent};
 use imax::ipc::create_port;
 use imax::sim::{RunOutcome, System, SystemConfig};
 use imax::typemgr::create_tdo;
@@ -43,10 +43,25 @@ fn create_typed_object_carries_identity() {
         slot: 6,
         dst: DataDst::Local(0),
     });
-    p.alu(AluOp::Shr, DataRef::Local(0), DataRef::Imm(24), DataDst::Local(8));
-    p.alu(AluOp::And, DataRef::Local(8), DataRef::Imm(0xff), DataDst::Local(8));
+    p.alu(
+        AluOp::Shr,
+        DataRef::Local(0),
+        DataRef::Imm(24),
+        DataDst::Local(8),
+    );
+    p.alu(
+        AluOp::And,
+        DataRef::Local(8),
+        DataRef::Imm(0xff),
+        DataDst::Local(8),
+    );
     let ok = p.new_label();
-    p.alu(AluOp::Eq, DataRef::Local(8), DataRef::Imm(255), DataDst::Local(16));
+    p.alu(
+        AluOp::Eq,
+        DataRef::Local(8),
+        DataRef::Imm(255),
+        DataDst::Local(16),
+    );
     p.jump_if_nonzero(DataRef::Local(16), ok);
     p.push(Instruction::RaiseFault { code: 50 });
     p.bind(ok);

@@ -5,11 +5,11 @@
 //! both go through identical machinery (same instruction, same context
 //! allocation, same faults).
 
-use imax::gdp::isa::{DataDst, DataRef};
-use imax::gdp::{ProgramBuilder, StepEvent};
-use imax::arch::{CodeBody, Subprogram};
-use imax::gdp::native::NativeReturn;
 use imax::arch::sysobj::CTX_SLOT_ARG;
+use imax::arch::{CodeBody, Subprogram};
+use imax::gdp::isa::{DataDst, DataRef};
+use imax::gdp::native::NativeReturn;
+use imax::gdp::{ProgramBuilder, StepEvent};
 use imax::sim::{System, SystemConfig};
 
 /// Measures the cycles of the first executed instruction (the CALL) of
@@ -28,7 +28,10 @@ fn call_cost(sys: &mut System, target: imax::arch::AccessDescriptor) -> u64 {
                 first = Some(*cycles);
             }
         }
-        matches!(e, StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. })
+        matches!(
+            e,
+            StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. }
+        )
     });
     first.expect("the call executed")
 }

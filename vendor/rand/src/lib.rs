@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand` crate (0.10 API surface).
+//!
+//! Only the pieces this workspace touches are provided: a seedable
+//! `StdRng` plus `random_range`/`random_bool`. The generator is
+//! SplitMix64 — statistically fine for test workload shuffling, not for
+//! anything cryptographic.
+
+use std::ops::Range;
+
+/// Core trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types `random_range` can sample.
+pub trait UniformInt: Copy {
+    fn sample_range(rng: &mut dyn FnMut() -> u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(rng: &mut dyn FnMut() -> u64, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                let r = ((rng() as u128) << 64 | rng() as u128) % span;
+                (range.start as u128).wrapping_add(r) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The convenience methods rand 0.10 hangs off every generator.
+pub trait RngExt: RngCore {
+    /// Uniform sample from a half-open integer range.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let mut draw = || self.next_u64();
+        T::sample_range(&mut draw, range)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 bits of mantissa is plenty for test workloads.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniform sample of the full domain of `T`.
+    fn random<T: Bounded>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::full(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Helper for [`RngExt::random`].
+pub trait Bounded: Sized {
+    fn full(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_bounded {
+    ($($t:ty),*) => {$(
+        impl Bounded for $t {
+            fn full(rng: &mut impl RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_bounded!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, fast, and good enough for workload generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.random_range(0u32..1000), b.random_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(16u32..256);
+            assert!((16..256).contains(&v));
+            let w = rng.random_range(0usize..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

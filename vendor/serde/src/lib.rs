@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on architectural state
+//! for forward compatibility but never serializes anything today, so the
+//! traits here are pure markers satisfied by every type, and the derive
+//! macros (see `serde_derive`) expand to nothing. Swapping the real serde
+//! back in requires only restoring the registry dependency.
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned variant, blanket-implemented like the borrows.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod descriptor;
+pub mod digest;
 pub mod error;
 pub mod level;
 pub mod memory;
@@ -43,6 +44,7 @@ pub mod sysobj;
 pub mod traits;
 
 pub use descriptor::{Color, ObjectDescriptor, ObjectType, SystemType};
+pub use digest::{check_invariants, digest_from_roots, logical_digest};
 pub use error::{ArchError, ArchResult};
 pub use level::Level;
 pub use memory::{AccessArena, DataArena, FreeList, Run};

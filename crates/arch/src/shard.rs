@@ -28,7 +28,7 @@
 use crate::{
     descriptor::{Color, SystemType},
     error::ArchResult,
-    memory::DataArena,
+    memory::{AccessArena, DataArena},
     object_table::Entry,
     refs::{AccessDescriptor, ObjectIndex, ObjectRef},
     rights::Rights,
@@ -333,6 +333,13 @@ impl ShardedSpace {
         self.shards[k as usize].stats
     }
 
+    /// Placement-independent logical digest of the whole space. Equal
+    /// digests mean equal logical state regardless of shard count or
+    /// allocation order; see [`crate::digest::logical_digest`].
+    pub fn digest(&self) -> u64 {
+        crate::digest::logical_digest(self)
+    }
+
     /// See [`ObjectSpace::port`].
     pub fn port(&self, r: ObjectRef) -> ArchResult<&PortState> {
         let k = self.shard_for(r);
@@ -557,6 +564,11 @@ impl SpaceMut for ShardedSpace {
     fn data_arena_mut(&mut self, r: ObjectRef) -> ArchResult<&mut DataArena> {
         let k = self.shard_for(r);
         Ok(&mut self.shards[k].data)
+    }
+
+    fn access_arena(&self, r: ObjectRef) -> ArchResult<&AccessArena> {
+        let k = self.shard_for(r);
+        Ok(&self.shards[k].access)
     }
 
     fn stats_mut_of(&mut self, r: ObjectRef) -> &mut SpaceStats {

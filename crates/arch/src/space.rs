@@ -763,6 +763,13 @@ impl ObjectSpace {
         self.table.iter_live().map(|(i, _)| i).collect()
     }
 
+    /// Placement-independent logical digest of the whole space. Equal
+    /// digests mean equal logical state regardless of allocation order;
+    /// see [`crate::digest::logical_digest`].
+    pub fn digest(&self) -> u64 {
+        crate::digest::logical_digest(self)
+    }
+
     /// Destroys an SRO together with every object allocated from it,
     /// recursing through child SROs.
     ///

@@ -33,7 +33,7 @@ use crate::{
     descriptor::{Color, ObjectType, SystemType},
     error::{ArchError, ArchResult},
     level::Level,
-    memory::DataArena,
+    memory::{AccessArena, DataArena},
     object_table::Entry,
     refs::{AccessDescriptor, ObjectIndex, ObjectRef},
     rights::Rights,
@@ -368,6 +368,12 @@ pub trait SpaceMut: SpaceAccess {
     /// Mutable variant of [`SpaceMut::data_arena`].
     fn data_arena_mut(&mut self, r: ObjectRef) -> ArchResult<&mut DataArena>;
 
+    /// The access arena holding `r`'s access part (the object's shard's
+    /// arena; descriptor base addresses are offsets into it). Used by
+    /// the digest/invariant sweeps to walk raw slots without the per-op
+    /// rights checks of [`SpaceAccess::load_ad`].
+    fn access_arena(&self, r: ObjectRef) -> ArchResult<&AccessArena>;
+
     /// The stat counters charged for operations on `r`'s shard.
     fn stats_mut_of(&mut self, r: ObjectRef) -> &mut SpaceStats;
 
@@ -565,6 +571,10 @@ impl SpaceMut for ObjectSpace {
 
     fn data_arena_mut(&mut self, _r: ObjectRef) -> ArchResult<&mut DataArena> {
         Ok(&mut self.data)
+    }
+
+    fn access_arena(&self, _r: ObjectRef) -> ArchResult<&AccessArena> {
+        Ok(&self.access)
     }
 
     fn stats_mut_of(&mut self, _r: ObjectRef) -> &mut SpaceStats {

@@ -1,0 +1,152 @@
+//! Satellite: `Space::digest()` unit suite.
+//!
+//! The digest must be *placement-independent* — equal for logically
+//! equal spaces regardless of shard count or allocation order — and
+//! *semantics-sensitive* — different whenever rights, levels, part
+//! bounds or data bytes differ.
+
+use i432_arch::{digest_from_roots, AccessDescriptor, Level, ObjectSpec, Rights, ShardedSpace};
+
+/// Builds the same logical population on an `n`-shard space: `k`
+/// interlinked generic objects with patterned data, one stored AD per
+/// object (restricted rights), spread round-robin over the shard root
+/// SROs.
+fn build(n: u32, k: u32, data_len: u32) -> (ShardedSpace, Vec<AccessDescriptor>) {
+    let mut s = ShardedSpace::new(64 * 1024, 4 * 1024, 512, n);
+    let mut ads = Vec::new();
+    for j in 0..k {
+        let root = s.root_sro_of(j % n);
+        let o = s
+            .create_object(root, ObjectSpec::generic(data_len, 2))
+            .unwrap();
+        let ad = s.mint(o, Rights::READ | Rights::WRITE);
+        for w in 0..(data_len / 8) {
+            s.write_u64(ad, w * 8, u64::from(j) * 1000 + u64::from(w))
+                .unwrap();
+        }
+        ads.push(ad);
+    }
+    // Link each object to its successor with restricted rights: the
+    // rights on the *edge* are part of the logical state.
+    for j in 0..k as usize {
+        let target = ads[(j + 1) % k as usize];
+        let restricted = AccessDescriptor::new(target.obj, target.rights.restrict(Rights::READ));
+        s.store_ad(ads[j], 0, Some(restricted)).unwrap();
+    }
+    (s, ads)
+}
+
+#[test]
+fn digest_equal_across_shard_counts() {
+    let (one, _) = build(1, 12, 32);
+    let reference = one.digest();
+    for n in [2u32, 4, 8, 16] {
+        let (s, _) = build(n, 12, 32);
+        assert_eq!(
+            s.digest(),
+            reference,
+            "{n}-shard space must digest equal to the single-shard space"
+        );
+    }
+}
+
+#[test]
+fn digest_equal_regardless_of_allocation_order() {
+    // Same population, different creation order: indices and arena
+    // bases differ, logic does not.
+    let mut a = ShardedSpace::new(64 * 1024, 4 * 1024, 512, 1);
+    let mut b = ShardedSpace::new(64 * 1024, 4 * 1024, 512, 1);
+    let root_a = a.root_sro();
+    let root_b = b.root_sro();
+
+    let xa = a.create_object(root_a, ObjectSpec::generic(16, 0)).unwrap();
+    let ya = a.create_object(root_a, ObjectSpec::generic(24, 0)).unwrap();
+    // Opposite order in b.
+    let yb = b.create_object(root_b, ObjectSpec::generic(24, 0)).unwrap();
+    let xb = b.create_object(root_b, ObjectSpec::generic(16, 0)).unwrap();
+
+    for (s, x, y) in [(&mut a, xa, ya), (&mut b, xb, yb)] {
+        let x_ad = s.mint(x, Rights::READ | Rights::WRITE);
+        let y_ad = s.mint(y, Rights::READ | Rights::WRITE);
+        s.write_u64(x_ad, 0, 0xAB).unwrap();
+        s.write_u64(y_ad, 8, 0xCD).unwrap();
+    }
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn digest_differs_on_rights_mutation() {
+    let (s, _) = build(1, 6, 32);
+    let reference = s.digest();
+    let (mut m, ads) = build(1, 6, 32);
+    // Weaken the rights on one stored edge — nothing else changes.
+    let target = ads[1];
+    let weakened = AccessDescriptor::new(target.obj, Rights::NONE);
+    m.store_ad(ads[0], 0, Some(weakened)).unwrap();
+    assert_ne!(m.digest(), reference, "rights are logical state");
+}
+
+#[test]
+fn digest_differs_on_level_mutation() {
+    let (s, _) = build(1, 6, 32);
+    let reference = s.digest();
+    let (mut m, ads) = build(1, 6, 32);
+    m.entry_mut(ads[3].obj).unwrap().desc.level = Level(5);
+    assert_ne!(m.digest(), reference, "level numbers are logical state");
+}
+
+#[test]
+fn digest_differs_on_bounds_mutation() {
+    let (a, _) = build(1, 6, 32);
+    let (b, _) = build(1, 6, 40);
+    assert_ne!(a.digest(), b.digest(), "part sizes are logical state");
+}
+
+#[test]
+fn digest_differs_on_data_mutation() {
+    let (s, _) = build(1, 6, 32);
+    let reference = s.digest();
+    let (mut m, ads) = build(1, 6, 32);
+    s_write_one(&mut m, ads[2]);
+    assert_ne!(m.digest(), reference, "data bytes are logical state");
+}
+
+fn s_write_one(s: &mut ShardedSpace, ad: AccessDescriptor) {
+    s.write_u64(ad, 16, 0xFFFF_FFFF).unwrap();
+}
+
+#[test]
+fn root_digest_ignores_unreachable_garbage() {
+    let (s, ads) = build(1, 6, 32);
+    let reference = digest_from_roots(&s, &ads);
+    let whole_reference = s.digest();
+
+    let (mut m, ads2) = build(1, 6, 32);
+    let root = m.root_sro();
+    // An extra object nothing reachable points at.
+    let o = m.create_object(root, ObjectSpec::generic(8, 0)).unwrap();
+    let o_ad = m.mint(o, Rights::READ | Rights::WRITE);
+    m.write_u64(o_ad, 0, 999).unwrap();
+
+    assert_eq!(
+        digest_from_roots(&m, &ads2),
+        reference,
+        "from-roots digest sees only the reachable subgraph"
+    );
+    assert_ne!(
+        m.digest(),
+        whole_reference,
+        "whole-space digest sees the garbage"
+    );
+}
+
+#[test]
+fn root_digest_sensitive_to_root_rights() {
+    let (s, ads) = build(1, 4, 16);
+    let reference = digest_from_roots(&s, &ads);
+    let weakened: Vec<_> = ads
+        .iter()
+        .map(|ad| AccessDescriptor::new(ad.obj, ad.rights.restrict(Rights::READ)))
+        .collect();
+    assert_ne!(digest_from_roots(&s, &weakened), reference);
+}

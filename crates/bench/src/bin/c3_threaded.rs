@@ -27,9 +27,16 @@ fn main() {
     );
 
     let points = c3_threaded(&[1, 2, 4, 8], SHARDS, JOBS, ITERS);
+    // The speedup criterion needs actual hardware parallelism: on fewer
+    // than 4 cores the striped runner pays per-shard locking with no
+    // physical concurrency to buy back, so only the structural checks
+    // (completion, zero errors) are meaningful there — and the JSON must
+    // say so explicitly rather than look like a pass.
+    let speedup_check = if host_cores >= 4 { "passed" } else { "skipped" };
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"c3_threaded\",");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"speedup_check\": \"{speedup_check}\",");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"jobs\": {JOBS},");
     let _ = writeln!(json, "  \"iters\": {ITERS},");
@@ -62,10 +69,6 @@ fn main() {
         .iter()
         .find(|p| p.threads == 4)
         .expect("4-thread point");
-    // The speedup criterion needs actual hardware parallelism: on fewer
-    // than 4 cores the striped runner pays per-shard locking with no
-    // physical concurrency to buy back, so only the structural checks
-    // (completion, zero errors) are meaningful.
     if host_cores >= 4 {
         assert!(
             at4.speedup > 1.5,
@@ -78,7 +81,7 @@ fn main() {
         );
     } else {
         println!(
-            "pass: zero system errors ({host_cores} host core(s): speedup criterion \
+            "pass: zero system errors ({host_cores} host core(s): speedup check SKIPPED — \
              needs >= 4 cores; got {:.2}x at 4 threads)",
             at4.speedup
         );

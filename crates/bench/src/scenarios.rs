@@ -309,6 +309,100 @@ pub fn c3_threaded(
 }
 
 // ---------------------------------------------------------------------------
+// Shared scenario plumbing.
+// ---------------------------------------------------------------------------
+
+/// The canonical token-mutex workload, shared by the threaded-runner
+/// tests, the benchmarks and the conformance fuzzer (`crates/conform`):
+/// `workers` processes each bump a shared counter `rounds` times under a
+/// one-token port mutex. Returns the system, the AD of the shared
+/// counter cell, and the expected final counter value.
+///
+/// The workload is *interleaving-independent by construction* — all
+/// cross-process communication goes through the port token — so any
+/// runner, at any thread/shard combination, must produce the same
+/// logical end state.
+pub fn token_mutex_system(
+    cpus: u32,
+    shards: u32,
+    workers: u32,
+    rounds: u64,
+) -> (System, i432_arch::AccessDescriptor, u64) {
+    // Scale the arenas with the stripe count so per-shard capacity stays
+    // constant (system objects all land in shard 0).
+    let mut cfg = SystemConfig::small()
+        .with_processors(cpus)
+        .with_shards(shards);
+    cfg.data_bytes *= shards;
+    cfg.access_slots *= shards;
+    cfg.table_limit *= shards;
+    let mut sys = System::new(&cfg);
+    let root = sys.space.root_sro();
+    let mutex = create_port(&mut sys.space, root, 1, PortDiscipline::Fifo).unwrap();
+    sys.anchor(mutex.ad());
+    let shared = sys
+        .space
+        .create_object(root, ObjectSpec::generic(8, 0))
+        .unwrap();
+    let shared_ad = sys.space.mint(shared, Rights::READ | Rights::WRITE);
+    sys.anchor(shared_ad);
+    let token = sys
+        .space
+        .create_object(root, ObjectSpec::generic(8, 0))
+        .unwrap();
+    let token_ad = sys.space.mint(token, Rights::READ | Rights::WRITE);
+    imax_ipc::untyped::send(&mut sys.space, mutex, token_ad).unwrap();
+
+    // receive token -> load counter -> work -> bump -> store -> return
+    // token, `rounds` times. Slot 5 is the shared cell (poked below);
+    // slot 6 carries the token.
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(0), DataDst::Local(0));
+    p.bind(top);
+    p.receive(CTX_SLOT_ARG as u16, 6);
+    p.mov(DataRef::Field(5, 0), DataDst::Local(8));
+    p.work(50);
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(8),
+        DataRef::Imm(1),
+        DataDst::Local(8),
+    );
+    p.mov(DataRef::Local(8), DataDst::Field(5, 0));
+    p.send(CTX_SLOT_ARG as u16, 6);
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(rounds),
+        DataDst::Local(16),
+    );
+    p.jump_if_nonzero(DataRef::Local(16), top);
+    p.halt();
+    let sub = sys.subprogram("incrementer", p.finish(), 64, 8);
+    let dom = sys.install_domain("racers", vec![sub], 0);
+    for _ in 0..workers {
+        let proc_ref = sys.spawn(dom, 0, Some(mutex.ad()));
+        let ctx = sys
+            .space
+            .load_ad_hw(proc_ref, i432_arch::sysobj::PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        sys.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE + 1, Some(shared_ad))
+            .unwrap();
+    }
+    (sys, shared_ad, u64::from(workers) * rounds)
+}
+
+// ---------------------------------------------------------------------------
 // C4 — typed ports are zero-overhead (paper §4 / Figure 2).
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,176 @@
+//! Differential conformance fuzzer CLI.
+//!
+//! ```text
+//! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
+//!              [--explore N] [--out PATH]
+//! ```
+//!
+//! Default: seeds 0..256 on the full {1,4,16} shards × {1,4,8} threads
+//! matrix. `--seed N` replays exactly one seed (the form every failure
+//! report prints). `--explore N` additionally runs N seeded schedule
+//! explorations. Failing seeds are written to `--out` (default
+//! `CONFORM_FAILURES.json`) and the process exits nonzero.
+
+use i432_conform::{check_seed, explore, ExploreConfig, FULL_MATRIX, QUICK_MATRIX};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+struct Args {
+    start: u64,
+    count: u64,
+    matrix: &'static [(u32, u32)],
+    explore_seeds: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        start: 0,
+        count: 256,
+        matrix: FULL_MATRIX,
+        explore_seeds: 0,
+        out: "CONFORM_FAILURES.json".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need_value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--seed" => {
+                args.start = need_value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.count = 1;
+                i += 2;
+            }
+            "--start" => {
+                args.start = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?;
+                i += 2;
+            }
+            "--count" => {
+                args.count = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?;
+                i += 2;
+            }
+            "--matrix" => {
+                args.matrix = match need_value(i)? {
+                    "full" => FULL_MATRIX,
+                    "quick" => QUICK_MATRIX,
+                    other => return Err(format!("--matrix: unknown matrix {other:?}")),
+                };
+                i += 2;
+            }
+            "--explore" => {
+                args.explore_seeds = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--explore: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                args.out = need_value(i)?.to_string();
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("conform_fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed",
+        args.start,
+        args.start + args.count,
+        args.matrix.len()
+    );
+    let mut failures = Vec::new();
+    for seed in args.start..args.start + args.count {
+        let report = check_seed(seed, args.matrix);
+        if report.passed() {
+            if (seed - args.start + 1) % 32 == 0 {
+                println!(
+                    "  {}/{} seeds conformant (latest digest {:#018x})",
+                    seed - args.start + 1,
+                    args.count,
+                    report.reference.digest
+                );
+            }
+        } else {
+            for m in &report.mismatches {
+                eprintln!("FAIL: {m}");
+            }
+            failures.push(report);
+        }
+    }
+
+    let mut explore_failures = Vec::new();
+    for seed in args.start..args.start + args.explore_seeds {
+        match explore(&ExploreConfig::smoke(seed)) {
+            Ok(r) => println!(
+                "  explore seed {seed}: {} ops, {} cross-shard pairs, {} atomic sections",
+                r.ops, r.cross_shard_pairs, r.atomic_sections
+            ),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                explore_failures.push(e);
+            }
+        }
+    }
+
+    if failures.is_empty() && explore_failures.is_empty() {
+        println!(
+            "pass: {} seeds conformant, {} explorations deadlock-free",
+            args.count, args.explore_seeds
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Persist the failing seeds as a replayable artifact.
+    let mut json = String::from("{\n  \"failures\": [\n");
+    let total = failures.len() + explore_failures.len();
+    let mut emitted = 0;
+    for f in &failures {
+        emitted += 1;
+        let _ = writeln!(
+            json,
+            "    {{\"seed\": {}, \"kind\": \"differential\", \"mismatches\": {}}}{}",
+            f.seed,
+            f.mismatches.len(),
+            if emitted < total { "," } else { "" }
+        );
+    }
+    for e in &explore_failures {
+        emitted += 1;
+        let _ = writeln!(
+            json,
+            "    {{\"kind\": \"explore\", \"detail\": \"{}\"}}{}",
+            e.replace('"', "'"),
+            if emitted < total { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("conform_fuzz: could not write {}: {e}", args.out);
+    } else {
+        eprintln!("wrote failing seeds to {}", args.out);
+    }
+    eprintln!(
+        "FAILED: {} differential seed(s), {} exploration(s)",
+        failures.len(),
+        explore_failures.len()
+    );
+    ExitCode::FAILURE
+}

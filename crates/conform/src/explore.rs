@@ -1,0 +1,196 @@
+//! Bounded schedule exploration of the shard-lock hot paths.
+//!
+//! The lock-striped space has exactly one multi-lock pattern on its hot
+//! path: a cross-shard AD store locks the container's and the target's
+//! shards in canonical ascending order. Its cold path — `atomic` — takes
+//! *every* shard lock, also in ascending order. Deadlock freedom rests
+//! entirely on that ordering discipline, so this explorer attacks it:
+//! seeded worker threads hammer random cross-shard lock *pairs* (both
+//! orders of shard identity, which the canonical ordering must
+//! normalise) interleaved with periodic all-shard atomic sections, while
+//! the main thread watches a wall clock. A run that stops making
+//! progress past the timeout is reported as a suspected deadlock with a
+//! replay seed; a run that completes is then audited (per-shard counters
+//! must sum to the merged view, structural invariants must hold).
+
+use i432_arch::{
+    check_invariants, AccessDescriptor, ObjectSpec, Rights, ShardedSpace, SharedSpace, SpaceAccess,
+    SpaceAccessExt,
+};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters for one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Seed for the per-worker operation streams.
+    pub seed: u64,
+    /// Lock stripes in the space under test.
+    pub shards: u32,
+    /// Concurrent worker threads.
+    pub workers: u32,
+    /// Lock-pair operations per worker.
+    pub ops_per_worker: u32,
+    /// Wall-clock budget per worker before declaring a deadlock.
+    pub timeout: Duration,
+}
+
+impl ExploreConfig {
+    /// A small default: enough to cross every shard pair many times.
+    pub fn smoke(seed: u64) -> ExploreConfig {
+        ExploreConfig {
+            seed,
+            shards: 4,
+            workers: 4,
+            ops_per_worker: 2_000,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a completed (non-deadlocked) exploration observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// The seed explored.
+    pub seed: u64,
+    /// Total store operations performed.
+    pub ops: u64,
+    /// How many of them crossed shards (two-lock path).
+    pub cross_shard_pairs: u64,
+    /// All-shard atomic sections executed.
+    pub atomic_sections: u64,
+}
+
+/// Objects pre-created per shard for the workers to link between.
+const OBJS_PER_SHARD: u32 = 8;
+
+/// Runs one bounded exploration. `Err` carries a human-readable reason —
+/// a suspected deadlock (worker past the timeout) or a post-run audit
+/// failure — always ending with the replay seed.
+pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, String> {
+    assert!(cfg.shards >= 2, "exploration needs at least two stripes");
+    let mut space = ShardedSpace::new(
+        64 * 1024 * cfg.shards,
+        2048 * cfg.shards,
+        512 * cfg.shards,
+        cfg.shards,
+    );
+    // Per-shard target objects, minted with full rights so any of them
+    // can serve as the container of a cross-shard edge.
+    let mut objs: Vec<AccessDescriptor> = Vec::new();
+    for k in 0..cfg.shards {
+        let sro = space.root_sro_of(k);
+        for _ in 0..OBJS_PER_SHARD {
+            let o = space
+                .create_object(sro, ObjectSpec::generic(16, OBJS_PER_SHARD))
+                .map_err(|e| format!("seed {}: setup allocation failed: {e:?}", cfg.seed))?;
+            objs.push(space.mint(o, Rights::ALL));
+        }
+    }
+    let shards = cfg.shards;
+    let shared = Arc::new(SharedSpace::new(space));
+    let objs = Arc::new(objs);
+    let (tx, rx) = mpsc::channel::<(u32, u64, u64, u64)>();
+
+    let mut handles = Vec::new();
+    for w in 0..cfg.workers {
+        let shared = Arc::clone(&shared);
+        let objs = Arc::clone(&objs);
+        let tx = tx.clone();
+        let seed = cfg.seed ^ (u64::from(w) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let ops = cfg.ops_per_worker;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut agent = shared.agent();
+            let mut cross = 0u64;
+            let mut atomics = 0u64;
+            for i in 0..ops {
+                let container = objs[rng.random_range(0usize..objs.len())];
+                let target = objs[rng.random_range(0usize..objs.len())];
+                let slot = rng.random_range(0u32..OBJS_PER_SHARD);
+                agent
+                    .store_ad_hw(container.obj, slot, Some(target))
+                    .expect("pre-created objects stay live");
+                if container.obj.index.0 % shards != target.obj.index.0 % shards {
+                    cross += 1;
+                }
+                // Periodically grab every shard lock while peers hold
+                // single and paired locks — the classic deadlock recipe
+                // if the ordering discipline were ever violated.
+                if i % 64 == 63 {
+                    agent.atomically(|sm| {
+                        let _ = sm.stats();
+                    });
+                    atomics += 1;
+                }
+            }
+            let _ = tx.send((w, u64::from(ops), cross, atomics));
+        }));
+    }
+    drop(tx);
+
+    let mut ops = 0u64;
+    let mut cross_shard_pairs = 0u64;
+    let mut atomic_sections = 0u64;
+    for _ in 0..cfg.workers {
+        match rx.recv_timeout(cfg.timeout) {
+            Ok((_, o, c, a)) => {
+                ops += o;
+                cross_shard_pairs += c;
+                atomic_sections += a;
+            }
+            Err(_) => {
+                // Do not join: the stuck threads hold their Arcs, and the
+                // space stays alive with them. Report and get out.
+                return Err(format!(
+                    "seed {}: suspected deadlock — a worker made no progress for {:?}; \
+                     replay: cargo run --release -p i432-conform --bin conform_fuzz -- \
+                     --explore 1 --start {}",
+                    cfg.seed, cfg.timeout, cfg.seed
+                ));
+            }
+        }
+    }
+    for h in handles {
+        h.join().map_err(|_| {
+            format!(
+                "seed {}: a worker panicked after reporting completion",
+                cfg.seed
+            )
+        })?;
+    }
+
+    // All workers are done and joined: ours is the only Arc left.
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("all workers joined; the handle cannot be shared"));
+    let space = shared.into_inner();
+
+    // Audit 1: the merged counters equal the sum of the per-shard views.
+    let merged = space.stats();
+    let mut summed = i432_arch::SpaceStats::default();
+    for k in 0..space.shard_count() {
+        summed.merge(&space.stats_of_shard(k));
+    }
+    if summed != merged {
+        return Err(format!(
+            "seed {}: per-shard stats sum {summed:?} != merged view {merged:?}",
+            cfg.seed
+        ));
+    }
+    // Audit 2: structural invariants of the final space.
+    let problems = check_invariants(&space);
+    if !problems.is_empty() {
+        return Err(format!(
+            "seed {}: invariants violated after exploration: {problems:?}",
+            cfg.seed
+        ));
+    }
+    Ok(ExploreReport {
+        seed: cfg.seed,
+        ops,
+        cross_shard_pairs,
+        atomic_sections,
+    })
+}

@@ -1,0 +1,330 @@
+//! The differential oracle: one generated case, two execution engines,
+//! one logical answer.
+//!
+//! The *reference arm* runs the case on the deterministic discrete-event
+//! runner with a single processor and a single shard. The *subject arm*
+//! runs the identical construction on [`i432_sim::run_threaded`] — real
+//! host threads over the lock-striped space — across a shards × threads
+//! matrix. Conformance means the workload-visible end state is
+//! bit-identical everywhere:
+//!
+//! * a placement-independent digest of the graph reachable from the
+//!   per-process output objects, the shared counter cell, and the mutex
+//!   port ([`i432_arch::digest_from_roots`]);
+//! * the shared counter's value (the generator predicts it exactly);
+//! * each process's final status and fault code, in spawn order.
+//!
+//! Any mismatch is reported with a one-line `cargo` command that replays
+//! the exact seed locally.
+
+use crate::gen::{GenCase, CTX_ACCESS, CTX_DATA, OUT_ACCESS, S_DEEP, S_OUT, S_SHARED};
+use i432_arch::{
+    digest_from_roots, sysobj::PROC_SLOT_CONTEXT, AccessDescriptor, Level, ObjectRef, ObjectSpec,
+    ObjectType, PortDiscipline, ProcessStatus, Rights, SysState,
+};
+use i432_gdp::process::ProcessSpec;
+use i432_sim::{run_threaded, RunOutcome, System, SystemConfig};
+use imax_ipc::create_port;
+
+/// The full conformance matrix from the acceptance criteria:
+/// {1, 4, 16} shards × {1, 4, 8} host threads.
+pub const FULL_MATRIX: &[(u32, u32)] = &[
+    (1, 1),
+    (1, 4),
+    (1, 8),
+    (4, 1),
+    (4, 4),
+    (4, 8),
+    (16, 1),
+    (16, 4),
+    (16, 8),
+];
+
+/// A reduced matrix for tier-1 test time on small hosts.
+pub const QUICK_MATRIX: &[(u32, u32)] = &[(1, 1), (4, 4)];
+
+/// Step budget for the reference arm.
+const DET_BUDGET: u64 = 50_000_000;
+/// Step budget for the threaded arm (polls are steps too).
+const THR_BUDGET: u64 = 50_000_000;
+
+/// The workload-visible end state of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// Digest of the graph reachable from the oracle's roots.
+    pub digest: u64,
+    /// Final shared-counter value.
+    pub counter: u64,
+    /// `(status, fault_code)` per process, in spawn order.
+    pub proc_states: Vec<(u8, u16)>,
+}
+
+/// Everything [`build`] wires up besides the [`System`] itself.
+struct Harness {
+    processes: Vec<ObjectRef>,
+    roots: Vec<AccessDescriptor>,
+    shared_ad: AccessDescriptor,
+}
+
+/// The one-line command that reproduces a failing seed locally.
+pub fn replay_command(seed: u64) -> String {
+    format!("cargo run --release -p i432-conform --bin conform_fuzz -- --seed {seed}")
+}
+
+fn status_code(s: ProcessStatus) -> u8 {
+    match s {
+        ProcessStatus::Ready => 0,
+        ProcessStatus::Running => 1,
+        ProcessStatus::BlockedSend => 2,
+        ProcessStatus::BlockedReceive => 3,
+        ProcessStatus::Stopped => 4,
+        ProcessStatus::Faulted => 5,
+        ProcessStatus::Terminated => 6,
+    }
+}
+
+/// Builds a system running `case` on the given stripe/processor counts.
+/// The construction is identical for both arms — only the engine and the
+/// matrix point differ.
+fn build(case: &GenCase, shards: u32, cpus: u32) -> (System, Harness) {
+    let mut cfg = SystemConfig::small()
+        .with_processors(cpus)
+        .with_shards(shards);
+    // Keep per-shard capacity constant as the stripe count grows.
+    cfg.data_bytes *= shards;
+    cfg.access_slots *= shards;
+    cfg.table_limit *= shards;
+    let mut sys = System::new(&cfg);
+    let root = sys.space.root_sro();
+
+    // The token mutex: capacity-1 FIFO port primed with one token.
+    let mutex = create_port(&mut sys.space, root, 1, PortDiscipline::Fifo)
+        .expect("mutex port fits a fresh arena");
+    sys.anchor(mutex.ad());
+    let token = sys
+        .space
+        .create_object(root, ObjectSpec::generic(8, 0))
+        .expect("token fits");
+    let token_ad = sys.space.mint(token, Rights::READ | Rights::WRITE);
+    imax_ipc::untyped::send(&mut sys.space, mutex, token_ad).expect("token primes the mutex");
+
+    // Shared counter cell.
+    let shared = sys
+        .space
+        .create_object(root, ObjectSpec::generic(8, 0))
+        .expect("counter fits");
+    let shared_ad = sys.space.mint(shared, Rights::READ | Rights::WRITE);
+    sys.anchor(shared_ad);
+
+    // Faulted processes park here instead of terminating silently.
+    let fault_port = create_port(
+        &mut sys.space,
+        root,
+        case.processes.len() as u32 + 1,
+        PortDiscipline::Fifo,
+    )
+    .expect("fault port fits");
+    sys.anchor(fault_port.ad());
+
+    // A short-lived-level object: storing it into any global container
+    // must level-fault (the generator's "level" fault variant).
+    let deep = sys
+        .space
+        .create_object(
+            root,
+            ObjectSpec {
+                data_len: 8,
+                access_len: 0,
+                otype: ObjectType::GENERIC,
+                level: Some(Level(5)),
+                sys: SysState::Generic,
+            },
+        )
+        .expect("deep object fits");
+    // Deliberately NOT anchored: the root directory is a program-visible
+    // generic container at GLOBAL level, so holding a Level(5) AD there
+    // would itself violate the level rule `check_invariants` audits. The
+    // object stays live through the context slots (system objects, which
+    // the hardware-store path legitimately exempts), and no collector
+    // runs inside the oracle.
+    let deep_ad = sys.space.mint(deep, Rights::READ | Rights::WRITE);
+
+    let subs: Vec<_> = case
+        .processes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sys.subprogram(&format!("fuzz{i}"), p.program.clone(), CTX_DATA, CTX_ACCESS))
+        .collect();
+    let dom = sys.install_domain("conform", subs, 0);
+
+    let mut processes = Vec::new();
+    let mut roots = Vec::new();
+    for i in 0..case.processes.len() {
+        let out = sys
+            .space
+            .create_object(root, ObjectSpec::generic(16, OUT_ACCESS))
+            .expect("output object fits");
+        let out_ad = sys.space.mint(out, Rights::READ | Rights::WRITE);
+        sys.anchor(out_ad);
+        let mut spec = ProcessSpec::new(sys.dispatch_ad());
+        spec.fault_port = Some(fault_port.ad());
+        let p = sys.spawn_with(dom, i as u32, Some(mutex.ad()), spec);
+        // Poke the well-known context slots the generated programs use.
+        let ctx = sys
+            .space
+            .load_ad_hw(p, PROC_SLOT_CONTEXT)
+            .expect("fresh process")
+            .expect("fresh process has a context")
+            .obj;
+        for (slot, ad) in [(S_OUT, out_ad), (S_SHARED, shared_ad), (S_DEEP, deep_ad)] {
+            sys.space
+                .store_ad_hw(ctx, u32::from(slot), Some(ad))
+                .expect("context slot poke");
+        }
+        processes.push(p);
+        roots.push(out_ad);
+    }
+    roots.push(shared_ad);
+    roots.push(mutex.ad());
+    let harness = Harness {
+        processes,
+        roots,
+        shared_ad,
+    };
+    (sys, harness)
+}
+
+fn outcome_of(sys: &mut System, h: &Harness) -> CaseOutcome {
+    let counter = sys
+        .space
+        .read_u64(h.shared_ad, 0)
+        .expect("counter cell is live");
+    let digest = digest_from_roots(&sys.space, &h.roots);
+    let proc_states = h
+        .processes
+        .iter()
+        .map(|p| {
+            let s = sys.space.process(*p).expect("registered process is live");
+            (status_code(s.status), s.fault_code)
+        })
+        .collect();
+    CaseOutcome {
+        digest,
+        counter,
+        proc_states,
+    }
+}
+
+/// Runs the reference arm: deterministic runner, 1 shard, 1 processor.
+/// Returns the system too so callers can audit the final space.
+pub fn run_deterministic_sys(case: &GenCase) -> (System, CaseOutcome) {
+    let (mut sys, h) = build(case, 1, 1);
+    let outcome = sys.run_to_quiescence(DET_BUDGET);
+    assert_eq!(
+        outcome,
+        RunOutcome::Quiescent,
+        "seed {}: reference arm did not quiesce; replay: {}",
+        case.seed,
+        replay_command(case.seed)
+    );
+    let o = outcome_of(&mut sys, &h);
+    (sys, o)
+}
+
+/// Runs the reference arm and returns its end state.
+pub fn run_deterministic(case: &GenCase) -> CaseOutcome {
+    run_deterministic_sys(case).1
+}
+
+/// Runs the subject arm at one matrix point. Returns the system too.
+pub fn run_threaded_sys(case: &GenCase, shards: u32, cpus: u32) -> (System, CaseOutcome) {
+    let (sys, h) = build(case, shards, cpus);
+    let (mut sys, outcome) = run_threaded(sys, THR_BUDGET);
+    assert!(
+        outcome.completed && outcome.system_errors == 0,
+        "seed {}: threaded arm ({shards} shards x {cpus} threads) failed: {outcome:?}; replay: {}",
+        case.seed,
+        replay_command(case.seed)
+    );
+    let o = outcome_of(&mut sys, &h);
+    (sys, o)
+}
+
+/// Runs the subject arm at one matrix point and returns its end state.
+pub fn run_threaded_case(case: &GenCase, shards: u32, cpus: u32) -> CaseOutcome {
+    run_threaded_sys(case, shards, cpus).1
+}
+
+/// The oracle's verdict for one seed across a matrix.
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// The seed checked.
+    pub seed: u64,
+    /// The reference arm's end state.
+    pub reference: CaseOutcome,
+    /// One line per divergence (empty = conformant).
+    pub mismatches: Vec<String>,
+}
+
+impl SeedReport {
+    /// True when every matrix point matched the reference arm.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Checks one seed: generates the case, runs the reference arm, then the
+/// subject arm at every `matrix` point, comparing end states. Also
+/// round-trips every generated program through the wire codec — a failing
+/// seed must be storable as a replayable artifact.
+pub fn check_seed(seed: u64, matrix: &[(u32, u32)]) -> SeedReport {
+    let case = crate::gen::generate(seed);
+    let mut mismatches = Vec::new();
+
+    for (i, p) in case.processes.iter().enumerate() {
+        let bytes = i432_gdp::encode_program(&p.program);
+        match i432_gdp::decode_program(&bytes) {
+            Ok(back) if back == p.program => {}
+            Ok(_) => mismatches.push(format!(
+                "seed {seed} program {i}: codec round-trip altered the program; replay: {}",
+                replay_command(seed)
+            )),
+            Err(e) => mismatches.push(format!(
+                "seed {seed} program {i}: codec rejected its own encoding ({e}); replay: {}",
+                replay_command(seed)
+            )),
+        }
+    }
+
+    let reference = run_deterministic(&case);
+    let expected = case.expected_counter();
+    if reference.counter != expected {
+        mismatches.push(format!(
+            "seed {seed}: reference counter {} != predicted {expected}; replay: {}",
+            reference.counter,
+            replay_command(seed)
+        ));
+    }
+
+    for &(shards, cpus) in matrix {
+        let got = run_threaded_case(&case, shards, cpus);
+        if got != reference {
+            mismatches.push(format!(
+                "seed {seed}: {shards} shards x {cpus} threads diverged \
+                 (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
+                got.digest,
+                reference.digest,
+                got.counter,
+                reference.counter,
+                got.proc_states,
+                reference.proc_states,
+                replay_command(seed)
+            ));
+        }
+    }
+    SeedReport {
+        seed,
+        reference,
+        mismatches,
+    }
+}

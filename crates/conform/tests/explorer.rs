@@ -1,0 +1,42 @@
+//! Schedule-explorer smoke: seeded cross-shard lock-pair hammering must
+//! complete (deadlock-free), actually exercise the two-lock path, and
+//! leave a space whose per-shard accounting and structural invariants
+//! hold.
+
+use i432_conform::{explore, ExploreConfig};
+use std::time::Duration;
+
+#[test]
+fn exploration_is_deadlock_free_across_seeds() {
+    for seed in 0..3 {
+        let report = explore(&ExploreConfig::smoke(seed)).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.ops, 4 * 2_000, "seed {seed}");
+    }
+}
+
+#[test]
+fn exploration_exercises_cross_shard_pairs_and_atomics() {
+    let report = explore(&ExploreConfig::smoke(11)).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        report.cross_shard_pairs > 0,
+        "no cross-shard pair was ever locked: {report:?}"
+    );
+    assert!(
+        report.atomic_sections > 0,
+        "no all-shard atomic section ran: {report:?}"
+    );
+}
+
+#[test]
+fn exploration_scales_to_more_stripes_and_workers() {
+    let cfg = ExploreConfig {
+        seed: 5,
+        shards: 8,
+        workers: 8,
+        ops_per_worker: 1_000,
+        timeout: Duration::from_secs(60),
+    };
+    let report = explore(&cfg).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(report.ops, 8 * 1_000);
+    assert!(report.cross_shard_pairs > 0);
+}

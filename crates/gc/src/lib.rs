@@ -33,9 +33,11 @@
 pub mod collector;
 pub mod daemon;
 pub mod filter;
+pub mod invariant;
 pub mod roots;
 
 pub use collector::{Collector, GcConfig, GcPhase, GcStats};
 pub use daemon::install_gc_daemon;
 pub use filter::drain_filter_port;
+pub use invariant::check_tricolor;
 pub use roots::find_roots;

@@ -1,0 +1,704 @@
+//! Compact byte encoding for instruction streams.
+//!
+//! The conformance fuzzer (`crates/conform`) generates seeded programs
+//! and must be able to persist a failing case as bytes and replay it
+//! bit-exactly. This codec is a stable, self-contained wire format for
+//! `Vec<Instruction>` — no external serializer, deterministic output,
+//! strict decoding (any trailing or malformed byte is an error, never a
+//! guess).
+//!
+//! Format: magic `"i432"`, format version byte, `u32` instruction
+//! count, then one tag byte per instruction followed by its operands.
+//! Scalars are little-endian; `Option` fields are a presence byte.
+
+use crate::isa::{AluOp, DataDst, DataRef, Instruction};
+use i432_arch::Rights;
+use std::fmt;
+
+/// Wire-format magic.
+const MAGIC: &[u8; 4] = b"i432";
+/// Wire-format version.
+const VERSION: u8 = 1;
+
+/// A malformed program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program image error at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn data_ref(&mut self, r: DataRef) {
+        match r {
+            DataRef::Imm(v) => {
+                self.u8(0);
+                self.u64(v);
+            }
+            DataRef::Local(off) => {
+                self.u8(1);
+                self.u32(off);
+            }
+            DataRef::Field(slot, off) => {
+                self.u8(2);
+                self.u16(slot);
+                self.u32(off);
+            }
+        }
+    }
+    fn data_dst(&mut self, d: DataDst) {
+        match d {
+            DataDst::Local(off) => {
+                self.u8(0);
+                self.u32(off);
+            }
+            DataDst::Field(slot, off) => {
+                self.u8(1);
+                self.u16(slot);
+                self.u32(off);
+            }
+        }
+    }
+    fn opt_u16(&mut self, v: Option<u16>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u16(x);
+            }
+        }
+    }
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+    fn opt_data_ref(&mut self, v: Option<DataRef>) {
+        match v {
+            None => self.u8(0),
+            Some(r) => {
+                self.u8(1);
+                self.data_ref(r);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, CodecError> {
+        Err(CodecError {
+            offset: self.at,
+            reason: reason.into(),
+        })
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.at + n > self.buf.len() {
+            return self.err(format!("truncated: need {n} more bytes"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn data_ref(&mut self) -> Result<DataRef, CodecError> {
+        match self.u8()? {
+            0 => Ok(DataRef::Imm(self.u64()?)),
+            1 => Ok(DataRef::Local(self.u32()?)),
+            2 => Ok(DataRef::Field(self.u16()?, self.u32()?)),
+            t => self.err(format!("bad DataRef tag {t}")),
+        }
+    }
+    fn data_dst(&mut self) -> Result<DataDst, CodecError> {
+        match self.u8()? {
+            0 => Ok(DataDst::Local(self.u32()?)),
+            1 => Ok(DataDst::Field(self.u16()?, self.u32()?)),
+            t => self.err(format!("bad DataDst tag {t}")),
+        }
+    }
+    fn opt_u16(&mut self) -> Result<Option<u16>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u16()?)),
+            t => self.err(format!("bad Option tag {t}")),
+        }
+    }
+    fn opt_u32(&mut self) -> Result<Option<u32>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            t => self.err(format!("bad Option tag {t}")),
+        }
+    }
+    fn opt_data_ref(&mut self) -> Result<Option<DataRef>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.data_ref()?)),
+            t => self.err(format!("bad Option tag {t}")),
+        }
+    }
+    fn rights(&mut self) -> Result<Rights, CodecError> {
+        Ok(Rights::from_bits(self.u8()?))
+    }
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => self.err(format!("bad bool {t}")),
+        }
+    }
+    fn alu_op(&mut self) -> Result<AluOp, CodecError> {
+        const OPS: [AluOp; 16] = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Rem,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Eq,
+            AluOp::Ne,
+            AluOp::Lt,
+            AluOp::Le,
+            AluOp::Gt,
+            AluOp::Ge,
+        ];
+        let t = self.u8()? as usize;
+        OPS.get(t)
+            .copied()
+            .ok_or(())
+            .or_else(|()| self.err(format!("bad AluOp tag {t}")))
+    }
+}
+
+fn alu_tag(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Shl => 8,
+        AluOp::Shr => 9,
+        AluOp::Eq => 10,
+        AluOp::Ne => 11,
+        AluOp::Lt => 12,
+        AluOp::Le => 13,
+        AluOp::Gt => 14,
+        AluOp::Ge => 15,
+    }
+}
+
+/// Serializes a program to the stable wire format.
+pub fn encode_program(program: &[Instruction]) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(8 + program.len() * 8),
+    };
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.u32(program.len() as u32);
+    for &i in program {
+        match i {
+            Instruction::Mov { src, dst } => {
+                w.u8(1);
+                w.data_ref(src);
+                w.data_dst(dst);
+            }
+            Instruction::Alu { op, a, b, dst } => {
+                w.u8(2);
+                w.u8(alu_tag(op));
+                w.data_ref(a);
+                w.data_ref(b);
+                w.data_dst(dst);
+            }
+            Instruction::Jump(t) => {
+                w.u8(3);
+                w.u32(t);
+            }
+            Instruction::JumpIf { cond, when, target } => {
+                w.u8(4);
+                w.data_ref(cond);
+                w.u8(u8::from(when));
+                w.u32(target);
+            }
+            Instruction::MoveAd { src, dst } => {
+                w.u8(5);
+                w.u16(src);
+                w.u16(dst);
+            }
+            Instruction::LoadAd { obj, index, dst } => {
+                w.u8(6);
+                w.u16(obj);
+                w.data_ref(index);
+                w.u16(dst);
+            }
+            Instruction::StoreAd { src, obj, index } => {
+                w.u8(7);
+                w.u16(src);
+                w.u16(obj);
+                w.data_ref(index);
+            }
+            Instruction::NullAd { dst } => {
+                w.u8(8);
+                w.u16(dst);
+            }
+            Instruction::Restrict { slot, keep } => {
+                w.u8(9);
+                w.u16(slot);
+                w.u8(keep.bits());
+            }
+            Instruction::CreateObject {
+                sro,
+                data_len,
+                access_len,
+                dst,
+            } => {
+                w.u8(10);
+                w.u16(sro);
+                w.data_ref(data_len);
+                w.data_ref(access_len);
+                w.u16(dst);
+            }
+            Instruction::CreateTypedObject {
+                sro,
+                tdo,
+                data_len,
+                access_len,
+                dst,
+            } => {
+                w.u8(11);
+                w.u16(sro);
+                w.u16(tdo);
+                w.data_ref(data_len);
+                w.data_ref(access_len);
+                w.u16(dst);
+            }
+            Instruction::Amplify { slot, tdo, add } => {
+                w.u8(12);
+                w.u16(slot);
+                w.u16(tdo);
+                w.u8(add.bits());
+            }
+            Instruction::Call {
+                domain,
+                subprogram,
+                arg,
+                ret_ad,
+                ret_val,
+            } => {
+                w.u8(13);
+                w.u16(domain);
+                w.u32(subprogram);
+                w.opt_u16(arg);
+                w.opt_u16(ret_ad);
+                w.opt_u32(ret_val);
+            }
+            Instruction::Return { ad, value } => {
+                w.u8(14);
+                w.opt_u16(ad);
+                w.opt_data_ref(value);
+            }
+            Instruction::Send { port, msg, key } => {
+                w.u8(15);
+                w.u16(port);
+                w.u16(msg);
+                w.data_ref(key);
+            }
+            Instruction::CondSend {
+                port,
+                msg,
+                key,
+                done,
+            } => {
+                w.u8(16);
+                w.u16(port);
+                w.u16(msg);
+                w.data_ref(key);
+                w.data_dst(done);
+            }
+            Instruction::Receive { port, dst } => {
+                w.u8(17);
+                w.u16(port);
+                w.u16(dst);
+            }
+            Instruction::ReceiveTimeout { port, dst, timeout } => {
+                w.u8(18);
+                w.u16(port);
+                w.u16(dst);
+                w.data_ref(timeout);
+            }
+            Instruction::CondReceive { port, dst, done } => {
+                w.u8(19);
+                w.u16(port);
+                w.u16(dst);
+                w.data_dst(done);
+            }
+            Instruction::CopyData {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                len,
+            } => {
+                w.u8(20);
+                w.u16(src);
+                w.data_ref(src_off);
+                w.u16(dst);
+                w.data_ref(dst_off);
+                w.data_ref(len);
+            }
+            Instruction::InspectAd { slot, dst } => {
+                w.u8(21);
+                w.u16(slot);
+                w.data_dst(dst);
+            }
+            Instruction::ReadClock { dst } => {
+                w.u8(22);
+                w.data_dst(dst);
+            }
+            Instruction::Work { cycles } => {
+                w.u8(23);
+                w.u32(cycles);
+            }
+            Instruction::RaiseFault { code } => {
+                w.u8(24);
+                w.u16(code);
+            }
+            Instruction::Halt => w.u8(25),
+        }
+    }
+    w.buf
+}
+
+/// Decodes a program image produced by [`encode_program`]. Strict: bad
+/// magic, unknown tags, truncation and trailing bytes are all errors.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instruction>, CodecError> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CodecError {
+            offset: 0,
+            reason: "bad magic".into(),
+        });
+    }
+    let v = r.u8()?;
+    if v != VERSION {
+        return r.err(format!("unsupported version {v}"));
+    }
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let i = match r.u8()? {
+            1 => Instruction::Mov {
+                src: r.data_ref()?,
+                dst: r.data_dst()?,
+            },
+            2 => Instruction::Alu {
+                op: r.alu_op()?,
+                a: r.data_ref()?,
+                b: r.data_ref()?,
+                dst: r.data_dst()?,
+            },
+            3 => Instruction::Jump(r.u32()?),
+            4 => Instruction::JumpIf {
+                cond: r.data_ref()?,
+                when: r.bool()?,
+                target: r.u32()?,
+            },
+            5 => Instruction::MoveAd {
+                src: r.u16()?,
+                dst: r.u16()?,
+            },
+            6 => Instruction::LoadAd {
+                obj: r.u16()?,
+                index: r.data_ref()?,
+                dst: r.u16()?,
+            },
+            7 => Instruction::StoreAd {
+                src: r.u16()?,
+                obj: r.u16()?,
+                index: r.data_ref()?,
+            },
+            8 => Instruction::NullAd { dst: r.u16()? },
+            9 => Instruction::Restrict {
+                slot: r.u16()?,
+                keep: r.rights()?,
+            },
+            10 => Instruction::CreateObject {
+                sro: r.u16()?,
+                data_len: r.data_ref()?,
+                access_len: r.data_ref()?,
+                dst: r.u16()?,
+            },
+            11 => Instruction::CreateTypedObject {
+                sro: r.u16()?,
+                tdo: r.u16()?,
+                data_len: r.data_ref()?,
+                access_len: r.data_ref()?,
+                dst: r.u16()?,
+            },
+            12 => Instruction::Amplify {
+                slot: r.u16()?,
+                tdo: r.u16()?,
+                add: r.rights()?,
+            },
+            13 => Instruction::Call {
+                domain: r.u16()?,
+                subprogram: r.u32()?,
+                arg: r.opt_u16()?,
+                ret_ad: r.opt_u16()?,
+                ret_val: r.opt_u32()?,
+            },
+            14 => Instruction::Return {
+                ad: r.opt_u16()?,
+                value: r.opt_data_ref()?,
+            },
+            15 => Instruction::Send {
+                port: r.u16()?,
+                msg: r.u16()?,
+                key: r.data_ref()?,
+            },
+            16 => Instruction::CondSend {
+                port: r.u16()?,
+                msg: r.u16()?,
+                key: r.data_ref()?,
+                done: r.data_dst()?,
+            },
+            17 => Instruction::Receive {
+                port: r.u16()?,
+                dst: r.u16()?,
+            },
+            18 => Instruction::ReceiveTimeout {
+                port: r.u16()?,
+                dst: r.u16()?,
+                timeout: r.data_ref()?,
+            },
+            19 => Instruction::CondReceive {
+                port: r.u16()?,
+                dst: r.u16()?,
+                done: r.data_dst()?,
+            },
+            20 => Instruction::CopyData {
+                src: r.u16()?,
+                src_off: r.data_ref()?,
+                dst: r.u16()?,
+                dst_off: r.data_ref()?,
+                len: r.data_ref()?,
+            },
+            21 => Instruction::InspectAd {
+                slot: r.u16()?,
+                dst: r.data_dst()?,
+            },
+            22 => Instruction::ReadClock { dst: r.data_dst()? },
+            23 => Instruction::Work { cycles: r.u32()? },
+            24 => Instruction::RaiseFault { code: r.u16()? },
+            25 => Instruction::Halt,
+            t => return r.err(format!("bad instruction tag {t}")),
+        };
+        out.push(i);
+    }
+    if r.at != bytes.len() {
+        return r.err(format!("{} trailing bytes", bytes.len() - r.at));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_all_variants() -> Vec<Instruction> {
+        vec![
+            Instruction::Mov {
+                src: DataRef::Imm(0xDEAD),
+                dst: DataDst::Local(8),
+            },
+            Instruction::Alu {
+                op: AluOp::Xor,
+                a: DataRef::Local(0),
+                b: DataRef::Field(5, 16),
+                dst: DataDst::Field(6, 24),
+            },
+            Instruction::Jump(7),
+            Instruction::JumpIf {
+                cond: DataRef::Local(4),
+                when: false,
+                target: 2,
+            },
+            Instruction::MoveAd { src: 3, dst: 9 },
+            Instruction::LoadAd {
+                obj: 4,
+                index: DataRef::Imm(1),
+                dst: 10,
+            },
+            Instruction::StoreAd {
+                src: 10,
+                obj: 4,
+                index: DataRef::Local(32),
+            },
+            Instruction::NullAd { dst: 11 },
+            Instruction::Restrict {
+                slot: 4,
+                keep: Rights::READ | Rights::TYPE2,
+            },
+            Instruction::CreateObject {
+                sro: 2,
+                data_len: DataRef::Imm(64),
+                access_len: DataRef::Imm(4),
+                dst: 8,
+            },
+            Instruction::CreateTypedObject {
+                sro: 2,
+                tdo: 7,
+                data_len: DataRef::Imm(16),
+                access_len: DataRef::Imm(0),
+                dst: 9,
+            },
+            Instruction::Amplify {
+                slot: 9,
+                tdo: 7,
+                add: Rights::WRITE,
+            },
+            Instruction::Call {
+                domain: 0,
+                subprogram: 3,
+                arg: Some(8),
+                ret_ad: None,
+                ret_val: Some(48),
+            },
+            Instruction::Return {
+                ad: Some(5),
+                value: Some(DataRef::Imm(1)),
+            },
+            Instruction::Send {
+                port: 3,
+                msg: 6,
+                key: DataRef::Imm(0),
+            },
+            Instruction::CondSend {
+                port: 3,
+                msg: 6,
+                key: DataRef::Local(0),
+                done: DataDst::Local(8),
+            },
+            Instruction::Receive { port: 3, dst: 6 },
+            Instruction::ReceiveTimeout {
+                port: 3,
+                dst: 6,
+                timeout: DataRef::Imm(1000),
+            },
+            Instruction::CondReceive {
+                port: 3,
+                dst: 6,
+                done: DataDst::Local(16),
+            },
+            Instruction::CopyData {
+                src: 5,
+                src_off: DataRef::Imm(0),
+                dst: 6,
+                dst_off: DataRef::Imm(8),
+                len: DataRef::Imm(16),
+            },
+            Instruction::InspectAd {
+                slot: 5,
+                dst: DataDst::Local(24),
+            },
+            Instruction::ReadClock {
+                dst: DataDst::Local(40),
+            },
+            Instruction::Work { cycles: 123 },
+            Instruction::RaiseFault { code: 7 },
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let p = sample_all_variants();
+        let bytes = encode_program(&p);
+        assert_eq!(decode_program(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let p = sample_all_variants();
+        assert_eq!(encode_program(&p), encode_program(&p));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_program(&[Instruction::Halt]);
+        bytes[0] = b'x';
+        assert!(decode_program(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        let bytes = encode_program(&sample_all_variants());
+        assert!(decode_program(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_program(&extended).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tags() {
+        let mut bytes = encode_program(&[Instruction::Halt]);
+        let last = bytes.len() - 1;
+        bytes[last] = 200;
+        assert!(decode_program(&bytes).is_err());
+    }
+}

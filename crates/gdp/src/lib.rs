@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod code;
+pub mod codec;
 pub mod context;
 pub mod cost;
 pub mod exec;
@@ -44,6 +45,7 @@ pub mod process;
 pub mod program;
 
 pub use code::CodeStore;
+pub use codec::{decode_program, encode_program, CodecError};
 pub use context::{create_context, destroy_context};
 pub use cost::{CostModel, CLOCK_HZ};
 pub use exec::{Env, Gdp, StepEvent};

@@ -36,7 +36,8 @@ use std::sync::Arc;
 /// Outcome of a threaded run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadedOutcome {
-    /// Every registered (non-service) process terminated.
+    /// Every registered (non-service) process reached a terminal state
+    /// (exited, or faulted with no service to revive it).
     pub completed: bool,
     /// Total steps executed across all threads.
     pub steps: u64,
@@ -71,7 +72,7 @@ pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome
             .filter(|p| {
                 !matches!(
                     agent.with_process(**p, |s| s.status),
-                    Ok(ProcessStatus::Terminated)
+                    Ok(ProcessStatus::Terminated) | Ok(ProcessStatus::Faulted)
                 )
             })
             .count()
@@ -116,7 +117,11 @@ pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome
                             done.store(true, Ordering::Release);
                             return;
                         }
+                        // A fault is terminal here just like an exit: the
+                        // process sits at its fault port and nothing in
+                        // this runner revives it.
                         StepEvent::ProcessExited(p)
+                        | StepEvent::ProcessFaulted { process: p, .. }
                             if processes.contains(&p)
                                 && remaining.fetch_sub(1, Ordering::AcqRel) <= 1 =>
                         {
@@ -134,7 +139,7 @@ pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome
     let completed = processes.iter().all(|p| {
         matches!(
             sys.space.process(*p).map(|s| s.status),
-            Ok(ProcessStatus::Terminated) | Err(_)
+            Ok(ProcessStatus::Terminated) | Ok(ProcessStatus::Faulted) | Err(_)
         )
     });
     let outcome = ThreadedOutcome {
@@ -197,13 +202,13 @@ pub fn run_threaded_global_lock(sys: System, max_steps: u64) -> (System, Threade
                         done.store(true, Ordering::Release);
                         return;
                     }
-                    StepEvent::ProcessExited(_) => {
+                    StepEvent::ProcessExited(_) | StepEvent::ProcessFaulted { .. } => {
                         // Check for global completion.
                         let sys = shared.lock();
                         let all_done = processes.iter().all(|p| {
                             matches!(
                                 sys.space.process(*p).map(|s| s.status),
-                                Ok(ProcessStatus::Terminated) | Err(_)
+                                Ok(ProcessStatus::Terminated) | Ok(ProcessStatus::Faulted) | Err(_)
                             )
                         });
                         if all_done {
@@ -226,7 +231,7 @@ pub fn run_threaded_global_lock(sys: System, max_steps: u64) -> (System, Threade
     let completed = processes.iter().all(|p| {
         matches!(
             sys.space.process(*p).map(|s| s.status),
-            Ok(ProcessStatus::Terminated) | Err(_)
+            Ok(ProcessStatus::Terminated) | Ok(ProcessStatus::Faulted) | Err(_)
         )
     });
     let outcome = ThreadedOutcome {

@@ -36,6 +36,7 @@ pub mod error;
 pub mod level;
 pub mod memory;
 pub mod object_table;
+pub mod qualcache;
 pub mod refs;
 pub mod rights;
 pub mod shard;
@@ -49,6 +50,7 @@ pub use error::{ArchError, ArchResult};
 pub use level::Level;
 pub use memory::{AccessArena, DataArena, FreeList, Run};
 pub use object_table::{Entry, ObjectTable};
+pub use qualcache::{QualCache, QualLine, QUAL_CACHE_LINES};
 pub use refs::{AccessDescriptor, CodeRef, NativeId, ObjectIndex, ObjectRef};
 pub use rights::Rights;
 pub use shard::{ShardedSpace, SharedSpace, SpaceAgent};

@@ -13,6 +13,7 @@
 
 use crate::{error::ArchError, error::ArchResult, refs::AccessDescriptor};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A contiguous run of free space: `[base, base + len)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -226,16 +227,29 @@ impl FreeList {
 }
 
 /// The flat byte arena holding every data part.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Backed by relaxed [`AtomicU8`] cells rather than plain bytes so the
+/// qualification-cache fast path in [`crate::SharedSpace`] can read and
+/// write data words *without* holding the shard lock. Every access — locked
+/// or lock-free — goes through the same relaxed atomic ops, so a racing
+/// reader can observe a torn multi-byte value (which the epoch seqlock
+/// detects and retries) but never undefined behaviour. On mainstream
+/// hardware a relaxed byte access compiles to a plain load/store.
 pub struct DataArena {
-    bytes: Vec<u8>,
+    bytes: Box<[AtomicU8]>,
 }
 
 impl DataArena {
     /// An arena of `size` bytes, zero-initialized.
     pub fn new(size: u32) -> DataArena {
         DataArena {
-            bytes: vec![0; size as usize],
+            bytes: (0..size).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    fn from_bytes(bytes: &[u8]) -> DataArena {
+        DataArena {
+            bytes: bytes.iter().map(|&b| AtomicU8::new(b)).collect(),
         }
     }
 
@@ -243,6 +257,23 @@ impl DataArena {
     #[inline]
     pub fn size(&self) -> u32 {
         self.bytes.len() as u32
+    }
+
+    /// The raw atomic backing store. The allocation is stable for the
+    /// arena's lifetime (the arena never resizes), which is what lets
+    /// [`crate::SharedSpace`] capture a pointer to it at construction and
+    /// service cache hits without locking the owning shard.
+    #[inline]
+    pub fn cells(&self) -> &[AtomicU8] {
+        &self.bytes
+    }
+
+    /// Copies the arena out as plain bytes (serialization, cloning).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Reads `buf.len()` bytes starting at absolute offset `at`.
@@ -255,7 +286,9 @@ impl DataArena {
                 part_len: self.size(),
             });
         }
-        buf.copy_from_slice(&self.bytes[at as usize..end]);
+        for (dst, cell) in buf.iter_mut().zip(&self.bytes[at as usize..end]) {
+            *dst = cell.load(Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -269,7 +302,9 @@ impl DataArena {
                 part_len: self.size(),
             });
         }
-        self.bytes[at as usize..end].copy_from_slice(buf);
+        for (src, cell) in buf.iter().zip(&self.bytes[at as usize..end]) {
+            cell.store(*src, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -296,7 +331,9 @@ impl DataArena {
                 part_len: self.size(),
             });
         }
-        self.bytes[at as usize..end].fill(0);
+        for cell in &self.bytes[at as usize..end] {
+            cell.store(0, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -311,8 +348,25 @@ impl DataArena {
                 part_len: self.size(),
             });
         }
-        self.bytes.copy_within(src..src + len, dst);
+        for i in 0..len {
+            let b = self.bytes[src + i].load(Ordering::Relaxed);
+            self.bytes[dst + i].store(b, Ordering::Relaxed);
+        }
         Ok(())
+    }
+}
+
+impl std::fmt::Debug for DataArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataArena")
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+impl Clone for DataArena {
+    fn clone(&self) -> DataArena {
+        DataArena::from_bytes(&self.snapshot())
     }
 }
 

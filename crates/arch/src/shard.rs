@@ -30,14 +30,16 @@ use crate::{
     error::ArchResult,
     memory::{AccessArena, DataArena},
     object_table::Entry,
+    qualcache::{QualCache, QualLine},
     refs::{AccessDescriptor, ObjectIndex, ObjectRef},
     rights::Rights,
     space::{ObjectSpace, ObjectSpec, SpaceStats},
-    sysobj::{PortState, ProcessState, ProcessorState, SroState, TdoState},
+    sysobj::{PortState, ProcessState, ProcessorState, SroState, SysState, TdoState},
     traits::{SpaceAccess, SpaceMut},
 };
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
 
 /// An object space partitioned into address-interleaved shards, owned
 /// exclusively (no internal locking).
@@ -635,11 +637,35 @@ impl SpaceMut for ShardedSpace {
 ///   [`SpaceAccess::atomic`]) while *every* mutex is held. Multi-lock
 ///   acquisitions always take mutexes in ascending shard order, so two
 ///   agents cannot deadlock.
+/// * The one sanctioned *lock-free* access is the agent's
+///   qualification-cache fast path: it reads and writes **data-arena
+///   bytes only**, through the per-shard [`ArenaView`] captured at
+///   construction, and every byte of every data arena is a relaxed
+///   [`AtomicU8`] on both the locked and lock-free paths (see
+///   [`DataArena`]), so racing accesses are never data races in the
+///   language sense. Logical staleness is excluded by the per-shard
+///   **epoch**: every mutation that can move, resize, or reclaim a
+///   data part bumps the shard's epoch (release-fenced, under the
+///   lock) *before* mutating, and the fast path revalidates the epoch
+///   after copying bytes — the seqlock protocol of
+///   [`crate::qualcache`].
 pub struct SharedSpace {
     inner: UnsafeCell<ShardedSpace>,
     base: *mut ObjectSpace,
     locks: Box<[Mutex<()>]>,
     roots: Box<[ObjectRef]>,
+    /// Per-shard invalidation epochs (see [`crate::qualcache`]).
+    epochs: Box<[AtomicU64]>,
+    /// Per-shard data-arena views for the lock-free fast path.
+    arenas: Box<[ArenaView]>,
+}
+
+/// A captured pointer to one shard's data-arena cells. The arena's
+/// backing `Box<[AtomicU8]>` is allocated once and never resized, so
+/// the pointer stays valid for the `SharedSpace`'s lifetime.
+struct ArenaView {
+    ptr: *const AtomicU8,
+    len: usize,
 }
 
 // SAFETY: all shard state is reached only under the per-shard mutexes
@@ -654,15 +680,32 @@ impl SharedSpace {
         let n = space.shard_count() as usize;
         let roots = (0..n as u32).map(|k| space.root_sro_of(k)).collect();
         let locks = (0..n).map(|_| Mutex::new(())).collect();
+        let epochs = (0..n).map(|_| AtomicU64::new(0)).collect();
         let mut shared = SharedSpace {
             inner: UnsafeCell::new(space),
             base: std::ptr::null_mut(),
             locks,
             roots,
+            epochs,
+            arenas: Box::new([]),
         };
-        // Capture the shard base pointer once, while we still hold the
-        // space exclusively. The Vec is never resized afterwards.
+        // Capture the shard base pointer and per-shard arena views once,
+        // while we still hold the space exclusively. Neither the shard
+        // Vec nor any arena is resized afterwards.
         shared.base = shared.inner.get_mut().shards.as_mut_ptr();
+        shared.arenas = shared
+            .inner
+            .get_mut()
+            .shards
+            .iter()
+            .map(|s| {
+                let cells = s.data.cells();
+                ArenaView {
+                    ptr: cells.as_ptr(),
+                    len: cells.len(),
+                }
+            })
+            .collect();
         shared
     }
 
@@ -676,9 +719,72 @@ impl SharedSpace {
         self.locks.len() as u32
     }
 
-    /// A per-thread handle implementing [`SpaceAccess`].
+    /// A per-thread handle implementing [`SpaceAccess`], with the
+    /// descriptor qualification cache enabled.
     pub fn agent(&self) -> SpaceAgent<'_> {
-        SpaceAgent { shared: self }
+        self.agent_with_cache(true)
+    }
+
+    /// A per-thread handle with the qualification cache disabled —
+    /// every operation takes the locked path. The conform harness runs
+    /// both kinds and diffs digests bit-for-bit.
+    pub fn agent_uncached(&self) -> SpaceAgent<'_> {
+        self.agent_with_cache(false)
+    }
+
+    fn agent_with_cache(&self, cache_enabled: bool) -> SpaceAgent<'_> {
+        let n = self.locks.len();
+        SpaceAgent {
+            shared: self,
+            cache: QualCache::new(),
+            cache_enabled,
+            reads_delta: vec![0; n].into_boxed_slice(),
+            writes_delta: vec![0; n].into_boxed_slice(),
+        }
+    }
+
+    /// Current invalidation epoch of shard `k`.
+    #[inline]
+    pub fn epoch(&self, k: u32) -> u64 {
+        self.epochs[k as usize].load(Ordering::Acquire)
+    }
+
+    /// Bumps shard `k`'s epoch *before* a cache-visible mutation. Must
+    /// be called with shard `k`'s lock held; the release fence orders
+    /// the bump before the mutation's stores, so a fast-path reader
+    /// that misses the bump on revalidation cannot have observed the
+    /// mutation either.
+    #[inline]
+    fn bump_epoch(&self, k: usize) {
+        self.epochs[k].fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::Release);
+    }
+
+    /// Bumps every shard's epoch (entry to an atomic section, which may
+    /// mutate anything). Caller holds every shard lock.
+    fn bump_all_epochs(&self) {
+        for e in self.epochs.iter() {
+            e.fetch_add(1, Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+    }
+
+    /// Test hook: pins shard `k`'s epoch to an arbitrary value (e.g.
+    /// near `u64::MAX` to exercise wraparound).
+    #[doc(hidden)]
+    pub fn force_epoch(&self, k: u32, v: u64) {
+        self.epochs[k as usize].store(v, Ordering::Release);
+    }
+
+    /// Shard `k`'s data-arena cells, readable without the shard lock.
+    #[inline]
+    fn data_cells(&self, k: usize) -> &[AtomicU8] {
+        let view = &self.arenas[k];
+        // SAFETY: the pointer was captured from the shard's
+        // `Box<[AtomicU8]>`, which lives exactly as long as `self` and
+        // is never resized; `AtomicU8` tolerates concurrent access by
+        // construction.
+        unsafe { std::slice::from_raw_parts(view.ptr, view.len) }
     }
 
     #[inline]
@@ -724,9 +830,164 @@ impl SharedSpace {
 
 /// One thread's handle onto a [`SharedSpace`]. Implements
 /// [`SpaceAccess`]: each operation locks the shard(s) it touches and
-/// releases them before returning.
+/// releases them before returning — except data reads and writes that
+/// hit the agent's private descriptor qualification cache, which go
+/// straight to the arena under the epoch seqlock protocol of
+/// [`crate::qualcache`] and take **no lock at all**.
 pub struct SpaceAgent<'a> {
     shared: &'a SharedSpace,
+    /// This agent's (this emulated processor's) qualification cache.
+    cache: QualCache,
+    cache_enabled: bool,
+    /// Data reads/writes served by the fast path, not yet folded into
+    /// the owning shard's `SpaceStats` (flushed by `stats()`/`Drop`).
+    reads_delta: Box<[u64]>,
+    writes_delta: Box<[u64]>,
+}
+
+impl SpaceAgent<'_> {
+    /// Whether the qualification cache is consulted on this agent.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Valid lines currently held (diagnostics/tests).
+    pub fn cache_occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+
+    /// Installs a line for `r` after a successful locked operation on
+    /// its shard. Called with the shard lock held (the epoch read is
+    /// therefore stable: bumps only happen under this lock).
+    fn prime(cache: &mut QualCache, shared: &SharedSpace, k: usize, s: &ObjectSpace, r: ObjectRef) {
+        let Ok(e) = s.table.get(r) else { return };
+        if e.desc.absent {
+            return;
+        }
+        cache.fill(QualLine {
+            obj: r,
+            epoch: shared.epoch(k as u32),
+            data_base: e.desc.data_base,
+            data_len: e.desc.data_len,
+            accessed: e.desc.accessed,
+            dirty: e.desc.dirty,
+            valid: true,
+        });
+    }
+
+    /// Lock-free read attempt. Returns `true` only when `buf` holds a
+    /// consistent copy; any doubt (cold line, stale epoch, rights or
+    /// bounds that the locked path must adjudicate, torn read) returns
+    /// `false` and the caller falls through to the locked path.
+    fn fast_read(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> bool {
+        let Some(line) = self.cache.probe(ad.obj) else {
+            return false;
+        };
+        let line = *line;
+        // The locked path owns every fault: rights and bounds misses
+        // fall through so `rights_faults` and error values stay exact.
+        // A read would also set the descriptor's `accessed` bit, so the
+        // fast path requires it to be set already.
+        if !line.accessed || !ad.rights.contains(Rights::READ) {
+            return false;
+        }
+        let Some(end) = off.checked_add(buf.len() as u32) else {
+            return false;
+        };
+        if end > line.data_len {
+            return false;
+        }
+        let k = self.shared.shard_for(ad.obj);
+        let e1 = self.shared.epoch(k as u32);
+        if e1 != line.epoch {
+            self.cache.evict(ad.obj);
+            return false;
+        }
+        let cells = self.shared.data_cells(k);
+        let base = line.data_base as usize + off as usize;
+        let Some(window) = cells.get(base..base + buf.len()) else {
+            return false;
+        };
+        for (dst, cell) in buf.iter_mut().zip(window) {
+            *dst = cell.load(Ordering::Relaxed);
+        }
+        // Seqlock revalidation: if the epoch moved while we copied, the
+        // bytes may be torn — discard and retry under the lock.
+        fence(Ordering::Acquire);
+        if self.shared.epoch(k as u32) != e1 {
+            self.cache.evict(ad.obj);
+            return false;
+        }
+        self.reads_delta[k] += 1;
+        true
+    }
+
+    /// Lock-free write attempt; mirror of [`SpaceAgent::fast_read`]
+    /// (requiring the `dirty` bit so no descriptor update is lost). If
+    /// revalidation fails the write is redone through the locked path —
+    /// the locked redo either lands the same bytes or faults on the
+    /// stale reference. See DESIGN.md §7 for the residual
+    /// write-vs-destroy caveat this inherits from the 432.
+    fn fast_write(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> bool {
+        let Some(line) = self.cache.probe(ad.obj) else {
+            return false;
+        };
+        let line = *line;
+        if !line.accessed || !line.dirty || !ad.rights.contains(Rights::WRITE) {
+            return false;
+        }
+        let Some(end) = off.checked_add(buf.len() as u32) else {
+            return false;
+        };
+        if end > line.data_len {
+            return false;
+        }
+        let k = self.shared.shard_for(ad.obj);
+        let e1 = self.shared.epoch(k as u32);
+        if e1 != line.epoch {
+            self.cache.evict(ad.obj);
+            return false;
+        }
+        let cells = self.shared.data_cells(k);
+        let base = line.data_base as usize + off as usize;
+        let Some(window) = cells.get(base..base + buf.len()) else {
+            return false;
+        };
+        for (src, cell) in buf.iter().zip(window) {
+            cell.store(*src, Ordering::Relaxed);
+        }
+        // A full barrier before revalidating: the stores above must be
+        // globally visible before we conclude no mutation raced them.
+        fence(Ordering::SeqCst);
+        if self.shared.epoch(k as u32) != e1 {
+            self.cache.evict(ad.obj);
+            return false;
+        }
+        self.writes_delta[k] += 1;
+        true
+    }
+
+    /// Folds fast-path operation counts into the owning shards' stats.
+    fn flush_stat_deltas(&mut self) {
+        for k in 0..self.shared.locks.len() {
+            let (r, w) = (self.reads_delta[k], self.writes_delta[k]);
+            if r == 0 && w == 0 {
+                continue;
+            }
+            self.reads_delta[k] = 0;
+            self.writes_delta[k] = 0;
+            self.shared.with_shard(k, |s| {
+                s.stats.data_reads += r;
+                s.stats.data_writes += w;
+            });
+        }
+    }
+}
+
+impl Drop for SpaceAgent<'_> {
+    fn drop(&mut self) {
+        self.flush_stat_deltas();
+    }
 }
 
 impl SpaceAccess for SpaceAgent<'_> {
@@ -758,23 +1019,58 @@ impl SpaceAccess for SpaceAgent<'_> {
     }
 
     fn destroy_object(&mut self, r: ObjectRef) -> ArchResult<Entry> {
-        self.shared
-            .with_shard(self.shared.shard_for(r), |s| s.destroy_object(r))
+        self.cache.evict(r);
+        let shared = self.shared;
+        let k = shared.shard_for(r);
+        shared.with_shard(k, |s| {
+            // Bump-before-mutate: a fast path elsewhere that fails to
+            // see this bump cannot have seen the reclamation either.
+            shared.bump_epoch(k);
+            s.destroy_object(r)
+        })
     }
 
     fn bulk_destroy_sro(&mut self, sro: ObjectRef) -> ArchResult<u32> {
-        self.shared
-            .with_shard(self.shared.shard_for(sro), |s| s.bulk_destroy_sro(sro))
+        self.cache.clear();
+        let shared = self.shared;
+        let k = shared.shard_for(sro);
+        shared.with_shard(k, |s| {
+            shared.bump_epoch(k);
+            s.bulk_destroy_sro(sro)
+        })
     }
 
     fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()> {
-        self.shared
-            .with_shard(self.shared.shard_for(ad.obj), |s| s.read_data(ad, off, buf))
+        if self.cache_enabled && self.fast_read(ad, off, buf) {
+            return Ok(());
+        }
+        let shared = self.shared;
+        let k = shared.shard_for(ad.obj);
+        let enabled = self.cache_enabled;
+        let cache = &mut self.cache;
+        shared.with_shard(k, |s| {
+            let out = s.read_data(ad, off, buf);
+            if enabled && out.is_ok() {
+                Self::prime(cache, shared, k, s, ad.obj);
+            }
+            out
+        })
     }
 
     fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()> {
-        self.shared.with_shard(self.shared.shard_for(ad.obj), |s| {
-            s.write_data(ad, off, buf)
+        if self.cache_enabled && self.fast_write(ad, off, buf) {
+            return Ok(());
+        }
+        let shared = self.shared;
+        let k = shared.shard_for(ad.obj);
+        let enabled = self.cache_enabled;
+        let cache = &mut self.cache;
+        shared.with_shard(k, |s| {
+            let out = s.write_data(ad, off, buf);
+            if enabled && out.is_ok() {
+                Self::prime(cache, shared, k, s, ad.obj);
+            }
+            out
         })
     }
 
@@ -875,6 +1171,7 @@ impl SpaceAccess for SpaceAgent<'_> {
     }
 
     fn stats(&mut self) -> SpaceStats {
+        self.flush_stat_deltas();
         let mut total = SpaceStats::default();
         for k in 0..self.shared.locks.len() {
             self.shared.with_shard(k, |s| total.merge(&s.stats));
@@ -890,14 +1187,36 @@ impl SpaceAccess for SpaceAgent<'_> {
     }
 
     fn with_entry_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut Entry)) -> ArchResult<()> {
-        self.shared.with_shard(self.shared.shard_for(r), |s| {
+        let shared = self.shared;
+        let k = shared.shard_for(r);
+        shared.with_shard(k, |s| {
+            // A raw entry mutation may change anything a line caches
+            // (descriptor base/len, residency, usage bits).
+            shared.bump_epoch(k);
             f(s.table.get_mut(r)?);
             Ok(())
         })
     }
 
+    fn with_sys_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut SysState)) -> ArchResult<()> {
+        // Interpreted sys state (process/processor/context/port fields)
+        // is never cached, so this mutation does NOT bump the epoch —
+        // the interpreter's per-step bookkeeping must not evict its own
+        // hot lines.
+        self.shared.with_shard(self.shared.shard_for(r), |s| {
+            f(&mut s.table.get_mut(r)?.sys);
+            Ok(())
+        })
+    }
+
     fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut)) {
-        self.shared.with_all(|space| f(space))
+        let shared = self.shared;
+        shared.with_all(|space| {
+            // The section gets the full SpaceMut view and may mutate
+            // any shard, so every epoch bumps (all locks are held).
+            shared.bump_all_epochs();
+            f(space)
+        })
     }
 }
 
@@ -1004,9 +1323,12 @@ mod tests {
     #[test]
     fn shared_space_agents_run_the_script() {
         let shared = SharedSpace::new(ShardedSpace::new(65536, 1024, 512, 4));
-        let mut agent = shared.agent();
-        // Agents see the same semantics as exclusive owners.
-        let out = script(&mut agent);
+        // Agents see the same semantics as exclusive owners. (Scoped so
+        // the agent's Drop flushes its stat deltas before into_inner.)
+        let out = {
+            let mut agent = shared.agent();
+            script(&mut agent)
+        };
         assert_eq!(out[2], 2, "two objects created");
         let space = shared.into_inner();
         assert_eq!(space.stats().objects_destroyed, 1);

@@ -194,6 +194,12 @@ impl ObjectSpace {
 
     /// Checks that `ad` designates a live object and conveys `needed`
     /// rights; returns the validated reference.
+    ///
+    /// This is the locked-path qualification step. Its result — plus the
+    /// bounds/residency facts `data_window` derives — is exactly what a
+    /// [`crate::SpaceAgent`] caches per processor (see
+    /// [`crate::qualcache`]); the fast path may reuse it only while the
+    /// shard's epoch proves none of those facts could have changed.
     pub fn qualify(&mut self, ad: AccessDescriptor, needed: Rights) -> ArchResult<ObjectRef> {
         self.table.get(ad.obj)?;
         if !ad.rights.contains(needed) {

@@ -189,6 +189,20 @@ pub trait SpaceAccess {
     /// (object-safe primitive; prefer [`SpaceAccessExt::entry_update`]).
     fn with_entry_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut Entry)) -> ArchResult<()>;
 
+    /// Runs `f` on a live object's interpreted (`sys`) state only —
+    /// never its descriptor (object-safe primitive; prefer
+    /// [`SpaceAccessExt::sys_update`]).
+    ///
+    /// This narrower contract matters to caching implementations:
+    /// descriptor facts (arena base, part length, residency) cannot
+    /// change here, so a striped space with qualification caches skips
+    /// the epoch bump [`SpaceAccess::with_entry_mut`] must pay. The
+    /// interpreter's per-step bookkeeping (instruction pointers, cycle
+    /// counters, slice accounting) all routes through this.
+    fn with_sys_mut(&mut self, r: ObjectRef, f: &mut dyn FnMut(&mut SysState)) -> ArchResult<()> {
+        self.with_entry_mut(r, &mut |e| f(&mut e.sys))
+    }
+
     /// Runs `f` with exclusive access to the whole space (object-safe
     /// primitive; prefer [`SpaceAccessExt::atomically`]). A striped
     /// implementation acquires every shard lock, in shard order, for the
@@ -225,6 +239,20 @@ pub trait SpaceAccessExt: SpaceAccess {
         Ok(out.expect("with_entry_mut invokes its closure on success"))
     }
 
+    /// Runs `f` on a live object's interpreted (`sys`) state and
+    /// returns its result. See [`SpaceAccess::with_sys_mut`] for why
+    /// sys-only mutation is a distinct (cheaper) primitive.
+    fn sys_update<R>(&mut self, r: ObjectRef, f: impl FnOnce(&mut SysState) -> R) -> ArchResult<R> {
+        let mut f = Some(f);
+        let mut out = None;
+        self.with_sys_mut(r, &mut |sys| {
+            if let Some(f) = f.take() {
+                out = Some(f(sys));
+            }
+        })?;
+        Ok(out.expect("with_sys_mut invokes its closure on success"))
+    }
+
     /// Runs `f` with exclusive access to the whole space and returns its
     /// result.
     fn atomically<R>(&mut self, f: impl FnOnce(&mut dyn SpaceMut) -> R) -> R {
@@ -258,7 +286,7 @@ pub trait SpaceAccessExt: SpaceAccess {
         r: ObjectRef,
         f: impl FnOnce(&mut ProcessState) -> R,
     ) -> ArchResult<R> {
-        self.entry_update(r, |e| match &mut e.sys {
+        self.sys_update(r, |sys| match sys {
             SysState::Process(p) => Ok(f(p)),
             _ => Err(ArchError::TypeMismatch {
                 expected: "process",
@@ -286,7 +314,7 @@ pub trait SpaceAccessExt: SpaceAccess {
         r: ObjectRef,
         f: impl FnOnce(&mut ProcessorState) -> R,
     ) -> ArchResult<R> {
-        self.entry_update(r, |e| match &mut e.sys {
+        self.sys_update(r, |sys| match sys {
             SysState::Processor(p) => Ok(f(p)),
             _ => Err(ArchError::TypeMismatch {
                 expected: "processor",
@@ -318,7 +346,7 @@ pub trait SpaceAccessExt: SpaceAccess {
         r: ObjectRef,
         f: impl FnOnce(&mut TdoState) -> R,
     ) -> ArchResult<R> {
-        self.entry_update(r, |e| match &mut e.sys {
+        self.sys_update(r, |sys| match sys {
             SysState::TypeDef(t) => Ok(f(t)),
             _ => Err(ArchError::TypeMismatch {
                 expected: "type-definition",

@@ -1,0 +1,231 @@
+//! Integration tests for the per-agent descriptor qualification cache,
+//! driven entirely through the public `SharedSpace`/`SpaceAgent` API.
+//!
+//! The unit tests in `qualcache.rs` cover the direct-mapped array in
+//! isolation; these cover the invalidation protocol end to end: one
+//! agent's cached line must never let it observe an object another
+//! agent has destroyed, even across epoch-counter wraparound and
+//! object-table slot reuse.
+
+use i432_arch::{
+    ArchError, ObjectSpec, QualCache, Rights, ShardedSpace, SharedSpace, SpaceAccess,
+    QUAL_CACHE_LINES,
+};
+
+const SHARDS: u32 = 4;
+
+fn shared() -> SharedSpace {
+    SharedSpace::new(ShardedSpace::new(65536, 1024, 512, SHARDS))
+}
+
+/// Agent A caches a line for an object; agent B destroys the object.
+/// A's next access must fault through the locked path, never serve the
+/// reclaimed bytes from its stale line.
+#[test]
+fn cross_agent_destroy_invalidates_cached_line() {
+    let shared = shared();
+    let mut a = shared.agent();
+    let mut b = shared.agent();
+
+    let root = a.root_sro();
+    let obj = a.create_object(root, ObjectSpec::generic(32, 0)).unwrap();
+    let ad = a.mint(obj, Rights::READ | Rights::WRITE);
+
+    a.write_u64(ad, 0, 0xDEAD_BEEF).unwrap();
+    assert_eq!(a.read_u64(ad, 0).unwrap(), 0xDEAD_BEEF);
+    assert_eq!(a.cache_occupancy(), 1, "locked read primes a line");
+    // A second read is served by the fast path off the primed line.
+    assert_eq!(a.read_u64(ad, 0).unwrap(), 0xDEAD_BEEF);
+
+    b.destroy_object(obj).unwrap();
+
+    // The destroy bumped the shard epoch, so A's line fails
+    // revalidation and the locked path reports the reclamation.
+    let err = a.read_u64(ad, 0).unwrap_err();
+    assert!(
+        matches!(err, ArchError::FreeEntry(_) | ArchError::StaleRef(_)),
+        "stale cached line must fault, got {err:?}"
+    );
+}
+
+/// Destroying an object and recreating one in the reused table slot
+/// (same index, bumped generation) must fault an old AD even though the
+/// index — and therefore the cache slot — collides.
+#[test]
+fn stale_ad_faults_after_slot_reuse() {
+    let shared = shared();
+    let mut a = shared.agent();
+
+    let root = a.root_sro();
+    let old = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    let old_ad = a.mint(old, Rights::READ | Rights::WRITE);
+    a.write_u64(old_ad, 0, 1).unwrap();
+    assert_eq!(a.read_u64(old_ad, 0).unwrap(), 1);
+    assert_eq!(a.cache_occupancy(), 1);
+
+    a.destroy_object(old).unwrap();
+    let new = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    assert_eq!(new.index, old.index, "free list reuses the table slot");
+    assert_ne!(new.generation, old.generation, "reclaim bumps generation");
+
+    let new_ad = a.mint(new, Rights::READ | Rights::WRITE);
+    a.write_u64(new_ad, 0, 2).unwrap();
+    assert_eq!(a.read_u64(new_ad, 0).unwrap(), 2);
+
+    // The probe is generation-exact: the old AD misses the (re-primed)
+    // line for the same slot and the locked path raises StaleRef.
+    assert!(
+        matches!(a.read_u64(old_ad, 0), Err(ArchError::StaleRef(_))),
+        "an AD from before the reuse must fault"
+    );
+    assert_eq!(a.read_u64(new_ad, 0).unwrap(), 2);
+}
+
+/// Invalidation survives epoch-counter wraparound: a line primed at
+/// `u64::MAX` must be discarded when a destroy wraps the shard epoch
+/// to 0, exactly as for any other bump.
+#[test]
+fn epoch_wraparound_still_invalidates() {
+    let shared = shared();
+    let mut a = shared.agent();
+    let mut b = shared.agent();
+
+    let root = a.root_sro();
+    let obj = a.create_object(root, ObjectSpec::generic(32, 0)).unwrap();
+    let ad = a.mint(obj, Rights::READ | Rights::WRITE);
+    let k = obj.index.0 % SHARDS;
+
+    shared.force_epoch(k, u64::MAX);
+    a.write_u64(ad, 0, 77).unwrap();
+    assert_eq!(a.read_u64(ad, 0).unwrap(), 77, "line primed at u64::MAX");
+    assert_eq!(a.cache_occupancy(), 1);
+    assert_eq!(
+        a.read_u64(ad, 0).unwrap(),
+        77,
+        "fast path at epoch u64::MAX"
+    );
+
+    b.destroy_object(obj).unwrap();
+    assert_eq!(shared.epoch(k), 0, "the bump wrapped the counter");
+
+    // 0 != u64::MAX: equality comparison makes the wrap harmless.
+    let err = a.read_u64(ad, 0).unwrap_err();
+    assert!(
+        matches!(err, ArchError::FreeEntry(_) | ArchError::StaleRef(_)),
+        "wrapped epoch must still invalidate, got {err:?}"
+    );
+}
+
+/// An epoch forced *between* prime and reuse: even if the shard epoch is
+/// pinned back to the primed value (simulating an exact 2^64-bump
+/// return), the generation in the line's identity still rejects a
+/// reused slot.
+#[test]
+fn generation_guards_against_exact_epoch_reuse() {
+    let shared = shared();
+    let mut a = shared.agent();
+
+    let root = a.root_sro();
+    let old = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    let old_ad = a.mint(old, Rights::READ | Rights::WRITE);
+    let k = old.index.0 % SHARDS;
+
+    a.write_u64(old_ad, 0, 5).unwrap();
+    assert_eq!(a.read_u64(old_ad, 0).unwrap(), 5);
+    let primed_epoch = shared.epoch(k);
+
+    a.destroy_object(old).unwrap();
+    let new = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    assert_eq!(new.index, old.index);
+    let new_ad = a.mint(new, Rights::READ | Rights::WRITE);
+    a.write_u64(new_ad, 0, 6).unwrap();
+
+    // Pin the epoch back to the exact value A's (evicted-by-reuse) line
+    // was primed at. Identity still differs by generation, so nothing
+    // stale can revalidate.
+    shared.force_epoch(k, primed_epoch);
+    assert!(matches!(a.read_u64(old_ad, 0), Err(ArchError::StaleRef(_))));
+    assert_eq!(a.read_u64(new_ad, 0).unwrap(), 6);
+}
+
+/// Two live objects whose indices collide modulo the line count evict
+/// each other from the direct-mapped cache; accesses stay correct
+/// (the loser just re-primes through the locked path).
+#[test]
+fn direct_mapped_aliasing_stays_correct() {
+    let shared = shared();
+    let mut a = shared.agent();
+    let root = a.root_sro();
+
+    // Objects created from one SRO take interleaved indices in its
+    // shard (stride SHARDS), so allocating past QUAL_CACHE_LINES
+    // guarantees an aliasing pair: index and index + QUAL_CACHE_LINES.
+    let objs: Vec<_> = (0..(QUAL_CACHE_LINES as u32 / SHARDS + 4))
+        .map(|_| a.create_object(root, ObjectSpec::generic(16, 0)).unwrap())
+        .collect();
+    let (x, y) = objs
+        .iter()
+        .flat_map(|&x| objs.iter().map(move |&y| (x, y)))
+        .find(|(x, y)| x != y && QualCache::slot_of(*x) == QualCache::slot_of(*y))
+        .expect("an aliasing pair exists");
+
+    let ad_x = a.mint(x, Rights::READ | Rights::WRITE);
+    let ad_y = a.mint(y, Rights::READ | Rights::WRITE);
+    a.write_u64(ad_x, 0, 0x1111).unwrap();
+    a.write_u64(ad_y, 0, 0x2222).unwrap();
+
+    // Ping-pong across the shared line: every read must return the
+    // right object's bytes regardless of who owns the line.
+    for _ in 0..4 {
+        assert_eq!(a.read_u64(ad_x, 0).unwrap(), 0x1111);
+        assert_eq!(a.read_u64(ad_y, 0).unwrap(), 0x2222);
+    }
+    // Both objects map to one line, so they can never be cached at once.
+    assert!(a.cache_occupancy() < objs.len());
+}
+
+/// A fast-path (lock-free) write must be visible to a different agent's
+/// locked read — the arena bytes are the single store, not a private
+/// copy.
+#[test]
+fn fast_write_visible_to_other_agents() {
+    let shared = shared();
+    let mut a = shared.agent();
+    let mut b = shared.agent_uncached();
+
+    let root = a.root_sro();
+    let obj = a.create_object(root, ObjectSpec::generic(32, 0)).unwrap();
+    let ad = a.mint(obj, Rights::READ | Rights::WRITE);
+
+    // First locked write sets the dirty bit and primes A's line; the
+    // second write goes through the fast path.
+    a.write_u64(ad, 0, 10).unwrap();
+    assert_eq!(a.cache_occupancy(), 1);
+    a.write_u64(ad, 0, 11).unwrap();
+
+    assert_eq!(b.read_u64(ad, 0).unwrap(), 11);
+    assert_eq!(b.cache_occupancy(), 0, "uncached agents never prime");
+}
+
+/// `agent_uncached` takes the locked path for everything and must
+/// behave identically to a caching agent, byte for byte.
+#[test]
+fn cached_and_uncached_agents_agree() {
+    let shared = shared();
+    let mut a = shared.agent();
+    let mut b = shared.agent_uncached();
+
+    let root = a.root_sro();
+    let obj = a.create_object(root, ObjectSpec::generic(64, 0)).unwrap();
+    let ad_a = a.mint(obj, Rights::READ | Rights::WRITE);
+    let ad_b = b.mint(obj, Rights::READ | Rights::WRITE);
+
+    for i in 0..8u64 {
+        a.write_u64(ad_a, (i as u32) * 8, i * 3).unwrap();
+    }
+    for i in 0..8u64 {
+        assert_eq!(a.read_u64(ad_a, (i as u32) * 8).unwrap(), i * 3);
+        assert_eq!(b.read_u64(ad_b, (i as u32) * 8).unwrap(), i * 3);
+    }
+    assert!(a.cache_enabled() && !b.cache_enabled());
+}

@@ -4,8 +4,17 @@
 //! Unlike `repro` (simulated cycles, deterministic), this harness
 //! measures *host* time and is therefore machine-dependent; the JSON is
 //! a baseline for regression comparisons on one machine, not a paper
-//! claim. The pass criteria are structural: zero system errors in every
-//! run, and striping beating the global lock by >1.5x at 4 host threads.
+//! claim. The pass criteria:
+//!
+//! * zero system errors in every run (all hosts);
+//! * striping at least matching the global lock at 1 thread (all hosts —
+//!   with the qualification and binding-register caches, a lone striped
+//!   thread takes no locks on its hot path, so losing to one big mutex
+//!   means the fast path regressed);
+//! * striping beating the global lock by >1.5x at 4 threads — only
+//!   checkable with real hardware parallelism, so on hosts with fewer
+//!   than 4 cores the JSON records `"speedup_check": "skipped"` with an
+//!   explicit machine-readable reason instead of silently passing.
 //!
 //! Run with: `cargo run --release -p imax-bench --bin c3_threaded`
 
@@ -15,6 +24,9 @@ use std::fmt::Write as _;
 const SHARDS: u32 = 16;
 const JOBS: u32 = 16;
 const ITERS: u64 = 2000;
+
+/// The one-line command that reruns this benchmark exactly.
+const REPLAY: &str = "cargo run --release -p imax-bench --bin c3_threaded";
 
 fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -27,25 +39,70 @@ fn main() {
     );
 
     let points = c3_threaded(&[1, 2, 4, 8], SHARDS, JOBS, ITERS);
-    // The speedup criterion needs actual hardware parallelism: on fewer
-    // than 4 cores the striped runner pays per-shard locking with no
-    // physical concurrency to buy back, so only the structural checks
-    // (completion, zero errors) are meaningful there — and the JSON must
-    // say so explicitly rather than look like a pass.
-    let speedup_check = if host_cores >= 4 { "passed" } else { "skipped" };
+    for p in &points {
+        println!(
+            "   {:<8} {:>14} {:>16} {:>8.2}x",
+            p.threads, p.striped_wall_us, p.global_lock_wall_us, p.speedup
+        );
+    }
+
+    let errors: u64 = points.iter().map(|p| p.system_errors).sum();
+    let at1 = points
+        .iter()
+        .find(|p| p.threads == 1)
+        .expect("1-thread point");
+    let at4 = points
+        .iter()
+        .find(|p| p.threads == 4)
+        .expect("4-thread point");
+
+    // The 4-thread speedup criterion needs actual hardware parallelism:
+    // on fewer than 4 cores the striped runner's extra threads only buy
+    // timeslicing, so the check is recorded as skipped with the reason,
+    // never as a silent pass.
+    let (speedup_check, skip_reason) = if host_cores >= 4 {
+        if at4.speedup > 1.5 {
+            ("passed", None)
+        } else {
+            ("failed", None)
+        }
+    } else {
+        (
+            "skipped",
+            Some(format!(
+                "host has {host_cores} core(s); the 4-thread speedup criterion \
+                 needs >= 4 physical cores"
+            )),
+        )
+    };
+    let single_thread_check = if at1.speedup >= 1.0 {
+        "passed"
+    } else {
+        "failed"
+    };
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"c3_threaded\",");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"speedup_check\": \"{speedup_check}\",");
+    match &skip_reason {
+        Some(r) => {
+            let _ = writeln!(json, "  \"skip_reason\": \"{r}\",");
+        }
+        None => {
+            let _ = writeln!(json, "  \"skip_reason\": null,");
+        }
+    }
+    let _ = writeln!(
+        json,
+        "  \"single_thread_check\": \"{single_thread_check}\","
+    );
+    let _ = writeln!(json, "  \"replay\": \"{REPLAY}\",");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"jobs\": {JOBS},");
     let _ = writeln!(json, "  \"iters\": {ITERS},");
     let _ = writeln!(json, "  \"points\": [");
     for (i, p) in points.iter().enumerate() {
-        println!(
-            "   {:<8} {:>14} {:>16} {:>8.2}x",
-            p.threads, p.striped_wall_us, p.global_lock_wall_us, p.speedup
-        );
         let _ = writeln!(
             json,
             "    {{\"threads\": {}, \"striped_wall_us\": {}, \"global_lock_wall_us\": {}, \
@@ -62,28 +119,34 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_c3_threaded.json", &json).expect("write BENCH_c3_threaded.json");
     println!("\nwrote BENCH_c3_threaded.json");
+    println!("replay: {REPLAY}");
 
-    let errors: u64 = points.iter().map(|p| p.system_errors).sum();
-    assert_eq!(errors, 0, "threaded runs must be error-free");
-    let at4 = points
-        .iter()
-        .find(|p| p.threads == 4)
-        .expect("4-thread point");
-    if host_cores >= 4 {
-        assert!(
-            at4.speedup > 1.5,
-            "lock striping must beat the global lock by >1.5x at 4 threads (got {:.2}x)",
+    assert_eq!(
+        errors, 0,
+        "threaded runs must be error-free; replay: {REPLAY}"
+    );
+    assert!(
+        at1.speedup >= 1.0,
+        "a single striped thread must at least match the global lock \
+         (got {:.2}x) — the lock-free qualification fast path regressed; replay: {REPLAY}",
+        at1.speedup
+    );
+    match speedup_check {
+        "passed" => println!(
+            "pass: zero system errors; {:.2}x >= 1.0x at 1 thread; {:.2}x > 1.5x at 4 threads",
+            at1.speedup, at4.speedup
+        ),
+        "failed" => panic!(
+            "lock striping must beat the global lock by >1.5x at 4 threads on a \
+             {host_cores}-core host (got {:.2}x); replay: {REPLAY}",
             at4.speedup
-        );
-        println!(
-            "pass: zero system errors; {:.2}x > 1.5x at 4 threads",
+        ),
+        _ => println!(
+            "pass: zero system errors; {:.2}x >= 1.0x at 1 thread \
+             (4-thread speedup check SKIPPED: {}; got {:.2}x)",
+            at1.speedup,
+            skip_reason.as_deref().unwrap_or("unknown"),
             at4.speedup
-        );
-    } else {
-        println!(
-            "pass: zero system errors ({host_cores} host core(s): speedup check SKIPPED — \
-             needs >= 4 cores; got {:.2}x at 4 threads)",
-            at4.speedup
-        );
+        ),
     }
 }

@@ -2,10 +2,16 @@
 //! experiment in DESIGN.md (C1–C10). All numbers are simulated cycles /
 //! microseconds at 8 MHz and are exactly reproducible.
 //!
+//! Also writes `BENCH_repro.json` with the C1/C2 headline numbers: these
+//! are *deterministic simulated cycles*, so `bench_diff` compares them
+//! against the committed baseline exactly — any drift is a real
+//! cost-model or interpreter change, never measurement noise.
+//!
 //! Run with: `cargo run --release -p imax-bench --bin repro`
 
 use i432_arch::PortDiscipline;
 use imax_bench::*;
+use std::fmt::Write as _;
 
 fn header(id: &str, claim: &str) {
     println!();
@@ -40,6 +46,17 @@ fn main() {
         r.pair_avg / 8.0
     );
 
+    // Deterministic headline numbers for bench_diff: C1 call/return and
+    // the C2 allocation table, in both cycles (exact) and us (derived).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"repro\",");
+    let _ = writeln!(
+        json,
+        "  \"c1\": {{\"call_cycles\": {}, \"call_us\": {:.2}, \"return_cycles\": {}, \
+         \"pair_avg_cycles\": {:.1}}},",
+        r.call_cycles, r.call_us, r.return_cycles, r.pair_avg
+    );
+
     header(
         "C2",
         "allocating a segment from an SRO takes 80 us at 8 MHz  [s5]",
@@ -48,12 +65,26 @@ fn main() {
         "   {:<12} {:<8} {:>10} {:>10}",
         "data bytes", "slots", "cycles", "us@8MHz"
     );
-    for row in c2_allocation() {
+    let c2_rows = c2_allocation();
+    let _ = writeln!(json, "  \"c2\": [");
+    for (i, row) in c2_rows.iter().enumerate() {
         println!(
             "   {:<12} {:<8} {:>10} {:>10.2}",
             row.data_bytes, row.access_slots, row.cycles, row.us
         );
+        let _ = writeln!(
+            json,
+            "    {{\"data_bytes\": {}, \"access_slots\": {}, \"cycles\": {}, \"us\": {:.2}}}{}",
+            row.data_bytes,
+            row.access_slots,
+            row.cycles,
+            row.us,
+            if i + 1 < c2_rows.len() { "," } else { "" }
+        );
     }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
 
     header(
         "C3",
@@ -203,5 +234,6 @@ fn main() {
     }
 
     println!();
+    println!("wrote BENCH_repro.json (deterministic C1/C2 baselines for bench_diff)");
     println!("done. See EXPERIMENTS.md for the paper-vs-measured discussion.");
 }

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
-//!              [--explore N] [--out PATH]
+//!              [--cache on|off|both] [--explore N] [--out PATH]
 //! ```
 //!
 //! Default: seeds 0..256 on the full {1,4,16} shards × {1,4,8} threads
-//! matrix. `--seed N` replays exactly one seed (the form every failure
+//! matrix, with every point run cache-on *and* cache-off (`--cache
+//! both`). `--seed N` replays exactly one seed (the form every failure
 //! report prints). `--explore N` additionally runs N seeded schedule
 //! explorations. Failing seeds are written to `--out` (default
 //! `CONFORM_FAILURES.json`) and the process exits nonzero.
 
-use i432_conform::{check_seed, explore, ExploreConfig, FULL_MATRIX, QUICK_MATRIX};
+use i432_conform::{
+    check_seed_modes, explore, CacheModes, ExploreConfig, FULL_MATRIX, QUICK_MATRIX,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -19,6 +22,7 @@ struct Args {
     start: u64,
     count: u64,
     matrix: &'static [(u32, u32)],
+    cache: CacheModes,
     explore_seeds: u64,
     out: String,
 }
@@ -28,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         start: 0,
         count: 256,
         matrix: FULL_MATRIX,
+        cache: CacheModes::Both,
         explore_seeds: 0,
         out: "CONFORM_FAILURES.json".into(),
     };
@@ -65,6 +70,15 @@ fn parse_args() -> Result<Args, String> {
                 };
                 i += 2;
             }
+            "--cache" => {
+                args.cache = match need_value(i)? {
+                    "on" => CacheModes::On,
+                    "off" => CacheModes::Off,
+                    "both" => CacheModes::Both,
+                    other => return Err(format!("--cache: expected on|off|both, got {other:?}")),
+                };
+                i += 2;
+            }
             "--explore" => {
                 args.explore_seeds = need_value(i)?
                     .parse()
@@ -91,14 +105,15 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed",
+        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, {} cache arm(s)",
         args.start,
         args.start + args.count,
-        args.matrix.len()
+        args.matrix.len(),
+        args.cache.arms().len()
     );
     let mut failures = Vec::new();
     for seed in args.start..args.start + args.count {
-        let report = check_seed(seed, args.matrix);
+        let report = check_seed_modes(seed, args.matrix, args.cache);
         if report.passed() {
             if (seed - args.start + 1) % 32 == 0 {
                 println!(

@@ -32,6 +32,6 @@ pub mod oracle;
 pub use explore::{explore, ExploreConfig, ExploreReport};
 pub use gen::{generate, GenCase, GenProcess};
 pub use oracle::{
-    check_seed, replay_command, run_deterministic, run_threaded_case, CaseOutcome, SeedReport,
-    FULL_MATRIX, QUICK_MATRIX,
+    check_seed, check_seed_modes, replay_command, run_deterministic, run_threaded_case, CacheModes,
+    CaseOutcome, SeedReport, FULL_MATRIX, QUICK_MATRIX,
 };

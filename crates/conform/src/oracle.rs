@@ -23,7 +23,7 @@ use i432_arch::{
     ObjectType, PortDiscipline, ProcessStatus, Rights, SysState,
 };
 use i432_gdp::process::ProcessSpec;
-use i432_sim::{run_threaded, RunOutcome, System, SystemConfig};
+use i432_sim::{RunOutcome, System, SystemConfig};
 use imax_ipc::create_port;
 
 /// The full conformance matrix from the acceptance criteria:
@@ -236,23 +236,59 @@ pub fn run_deterministic(case: &GenCase) -> CaseOutcome {
     run_deterministic_sys(case).1
 }
 
-/// Runs the subject arm at one matrix point. Returns the system too.
-pub fn run_threaded_sys(case: &GenCase, shards: u32, cpus: u32) -> (System, CaseOutcome) {
+/// Runs the subject arm at one matrix point with the qualification and
+/// binding-register caches explicitly on or off. Returns the system too.
+pub fn run_threaded_sys_with(
+    case: &GenCase,
+    shards: u32,
+    cpus: u32,
+    cache: bool,
+) -> (System, CaseOutcome) {
     let (sys, h) = build(case, shards, cpus);
-    let (mut sys, outcome) = run_threaded(sys, THR_BUDGET);
+    let (mut sys, outcome) = i432_sim::run_threaded_with(sys, THR_BUDGET, cache);
     assert!(
         outcome.completed && outcome.system_errors == 0,
-        "seed {}: threaded arm ({shards} shards x {cpus} threads) failed: {outcome:?}; replay: {}",
+        "seed {}: threaded arm ({shards} shards x {cpus} threads, cache {}) failed: {outcome:?}; replay: {}",
         case.seed,
+        if cache { "on" } else { "off" },
         replay_command(case.seed)
     );
     let o = outcome_of(&mut sys, &h);
     (sys, o)
 }
 
+/// Runs the subject arm at one matrix point (caches on, the default
+/// runner configuration). Returns the system too.
+pub fn run_threaded_sys(case: &GenCase, shards: u32, cpus: u32) -> (System, CaseOutcome) {
+    run_threaded_sys_with(case, shards, cpus, true)
+}
+
 /// Runs the subject arm at one matrix point and returns its end state.
 pub fn run_threaded_case(case: &GenCase, shards: u32, cpus: u32) -> CaseOutcome {
     run_threaded_sys(case, shards, cpus).1
+}
+
+/// Which cache arms [`check_seed_modes`] exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheModes {
+    /// Caches on only (the default runner configuration).
+    On,
+    /// Caches forced off only (every operation on the locked path).
+    Off,
+    /// Both — every matrix point runs twice, and the cached run must be
+    /// digest-identical to both the uncached run and the reference.
+    Both,
+}
+
+impl CacheModes {
+    /// The cache settings this mode expands to.
+    pub fn arms(self) -> &'static [bool] {
+        match self {
+            CacheModes::On => &[true],
+            CacheModes::Off => &[false],
+            CacheModes::Both => &[true, false],
+        }
+    }
 }
 
 /// The oracle's verdict for one seed across a matrix.
@@ -277,7 +313,16 @@ impl SeedReport {
 /// subject arm at every `matrix` point, comparing end states. Also
 /// round-trips every generated program through the wire codec — a failing
 /// seed must be storable as a replayable artifact.
+///
+/// Runs both cache arms (see [`check_seed_modes`]): the qualification
+/// and binding-register caches must be semantically invisible, so every
+/// matrix point is diffed bit-for-bit cache-on *and* cache-off.
 pub fn check_seed(seed: u64, matrix: &[(u32, u32)]) -> SeedReport {
+    check_seed_modes(seed, matrix, CacheModes::Both)
+}
+
+/// [`check_seed`] restricted to the given cache arms.
+pub fn check_seed_modes(seed: u64, matrix: &[(u32, u32)], modes: CacheModes) -> SeedReport {
     let case = crate::gen::generate(seed);
     let mut mismatches = Vec::new();
 
@@ -307,19 +352,22 @@ pub fn check_seed(seed: u64, matrix: &[(u32, u32)]) -> SeedReport {
     }
 
     for &(shards, cpus) in matrix {
-        let got = run_threaded_case(&case, shards, cpus);
-        if got != reference {
-            mismatches.push(format!(
-                "seed {seed}: {shards} shards x {cpus} threads diverged \
-                 (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
-                got.digest,
-                reference.digest,
-                got.counter,
-                reference.counter,
-                got.proc_states,
-                reference.proc_states,
-                replay_command(seed)
-            ));
+        for &cache in modes.arms() {
+            let got = run_threaded_sys_with(&case, shards, cpus, cache).1;
+            if got != reference {
+                mismatches.push(format!(
+                    "seed {seed}: {shards} shards x {cpus} threads (cache {}) diverged \
+                     (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
+                    if cache { "on" } else { "off" },
+                    got.digest,
+                    reference.digest,
+                    got.counter,
+                    reference.counter,
+                    got.proc_states,
+                    reference.proc_states,
+                    replay_command(seed)
+                ));
+            }
         }
     }
     SeedReport {

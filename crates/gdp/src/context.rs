@@ -124,13 +124,18 @@ pub fn context_state<S: SpaceAccess + ?Sized>(
 }
 
 /// Mutates a context's interpreted state.
+///
+/// Routed through [`SpaceAccessExt::sys_update`]: instruction-pointer
+/// updates happen once per instruction, and they touch only the system
+/// part of the entry — never the data window a qualification cache line
+/// describes — so they must not invalidate cached descriptors.
 pub fn with_context_state<S: SpaceAccess + ?Sized, R>(
     space: &mut S,
     ctx: ObjectRef,
     f: impl FnOnce(&mut ContextState) -> R,
 ) -> Result<R, Fault> {
     space
-        .entry_update(ctx, |e| match &mut e.sys {
+        .sys_update(ctx, |sys| match sys {
             SysState::Context(c) => Ok(f(c)),
             _ => Err(Fault::with_detail(FaultKind::TypeMismatch, "not a context")),
         })

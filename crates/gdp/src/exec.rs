@@ -139,6 +139,60 @@ fn queue_scan_cost<S: SpaceAccess + ?Sized>(space: &mut S, port_ad: AccessDescri
         .unwrap_or(0)
 }
 
+/// The binding registers of one processor, cached between instructions.
+///
+/// The real 432 keeps the bound process, current context and instruction
+/// pointer in on-chip registers while a process is bound; it only writes
+/// them back to the process/context objects at a *binding change*
+/// (block, preempt, fault, exit, call, return). This mirror lets the
+/// interpreter execute runs of local instructions without consulting the
+/// object space for per-step bookkeeping — which, over a lock-striped
+/// shared space, means without taking any shard lock.
+///
+/// Everything here is a pure copy of space state that only this
+/// processor mutates while the process stays bound: the instruction
+/// pointer and remaining time slice, plus cycle counts accumulated since
+/// the last write-back.
+#[derive(Debug, Clone, Copy)]
+struct BoundState {
+    /// The bound process.
+    proc_ref: ObjectRef,
+    /// Its current (top-of-chain) context.
+    ctx: ObjectRef,
+    /// The context's interpreted code segment.
+    code: i432_arch::CodeRef,
+    /// Cached instruction pointer (authoritative while bound).
+    ip: u32,
+    /// Cached remaining time slice (authoritative while bound).
+    slice_remaining: u64,
+    /// The processor's bus id.
+    cpu_id: u32,
+    /// Process cycles accrued since the last write-back.
+    pending_proc_cycles: u64,
+    /// Processor busy cycles accrued since the last write-back.
+    pending_busy: u64,
+}
+
+/// Instructions the cached fast path may execute: local data/AD work
+/// whose only system-state side effect is the instruction pointer. Every
+/// port, call/return, allocation, clock or fault instruction falls back
+/// to the fully-locked path.
+fn is_fast(instr: &Instruction) -> bool {
+    matches!(
+        instr,
+        Instruction::Mov { .. }
+            | Instruction::Alu { .. }
+            | Instruction::Jump(_)
+            | Instruction::JumpIf { .. }
+            | Instruction::Work { .. }
+            | Instruction::MoveAd { .. }
+            | Instruction::NullAd { .. }
+            | Instruction::Restrict { .. }
+            | Instruction::LoadAd { .. }
+            | Instruction::StoreAd { .. }
+    )
+}
+
 /// One emulated General Data Processor.
 #[derive(Debug, Clone, Copy)]
 pub struct Gdp {
@@ -146,16 +200,175 @@ pub struct Gdp {
     pub cpu: ObjectRef,
     /// Local cycle clock.
     pub clock: u64,
+    /// Whether the binding-register cache is consulted (see
+    /// [`BoundState`]). Off by default: the deterministic runners keep
+    /// every step on the locked path.
+    cache_enabled: bool,
+    /// Cached binding registers, when a process is bound and cacheable.
+    bound: Option<BoundState>,
 }
 
 impl Gdp {
     /// A processor starting at cycle zero.
     pub fn new(cpu: ObjectRef) -> Gdp {
-        Gdp { cpu, clock: 0 }
+        Gdp {
+            cpu,
+            clock: 0,
+            cache_enabled: false,
+            bound: None,
+        }
+    }
+
+    /// A processor with the binding-register cache enabled: runs of
+    /// local instructions execute without touching process/context
+    /// objects in the space. Semantically transparent — the conformance
+    /// oracle checks cached and uncached runs digest-identically.
+    pub fn new_cached(cpu: ObjectRef) -> Gdp {
+        Gdp {
+            cache_enabled: true,
+            ..Gdp::new(cpu)
+        }
+    }
+
+    /// Whether the binding-register cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Writes the cached binding registers back to the space and drops
+    /// them. Must be called before anything else inspects the bound
+    /// process's context or accounting (the threaded runner calls it at
+    /// loop exit; `step` calls it before every locked-path detour).
+    ///
+    /// Best-effort by design: a write-back can only fail if the guest
+    /// destroyed the bound context or process out from under its own
+    /// processor, and in that case the locked path independently raises
+    /// the same fault the uncached interpreter would.
+    pub fn flush_bound<S: SpaceAccess + ?Sized>(&mut self, space: &mut S) {
+        let Some(b) = self.bound.take() else { return };
+        let _ = with_context_state(space, b.ctx, |c| c.ip = b.ip);
+        let _ = space.with_process_mut(b.proc_ref, |ps| {
+            ps.total_cycles += b.pending_proc_cycles;
+            ps.slice_remaining = b.slice_remaining;
+        });
+        let _ = space.with_processor_mut(self.cpu, |p| p.busy_cycles += b.pending_busy);
+    }
+
+    /// Fills the binding registers from the space: one burst of locked
+    /// reads, after which local instructions run lock-free. Returns
+    /// `false` (leaving `bound` empty) whenever the processor is not
+    /// running an interpreted process — the locked path handles those.
+    fn prime<S: SpaceAccess + ?Sized>(&mut self, env: &mut Env<'_, S>) -> bool {
+        let Ok((status, cpu_id)) = env.space.with_processor(self.cpu, |p| (p.status, p.id)) else {
+            return false;
+        };
+        if status != ProcessorStatus::Running {
+            return false;
+        }
+        let Ok(Some(proc_ref)) = current_process(env.space, self.cpu) else {
+            return false;
+        };
+        let Ok(Some(ctx_ad)) = env.space.load_ad_hw(proc_ref, PROC_SLOT_CONTEXT) else {
+            return false;
+        };
+        let ctx = ctx_ad.obj;
+        let Ok(cstate) = context_state(env.space, ctx) else {
+            return false;
+        };
+        let CodeBody::Interpreted(code) = cstate.body else {
+            return false;
+        };
+        let Ok((pstatus, slice_remaining)) = env
+            .space
+            .with_process(proc_ref, |ps| (ps.status, ps.slice_remaining))
+        else {
+            return false;
+        };
+        if pstatus != ProcessStatus::Running {
+            return false;
+        }
+        self.bound = Some(BoundState {
+            proc_ref,
+            ctx,
+            code,
+            ip: cstate.ip,
+            slice_remaining,
+            cpu_id,
+            pending_proc_cycles: 0,
+            pending_busy: 0,
+        });
+        true
+    }
+
+    /// Executes one instruction through the binding-register cache, or
+    /// returns `None` (with the registers flushed) when this step needs
+    /// the locked path. Exactly mirrors the locked path's charging and
+    /// control flow for the instructions in [`is_fast`].
+    fn try_fast_step<S: SpaceAccess + ?Sized>(
+        &mut self,
+        env: &mut Env<'_, S>,
+    ) -> Option<StepEvent> {
+        if self.bound.is_none() && !self.prime(env) {
+            return None;
+        }
+        let mut b = self.bound.expect("primed above");
+        let Some(instr) = env.code.fetch(b.code, b.ip) else {
+            // Out-of-segment ip: let the locked path raise BadIp.
+            self.flush_bound(env.space);
+            return None;
+        };
+        if !is_fast(&instr) {
+            self.flush_bound(env.space);
+            return None;
+        }
+        let mut charge = Charge::default();
+        charge.add(env.cost.decode);
+        charge.words += 1;
+        let ctl = match self.exec_instr(env, b.proc_ref, b.ctx, instr, &mut charge) {
+            Ok(ctl) => ctl,
+            Err(fault) => {
+                // Like the locked path, a faulting instruction charges
+                // nothing; ip still names the faulting instruction.
+                self.flush_bound(env.space);
+                return Some(self.process_fault(env, b.proc_ref, fault));
+            }
+        };
+        let wait = env.bus.access(b.cpu_id, self.clock, charge.words);
+        let total = charge.cycles + wait;
+        self.clock += total;
+        b.pending_busy += total;
+        b.pending_proc_cycles += total;
+        b.slice_remaining = b.slice_remaining.saturating_sub(total);
+        match ctl {
+            Ctl::Next => b.ip += 1,
+            Ctl::Jump(t) => b.ip = t,
+            // is_fast admits no blocking, switching or exiting
+            // instructions.
+            _ => unreachable!("fast instruction yielded non-local control"),
+        }
+        self.bound = Some(b);
+        if b.slice_remaining == 0 {
+            self.flush_bound(env.space);
+            return Some(match self.maybe_preempt(env, b.proc_ref, total) {
+                Ok(ev) => ev,
+                Err(fault) => self.process_fault(env, b.proc_ref, fault),
+            });
+        }
+        Some(StepEvent::Executed {
+            process: b.proc_ref,
+            cycles: total,
+        })
     }
 
     /// Advances this processor by one unit of work.
     pub fn step<S: SpaceAccess + ?Sized>(&mut self, env: &mut Env<'_, S>) -> StepEvent {
+        if self.cache_enabled {
+            if let Some(ev) = self.try_fast_step(env) {
+                return ev;
+            }
+            // Binding registers are flushed; take the locked path.
+            debug_assert!(self.bound.is_none());
+        }
         let status = match env.space.with_processor(self.cpu, |p| p.status) {
             Ok(status) => status,
             Err(e) => {

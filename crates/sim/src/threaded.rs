@@ -54,9 +54,35 @@ pub struct ThreadedOutcome {
 /// disabled (contention here is *real*); simulated clocks still advance,
 /// but their values are interleaving-dependent — use the deterministic
 /// runner for measurements.
-pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
+pub fn run_threaded(sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
+    run_threaded_with(sys, max_steps, true)
+}
+
+/// [`run_threaded`] with the qualification/binding caches made explicit.
+///
+/// `cache = true` (the default runner) gives every thread a caching
+/// [`i432_arch::SpaceAgent`] and a GDP with its binding-register cache
+/// on, so runs of local instructions take no shard lock at all.
+/// `cache = false` keeps every operation on the locked path. The two
+/// must be digest-identical — the conformance oracle diffs them
+/// bit-for-bit on every seed.
+pub fn run_threaded_with(
+    mut sys: System,
+    max_steps: u64,
+    cache: bool,
+) -> (System, ThreadedOutcome) {
     let processes: Vec<_> = sys.processes().to_vec();
-    let gdps: Vec<_> = sys.processors().into_iter().map(Gdp::new).collect();
+    let gdps: Vec<_> = sys
+        .processors()
+        .into_iter()
+        .map(|cpu| {
+            if cache {
+                Gdp::new_cached(cpu)
+            } else {
+                Gdp::new(cpu)
+            }
+        })
+        .collect();
     // Move the space into the striped handle; park a minimal placeholder
     // in the System until the threads are done.
     let space = std::mem::replace(&mut sys.space, ShardedSpace::new(4096, 64, 16, 1));
@@ -91,15 +117,19 @@ pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome
             let errors = &errors;
             let done = &done;
             scope.spawn(move || {
-                let mut agent = shared.agent();
+                let mut agent = if cache {
+                    shared.agent()
+                } else {
+                    shared.agent_uncached()
+                };
                 let mut bus = NullInterconnect;
                 loop {
                     if done.load(Ordering::Acquire) {
-                        return;
+                        break;
                     }
                     if total_steps.fetch_add(1, Ordering::AcqRel) >= max_steps {
                         done.store(true, Ordering::Release);
-                        return;
+                        break;
                     }
                     let event = {
                         let mut env = Env {
@@ -115,7 +145,7 @@ pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome
                         StepEvent::SystemError { .. } => {
                             errors.fetch_add(1, Ordering::AcqRel);
                             done.store(true, Ordering::Release);
-                            return;
+                            break;
                         }
                         // A fault is terminal here just like an exit: the
                         // process sits at its fault port and nothing in
@@ -126,11 +156,15 @@ pub fn run_threaded(mut sys: System, max_steps: u64) -> (System, ThreadedOutcome
                                 && remaining.fetch_sub(1, Ordering::AcqRel) <= 1 =>
                         {
                             done.store(true, Ordering::Release);
-                            return;
+                            break;
                         }
                         _ => {}
                     }
                 }
+                // Write the GDP's cached binding registers (ip, slice,
+                // pending cycles) back before the space is reassembled;
+                // the agent's own stat deltas flush on drop.
+                gdp.flush_bound(&mut agent);
             });
         }
     });
@@ -280,6 +314,17 @@ mod tests {
     fn threaded_run_completes_simple_batch() {
         let sys = batch_system(4, 4, 8);
         let (sys, outcome) = run_threaded(sys, 10_000_000);
+        assert!(outcome.completed, "{outcome:?}");
+        assert_eq!(outcome.system_errors, 0);
+        for p in sys.processes() {
+            assert_eq!(sys.space.process(*p).unwrap().fault_code, 0);
+        }
+    }
+
+    #[test]
+    fn threaded_run_completes_with_caches_off() {
+        let sys = batch_system(4, 4, 8);
+        let (sys, outcome) = run_threaded_with(sys, 10_000_000, false);
         assert!(outcome.completed, "{outcome:?}");
         assert_eq!(outcome.system_errors, 0);
         for p in sys.processes() {

@@ -758,6 +758,8 @@ impl SharedSpace {
     fn bump_epoch(&self, k: usize) {
         self.epochs[k].fetch_add(1, Ordering::Relaxed);
         fence(Ordering::Release);
+        i432_trace::emit(i432_trace::EventKind::QualInval, k as u32);
+        i432_trace::bump(i432_trace::Counter::QualInvalidations);
     }
 
     /// Bumps every shard's epoch (entry to an atomic section, which may
@@ -795,6 +797,8 @@ impl SharedSpace {
     /// Runs `f` on one shard under its lock.
     fn with_shard<R>(&self, k: usize, f: impl FnOnce(&mut ObjectSpace) -> R) -> R {
         let _g = self.locks[k].lock();
+        i432_trace::emit(i432_trace::EventKind::ShardLock, k as u32);
+        i432_trace::bump(i432_trace::Counter::ShardLocks);
         // SAFETY: shard k is only touched under lock k (see type-level
         // invariants), which we hold for the duration of `f`.
         f(unsafe { &mut *self.base.add(k) })
@@ -812,6 +816,8 @@ impl SharedSpace {
         let (lo, hi) = (a.min(b), a.max(b));
         let _g1 = self.locks[lo].lock();
         let _g2 = self.locks[hi].lock();
+        i432_trace::emit(i432_trace::EventKind::ShardLockPair, lo as u32);
+        i432_trace::bump(i432_trace::Counter::ShardLockPairs);
         // SAFETY: both locks held; a != b so the borrows are disjoint.
         f(unsafe { &mut *self.base.add(a) }, unsafe {
             &mut *self.base.add(b)
@@ -822,6 +828,8 @@ impl SharedSpace {
     /// indivisible multi-object sequences of the interpreter.
     fn with_all<R>(&self, f: impl FnOnce(&mut ShardedSpace) -> R) -> R {
         let _guards: Vec<_> = self.locks.iter().map(|l| l.lock()).collect();
+        i432_trace::emit(i432_trace::EventKind::ShardLockAll, 0);
+        i432_trace::bump(i432_trace::Counter::ShardLockAll);
         // SAFETY: holding every shard lock excludes all other access to
         // the space, so a unique reborrow of the whole is sound.
         f(unsafe { &mut *self.inner.get() })
@@ -1042,7 +1050,13 @@ impl SpaceAccess for SpaceAgent<'_> {
 
     fn read_data(&mut self, ad: AccessDescriptor, off: u32, buf: &mut [u8]) -> ArchResult<()> {
         if self.cache_enabled && self.fast_read(ad, off, buf) {
+            i432_trace::emit(i432_trace::EventKind::QualHit, ad.obj.index.0);
+            i432_trace::bump(i432_trace::Counter::QualHits);
             return Ok(());
+        }
+        if self.cache_enabled {
+            i432_trace::emit(i432_trace::EventKind::QualMiss, ad.obj.index.0);
+            i432_trace::bump(i432_trace::Counter::QualMisses);
         }
         let shared = self.shared;
         let k = shared.shard_for(ad.obj);
@@ -1059,7 +1073,13 @@ impl SpaceAccess for SpaceAgent<'_> {
 
     fn write_data(&mut self, ad: AccessDescriptor, off: u32, buf: &[u8]) -> ArchResult<()> {
         if self.cache_enabled && self.fast_write(ad, off, buf) {
+            i432_trace::emit(i432_trace::EventKind::QualHit, ad.obj.index.0);
+            i432_trace::bump(i432_trace::Counter::QualHits);
             return Ok(());
+        }
+        if self.cache_enabled {
+            i432_trace::emit(i432_trace::EventKind::QualMiss, ad.obj.index.0);
+            i432_trace::bump(i432_trace::Counter::QualMisses);
         }
         let shared = self.shared;
         let k = shared.shard_for(ad.obj);

@@ -287,6 +287,9 @@ impl ObjectSpace {
         match self.table.install(desc, spec.sys) {
             Ok(r) => {
                 self.stats.objects_created += 1;
+                i432_trace::emit(i432_trace::EventKind::SroAlloc, r.index.0);
+                i432_trace::bump(i432_trace::Counter::SroAllocs);
+                i432_trace::observe(i432_trace::Hist::AllocDataBytes, spec.data_len as u64);
                 Ok(r)
             }
             Err(e) => {
@@ -637,6 +640,8 @@ impl ObjectSpace {
         if e.desc.color == Color::White {
             e.desc.color = Color::Gray;
             self.stats.barrier_shades += 1;
+            i432_trace::emit(i432_trace::EventKind::GcShadeGray, r.index.0);
+            i432_trace::bump(i432_trace::Counter::GcShadeGrays);
         }
         Ok(())
     }

@@ -17,8 +17,13 @@
 //!   explicit machine-readable reason instead of silently passing.
 //!
 //! Run with: `cargo run --release -p imax-bench --bin c3_threaded`
+//!
+//! `--trace` additionally runs one 4-thread striped pass with the
+//! flight recorder draining into `TRACE_c3_threaded.json` (needs a
+//! `--features trace` build; warns and continues otherwise — the
+//! benchmark numbers themselves never depend on the recorder).
 
-use imax_bench::c3_threaded;
+use imax_bench::{c3_threaded, token_mutex_system};
 use std::fmt::Write as _;
 
 const SHARDS: u32 = 16;
@@ -28,7 +33,39 @@ const ITERS: u64 = 2000;
 /// The one-line command that reruns this benchmark exactly.
 const REPLAY: &str = "cargo run --release -p imax-bench --bin c3_threaded";
 
+/// Runs one traced 4-thread striped pass and writes the merged
+/// timeline, or warns when the recorder is compiled out.
+fn export_trace() {
+    if !i432_trace::ENABLED {
+        eprintln!(
+            "c3_threaded: --trace ignored — this binary was built without the flight \
+             recorder; rebuild with: {REPLAY} --features trace -- --trace"
+        );
+        return;
+    }
+    i432_trace::reset();
+    i432_trace::set_context(0, 0);
+    let (sys, shared_ad, expected) = token_mutex_system(4, SHARDS, JOBS, ITERS.min(200));
+    // Unbounded like the measured runs above: the step count includes
+    // idle dispatch spins of token-starved GDPs, so no finite total-step
+    // cap is schedule-independent; the workload itself terminates.
+    let (mut sys, outcome) = i432_sim::run_threaded(sys, u64::MAX);
+    assert!(
+        outcome.completed && outcome.system_errors == 0,
+        "traced run failed: {outcome:?}"
+    );
+    assert_eq!(sys.space.read_u64(shared_ad, 0).unwrap(), expected);
+    let t = i432_trace::drain_timeline();
+    std::fs::write("TRACE_c3_threaded.json", t.to_json()).expect("write TRACE_c3_threaded.json");
+    println!(
+        "wrote TRACE_c3_threaded.json ({} events, {} dropped)",
+        t.events.len(),
+        t.dropped
+    );
+}
+
 fn main() {
+    let want_trace = std::env::args().skip(1).any(|a| a == "--trace");
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("iMAX-432 threaded-runner scaling (host wall clock; machine-dependent)");
     println!("   shards = {SHARDS}, jobs = {JOBS}, {ITERS} work iterations per job");
@@ -120,6 +157,10 @@ fn main() {
     std::fs::write("BENCH_c3_threaded.json", &json).expect("write BENCH_c3_threaded.json");
     println!("\nwrote BENCH_c3_threaded.json");
     println!("replay: {REPLAY}");
+
+    if want_trace {
+        export_trace();
+    }
 
     assert_eq!(
         errors, 0,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
-//!              [--cache on|off|both] [--explore N] [--out PATH]
+//!              [--cache on|off|both] [--explore N] [--out PATH] [--trace]
 //! ```
 //!
 //! Default: seeds 0..256 on the full {1,4,16} shards × {1,4,8} threads
@@ -11,9 +11,16 @@
 //! report prints). `--explore N` additionally runs N seeded schedule
 //! explorations. Failing seeds are written to `--out` (default
 //! `CONFORM_FAILURES.json`) and the process exits nonzero.
+//!
+//! `--trace` (needs a `--features trace` build; warns otherwise)
+//! replays every failing differential seed once on the threaded runner
+//! with the flight recorder on and writes its merged timeline to
+//! `TRACE_seed_<n>.json` — schedule-level evidence to read next to the
+//! digest mismatch.
 
 use i432_conform::{
-    check_seed_modes, explore, CacheModes, ExploreConfig, FULL_MATRIX, QUICK_MATRIX,
+    check_seed_modes, explore, generate, run_threaded_case, CacheModes, ExploreConfig, FULL_MATRIX,
+    QUICK_MATRIX,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -25,6 +32,7 @@ struct Args {
     cache: CacheModes,
     explore_seeds: u64,
     out: String,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         cache: CacheModes::Both,
         explore_seeds: 0,
         out: "CONFORM_FAILURES.json".into(),
+        trace: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -88,6 +97,10 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 args.out = need_value(i)?.to_string();
                 i += 2;
+            }
+            "--trace" => {
+                args.trace = true;
+                i += 1;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -153,17 +166,62 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // `--trace`: replay each failing differential seed once on the
+    // threaded runner with the recorder on, and keep its timeline as a
+    // debugging artifact next to the failure list.
+    let mut trace_files: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    if args.trace {
+        if i432_trace::ENABLED {
+            for f in &failures {
+                i432_trace::reset();
+                i432_trace::set_context(0, 0);
+                let case = generate(f.seed);
+                // A failing seed's replay may itself assert (hang,
+                // system error); the partial timeline is exactly what
+                // we want then, so keep going either way.
+                let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_threaded_case(&case, 4, 4)
+                }));
+                if replay.is_err() {
+                    eprintln!("seed {}: traced replay panicked (timeline kept)", f.seed);
+                }
+                let t = i432_trace::drain_timeline();
+                let path = format!("TRACE_seed_{}.json", f.seed);
+                match std::fs::write(&path, t.to_json()) {
+                    Ok(()) => {
+                        eprintln!(
+                            "wrote {path} ({} events, {} dropped)",
+                            t.events.len(),
+                            t.dropped
+                        );
+                        trace_files.insert(f.seed, path);
+                    }
+                    Err(e) => eprintln!("conform_fuzz: could not write {path}: {e}"),
+                }
+            }
+        } else {
+            eprintln!(
+                "conform_fuzz: --trace ignored — this binary was built without the \
+                 flight recorder; rebuild with --features trace"
+            );
+        }
+    }
+
     // Persist the failing seeds as a replayable artifact.
     let mut json = String::from("{\n  \"failures\": [\n");
     let total = failures.len() + explore_failures.len();
     let mut emitted = 0;
     for f in &failures {
         emitted += 1;
+        let trace = trace_files
+            .get(&f.seed)
+            .map_or("null".to_string(), |p| format!("\"{p}\""));
         let _ = writeln!(
             json,
-            "    {{\"seed\": {}, \"kind\": \"differential\", \"mismatches\": {}}}{}",
+            "    {{\"seed\": {}, \"kind\": \"differential\", \"mismatches\": {}, \"trace\": {}}}{}",
             f.seed,
             f.mismatches.len(),
+            trace,
             if emitted < total { "," } else { "" }
         );
     }

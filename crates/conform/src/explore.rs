@@ -71,6 +71,8 @@ const OBJS_PER_SHARD: u32 = 8;
 /// failure — always ending with the replay seed.
 pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, String> {
     assert!(cfg.shards >= 2, "exploration needs at least two stripes");
+    // Setup allocations below are emitted under the host context.
+    i432_trace::set_context(0, 0);
     let mut space = ShardedSpace::new(
         64 * 1024 * cfg.shards,
         2048 * cfg.shards,
@@ -107,6 +109,12 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, String> {
             let mut cross = 0u64;
             let mut atomics = 0u64;
             for i in 0..ops {
+                // Stamp the trace context with (worker, operation number)
+                // so a traced run merges into a schedule-independent
+                // timeline: every emitted record is a pure function of
+                // this worker's seeded operation stream. No-op without
+                // the `trace` feature.
+                i432_trace::set_context(w as u16 + 1, u64::from(i));
                 let container = objs[rng.random_range(0usize..objs.len())];
                 let target = objs[rng.random_range(0usize..objs.len())];
                 let slot = rng.random_range(0u32..OBJS_PER_SHARD);
@@ -193,4 +201,26 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, String> {
         cross_shard_pairs,
         atomic_sections,
     })
+}
+
+/// Runs one exploration with the flight recorder armed and returns the
+/// merged timeline next to the report.
+///
+/// Determinism contract: worker `w` stamps every record with processor
+/// id `w + 1` and its operation number as the cycle, so each
+/// per-processor event stream is a pure function of the seed. Two
+/// replays of the same seed therefore agree exactly on
+/// [`i432_trace::Timeline::replay_view`] — the projection to
+/// schedule-deterministic kinds. (Kinds like the write-barrier shade
+/// fire only on the first store to reach an object, which depends on
+/// the host interleaving; `replay_view` excludes them.)
+///
+/// The recorder is process-global: callers that assert on the returned
+/// timeline must hold [`i432_trace::test_guard`].
+pub fn explore_traced(
+    cfg: &ExploreConfig,
+) -> Result<(ExploreReport, i432_trace::Timeline), String> {
+    i432_trace::reset();
+    let report = explore(cfg)?;
+    Ok((report, i432_trace::drain_timeline()))
 }

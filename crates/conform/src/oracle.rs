@@ -257,6 +257,63 @@ pub fn run_threaded_sys_with(
     (sys, o)
 }
 
+/// Runs the subject arm at one matrix point with an on-the-fly GC
+/// daemon time-slicing against the workload (increments per daemon
+/// call as given). Returns the collector so callers can audit its
+/// statistics and the trace timeline against them.
+///
+/// The daemon is a system service: completion tracking ignores it, so
+/// the run ends when the workload processes do.
+pub fn run_threaded_sys_gc(
+    case: &GenCase,
+    shards: u32,
+    cpus: u32,
+    cache: bool,
+    increments_per_call: u32,
+) -> (
+    System,
+    CaseOutcome,
+    std::sync::Arc<parking_lot::Mutex<imax_gc::Collector>>,
+) {
+    let (mut sys, h) = build(case, shards, cpus);
+    let collector = std::sync::Arc::new(parking_lot::Mutex::new(imax_gc::Collector::new()));
+    let daemon = imax_gc::install_gc_daemon(
+        &mut sys,
+        std::sync::Arc::clone(&collector),
+        increments_per_call,
+        128,
+    );
+    // Equal footing with the workload: the daemon time-slices rather
+    // than monopolising a processor.
+    if let Ok(ps) = sys.space.process_mut(daemon) {
+        ps.timeslice = 5_000;
+        ps.slice_remaining = 5_000;
+    }
+    // Short workload slices force preemption even on one processor;
+    // otherwise small cases run sequentially to completion and the
+    // daemon (queued behind them at equal priority) never executes a
+    // single increment before the run ends.
+    for p in sys.processes().to_vec() {
+        if let Ok(ps) = sys.space.process_mut(p) {
+            ps.timeslice = 500;
+            ps.slice_remaining = 500;
+        }
+    }
+    // Unbounded, unlike the plain arm: the cap counts idle dispatch
+    // spins and here the daemon also steps continuously, so no finite
+    // total-step budget is schedule-independent. The run still ends —
+    // the workload halts and completion tracking ignores the daemon.
+    let (mut sys, outcome) = i432_sim::run_threaded_with(sys, u64::MAX, cache);
+    assert!(
+        outcome.completed && outcome.system_errors == 0,
+        "seed {}: threaded+GC arm ({shards} shards x {cpus} threads) failed: {outcome:?}; replay: {}",
+        case.seed,
+        replay_command(case.seed)
+    );
+    let o = outcome_of(&mut sys, &h);
+    (sys, o, collector)
+}
+
 /// Runs the subject arm at one matrix point (caches on, the default
 /// runner configuration). Returns the system too.
 pub fn run_threaded_sys(case: &GenCase, shards: u32, cpus: u32) -> (System, CaseOutcome) {

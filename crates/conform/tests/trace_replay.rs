@@ -1,0 +1,65 @@
+//! Replay determinism of the traced explorer: two runs of the same
+//! seeded schedule must merge to the identical timeline.
+//!
+//! Worker `w` of the explorer stamps its records with processor id
+//! `w + 1` and the operation number as the simulated cycle, so every
+//! per-processor event stream is a pure function of the seed. The merge
+//! rule (cycle, cpu, seq, kind, obj) is a pure function of record
+//! values — therefore the merged `replay_view` (the projection to
+//! schedule-deterministic event kinds) must be bit-identical across
+//! replays, no matter how the host scheduler interleaved the threads.
+//!
+//! The suite runs in both feature configurations: without `trace` the
+//! timelines are empty and equality holds trivially; CI runs it with
+//! `--features trace` where the assertions bite.
+
+use i432_conform::{explore_traced, ExploreConfig};
+use i432_trace::EventKind;
+
+#[test]
+fn replaying_a_seed_reproduces_the_merged_timeline() {
+    let _guard = i432_trace::test_guard();
+    for seed in [3u64, 17] {
+        let cfg = ExploreConfig::smoke(seed);
+        let (r1, t1) = explore_traced(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        let (r2, t2) = explore_traced(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r1, r2, "seed {seed}: reports diverged");
+        assert_eq!(
+            t1.replay_view(),
+            t2.replay_view(),
+            "seed {seed}: two replays of the same explorer schedule merged \
+             to different timelines"
+        );
+        assert_eq!(t1.dropped, 0, "seed {seed}: ring overflow in replay 1");
+        assert_eq!(t2.dropped, 0, "seed {seed}: ring overflow in replay 2");
+        if i432_trace::ENABLED {
+            // Non-vacuity: the timeline really carries the lock traffic
+            // the explorer hammers (single, paired, and all-shard).
+            assert!(
+                !t1.of_kind(EventKind::ShardLockPair).is_empty(),
+                "seed {seed}"
+            );
+            assert!(
+                !t1.of_kind(EventKind::ShardLockAll).is_empty(),
+                "seed {seed}"
+            );
+        }
+    }
+    i432_trace::reset();
+}
+
+#[test]
+fn different_seeds_trace_different_schedules() {
+    let _guard = i432_trace::test_guard();
+    if !i432_trace::ENABLED {
+        return;
+    }
+    let (_, ta) = explore_traced(&ExploreConfig::smoke(1)).unwrap_or_else(|e| panic!("{e}"));
+    let (_, tb) = explore_traced(&ExploreConfig::smoke(2)).unwrap_or_else(|e| panic!("{e}"));
+    assert_ne!(
+        ta.replay_view(),
+        tb.replay_view(),
+        "distinct seeds drive distinct operation streams"
+    );
+    i432_trace::reset();
+}

@@ -191,6 +191,45 @@ pub fn graph_dump<S: SpaceMut + ?Sized>(space: &mut S, root: ObjectRef, max_dept
 }
 
 // ---------------------------------------------------------------------------
+// Flight-recorder registry
+// ---------------------------------------------------------------------------
+
+/// The flight-recorder counters and histograms as a debugger report.
+///
+/// In a build without `--features trace` every counter reads zero and
+/// the report says so up front — the debugging base tells you the
+/// instrumentation is compiled out rather than showing a silent page of
+/// zeros.
+pub fn trace_report() -> String {
+    let mut out = String::new();
+    if !i432_trace::ENABLED {
+        let _ = writeln!(
+            out,
+            "flight recorder compiled out (rebuild with --features trace)"
+        );
+        return out;
+    }
+    let snap = i432_trace::snapshot();
+    let _ = writeln!(out, "{:<24} {:>14}", "counter", "value");
+    for c in i432_trace::Counter::ALL {
+        let _ = writeln!(out, "{:<24} {:>14}", c.name(), snap.get(*c));
+    }
+    for h in i432_trace::Hist::ALL {
+        let total = snap.hist_total(*h);
+        let _ = writeln!(out, "{:<24} {:>14}  (log2 buckets)", h.name(), total);
+        if total > 0 {
+            let buckets = &snap.hists[*h as usize];
+            for (i, b) in buckets.iter().enumerate() {
+                if *b > 0 {
+                    let _ = writeln!(out, "  2^{i:<3} .. 2^{:<3} {:>12}", i + 1, b);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // SpaceStats snapshots
 // ---------------------------------------------------------------------------
 
@@ -263,6 +302,17 @@ mod tests {
         let dump = graph_dump(&mut s, root, 5);
         assert!(dump.contains("generic"));
         assert!(dump.contains('^'), "cycle marker present:\n{dump}");
+    }
+
+    #[test]
+    fn trace_report_renders_or_says_why_not() {
+        let r = trace_report();
+        if i432_trace::ENABLED {
+            assert!(r.contains("domain_calls"), "{r}");
+            assert!(r.contains("alloc_data_bytes"), "{r}");
+        } else {
+            assert!(r.contains("compiled out"), "{r}");
+        }
     }
 
     #[test]

@@ -113,12 +113,15 @@ impl Collector {
         }
         self.phase = GcPhase::Mark;
         self.stats.sim_cycles += 50;
+        i432_trace::emit(i432_trace::EventKind::GcPhaseMark, 0);
         Ok(())
     }
 
     /// Runs one collector increment. Returns `true` when a full cycle
     /// completed with this step.
     pub fn step<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<bool, Fault> {
+        i432_trace::emit(i432_trace::EventKind::GcIncrement, 0);
+        i432_trace::bump(i432_trace::Counter::GcIncrements);
         match self.phase {
             GcPhase::Idle => {
                 self.start_cycle(space)?;
@@ -185,6 +188,8 @@ impl Collector {
         if !found {
             self.phase = GcPhase::Sweep;
             self.sweep_cursor = 0;
+            // Mark termination: the verification scan found no grays.
+            i432_trace::emit(i432_trace::EventKind::GcPhaseSweep, 0);
         }
         Ok(())
     }
@@ -219,6 +224,7 @@ impl Collector {
         if self.sweep_cursor >= space.index_space_end() {
             self.phase = GcPhase::Idle;
             self.stats.cycles += 1;
+            i432_trace::emit(i432_trace::EventKind::GcPhaseIdle, 0);
             return Ok(true);
         }
         Ok(false)
@@ -282,6 +288,8 @@ impl Collector {
         space.destroy_object(r).map_err(Fault::from)?;
         self.stats.reclaimed += 1;
         self.stats.sim_cycles += 40;
+        i432_trace::emit(i432_trace::EventKind::GcSweepReclaim, r.index.0);
+        i432_trace::bump(i432_trace::Counter::GcSweepReclaims);
         Ok(())
     }
 }

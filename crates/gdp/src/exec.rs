@@ -118,7 +118,14 @@ enum Ctl {
     /// Control transferred (CALL/RETURN manage the instruction pointers
     /// themselves).
     Switched,
-    /// The process blocked at a port (instruction committed).
+    /// The process blocked at a port. The producer must have fully
+    /// committed the block *inside the same atomic section* that parked
+    /// the process: ip advanced past the blocking instruction and the
+    /// processor unbound. The moment that section's locks drop, a
+    /// rendezvous on another processor may legally redispatch the
+    /// process — any later touch of its context from this processor
+    /// races with its resumed execution (a stale ip here once made a
+    /// woken receiver re-execute its RECEIVE and swallow the message).
     Blocked,
     /// The process finished.
     Exited,
@@ -312,6 +319,7 @@ impl Gdp {
             return None;
         }
         let mut b = self.bound.expect("primed above");
+        i432_trace::set_context(b.cpu_id as u16, self.clock);
         let Some(instr) = env.code.fetch(b.code, b.ip) else {
             // Out-of-segment ip: let the locked path raise BadIp.
             self.flush_bound(env.space);
@@ -333,6 +341,8 @@ impl Gdp {
                 return Some(self.process_fault(env, b.proc_ref, fault));
             }
         };
+        i432_trace::emit(i432_trace::EventKind::InstrExec, b.proc_ref.index.0);
+        i432_trace::bump(i432_trace::Counter::InstrExecuted);
         let wait = env.bus.access(b.cpu_id, self.clock, charge.words);
         let total = charge.cycles + wait;
         self.clock += total;
@@ -389,6 +399,12 @@ impl Gdp {
                 return match env.space.atomically(|sm| try_dispatch(sm, self.cpu)) {
                     Ok(Some(p)) => {
                         self.tick(env, env.cost.dispatch_fixed, true);
+                        if i432_trace::ENABLED {
+                            let id = env.space.with_processor(self.cpu, |pr| pr.id).unwrap_or(0);
+                            i432_trace::set_context(id as u16, self.clock);
+                            i432_trace::emit(i432_trace::EventKind::Dispatch, p.index.0);
+                            i432_trace::bump(i432_trace::Counter::Dispatches);
+                        }
                         StepEvent::Dispatched(p)
                     }
                     Ok(None) => {
@@ -444,6 +460,10 @@ impl Gdp {
             .ok_or_else(|| Fault::with_detail(FaultKind::NullAccess, "process has no context"))?
             .obj;
         let cstate = context_state(env.space, ctx)?;
+        if i432_trace::ENABLED {
+            let id = env.space.with_processor(self.cpu, |p| p.id).unwrap_or(0);
+            i432_trace::set_context(id as u16, self.clock);
+        }
         let mut charge = Charge::default();
         charge.add(env.cost.decode);
         charge.words += 1;
@@ -479,6 +499,9 @@ impl Gdp {
             }
         };
 
+        i432_trace::emit(i432_trace::EventKind::InstrExec, proc_ref.index.0);
+        i432_trace::bump(i432_trace::Counter::InstrExecuted);
+
         // Bus contention and accounting.
         let cpu_id = env
             .space
@@ -505,12 +528,18 @@ impl Gdp {
             }
             Ctl::Switched => self.maybe_preempt(env, proc_ref, total),
             Ctl::Blocked => {
-                with_context_state(env.space, ctx, |c| c.ip += 1)?;
-                unbind(env.space, self.cpu)?;
+                // ip and processor binding were already committed inside
+                // the blocking instruction's atomic section (see the
+                // Ctl::Blocked contract) — the process may be running on
+                // another processor by now, so only report.
+                i432_trace::emit(i432_trace::EventKind::ProcBlock, proc_ref.index.0);
+                i432_trace::bump(i432_trace::Counter::ProcBlocks);
                 Ok(StepEvent::Blocked(proc_ref))
             }
             Ctl::Exited => {
                 self.exit_process(env, proc_ref)?;
+                i432_trace::emit(i432_trace::EventKind::ProcExit, proc_ref.index.0);
+                i432_trace::bump(i432_trace::Counter::ProcExits);
                 Ok(StepEvent::ProcessExited(proc_ref))
             }
         }
@@ -603,6 +632,8 @@ impl Gdp {
             return self.system_error(env, Some(proc_ref), fault);
         }
         self.tick(env, env.cost.fault_delivery, true);
+        i432_trace::emit(i432_trace::EventKind::ProcFault, proc_ref.index.0);
+        i432_trace::bump(i432_trace::Counter::ProcFaults);
         let code = fault.kind.code();
         let detail = fault.to_string();
         let aux = fault.aux;
@@ -904,8 +935,21 @@ impl Gdp {
                     .load_ad_required(ctx_ad, msg as u32)
                     .map_err(Fault::from)?;
                 let k = self.read_ref(env, ctx_ad, key, charge)?;
-                match env.space.atomically(|sm| {
-                    port::send(sm, Some(proc_ref), port_ad, msg_ad, k, true, false)
+                let cpu = self.cpu;
+                match env.space.atomically(|sm| -> Result<SendOutcome, Fault> {
+                    match port::send(sm, Some(proc_ref), port_ad, msg_ad, k, true, false)? {
+                        SendOutcome::Blocked => {
+                            // Commit the block before the shard locks
+                            // drop: a rendezvous on another processor
+                            // may redispatch this process immediately,
+                            // so ip must already point past the SEND
+                            // and the processor must be unbound.
+                            with_context_state(sm, ctx, |c| c.ip += 1)?;
+                            unbind(sm, cpu)?;
+                            Ok(SendOutcome::Blocked)
+                        }
+                        other => Ok(other),
+                    }
                 })? {
                     SendOutcome::Blocked => Ok(Ctl::Blocked),
                     _ => Ok(Ctl::Next),
@@ -945,8 +989,22 @@ impl Gdp {
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
                 charge.add(queue_scan_cost(env.space, port_ad));
-                match env.space.atomically(|sm| {
-                    port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)
+                let cpu = self.cpu;
+                match env.space.atomically(|sm| -> Result<RecvOutcome, Fault> {
+                    match port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)? {
+                        RecvOutcome::Blocked => {
+                            // Commit the block before the shard locks
+                            // drop (see the SEND arm): a sender's
+                            // rendezvous may redispatch this process
+                            // immediately, and a stale ip would make it
+                            // re-execute the RECEIVE and swallow the
+                            // delivered message.
+                            with_context_state(sm, ctx, |c| c.ip += 1)?;
+                            unbind(sm, cpu)?;
+                            Ok(RecvOutcome::Blocked)
+                        }
+                        other => Ok(other),
+                    }
                 })? {
                     RecvOutcome::Received(msg) => {
                         env.space
@@ -970,8 +1028,22 @@ impl Gdp {
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
                 let t = self.read_ref(env, ctx_ad, timeout, charge)?;
-                match env.space.atomically(|sm| {
-                    port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)
+                let cpu = self.cpu;
+                let deadline = self.clock + t;
+                match env.space.atomically(|sm| -> Result<RecvOutcome, Fault> {
+                    match port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)? {
+                        RecvOutcome::Blocked => {
+                            // Commit the block — including the armed
+                            // timer — before the shard locks drop (see
+                            // the SEND arm).
+                            sm.with_process_mut(proc_ref, |ps| ps.timeout_at = deadline)
+                                .map_err(Fault::from)?;
+                            with_context_state(sm, ctx, |c| c.ip += 1)?;
+                            unbind(sm, cpu)?;
+                            Ok(RecvOutcome::Blocked)
+                        }
+                        other => Ok(other),
+                    }
                 })? {
                     RecvOutcome::Received(msg) => {
                         env.space
@@ -979,14 +1051,7 @@ impl Gdp {
                             .map_err(Fault::from)?;
                         Ok(Ctl::Next)
                     }
-                    RecvOutcome::Blocked => {
-                        // Arm the timer: absolute simulated deadline.
-                        let deadline = self.clock + t;
-                        env.space
-                            .with_process_mut(proc_ref, |ps| ps.timeout_at = deadline)
-                            .map_err(Fault::from)?;
-                        Ok(Ctl::Blocked)
-                    }
+                    RecvOutcome::Blocked => Ok(Ctl::Blocked),
                     RecvOutcome::WouldBlock => unreachable!("blocking receive cannot would-block"),
                 }
             }
@@ -1117,6 +1182,11 @@ impl Gdp {
     ) -> Result<Ctl, Fault> {
         charge.add(env.cost.call_total() - env.cost.decode);
         charge.words += 24; // context allocation + linkage traffic
+        if i432_trace::ENABLED {
+            i432_trace::emit(i432_trace::EventKind::DomainCall, ctx.index.0);
+            i432_trace::bump(i432_trace::Counter::DomainCalls);
+            i432_trace::observe(i432_trace::Hist::DomainCallCycles, env.cost.call_total());
+        }
         let ctx_ad = env.space.mint(ctx, Rights::READ | Rights::WRITE);
         let dom_ad = env
             .space
@@ -1226,6 +1296,14 @@ impl Gdp {
     ) -> Result<Ctl, Fault> {
         charge.add(env.cost.return_total() - env.cost.decode);
         charge.words += 8;
+        if i432_trace::ENABLED {
+            i432_trace::emit(i432_trace::EventKind::DomainReturn, ctx.index.0);
+            i432_trace::bump(i432_trace::Counter::DomainReturns);
+            i432_trace::observe(
+                i432_trace::Hist::DomainReturnCycles,
+                env.cost.return_total(),
+            );
+        }
         let ctx_ad = env.space.mint(ctx, Rights::READ | Rights::WRITE);
         let cstate = context_state(env.space, ctx)?;
         let caller = env

@@ -205,6 +205,18 @@ pub fn send<S: SpaceMut + ?Sized>(
         }
     }
 
+    if i432_trace::ENABLED {
+        // Implicit hardware-carrier operations (dispatch/scheduler/fault
+        // delivery) trace as surrogate ops, program-level sends as sends.
+        if carrier {
+            i432_trace::emit(i432_trace::EventKind::PortSurrogate, port.index.0);
+            i432_trace::bump(i432_trace::Counter::PortSurrogates);
+        } else {
+            i432_trace::emit(i432_trace::EventKind::PortSend, port.index.0);
+            i432_trace::bump(i432_trace::Counter::PortSends);
+        }
+    }
+
     // Rendezvous with a waiting receiver?
     let has_waiting_receiver = {
         let st = space.port(port).map_err(Fault::from)?;
@@ -271,6 +283,16 @@ pub fn receive<S: SpaceMut + ?Sized>(
         space
             .qualify(port_ad, Rights::RECEIVE)
             .map_err(Fault::from)?;
+    }
+
+    if i432_trace::ENABLED {
+        if carrier {
+            i432_trace::emit(i432_trace::EventKind::PortSurrogate, port.index.0);
+            i432_trace::bump(i432_trace::Counter::PortSurrogates);
+        } else {
+            i432_trace::emit(i432_trace::EventKind::PortReceive, port.index.0);
+            i432_trace::bump(i432_trace::Counter::PortReceives);
+        }
     }
 
     let (count, discipline) = {

@@ -41,6 +41,8 @@ impl CheckedPort {
     /// The "few more generated instructions": one object-table lookup
     /// comparing the message's type identity against the bound TDO.
     fn check(&self, space: &ObjectSpace, msg: AccessDescriptor) -> Result<(), Fault> {
+        i432_trace::emit(i432_trace::EventKind::TypeCheck, msg.obj.index.0);
+        i432_trace::bump(i432_trace::Counter::TypeChecks);
         let otype = space.table.get(msg.obj).map_err(Fault::from)?.desc.otype;
         if otype.user_tdo() != Some(self.tdo) {
             return Err(Fault::with_detail(

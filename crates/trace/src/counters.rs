@@ -1,0 +1,224 @@
+//! The counters/histograms registry.
+//!
+//! Counters are enum-indexed atomic cells — no string lookup on a hot
+//! path, ever. Histograms bucket by `log2(value)`, which is plenty to
+//! see whether domain switches cluster at the paper's ~520 cycles.
+//! Like the recorder, [`bump`] and [`observe`] are inlined no-ops
+//! without the `trace` feature; [`snapshot`] always works (it reports
+//! zeroes when tracing is compiled out).
+
+#[cfg(feature = "trace")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+#[allow(missing_docs)] // Names mirror the EventKind taxonomy one-to-one.
+pub enum Counter {
+    InstrExecuted,
+    Dispatches,
+    DomainCalls,
+    DomainReturns,
+    PortSends,
+    PortReceives,
+    PortSurrogates,
+    SroAllocs,
+    ShardLocks,
+    ShardLockPairs,
+    ShardLockAll,
+    QualHits,
+    QualMisses,
+    QualInvalidations,
+    GcIncrements,
+    GcShadeGrays,
+    GcSweepReclaims,
+    TypeChecks,
+    ProcBlocks,
+    ProcFaults,
+    ProcExits,
+}
+
+/// Number of [`Counter`] variants.
+pub const COUNTER_COUNT: usize = Counter::ProcExits as usize + 1;
+
+/// Log2-bucketed cycle/size histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Hist {
+    /// Cycles charged per inter-domain CALL (paper: ~520 at 8 MHz).
+    DomainCallCycles,
+    /// Cycles charged per inter-domain RETURN.
+    DomainReturnCycles,
+    /// Data bytes per SRO allocation.
+    AllocDataBytes,
+}
+
+/// Number of [`Hist`] variants.
+pub const HIST_COUNT: usize = Hist::AllocDataBytes as usize + 1;
+
+/// Buckets per histogram: bucket `i` holds values with `log2(v) == i`
+/// (value 0 lands in bucket 0).
+pub const HIST_BUCKETS: usize = 32;
+
+#[cfg(feature = "trace")]
+#[allow(clippy::declare_interior_mutable_const)] // Array-init pattern for statics.
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "trace")]
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+#[cfg(feature = "trace")]
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = [ZERO; COUNTER_COUNT];
+#[cfg(feature = "trace")]
+static HISTS: [[AtomicU64; HIST_BUCKETS]; HIST_COUNT] = [ZERO_ROW; HIST_COUNT];
+
+impl Counter {
+    /// All counters, in index order.
+    pub const ALL: &'static [Counter] = &[
+        Counter::InstrExecuted,
+        Counter::Dispatches,
+        Counter::DomainCalls,
+        Counter::DomainReturns,
+        Counter::PortSends,
+        Counter::PortReceives,
+        Counter::PortSurrogates,
+        Counter::SroAllocs,
+        Counter::ShardLocks,
+        Counter::ShardLockPairs,
+        Counter::ShardLockAll,
+        Counter::QualHits,
+        Counter::QualMisses,
+        Counter::QualInvalidations,
+        Counter::GcIncrements,
+        Counter::GcShadeGrays,
+        Counter::GcSweepReclaims,
+        Counter::TypeChecks,
+        Counter::ProcBlocks,
+        Counter::ProcFaults,
+        Counter::ProcExits,
+    ];
+
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::InstrExecuted => "instr_executed",
+            Counter::Dispatches => "dispatches",
+            Counter::DomainCalls => "domain_calls",
+            Counter::DomainReturns => "domain_returns",
+            Counter::PortSends => "port_sends",
+            Counter::PortReceives => "port_receives",
+            Counter::PortSurrogates => "port_surrogates",
+            Counter::SroAllocs => "sro_allocs",
+            Counter::ShardLocks => "shard_locks",
+            Counter::ShardLockPairs => "shard_lock_pairs",
+            Counter::ShardLockAll => "shard_lock_all",
+            Counter::QualHits => "qual_hits",
+            Counter::QualMisses => "qual_misses",
+            Counter::QualInvalidations => "qual_invalidations",
+            Counter::GcIncrements => "gc_increments",
+            Counter::GcShadeGrays => "gc_shade_grays",
+            Counter::GcSweepReclaims => "gc_sweep_reclaims",
+            Counter::TypeChecks => "type_checks",
+            Counter::ProcBlocks => "proc_blocks",
+            Counter::ProcFaults => "proc_faults",
+            Counter::ProcExits => "proc_exits",
+        }
+    }
+}
+
+impl Hist {
+    /// All histograms, in index order.
+    pub const ALL: &'static [Hist] = &[
+        Hist::DomainCallCycles,
+        Hist::DomainReturnCycles,
+        Hist::AllocDataBytes,
+    ];
+
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::DomainCallCycles => "domain_call_cycles",
+            Hist::DomainReturnCycles => "domain_return_cycles",
+            Hist::AllocDataBytes => "alloc_data_bytes",
+        }
+    }
+}
+
+/// Increments a counter. Inlined no-op without the `trace` feature.
+#[inline(always)]
+pub fn bump(c: Counter) {
+    #[cfg(feature = "trace")]
+    COUNTERS[c as usize].fetch_add(1, Ordering::Relaxed);
+    #[cfg(not(feature = "trace"))]
+    let _ = c;
+}
+
+/// Records a value in a histogram. Inlined no-op without the `trace`
+/// feature.
+#[inline(always)]
+pub fn observe(h: Hist, value: u64) {
+    #[cfg(feature = "trace")]
+    {
+        let bucket = (63 - value.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        HISTS[h as usize][bucket].fetch_add(1, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = (h, value);
+}
+
+/// A point-in-time copy of every counter and histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Counter values, indexed by `Counter as usize`.
+    pub counters: [u64; COUNTER_COUNT],
+    /// Histogram buckets, indexed by `Hist as usize`.
+    pub hists: [[u64; HIST_BUCKETS]; HIST_COUNT],
+}
+
+impl CountersSnapshot {
+    /// One counter's value.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// One histogram's total observation count.
+    pub fn hist_total(&self, h: Hist) -> u64 {
+        self.hists[h as usize].iter().sum()
+    }
+}
+
+/// Copies the registry. Always available; all-zero when the `trace`
+/// feature is compiled out.
+pub fn snapshot() -> CountersSnapshot {
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    let mut s = CountersSnapshot {
+        counters: [0; COUNTER_COUNT],
+        hists: [[0; HIST_BUCKETS]; HIST_COUNT],
+    };
+    #[cfg(feature = "trace")]
+    {
+        for (i, c) in COUNTERS.iter().enumerate() {
+            s.counters[i] = c.load(Ordering::Relaxed);
+        }
+        for (i, h) in HISTS.iter().enumerate() {
+            for (j, b) in h.iter().enumerate() {
+                s.hists[i][j] = b.load(Ordering::Relaxed);
+            }
+        }
+    }
+    s
+}
+
+/// Zeroes the registry (between measured runs).
+pub fn reset_counters() {
+    #[cfg(feature = "trace")]
+    {
+        for c in COUNTERS.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in HISTS.iter() {
+            for b in h.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The global recorder: a pool of per-thread rings plus the thread-local
+//! emission context.
+//!
+//! A thread's first [`emit`] leases it a ring from a fixed pool (the
+//! lease returns to the pool when the thread exits), so each ring has
+//! exactly one producer — the lock-free SPSC discipline [`Ring`]
+//! relies on. The *processor id* stamped into each record comes from
+//! [`set_context`], which the GDP interpreter calls at step boundaries
+//! with its processor's id and simulated clock; host-level setup code
+//! that never sets a context emits under id 0 at cycle 0.
+//!
+//! Everything here compiles to inlined no-ops without the `trace`
+//! feature.
+
+use crate::ring::Ring;
+#[cfg(feature = "trace")]
+use crate::ring::RING_CAPACITY;
+use crate::timeline::Timeline;
+use crate::EventKind;
+#[cfg(feature = "trace")]
+use crate::{Event, TimelineEvent};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Whether the `trace` feature is compiled in. Branching on this
+/// constant lets an emit site compute non-trivial arguments inside a
+/// block the compiler removes entirely in the off configuration.
+pub const ENABLED: bool = cfg!(feature = "trace");
+
+/// Concurrent producer threads the pool supports. A thread arriving
+/// when every ring is leased emits nothing (counted as dropped).
+/// Leases return at thread exit, so this bounds *simultaneous*
+/// producers: the widest configuration (8 simulated processors, a few
+/// explorer workers, the driving thread) stays well under it.
+#[cfg(feature = "trace")]
+const POOL_RINGS: usize = 16;
+
+#[cfg(feature = "trace")]
+struct Pool {
+    rings: Vec<Ring>,
+    free: Mutex<Vec<usize>>,
+    dropped_threads: std::sync::atomic::AtomicU64,
+}
+
+#[cfg(feature = "trace")]
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        rings: (0..POOL_RINGS).map(|_| Ring::new(RING_CAPACITY)).collect(),
+        free: Mutex::new((0..POOL_RINGS).rev().collect()),
+        dropped_threads: std::sync::atomic::AtomicU64::new(0),
+    })
+}
+
+#[cfg(feature = "trace")]
+mod tls {
+    use super::pool;
+    use std::cell::Cell;
+
+    /// Returns the leased ring index to the pool at thread exit.
+    pub(super) struct Lease(pub(super) usize);
+
+    impl Drop for Lease {
+        fn drop(&mut self) {
+            if let Ok(mut free) = pool().free.lock() {
+                free.push(self.0);
+            }
+        }
+    }
+
+    thread_local! {
+        /// `(processor id, simulated cycle)` stamped into emitted records.
+        pub(super) static CTX: Cell<(u16, u64)> = const { Cell::new((0, 0)) };
+        /// This thread's leased ring, acquired on first emit.
+        /// `usize::MAX` = not yet acquired; `usize::MAX - 1` = pool
+        /// exhausted, emit nothing.
+        pub(super) static RING: Cell<usize> = const { Cell::new(usize::MAX) };
+        /// Holds the lease so the ring frees on thread exit.
+        pub(super) static LEASE: std::cell::RefCell<Option<Lease>> =
+            const { std::cell::RefCell::new(None) };
+    }
+}
+
+/// Sets this thread's emission context: the processor id and its current
+/// simulated cycle. Inlined no-op without the `trace` feature.
+#[inline(always)]
+pub fn set_context(cpu: u16, cycle: u64) {
+    #[cfg(feature = "trace")]
+    tls::CTX.with(|c| c.set((cpu, cycle)));
+    #[cfg(not(feature = "trace"))]
+    let _ = (cpu, cycle);
+}
+
+/// Updates only the simulated cycle of this thread's context.
+#[inline(always)]
+pub fn set_cycle(cycle: u64) {
+    #[cfg(feature = "trace")]
+    tls::CTX.with(|c| {
+        let (cpu, _) = c.get();
+        c.set((cpu, cycle));
+    });
+    #[cfg(not(feature = "trace"))]
+    let _ = cycle;
+}
+
+/// Records one event under the current thread context. Inlined no-op
+/// without the `trace` feature.
+#[inline(always)]
+pub fn emit(kind: EventKind, obj: u32) {
+    #[cfg(feature = "trace")]
+    emit_slow(kind, obj);
+    #[cfg(not(feature = "trace"))]
+    let _ = (kind, obj);
+}
+
+#[cfg(feature = "trace")]
+fn emit_slow(kind: EventKind, obj: u32) {
+    let idx = tls::RING.with(|r| {
+        let mut idx = r.get();
+        if idx == usize::MAX {
+            idx = match pool().free.lock().ok().and_then(|mut f| f.pop()) {
+                Some(i) => i,
+                None => {
+                    pool()
+                        .dropped_threads
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    usize::MAX - 1
+                }
+            };
+            if idx != usize::MAX - 1 {
+                tls::LEASE.with(|l| *l.borrow_mut() = Some(tls::Lease(idx)));
+            }
+            r.set(idx);
+        }
+        idx
+    });
+    if idx == usize::MAX - 1 {
+        return;
+    }
+    let (cpu, cycle) = tls::CTX.with(|c| c.get());
+    pool().rings[idx].push(Event {
+        cycle,
+        obj,
+        kind,
+        cpu,
+    });
+}
+
+/// Snapshots every ring and merges the records into one deterministic
+/// timeline (see [`Timeline`]). Always available; empty without the
+/// `trace` feature.
+pub fn drain_timeline() -> Timeline {
+    #[cfg(feature = "trace")]
+    {
+        let p = pool();
+        let mut events: Vec<TimelineEvent> = Vec::new();
+        let mut dropped = 0;
+        for ring in &p.rings {
+            dropped += ring.overwritten();
+            events.extend(ring.drain().into_iter().map(|r| TimelineEvent {
+                cycle: r.event.cycle,
+                cpu: r.event.cpu,
+                seq: r.seq,
+                kind: r.event.kind,
+                obj: r.event.obj,
+            }));
+        }
+        dropped += p.dropped_threads.load(std::sync::atomic::Ordering::Relaxed);
+        Timeline::merge(events, dropped)
+    }
+    #[cfg(not(feature = "trace"))]
+    Timeline::merge(Vec::new(), 0)
+}
+
+/// Clears every ring and the counters registry. Call only between runs
+/// — concurrent producers would interleave stale and fresh positions.
+/// No-op without the `trace` feature.
+pub fn reset() {
+    #[cfg(feature = "trace")]
+    {
+        let p = pool();
+        for ring in &p.rings {
+            ring.clear();
+        }
+        p.dropped_threads
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+    crate::counters::reset_counters();
+}
+
+/// Serializes tests that assert on the *global* recorder state. The
+/// recorder is process-wide, so concurrently running `cargo test`
+/// threads would interleave events; any test that calls [`reset`] and
+/// then asserts on [`drain_timeline`] or counter values must hold this
+/// guard for its whole body.
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+// Referenced only so the `Ring` import is used in the off configuration.
+#[cfg(not(feature = "trace"))]
+const _: fn(usize) -> Ring = Ring::new;

@@ -1,0 +1,154 @@
+//! The single-producer flight-recorder ring.
+//!
+//! Each slot is a tiny seqlock: the writer marks it odd, writes the two
+//! data words, then marks it even with the slot's absolute position
+//! encoded in the tag. A drainer (any thread, any time) validates a
+//! record by reading the tag, the data, then the tag again — equal even
+//! tags for the expected position mean a consistent record; anything
+//! else means the producer overwrote or is mid-write, and the drainer
+//! skips the slot rather than block. Neither side ever takes a lock.
+//!
+//! The ring holds the *last* [`RING_CAPACITY`] records: a full ring
+//! wraps and overwrites the oldest. [`Ring::overwritten`] reports how
+//! many records were lost that way.
+
+use crate::event::Event;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Records per ring. Power of two so the wrap is a mask. Sized so the
+/// busiest single simulated processor in the test workloads (tens of
+/// thousands of records: one instruction can emit several qualification
+/// and shard-lock events) fits without wraparound, while the whole pool
+/// stays a few tens of megabytes — and only in `--features trace`
+/// builds.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// A record as drained from a ring: the event plus its per-ring
+/// sequence number (absolute emission position), the deterministic
+/// third merge key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainedRecord {
+    /// Absolute emission position within this ring (0-based).
+    pub seq: u64,
+    /// The record itself.
+    pub event: Event,
+}
+
+struct Slot {
+    /// Seqlock tag: `0` = never written; `(pos << 1) | 1` = write for
+    /// absolute position `pos` in progress; `(pos + 1) << 1` = slot
+    /// holds the record emitted at position `pos`.
+    seq: AtomicU64,
+    w0: AtomicU64,
+    w1: AtomicU64,
+}
+
+/// A lock-free single-producer ring of 16-byte records.
+///
+/// Exactly one thread may call [`Ring::push`] at a time (the recorder
+/// enforces this by leasing each ring to one thread); any number of
+/// threads may [`Ring::drain`] concurrently.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    /// Total records ever pushed (the next absolute position).
+    head: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for Ring {
+    fn default() -> Ring {
+        Ring::new(RING_CAPACITY)
+    }
+}
+
+impl Ring {
+    /// A ring holding the last `capacity` records (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> Ring {
+        let capacity = capacity.next_power_of_two().max(2);
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                w0: AtomicU64::new(0),
+                w1: AtomicU64::new(0),
+            })
+            .collect();
+        Ring {
+            slots,
+            head: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Records this ring can hold before wrapping.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total records ever pushed.
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records lost to wraparound overwrite so far.
+    pub fn overwritten(&self) -> u64 {
+        self.emitted().saturating_sub(self.capacity as u64)
+    }
+
+    /// Appends a record, overwriting the oldest if the ring is full.
+    ///
+    /// Single-producer: only the leasing thread calls this, so a plain
+    /// load/store pair on `head` is race-free; the per-slot seqlock is
+    /// what protects concurrent drainers.
+    pub fn push(&self, event: Event) {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos as usize) & (self.capacity - 1)];
+        let (w0, w1) = event.pack();
+        slot.seq.store((pos << 1) | 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.w0.store(w0, Ordering::Relaxed);
+        slot.w1.store(w1, Ordering::Relaxed);
+        // Publishes the data words before the even tag.
+        slot.seq.store((pos + 1) << 1, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// Snapshots every consistent record still in the ring, oldest
+    /// first, without disturbing the producer. Records the producer
+    /// overwrites or is rewriting during the snapshot are skipped (they
+    /// reappear — newer — on a later drain or are gone for good; either
+    /// way `overwritten()` accounts for them).
+    pub fn drain(&self) -> Vec<DrainedRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let lo = head.saturating_sub(self.capacity as u64);
+        let mut out = Vec::with_capacity((head - lo) as usize);
+        for pos in lo..head {
+            let slot = &self.slots[(pos as usize) & (self.capacity - 1)];
+            let tag = (pos + 1) << 1;
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != tag {
+                continue;
+            }
+            let w0 = slot.w0.load(Ordering::Relaxed);
+            let w1 = slot.w1.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s2 != tag {
+                continue;
+            }
+            if let Some(event) = Event::unpack(w0, w1) {
+                out.push(DrainedRecord { seq: pos, event });
+            }
+        }
+        out
+    }
+
+    /// Resets the ring to empty. The caller must guarantee no concurrent
+    /// producer (the recorder only resets between runs).
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::Release);
+    }
+}

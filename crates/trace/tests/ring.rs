@@ -1,0 +1,332 @@
+//! Ring-buffer unit suite: wraparound overwrite semantics, overflow
+//! counter accuracy, cross-thread drain-while-emit safety, and merge
+//! determinism for equal-cycle events.
+//!
+//! The [`Ring`] and [`Timeline`] data structures are compiled
+//! unconditionally, so this suite runs in both feature configurations;
+//! only the global-recorder tests at the bottom need `--features trace`.
+
+use i432_trace::{DrainedRecord, Event, EventKind, Ring, Timeline, TimelineEvent};
+
+fn ev(cycle: u64, cpu: u16, obj: u32) -> Event {
+    Event {
+        cycle,
+        obj,
+        kind: EventKind::PortSend,
+        cpu,
+    }
+}
+
+// -- Wraparound overwrite semantics -----------------------------------------
+
+#[test]
+fn ring_keeps_everything_until_full() {
+    let ring = Ring::new(8);
+    for i in 0..8 {
+        ring.push(ev(i, 0, i as u32));
+    }
+    let got = ring.drain();
+    assert_eq!(got.len(), 8);
+    assert_eq!(ring.overwritten(), 0);
+    for (i, r) in got.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+        assert_eq!(r.event.cycle, i as u64);
+    }
+}
+
+#[test]
+fn wraparound_overwrites_oldest_first() {
+    let ring = Ring::new(8);
+    for i in 0..13 {
+        ring.push(ev(i, 0, i as u32));
+    }
+    let got = ring.drain();
+    // The last 8 records survive, oldest first; records 0..5 are gone.
+    assert_eq!(got.len(), 8);
+    assert_eq!(
+        got.iter().map(|r| r.event.cycle).collect::<Vec<_>>(),
+        (5..13).collect::<Vec<_>>()
+    );
+    assert_eq!(got.first().unwrap().seq, 5);
+}
+
+#[test]
+fn capacity_rounds_up_to_power_of_two() {
+    let ring = Ring::new(5);
+    assert_eq!(ring.capacity(), 8);
+    let ring = Ring::new(0);
+    assert_eq!(ring.capacity(), 2);
+}
+
+#[test]
+fn clear_resets_to_empty() {
+    let ring = Ring::new(8);
+    for i in 0..20 {
+        ring.push(ev(i, 0, 0));
+    }
+    ring.clear();
+    assert_eq!(ring.drain(), Vec::<DrainedRecord>::new());
+    assert_eq!(ring.emitted(), 0);
+    assert_eq!(ring.overwritten(), 0);
+    // Usable again after the reset, from position zero.
+    ring.push(ev(7, 1, 2));
+    let got = ring.drain();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].seq, 0);
+    assert_eq!(got[0].event, ev(7, 1, 2));
+}
+
+// -- Overflow counter accuracy ----------------------------------------------
+
+#[test]
+fn overflow_counter_counts_exactly_the_overwritten_records() {
+    let ring = Ring::new(16);
+    assert_eq!(ring.overwritten(), 0);
+    for i in 0..16 {
+        ring.push(ev(i, 0, 0));
+        assert_eq!(ring.overwritten(), 0, "no loss until the ring is full");
+    }
+    for i in 0..100u64 {
+        ring.push(ev(16 + i, 0, 0));
+        assert_eq!(ring.overwritten(), i + 1);
+    }
+    assert_eq!(ring.emitted(), 116);
+    assert_eq!(ring.drain().len(), 16);
+}
+
+// -- Cross-thread drain-while-emit safety -----------------------------------
+
+/// One producer hammers the ring while a drainer snapshots it
+/// continuously. Every drained record must be internally consistent
+/// (cycle == obj by construction — a torn record would break the
+/// equality), sequences must be strictly increasing within a drain, and
+/// the final drain must see exactly the tail of the emission stream.
+#[test]
+fn drain_while_emit_never_yields_torn_records() {
+    const TOTAL: u64 = 200_000;
+    let ring = Ring::new(256);
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(|| {
+            for i in 0..TOTAL {
+                ring.push(ev(i, 3, i as u32));
+            }
+        });
+        // Sample `is_finished` *before* draining so the loop always
+        // runs at least once and the last drain happens after the
+        // producer completed (a single-core host may run the producer
+        // to completion before this thread is scheduled at all).
+        let mut done = false;
+        while !done {
+            done = producer.is_finished();
+            let got = ring.drain();
+            let mut prev_seq = None;
+            for r in &got {
+                assert_eq!(
+                    u64::from(r.event.obj),
+                    r.event.cycle,
+                    "torn record: cycle and obj were written together"
+                );
+                assert_eq!(r.event.cpu, 3);
+                if let Some(p) = prev_seq {
+                    assert!(r.seq > p, "drained sequences must be increasing");
+                }
+                prev_seq = Some(r.seq);
+            }
+        }
+        producer.join().unwrap();
+    });
+    let last = ring.drain();
+    assert_eq!(last.len(), 256, "final drain sees a full ring");
+    assert_eq!(
+        last.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        (TOTAL - 256..TOTAL).collect::<Vec<_>>()
+    );
+    assert_eq!(ring.overwritten(), TOTAL - 256);
+}
+
+/// A targeted interleaving: the producer wraps *past* the region the
+/// drainer reads, forcing the seqlock to reject the overwritten slots
+/// instead of mixing generations.
+#[test]
+fn drain_racing_a_wrapping_producer_skips_rather_than_mixes() {
+    let ring = Ring::new(8);
+    for round in 0..1000u64 {
+        for i in 0..8 {
+            ring.push(ev(round * 8 + i, 0, (round * 8 + i) as u32));
+        }
+        let got = ring.drain();
+        for r in &got {
+            assert_eq!(u64::from(r.event.obj), r.event.cycle);
+        }
+    }
+}
+
+// -- Merge determinism for equal-cycle events -------------------------------
+
+fn tev(cycle: u64, cpu: u16, seq: u64, kind: EventKind, obj: u32) -> TimelineEvent {
+    TimelineEvent {
+        cycle,
+        cpu,
+        seq,
+        kind,
+        obj,
+    }
+}
+
+#[test]
+fn merge_orders_by_cycle_then_cpu_then_seq() {
+    let a = tev(10, 1, 0, EventKind::PortSend, 1);
+    let b = tev(10, 0, 5, EventKind::PortReceive, 2);
+    let c = tev(10, 0, 2, EventKind::Dispatch, 3);
+    let d = tev(9, 7, 9, EventKind::SroAlloc, 4);
+    let merged = Timeline::merge(vec![a, b, c, d], 0);
+    assert_eq!(merged.events, vec![d, c, b, a]);
+}
+
+#[test]
+fn merge_is_deterministic_for_any_input_permutation() {
+    // A batch with heavy cycle collisions across cpus and rings.
+    let mut events = Vec::new();
+    for cpu in 0..4u16 {
+        for seq in 0..16u64 {
+            events.push(tev(
+                seq / 4, // four events per cycle per cpu
+                cpu,
+                seq,
+                EventKind::ALL[(seq as usize + cpu as usize) % EventKind::ALL.len()],
+                (seq as u32) * 100 + u32::from(cpu),
+            ));
+        }
+    }
+    let reference = Timeline::merge(events.clone(), 0);
+    // Every rotation (and a reversal) of the input must merge identically.
+    for rot in 0..events.len() {
+        let mut perm = events.clone();
+        perm.rotate_left(rot);
+        assert_eq!(Timeline::merge(perm, 0), reference);
+    }
+    let mut rev = events;
+    rev.reverse();
+    assert_eq!(Timeline::merge(rev, 0), reference);
+    // And the order is really (cycle, cpu, seq)-sorted.
+    for w in reference.events.windows(2) {
+        assert!((w[0].cycle, w[0].cpu, w[0].seq) <= (w[1].cycle, w[1].cpu, w[1].seq));
+    }
+}
+
+#[test]
+fn replay_view_filters_and_renumbers_per_cpu() {
+    // Raw seqs carry arbitrary per-ring offsets (ring reuse across
+    // thread lifetimes); the replay view must erase them.
+    let t = Timeline::merge(
+        vec![
+            tev(1, 0, 4094, EventKind::ShardLock, 1),
+            tev(2, 0, 4095, EventKind::QualHit, 1), // not schedule-deterministic
+            tev(3, 0, 4096, EventKind::ShardLockPair, 2),
+            tev(1, 1, 0, EventKind::ShardLock, 3),
+            tev(2, 1, 1, EventKind::GcShadeGray, 3), // not schedule-deterministic
+            tev(4, 1, 2, EventKind::SroAlloc, 9),
+        ],
+        0,
+    );
+    assert_eq!(
+        t.replay_view(),
+        vec![
+            tev(1, 0, 0, EventKind::ShardLock, 1),
+            tev(1, 1, 0, EventKind::ShardLock, 3),
+            tev(3, 0, 1, EventKind::ShardLockPair, 2),
+            tev(4, 1, 1, EventKind::SroAlloc, 9),
+        ]
+    );
+}
+
+#[test]
+fn exports_render_all_fields() {
+    let t = Timeline::merge(
+        vec![
+            tev(8, 0, 0, EventKind::DomainCall, 7),
+            tev(16, 1, 0, EventKind::GcSweepReclaim, 9),
+        ],
+        3,
+    );
+    let json = t.to_json();
+    assert!(json.contains("\"dropped\": 3"));
+    assert!(json.contains("\"kind\": \"domain_call\""));
+    assert!(json.contains("\"obj\": 9"));
+    assert!(json.contains("\"counters\""));
+    let chrome = t.to_chrome();
+    assert!(chrome.starts_with("[\n"));
+    // 8 cycles at 8 MHz = 1 microsecond.
+    assert!(chrome.contains("\"ts\": 1.000"));
+    assert!(chrome.contains("\"tid\": 1"));
+}
+
+// -- The global recorder (needs the feature) --------------------------------
+
+#[cfg(feature = "trace")]
+mod recorder {
+    use i432_trace::{
+        bump, drain_timeline, emit, reset, set_context, set_cycle, snapshot, test_guard, Counter,
+        EventKind,
+    };
+
+    #[test]
+    fn emit_stamps_context_and_merges_across_threads() {
+        let _guard = test_guard();
+        reset();
+        set_context(2, 100);
+        emit(EventKind::PortSend, 11);
+        set_cycle(200);
+        emit(EventKind::PortReceive, 11);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                set_context(1, 150);
+                emit(EventKind::SroAlloc, 42);
+            });
+        });
+        let t = drain_timeline();
+        let got: Vec<_> = t.events.iter().map(|e| (e.cycle, e.cpu, e.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (100, 2, EventKind::PortSend),
+                (150, 1, EventKind::SroAlloc),
+                (200, 2, EventKind::PortReceive),
+            ]
+        );
+        assert_eq!(t.dropped, 0);
+        reset();
+        assert!(drain_timeline().events.is_empty());
+    }
+
+    #[test]
+    fn counters_register_and_reset() {
+        let _guard = test_guard();
+        reset();
+        bump(Counter::DomainCalls);
+        bump(Counter::DomainCalls);
+        i432_trace::observe(i432_trace::Hist::DomainCallCycles, 520);
+        let s = snapshot();
+        assert_eq!(s.get(Counter::DomainCalls), 2);
+        assert_eq!(s.hist_total(i432_trace::Hist::DomainCallCycles), 1);
+        reset();
+        assert_eq!(snapshot().get(Counter::DomainCalls), 0);
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    use i432_trace::{drain_timeline, emit, set_context, snapshot, Counter, EventKind, ENABLED};
+
+    /// The off configuration records nothing and reports empty state —
+    /// the inlined-no-op contract.
+    #[test]
+    fn off_mode_records_nothing() {
+        assert_eq!(ENABLED, cfg!(feature = "trace"));
+        set_context(1, 99);
+        emit(EventKind::PortSend, 5);
+        i432_trace::bump(Counter::PortSends);
+        assert!(drain_timeline().events.is_empty());
+        assert_eq!(snapshot().get(Counter::PortSends), 0);
+    }
+}

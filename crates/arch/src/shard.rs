@@ -558,6 +558,50 @@ impl SpaceMut for ShardedSpace {
         }
     }
 
+    fn leaf_pages(&self) -> u32 {
+        self.shards.iter().map(|s| s.table.leaf_pages()).sum()
+    }
+
+    fn next_possibly_live(&self, from: u32) -> u32 {
+        // Each shard reports its own page-granular hint in global index
+        // terms; the earliest hint wins. A shard with nothing left
+        // reports its own index_space_end, which min() naturally prunes
+        // against livelier shards.
+        self.shards
+            .iter()
+            .map(|s| s.table.next_live_index_hint(from))
+            .min()
+            .unwrap_or(from)
+            .min(self.index_space_end())
+            .max(from)
+    }
+
+    fn for_live_in_range(
+        &self,
+        start: u32,
+        end: u32,
+        f: &mut dyn FnMut(ObjectIndex, &Entry),
+    ) -> u32 {
+        // Each shard walks only its own pages overlapping the window;
+        // the merged visitation is then re-sorted so order stays
+        // ascending by global index, exactly as an unsharded sweep
+        // would see it.
+        let mut pages = 0;
+        let mut indices: Vec<u32> = Vec::new();
+        for s in &self.shards {
+            pages += s
+                .table
+                .for_live_in_range(start, end, &mut |i, _| indices.push(i.0));
+        }
+        indices.sort_unstable();
+        for i in indices {
+            if let Some(e) = self.entry_by_index(ObjectIndex(i)) {
+                f(ObjectIndex(i), e);
+            }
+        }
+        pages
+    }
+
     fn data_arena(&self, r: ObjectRef) -> ArchResult<&DataArena> {
         let k = self.shard_for(r);
         Ok(&self.shards[k].data)

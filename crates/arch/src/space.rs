@@ -254,6 +254,11 @@ impl ObjectSpace {
             // Objects cannot be longer-lived than the SRO that holds their
             // storage, except for the root SRO which is immortal anyway.
             let _ = sro_level;
+            // Per-SRO table ceiling: checked before any carving so a
+            // quota fault never perturbs the free lists.
+            if state.table_quota != 0 && state.object_count >= state.table_quota {
+                return Err(ArchError::TableExhausted);
+            }
             let data_base = state.data_free.allocate(spec.data_len)?;
             let access_base = match state.access_free.allocate(spec.access_len) {
                 Ok(b) => b,

@@ -404,6 +404,11 @@ pub struct SroState {
     pub parent: Option<ObjectRef>,
     /// Objects currently allocated from this SRO.
     pub object_count: u32,
+    /// Object-table quota: the most objects this SRO may have live at
+    /// once (0 = unlimited). Creating past it faults with
+    /// `TableExhausted` — the SRO's slice of the directory is full even
+    /// if the global table is not.
+    pub table_quota: u32,
     /// Lifetime totals.
     pub created_total: u64,
     /// Lifetime totals.
@@ -419,6 +424,7 @@ impl SroState {
             level,
             parent: None,
             object_count: 0,
+            table_quota: 0,
             created_total: 0,
             reclaimed_total: 0,
         }

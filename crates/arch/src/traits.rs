@@ -389,6 +389,41 @@ pub trait SpaceMut: SpaceAccess {
     /// Mutable variant of [`SpaceMut::for_each_live`].
     fn for_each_live_mut(&mut self, f: &mut dyn FnMut(ObjectIndex, &mut Entry));
 
+    /// Leaf pages currently allocated across the space's object-table
+    /// directories (see [`crate::ObjectTable::leaf_pages`]). The
+    /// storage layer's memory budget watches this to notice directory
+    /// growth.
+    fn leaf_pages(&self) -> u32;
+
+    /// The lowest global index `>= from` that could hold a live entry,
+    /// or [`SpaceMut::index_space_end`] when none remains. Page-granular
+    /// (never skips a live entry, may land on a dead one); incremental
+    /// sweeps use it to jump dead directory ranges in O(pages), not
+    /// O(indices). The default is the identity — correct, but with no
+    /// skipping.
+    fn next_possibly_live(&self, from: u32) -> u32 {
+        from.min(self.index_space_end())
+    }
+
+    /// Visits every live entry with global index in `[start, end)`, in
+    /// ascending index order, returning the number of directory leaf
+    /// pages probed. Cost O(live-in-range + pages probed) on paged
+    /// implementations; the default probes every index.
+    fn for_live_in_range(
+        &self,
+        start: u32,
+        end: u32,
+        f: &mut dyn FnMut(ObjectIndex, &Entry),
+    ) -> u32 {
+        for idx in start..end {
+            if let Some(e) = self.entry_by_index(ObjectIndex(idx)) {
+                f(ObjectIndex(idx), e);
+            }
+        }
+        end.saturating_sub(start)
+            .div_ceil(crate::object_table::LEAF_ENTRIES)
+    }
+
     /// The data arena holding `r`'s data part (the object's shard's
     /// arena; descriptor base addresses are offsets into it).
     fn data_arena(&self, r: ObjectRef) -> ArchResult<&DataArena>;
@@ -591,6 +626,23 @@ impl SpaceMut for ObjectSpace {
         for (i, e) in self.table.iter_live_mut() {
             f(i, e);
         }
+    }
+
+    fn leaf_pages(&self) -> u32 {
+        self.table.leaf_pages()
+    }
+
+    fn next_possibly_live(&self, from: u32) -> u32 {
+        self.table.next_live_index_hint(from)
+    }
+
+    fn for_live_in_range(
+        &self,
+        start: u32,
+        end: u32,
+        f: &mut dyn FnMut(ObjectIndex, &Entry),
+    ) -> u32 {
+        self.table.for_live_in_range(start, end, f)
     }
 
     fn data_arena(&self, _r: ObjectRef) -> ArchResult<&DataArena> {

@@ -8,14 +8,23 @@
 //! object-table slot reuse.
 
 use i432_arch::{
-    ArchError, ObjectSpec, QualCache, Rights, ShardedSpace, SharedSpace, SpaceAccess,
-    QUAL_CACHE_LINES,
+    ArchError, ObjectIndex, ObjectRef, ObjectSpec, QualCache, Rights, ShardedSpace, SharedSpace,
+    SpaceAccess, QUAL_CACHE_LINES,
 };
 
 const SHARDS: u32 = 4;
 
 fn shared() -> SharedSpace {
     SharedSpace::new(ShardedSpace::new(65536, 1024, 512, SHARDS))
+}
+
+/// Entries per object-directory leaf page (shard-local slots).
+const LEAF: u32 = i432_arch::object_table::LEAF_ENTRIES;
+
+/// A space whose per-shard table limit spans four leaf pages, so tests
+/// can push allocation across leaf-page boundaries.
+fn shared_big() -> SharedSpace {
+    SharedSpace::new(ShardedSpace::new(256 * 1024, 4096, 16 * 1024, SHARDS))
 }
 
 /// Agent A caches a line for an object; agent B destroys the object.
@@ -182,6 +191,139 @@ fn direct_mapped_aliasing_stays_correct() {
     }
     // Both objects map to one line, so they can never be cached at once.
     assert!(a.cache_occupancy() < objs.len());
+}
+
+/// A line primed while the directory held a single leaf page must keep
+/// hitting — and keep *invalidating* — after later allocations grow the
+/// directory by whole pages. Directory growth publishes new leaves; it
+/// must never disturb existing entries or the seqlock epochs guarding
+/// them.
+#[test]
+fn cached_hit_survives_directory_growth() {
+    let shared = shared_big();
+    let mut a = shared.agent();
+    let root = a.root_sro();
+
+    // Prime a line while the shard's table still fits in leaf page 0.
+    let early = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    let ad = a.mint(early, Rights::READ | Rights::WRITE);
+    a.write_u64(ad, 0, 0xCAFE).unwrap();
+    assert_eq!(a.read_u64(ad, 0).unwrap(), 0xCAFE);
+    assert_eq!(a.cache_occupancy(), 1);
+
+    // Grow the directory past a leaf boundary (allocations from one SRO
+    // stay in its shard, so ~LEAF creates guarantee a second page).
+    let mut last = early;
+    for _ in 0..(LEAF + 8) {
+        last = a.create_object(root, ObjectSpec::generic(0, 0)).unwrap();
+    }
+    assert!(
+        last.index.0 >= LEAF * SHARDS,
+        "the shard's table crossed into leaf page 1 (index {})",
+        last.index.0
+    );
+
+    // The old line still serves the right bytes...
+    assert_eq!(a.read_u64(ad, 0).unwrap(), 0xCAFE);
+    assert!(a.cache_occupancy() >= 1);
+
+    // ...and still invalidates: growth must not have detached the entry
+    // from its shard epoch.
+    let mut b = shared.agent();
+    b.destroy_object(early).unwrap();
+    assert!(matches!(
+        a.read_u64(ad, 0),
+        Err(ArchError::FreeEntry(_) | ArchError::StaleRef(_))
+    ));
+}
+
+/// Slot reuse beyond the first leaf page: the generation-exact probe
+/// must reject a stale AD for an entry that lives on a demand-grown
+/// page, exactly as it does for page-0 entries.
+#[test]
+fn slot_reuse_on_grown_page_faults_stale_ads() {
+    let shared = shared_big();
+    let mut a = shared.agent();
+    let root = a.root_sro();
+
+    for _ in 0..(LEAF + 8) {
+        a.create_object(root, ObjectSpec::generic(0, 0)).unwrap();
+    }
+    let old = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    assert!(
+        old.index.0 >= LEAF * SHARDS,
+        "the object must land on leaf page 1 (index {})",
+        old.index.0
+    );
+    let old_ad = a.mint(old, Rights::READ | Rights::WRITE);
+    a.write_u64(old_ad, 0, 41).unwrap();
+    assert_eq!(a.read_u64(old_ad, 0).unwrap(), 41);
+
+    a.destroy_object(old).unwrap();
+    let new = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+    assert_eq!(new.index, old.index, "LIFO free list reuses the slot");
+    assert_ne!(new.generation, old.generation);
+    let new_ad = a.mint(new, Rights::READ | Rights::WRITE);
+    a.write_u64(new_ad, 0, 42).unwrap();
+
+    assert!(matches!(a.read_u64(old_ad, 0), Err(ArchError::StaleRef(_))));
+    assert_eq!(a.read_u64(new_ad, 0).unwrap(), 42);
+}
+
+/// An AD probing an index whose leaf page does not exist yet must take
+/// the locked path and fault `BadIndex`; once allocation grows the
+/// directory to that index, the same stale AD must fault `StaleRef` on
+/// the generation guard — never read the newcomer's bytes.
+#[test]
+fn generation_guard_covers_leaves_allocated_after_a_stale_probe() {
+    let shared = shared_big();
+    let mut a = shared.agent();
+    let root = a.root_sro();
+
+    // Park allocation just short of the page-1 boundary.
+    for _ in 0..(LEAF - 8) {
+        a.create_object(root, ObjectSpec::generic(0, 0)).unwrap();
+    }
+    let base = a.create_object(root, ObjectSpec::generic(0, 0)).unwrap();
+
+    // Forge a reference 12 shard-slots ahead — past `used`, on a leaf
+    // page that does not exist yet — with a generation no fresh slot
+    // will ever have.
+    let target = ObjectIndex(base.index.0 + 12 * SHARDS);
+    let stale_ad = a.mint(
+        ObjectRef {
+            index: target,
+            generation: 5,
+        },
+        Rights::READ,
+    );
+    assert!(
+        matches!(a.read_u64(stale_ad, 0), Err(ArchError::BadIndex(i)) if i == target),
+        "an index past `used` is out of range, grown leaf or not"
+    );
+    assert_eq!(a.cache_occupancy(), 0, "failed probes must not prime");
+
+    // Grow the directory until a real object occupies the target index.
+    let mut real = None;
+    for _ in 0..16 {
+        let r = a.create_object(root, ObjectSpec::generic(16, 0)).unwrap();
+        if r.index == target {
+            real = Some(r);
+        }
+    }
+    let real = real.expect("allocation reached the forged index");
+    assert!(
+        real.index.0 >= LEAF * SHARDS,
+        "the target slot sits on the demand-grown page"
+    );
+    let real_ad = a.mint(real, Rights::READ | Rights::WRITE);
+    a.write_u64(real_ad, 0, 99).unwrap();
+
+    assert!(
+        matches!(a.read_u64(stale_ad, 0), Err(ArchError::StaleRef(i)) if i == target),
+        "the generation guard must reject the stale AD once the leaf exists"
+    );
+    assert_eq!(a.read_u64(real_ad, 0).unwrap(), 99);
 }
 
 /// A fast-path (lock-free) write must be visible to a different agent's

@@ -256,6 +256,23 @@ fn is_deterministic(path: &str) -> bool {
             | "system_errors"
             | "data_bytes"
             | "access_slots"
+            // c11_multi_tenant: the whole run is simulated, so its
+            // population, traffic shape and directory accounting are
+            // exact on every host.
+            | "processes"
+            | "services"
+            | "wave_size"
+            | "waves"
+            | "requests"
+            | "req_top1"
+            | "req_top8"
+            | "objects_created"
+            | "capacity_used"
+            | "live_peak"
+            | "live_final"
+            | "leaf_pages_peak"
+            | "leaf_pages_final"
+            | "reclaimed"
     )
 }
 

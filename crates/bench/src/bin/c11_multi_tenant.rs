@@ -1,0 +1,149 @@
+//! C11: multi-tenant scale over the two-level object directory, written
+//! to `BENCH_c11_multi_tenant.json`.
+//!
+//! Boots a large population of one-shot client processes (default
+//! 100 000; the nightly job passes `--processes 1000000`) in waves
+//! against a fleet of shared services reached through typed ports, with
+//! Zipf(1)-distributed traffic. Terminated clients are retired and
+//! collected between waves, so the demand-grown directory recycles a
+//! wave's slots instead of growing with the cumulative population —
+//! `capacity_used` staying near one wave's worth while `processes`
+//! climbs is the scale claim this harness gates.
+//!
+//! Every reported number except the wall clock is simulated and
+//! bit-exact on any host, so `bench_diff` compares them exactly.
+//!
+//! Run with: `cargo run --release -p imax-bench --bin c11_multi_tenant`
+//!
+//! `--trace` additionally runs one small traced population with the
+//! flight recorder draining into `TRACE_c11_multi_tenant.json` (needs a
+//! `--features trace` build; warns and continues otherwise).
+
+use imax_bench::c11_multi_tenant;
+use std::fmt::Write as _;
+
+const SERVICES: u32 = 64;
+const WAVE_SIZE: u32 = 1500;
+const SEED: u64 = 0x1432;
+
+/// The one-line command that reruns this benchmark exactly.
+const REPLAY: &str = "cargo run --release -p imax-bench --bin c11_multi_tenant";
+
+/// Runs one small traced population and writes the merged timeline, or
+/// warns when the recorder is compiled out.
+fn export_trace() {
+    if !i432_trace::ENABLED {
+        eprintln!(
+            "c11_multi_tenant: --trace ignored — this binary was built without the flight \
+             recorder; rebuild with: {REPLAY} --features trace -- --trace"
+        );
+        return;
+    }
+    i432_trace::reset();
+    i432_trace::set_context(0, 0);
+    let r = c11_multi_tenant(10_000, SERVICES, WAVE_SIZE, SEED);
+    assert_eq!(r.requests, r.processes, "traced run lost requests");
+    let t = i432_trace::drain_timeline();
+    std::fs::write("TRACE_c11_multi_tenant.json", t.to_json())
+        .expect("write TRACE_c11_multi_tenant.json");
+    println!(
+        "wrote TRACE_c11_multi_tenant.json ({} events, {} dropped)",
+        t.events.len(),
+        t.dropped
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_trace = args.iter().any(|a| a == "--trace");
+    let processes: u64 = args
+        .iter()
+        .position(|a| a == "--processes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--processes takes an integer"))
+        .unwrap_or(100_000);
+
+    println!("iMAX-432 multi-tenant boot storm (simulated; deterministic)");
+    println!(
+        "   processes = {processes}, services = {SERVICES}, wave = {WAVE_SIZE}, \
+         zipf(1) seed = {SEED:#x}"
+    );
+
+    let t0 = std::time::Instant::now();
+    let r = c11_multi_tenant(processes, SERVICES, WAVE_SIZE, SEED);
+    let run_wall_us = t0.elapsed().as_micros() as u64;
+
+    println!(
+        "   booted {} clients in {} waves; {} requests delivered",
+        r.processes, r.waves, r.requests
+    );
+    println!(
+        "   zipf shape: top-1 service took {} requests, top-8 took {}",
+        r.req_top1, r.req_top8
+    );
+    println!(
+        "   directory: {} objects ever created, {} table slots ever carved, \
+         {} leaf pages (peak {}), live peak {}, live final {}",
+        r.objects_created,
+        r.capacity_used,
+        r.leaf_pages_final,
+        r.leaf_pages_peak,
+        r.live_peak,
+        r.live_final
+    );
+    println!(
+        "   collector reclaimed {} objects between waves; makespan {} cycles; \
+         host wall {} us",
+        r.reclaimed, r.makespan_cycles, run_wall_us
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"c11_multi_tenant\",");
+    let _ = writeln!(json, "  \"replay\": \"{REPLAY}\",");
+    let _ = writeln!(json, "  \"processes\": {},", r.processes);
+    let _ = writeln!(json, "  \"services\": {},", r.services);
+    let _ = writeln!(json, "  \"wave_size\": {},", r.wave_size);
+    let _ = writeln!(json, "  \"waves\": {},", r.waves);
+    let _ = writeln!(json, "  \"requests\": {},", r.requests);
+    let _ = writeln!(json, "  \"req_top1\": {},", r.req_top1);
+    let _ = writeln!(json, "  \"req_top8\": {},", r.req_top8);
+    let _ = writeln!(json, "  \"objects_created\": {},", r.objects_created);
+    let _ = writeln!(json, "  \"capacity_used\": {},", r.capacity_used);
+    let _ = writeln!(json, "  \"live_peak\": {},", r.live_peak);
+    let _ = writeln!(json, "  \"live_final\": {},", r.live_final);
+    let _ = writeln!(json, "  \"leaf_pages_peak\": {},", r.leaf_pages_peak);
+    let _ = writeln!(json, "  \"leaf_pages_final\": {},", r.leaf_pages_final);
+    let _ = writeln!(json, "  \"reclaimed\": {},", r.reclaimed);
+    let _ = writeln!(json, "  \"makespan_cycles\": {},", r.makespan_cycles);
+    let _ = writeln!(json, "  \"run_wall_us\": {run_wall_us}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_c11_multi_tenant.json", &json)
+        .expect("write BENCH_c11_multi_tenant.json");
+    println!("\nwrote BENCH_c11_multi_tenant.json");
+    println!("replay: {REPLAY}");
+
+    if want_trace {
+        export_trace();
+    }
+
+    assert_eq!(
+        r.requests, r.processes,
+        "every booted client's request must reach its service; replay: {REPLAY}"
+    );
+    // The scale claim: once the population dwarfs a wave, the directory's
+    // dense high-water mark must stay wave-sized — retired slots recycle
+    // instead of the table growing with the cumulative boot count.
+    if r.processes >= 10 * u64::from(r.wave_size) {
+        assert!(
+            u64::from(r.capacity_used) < 8 * u64::from(r.wave_size),
+            "table high-water {} is not wave-bounded (wave {}); replay: {REPLAY}",
+            r.capacity_used,
+            r.wave_size
+        );
+    }
+    println!(
+        "pass: {} requests conserved across {} waves; table high-water {} slots \
+         for a {}-process population",
+        r.requests, r.waves, r.capacity_used, r.processes
+    );
+}

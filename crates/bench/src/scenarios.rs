@@ -1007,6 +1007,235 @@ pub fn c10_destruction_filter(drives: usize, leaked: usize) -> FilterOutcome {
     }
 }
 
+// ---------------------------------------------------------------------------
+// C11 — multi-tenant scale over the two-level object directory.
+// ---------------------------------------------------------------------------
+
+/// C11 results: a large population of lightweight client processes is
+/// booted in waves, each sending one request to a Zipf-chosen shared
+/// service through a typed port. Terminated clients are retired and
+/// collected between waves, so the demand-grown object directory keeps
+/// the footprint bounded by recycling slots instead of growing with the
+/// cumulative population. Every field except the wall clocks is a
+/// simulated, bit-exact measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTenant {
+    /// Client processes booted over the whole run.
+    pub processes: u64,
+    /// Shared services (one typed `u64` port + one accumulator each).
+    pub services: u32,
+    /// Clients per boot wave.
+    pub wave_size: u32,
+    /// Waves run.
+    pub waves: u32,
+    /// Requests delivered across all services (must equal `processes`).
+    pub requests: u64,
+    /// Requests into the most popular service (Zipf rank 1).
+    pub req_top1: u64,
+    /// Requests into the eight most popular services.
+    pub req_top8: u64,
+    /// Objects created across the run (space counter).
+    pub objects_created: u64,
+    /// Table slots ever carved — the directory's dense high-water mark,
+    /// summed over shards. Stays near one wave's worth, not the
+    /// population's: the scale claim in one number.
+    pub capacity_used: u32,
+    /// Peak live objects, sampled at wave boundaries.
+    pub live_peak: u32,
+    /// Live objects after the final collection.
+    pub live_final: u32,
+    /// Peak allocated directory leaf pages (all shards).
+    pub leaf_pages_peak: u32,
+    /// Allocated leaf pages at the end (pages are never freed).
+    pub leaf_pages_final: u32,
+    /// Objects the collector reclaimed between waves.
+    pub reclaimed: u64,
+    /// Simulated makespan of the whole run.
+    pub makespan_cycles: u64,
+}
+
+/// Boots `processes` one-shot clients in waves of `wave_size`, each
+/// sending a single request to one of `services` shared services picked
+/// from an integer Zipf(1) distribution seeded with `seed`.
+pub fn c11_multi_tenant(processes: u64, services: u32, wave_size: u32, seed: u64) -> MultiTenant {
+    use i432_arch::SpaceMut;
+    use imax_ipc::{PortMessage, TypedPort};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    assert!(
+        services >= 8,
+        "the report keys cover the top eight services"
+    );
+    assert!(
+        (1..=1800).contains(&wave_size),
+        "a wave (plus the service fleet) must fit the system root directory"
+    );
+
+    const SHARDS: u32 = 4;
+    let mut cfg = SystemConfig::small().with_processors(4).with_shards(SHARDS);
+    // Arenas are sized for one wave plus the service fleet, NOT for the
+    // whole population: between waves the terminated clients are retired
+    // and collected, so their table slots, data and access parts recycle.
+    cfg.data_bytes = 512 * 1024 * SHARDS;
+    cfg.access_slots = 32 * 1024 * SHARDS;
+    cfg.table_limit = 8 * i432_arch::object_table::LEAF_ENTRIES * SHARDS;
+    cfg.dispatch_capacity = (wave_size + services + 16).next_power_of_two();
+    let mut sys = System::new(&cfg);
+    let root = sys.space.root_sro();
+
+    // Zipf(1) over service ranks in pure integer arithmetic — no libm,
+    // so the committed baseline is bit-identical on every host. The
+    // whole assignment is drawn up front: the per-wave demand it implies
+    // sizes each service's port so a wave can never overflow the port's
+    // bounded waiting area (backpressure is C7's experiment, not this
+    // one — here a fault would silently drop requests).
+    let mut cum = Vec::with_capacity(services as usize);
+    let mut total = 0u64;
+    for k in 1..=u64::from(services) {
+        total += (1u64 << 32) / k;
+        cum.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assign: Vec<u32> = (0..processes)
+        .map(|_| {
+            let r = rng.random_range(0u64..total);
+            cum.partition_point(|&c| c <= r) as u32
+        })
+        .collect();
+    let mut port_capacity = vec![1u32; services as usize];
+    for wave in assign.chunks(wave_size as usize) {
+        let mut demand = vec![0u32; services as usize];
+        for &k in wave {
+            demand[k as usize] += 1;
+        }
+        for (cap, d) in port_capacity.iter_mut().zip(&demand) {
+            *cap = (*cap).max(d + 1);
+        }
+    }
+
+    // Shared services: a typed u64 port and an accumulator cell each.
+    // The loop is Figure 2's receive side — take a request, drop the
+    // message AD, bump the poked accumulator (context slot 5).
+    let mut sp = ProgramBuilder::new();
+    let top = sp.new_label();
+    sp.bind(top);
+    sp.receive(CTX_SLOT_ARG as u16, 6);
+    sp.null_ad(6);
+    sp.mov(DataRef::Field(5, 0), DataDst::Local(0));
+    sp.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    sp.mov(DataRef::Local(0), DataDst::Field(5, 0));
+    sp.jump(top);
+    let svc_sub = sys.subprogram("service", sp.finish(), 64, 8);
+    let svc_dom = sys.install_domain("services", vec![svc_sub], 0);
+
+    let mut ports: Vec<TypedPort<u64>> = Vec::new();
+    let mut cells = Vec::new();
+    for &cap in &port_capacity {
+        let port = TypedPort::<u64>::from_port(
+            create_port(&mut sys.space, root, cap, PortDiscipline::Fifo).unwrap(),
+        );
+        sys.anchor(port.as_port().ad());
+        let cell = sys
+            .space
+            .create_object(root, ObjectSpec::generic(8, 0))
+            .unwrap();
+        let cell_ad = sys.space.mint(cell, Rights::READ | Rights::WRITE);
+        let svc = sys.spawn(svc_dom, 0, Some(port.as_port().ad()));
+        let ctx = sys
+            .space
+            .load_ad_hw(svc, i432_arch::sysobj::PROC_SLOT_CONTEXT)
+            .unwrap()
+            .unwrap()
+            .obj;
+        sys.space
+            .store_ad_hw(ctx, CTX_SLOT_FIRST_FREE + 1, Some(cell_ad))
+            .unwrap();
+        sys.mark_service(svc);
+        ports.push(port);
+        cells.push(cell_ad);
+    }
+
+    // One lightweight client: allocate a typed message, send it to the
+    // service the spawn argument names, exit.
+    let mut cp = ProgramBuilder::new();
+    cp.create_object(
+        CTX_SLOT_SRO as u16,
+        DataRef::Imm(<u64 as PortMessage>::DATA_LEN as u64),
+        DataRef::Imm(0),
+        5,
+    );
+    cp.send(CTX_SLOT_ARG as u16, 5);
+    cp.halt();
+    let client_sub = sys.subprogram("client", cp.finish(), 32, 8);
+    let client_dom = sys.install_domain("clients", vec![client_sub], 0);
+
+    let mut collector = Collector::new();
+    let mut booted = 0u64;
+    let mut waves = 0u32;
+    let mut live_peak = 0u32;
+    let mut leaf_pages_peak = 0u32;
+    while booted < processes {
+        let wave = wave_size.min((processes - booted) as u32);
+        for i in 0..u64::from(wave) {
+            let k = assign[(booted + i) as usize] as usize;
+            sys.spawn(client_dom, 0, Some(ports[k].as_port().ad()));
+        }
+        booted += u64::from(wave);
+        waves += 1;
+        let outcome = sys.run_to_completion(200_000_000);
+        assert_eq!(outcome, RunOutcome::Stopped, "wave {waves} did not finish");
+        // Drain the service ports, then retire the wave: its slots are
+        // exactly what the next wave grows back into.
+        let drained = sys.run_to_quiescence(200_000_000);
+        assert_eq!(drained, RunOutcome::Quiescent, "wave {waves} did not drain");
+        live_peak = live_peak.max(SpaceMut::live_count(&sys.space));
+        leaf_pages_peak = leaf_pages_peak.max(SpaceMut::leaf_pages(&sys.space));
+        let retired = sys.retire_terminated();
+        assert_eq!(retired, wave, "every wave client must retire");
+        // Two full cycles, not one: the hardware gray bit shades on
+        // every AD move whether or not a collection is running, so after
+        // a wave the retired clients sit Gray. The first cycle's
+        // verification scan blackens them (zero reclaimed) and its sweep
+        // whitens; only the second cycle — with the mutator stopped, so
+        // nothing re-shades — actually reclaims the wave and returns its
+        // table slots and arena runs before the next wave allocates.
+        collector.collect_full(&mut sys.space).unwrap();
+        collector.collect_full(&mut sys.space).unwrap();
+    }
+
+    let per_service: Vec<u64> = cells
+        .iter()
+        .map(|ad| sys.space.read_u64(*ad, 0).unwrap())
+        .collect();
+    let requests: u64 = per_service.iter().sum();
+    assert_eq!(requests, booted, "every request must be delivered");
+
+    MultiTenant {
+        processes: booted,
+        services,
+        wave_size,
+        waves,
+        requests,
+        req_top1: per_service[0],
+        req_top8: per_service.iter().take(8).sum(),
+        objects_created: sys.space.stats().objects_created,
+        capacity_used: (0..SHARDS)
+            .map(|k| sys.space.shard(k).table.capacity_used())
+            .sum(),
+        live_peak,
+        live_final: SpaceMut::live_count(&sys.space),
+        leaf_pages_peak,
+        leaf_pages_final: SpaceMut::leaf_pages(&sys.space),
+        reclaimed: collector.stats.reclaimed,
+        makespan_cycles: sys.now(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1045,6 +1274,40 @@ mod tests {
     fn c6_bulk_beats_gc() {
         let r = c6_local_heaps(64);
         assert!(r.bulk_cycles_per_object < r.gc_cycles_per_object, "{r:?}");
+    }
+
+    #[test]
+    fn c11_conserves_requests_and_bounds_the_directory() {
+        let r = c11_multi_tenant(3_000, 16, 600, 42);
+        assert_eq!(r.waves, 5, "{r:?}");
+        assert_eq!(r.requests, 3_000, "{r:?}");
+        // Zipf(1) over 16 ranks: rank 1 draws ~30% of the traffic and
+        // the top eight about 80%.
+        assert!(r.req_top8 > r.requests / 2, "{r:?}");
+        assert!(r.req_top1 > r.requests / 5, "{r:?}");
+        assert!(r.req_top1 < r.requests / 2, "{r:?}");
+        // The directory recycles retired slots: the dense high-water
+        // mark tracks one wave, not the cumulative population.
+        assert!(u64::from(r.capacity_used) < r.objects_created / 2, "{r:?}");
+        assert!(
+            r.reclaimed >= 2 * (r.processes - u64::from(r.wave_size)),
+            "{r:?}"
+        );
+        assert_eq!(r.leaf_pages_final, r.leaf_pages_peak, "pages never free");
+        assert!(
+            r.leaf_pages_peak
+                <= r.capacity_used
+                    .div_ceil(i432_arch::object_table::LEAF_ENTRIES)
+                    + 4,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn c11_is_deterministic() {
+        let a = c11_multi_tenant(1_000, 8, 500, 7);
+        let b = c11_multi_tenant(1_000, 8, 500, 7);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -40,8 +40,14 @@ const N_WORK: u16 = 6;
 const S_SCRATCH: u16 = 14;
 /// Reserved slot that is *never* written: reads through it null-fault.
 pub const S_NULL: u16 = 15;
+/// Context slot the harness pokes with a per-process *tight* SRO whose
+/// object-table quota is [`TIGHT_QUOTA`] (the table-ceiling fault
+/// family allocates through it until it trips).
+pub const S_TIGHT: u16 = 16;
+/// Object-table quota of the tight SRO in [`S_TIGHT`].
+pub const TIGHT_QUOTA: u32 = 6;
 /// Access-part slots every generated context needs.
-pub const CTX_ACCESS: u32 = 16;
+pub const CTX_ACCESS: u32 = 17;
 /// Data-part bytes every generated context needs.
 pub const CTX_DATA: u32 = 64;
 /// Access-part slots of each per-process output object.
@@ -340,7 +346,7 @@ fn emit_private_ops(p: &mut ProgramBuilder, rng: &mut StdRng, model: &mut Model,
 /// fault's name. Falls back to an explicit fault when the model has no
 /// object shaped for the drawn variant.
 fn emit_fault(p: &mut ProgramBuilder, rng: &mut StdRng, model: &mut Model) -> &'static str {
-    match rng.random_range(0u32..6) {
+    match rng.random_range(0u32..7) {
         // Data write one word past the end.
         0 => {
             if let Some(slot) = model.pick_slot(rng, |m| m.rights.contains(Rights::WRITE)) {
@@ -389,9 +395,33 @@ fn emit_fault(p: &mut ProgramBuilder, rng: &mut StdRng, model: &mut Model) -> &'
             "divide-by-zero"
         }
         // Software-raised fault with a seeded code.
-        _ => {
+        5 => {
             p.raise_fault(1 + rng.random_range(0u16..100));
             "explicit"
+        }
+        // Exhaust the tight SRO's object-table quota: exactly
+        // TIGHT_QUOTA zero-size creates succeed (parked in the work
+        // slots so the objects stay context-reachable and no collector
+        // can perturb the SRO's live count mid-run), then one more
+        // trips the ceiling. Schedule- and shard-independent: the quota
+        // is per-SRO, not a property of the global table.
+        _ => {
+            for i in 0..TIGHT_QUOTA {
+                let slot = S_WORK0 + (i as u16 % N_WORK);
+                p.create_object(S_TIGHT, DataRef::Imm(0), DataRef::Imm(0), slot);
+                let id = model.fresh_id();
+                model.set(
+                    slot,
+                    Some(ObjModel {
+                        id,
+                        data_len: 0,
+                        access_len: 0,
+                        rights: Rights::ALL,
+                    }),
+                );
+            }
+            p.create_object(S_TIGHT, DataRef::Imm(0), DataRef::Imm(0), S_SCRATCH);
+            "table-ceiling"
         }
     }
 }

@@ -17,10 +17,14 @@
 //! Any mismatch is reported with a one-line `cargo` command that replays
 //! the exact seed locally.
 
-use crate::gen::{GenCase, CTX_ACCESS, CTX_DATA, OUT_ACCESS, S_DEEP, S_OUT, S_SHARED};
+use crate::gen::{
+    GenCase, CTX_ACCESS, CTX_DATA, OUT_ACCESS, S_DEEP, S_OUT, S_SHARED, S_TIGHT, TIGHT_QUOTA,
+};
 use i432_arch::{
-    digest_from_roots, sysobj::PROC_SLOT_CONTEXT, AccessDescriptor, Level, ObjectRef, ObjectSpec,
-    ObjectType, PortDiscipline, ProcessStatus, Rights, SysState,
+    digest_from_roots,
+    sysobj::{SroState, PROC_SLOT_CONTEXT},
+    AccessDescriptor, Level, ObjectRef, ObjectSpec, ObjectType, PortDiscipline, ProcessStatus,
+    Rights, SysState, SystemType,
 };
 use i432_gdp::process::ProcessSpec;
 use i432_sim::{RunOutcome, System, SystemConfig};
@@ -166,6 +170,28 @@ fn build(case: &GenCase, shards: u32, cpus: u32) -> (System, Harness) {
             .expect("output object fits");
         let out_ad = sys.space.mint(out, Rights::READ | Rights::WRITE);
         sys.anchor(out_ad);
+        // A per-process "tight" SRO: no storage of its own (zero-size
+        // creates need none) and a table quota of TIGHT_QUOTA, so the
+        // table-ceiling fault family trips at a fixed instruction
+        // regardless of shard count or schedule.
+        let tight = {
+            let mut st = SroState::new(Level(0));
+            st.parent = Some(root);
+            st.table_quota = TIGHT_QUOTA;
+            sys.space
+                .create_object(
+                    root,
+                    ObjectSpec {
+                        data_len: 0,
+                        access_len: 0,
+                        otype: ObjectType::System(SystemType::StorageResource),
+                        level: None,
+                        sys: SysState::Sro(st),
+                    },
+                )
+                .expect("tight SRO fits")
+        };
+        let tight_ad = sys.space.mint(tight, Rights::ALLOCATE);
         let mut spec = ProcessSpec::new(sys.dispatch_ad());
         spec.fault_port = Some(fault_port.ad());
         let p = sys.spawn_with(dom, i as u32, Some(mutex.ad()), spec);
@@ -176,7 +202,12 @@ fn build(case: &GenCase, shards: u32, cpus: u32) -> (System, Harness) {
             .expect("fresh process")
             .expect("fresh process has a context")
             .obj;
-        for (slot, ad) in [(S_OUT, out_ad), (S_SHARED, shared_ad), (S_DEEP, deep_ad)] {
+        for (slot, ad) in [
+            (S_OUT, out_ad),
+            (S_SHARED, shared_ad),
+            (S_DEEP, deep_ad),
+            (S_TIGHT, tight_ad),
+        ] {
             sys.space
                 .store_ad_hw(ctx, u32::from(slot), Some(ad))
                 .expect("context slot poke");

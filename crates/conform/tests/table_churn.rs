@@ -1,0 +1,195 @@
+//! Huge-table conformance: the demand-grown two-level directory under
+//! allocation patterns no generated *program* can produce (the ISA has
+//! no destroy instruction), driven through the space API directly.
+//!
+//! Three families from the acceptance criteria:
+//!
+//! * **sparse high indices** — a table whose few survivors sit on late
+//!   leaf pages must enumerate exactly them, in ascending index order,
+//!   at a cost bounded by allocated pages;
+//! * **near-ceiling allocation** — the per-space capacity ceiling faults
+//!   `TableExhausted` at exactly the configured limit, and reclaiming
+//!   reopens exactly that many slots;
+//! * **reclaim/reinstall churn across leaf pages** — a seeded
+//!   create/destroy storm produces the identical success/failure
+//!   pattern and identical (slot, generation) end state on 1 shard and
+//!   on 4, because install/reclaim semantics are per-shard-table and
+//!   the harness keeps per-shard capacity constant.
+
+use i432_arch::{ArchError, ObjectRef, ObjectSpec, ShardedSpace, SpaceMut};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+const LEAF: u32 = i432_arch::object_table::LEAF_ENTRIES;
+
+/// A space whose (single-SRO-visible) shard spans four leaf pages, with
+/// per-shard capacity constant across shard counts — the same scaling
+/// rule the differential oracle uses.
+fn sharded(shards: u32) -> ShardedSpace {
+    ShardedSpace::new(64 * 1024 * shards, 4096 * shards, 4 * LEAF * shards, shards)
+}
+
+/// Shard-local slot of a global index in shard 0 (offset 0, stride n).
+fn slot_of(r: ObjectRef, shards: u32) -> u32 {
+    assert_eq!(r.index.0 % shards, 0, "root-SRO objects live in shard 0");
+    r.index.0 / shards
+}
+
+#[test]
+fn sparse_high_indices_enumerate_exactly() {
+    let mut s = sharded(1);
+    let root = s.root_sro();
+    let boot = SpaceMut::live_count(&s);
+
+    // Fill three and a half pages, then reclaim everything except every
+    // 512th object — survivors end up spread across all four pages.
+    let objs: Vec<ObjectRef> = (0..(3 * LEAF + LEAF / 2))
+        .map(|_| s.create_object(root, ObjectSpec::generic(0, 0)).unwrap())
+        .collect();
+    let mut survivors = Vec::new();
+    for (i, r) in objs.iter().enumerate() {
+        if i % 512 == 0 {
+            survivors.push(*r);
+        } else {
+            s.destroy_object(*r).unwrap();
+        }
+    }
+    assert_eq!(SpaceMut::live_count(&s), boot + survivors.len() as u32);
+
+    // for_each_live sees exactly boot objects + survivors, ascending.
+    let mut seen = Vec::new();
+    s.for_each_live(&mut |i, e| seen.push((i.0, e.generation)));
+    assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "ascending order");
+    let expected: Vec<u32> = survivors.iter().map(|r| r.index.0).collect();
+    let seen_mine: Vec<u32> = seen
+        .iter()
+        .map(|(i, _)| *i)
+        .filter(|i| expected.contains(i))
+        .collect();
+    assert_eq!(seen_mine, expected, "survivors enumerate exactly once");
+    assert_eq!(seen.len() as u32, boot + survivors.len() as u32);
+
+    // The window walk's page-probe count is bounded by allocated pages.
+    let end = s.index_space_end();
+    let mut n = 0u32;
+    let pages = s.for_live_in_range(0, end, &mut |_, _| n += 1);
+    assert_eq!(n as usize, seen.len());
+    assert!(
+        pages <= SpaceMut::leaf_pages(&s),
+        "probed {pages} pages with only {} allocated",
+        SpaceMut::leaf_pages(&s)
+    );
+
+    // Every survivor still qualifies; every reclaimed ref faults.
+    for r in &survivors {
+        assert!(s.entry(*r).is_ok());
+    }
+    for (i, r) in objs.iter().enumerate() {
+        if i % 512 != 0 {
+            assert!(matches!(
+                s.entry(*r),
+                Err(ArchError::FreeEntry(_) | ArchError::StaleRef(_))
+            ));
+        }
+    }
+}
+
+#[test]
+fn near_ceiling_allocation_faults_at_exactly_the_limit() {
+    let mut s = sharded(1);
+    let root = s.root_sro();
+    let boot = SpaceMut::live_count(&s);
+    let capacity = 4 * LEAF - boot;
+
+    let mut objs = Vec::new();
+    for _ in 0..capacity {
+        objs.push(s.create_object(root, ObjectSpec::generic(0, 0)).unwrap());
+    }
+    assert!(
+        matches!(
+            s.create_object(root, ObjectSpec::generic(0, 0)),
+            Err(ArchError::TableExhausted)
+        ),
+        "slot {} must trip the ceiling",
+        4 * LEAF
+    );
+
+    // Reclaim a handful from middle pages; exactly that many reopen.
+    for r in objs.iter().skip(LEAF as usize + 100).take(5) {
+        s.destroy_object(*r).unwrap();
+    }
+    for _ in 0..5 {
+        s.create_object(root, ObjectSpec::generic(0, 0)).unwrap();
+    }
+    assert!(matches!(
+        s.create_object(root, ObjectSpec::generic(0, 0)),
+        Err(ArchError::TableExhausted)
+    ));
+    assert_eq!(SpaceMut::live_count(&s), 4 * LEAF);
+    assert_eq!(SpaceMut::leaf_pages(&s), 4, "the whole directory is built");
+}
+
+/// One seeded churn run: the success/failure pattern of every op plus
+/// the final (shard-local slot, generation) population of shard 0.
+fn churn(shards: u32, seed: u64, ops: u32) -> (Vec<bool>, Vec<(u32, u32)>) {
+    let mut s = sharded(shards);
+    let root = s.root_sro();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<ObjectRef> = Vec::new();
+    let mut pattern = Vec::new();
+    for _ in 0..ops {
+        // Create-biased: the net drift (~0.4 objects/op) is enough to
+        // reach the four-page ceiling well within the op budget.
+        if live.is_empty() || rng.random_bool(0.7) {
+            match s.create_object(root, ObjectSpec::generic(0, 0)) {
+                Ok(r) => {
+                    live.push(r);
+                    pattern.push(true);
+                }
+                Err(ArchError::TableExhausted) => pattern.push(false),
+                Err(e) => panic!("only the ceiling may fault a churn create: {e:?}"),
+            }
+        } else {
+            let k = rng.random_range(0usize..live.len());
+            s.destroy_object(live.swap_remove(k)).unwrap();
+            pattern.push(true);
+        }
+    }
+    // Maintained counters reconcile against a full directory scan.
+    for k in 0..shards {
+        s.shard(k).table.debug_validate();
+    }
+    let mut end_state: Vec<(u32, u32)> = live
+        .iter()
+        .map(|r| (slot_of(*r, shards), r.generation))
+        .collect();
+    end_state.sort_unstable();
+    (pattern, end_state)
+}
+
+#[test]
+fn churn_across_leaf_pages_is_shard_count_independent() {
+    for seed in [7u64, 21, 1234] {
+        let (p1, e1) = churn(1, seed, 20_000);
+        let (p4, e4) = churn(4, seed, 20_000);
+        assert_eq!(
+            p1, p4,
+            "seed {seed}: op outcomes diverged across shard counts"
+        );
+        assert_eq!(
+            e1, e4,
+            "seed {seed}: end states diverged across shard counts"
+        );
+        assert!(
+            p1.iter().any(|ok| !ok),
+            "seed {seed}: churn is meant to bounce off the ceiling"
+        );
+        assert!(
+            e1.iter().any(|(slot, _)| *slot >= LEAF),
+            "seed {seed}: churn is meant to cross leaf pages"
+        );
+        assert!(
+            e1.iter().any(|(_, generation)| *generation > 0),
+            "seed {seed}: churn is meant to reuse slots"
+        );
+    }
+}

@@ -197,16 +197,32 @@ impl Collector {
     fn sweep_step<S: SpaceMut + ?Sized>(&mut self, space: &mut S) -> Result<bool, Fault> {
         self.stats.sweep_steps += 1;
         let chunk = self.config.sweep_chunk.max(1);
-        let end = (self.sweep_cursor + chunk).min(space.index_space_end());
-        for idx in self.sweep_cursor..end {
-            let Some(e) = space.entry_by_index(i432_arch::ObjectIndex(idx)) else {
+        // Jump over index ranges whose leaf pages are absent or all-free
+        // — with the two-level directory the sweep is O(live + allocated
+        // pages), not O(index_space_end).
+        self.sweep_cursor = space.next_possibly_live(self.sweep_cursor);
+        let end = self
+            .sweep_cursor
+            .saturating_add(chunk)
+            .min(space.index_space_end());
+        // Capture-then-process: the window walk only touches allocated
+        // pages; actions then re-validate each entry (an entry may have
+        // gone away since capture, e.g. a process-scope teardown).
+        let mut batch: Vec<(ObjectRef, Color)> = Vec::new();
+        let pages = space.for_live_in_range(self.sweep_cursor, end, &mut |i, e| {
+            batch.push((
+                ObjectRef {
+                    index: i,
+                    generation: e.generation,
+                },
+                e.desc.color,
+            ));
+        });
+        i432_trace::bump_by(i432_trace::Counter::GcSweepPages, pages as u64);
+        for (r, color) in batch {
+            if space.entry(r).is_err() {
                 continue;
-            };
-            let r = ObjectRef {
-                index: i432_arch::ObjectIndex(idx),
-                generation: e.generation,
-            };
-            let color = e.desc.color;
+            }
             self.stats.sim_cycles += 4;
             match color {
                 Color::Black | Color::Gray => {

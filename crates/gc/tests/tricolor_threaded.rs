@@ -235,6 +235,68 @@ fn i6_holds_on_conform_seeds_with_gc_daemon() {
 }
 
 #[test]
+fn sweep_cost_is_proportional_to_live_pages_not_index_range() {
+    use i432_arch::{ObjectSpace, ObjectSpec};
+
+    let _guard = i432_trace::test_guard();
+    i432_trace::reset();
+    i432_trace::reset_counters();
+
+    // Fill ~4 leaf pages of the directory with unreachable zero-size
+    // objects; the first cycle reclaims them all, leaving a table whose
+    // index space is still ~4100 wide but nearly empty.
+    const LEAF: u32 = i432_arch::object_table::LEAF_ENTRIES;
+    let mut space = ObjectSpace::new(64 * 1024, 4096, 8 * LEAF);
+    let root = space.root_sro();
+    for _ in 0..(4 * LEAF + 8) {
+        space
+            .create_object(root, ObjectSpec::generic(0, 0))
+            .unwrap();
+    }
+    assert_eq!(space.table.leaf_pages(), 5, "population spans five pages");
+
+    let mut gc = Collector::new();
+    let before = i432_trace::snapshot();
+    gc.collect_full(&mut space).unwrap();
+    let full_steps = gc.stats.sweep_steps;
+    let mid = i432_trace::snapshot();
+    gc.collect_full(&mut space).unwrap();
+    let after = i432_trace::snapshot();
+    let empty_steps = gc.stats.sweep_steps - full_steps;
+
+    // The second sweep still faces an index space of ~4100 slots (the
+    // directory never shrinks), but only page 0 holds anything live, so
+    // the cursor must jump the four dead pages instead of probing
+    // every chunk of every slot.
+    let index_chunks =
+        (i432_arch::SpaceMut::index_space_end(&space) / gc.config.sweep_chunk) as u64;
+    let live_page_chunks = (LEAF / gc.config.sweep_chunk) as u64;
+    assert!(
+        empty_steps <= live_page_chunks + space.table.leaf_pages() as u64,
+        "sweeping a nearly-empty table took {empty_steps} steps; \
+         want O(live pages) = ~{live_page_chunks}, not O(index range) = {index_chunks}"
+    );
+    assert!(
+        empty_steps * 2 < full_steps,
+        "dead-page skipping must beat the full sweep: {empty_steps} vs {full_steps}"
+    );
+
+    if i432_trace::ENABLED {
+        use i432_trace::Counter;
+        let full_pages = mid.get(Counter::GcSweepPages) - before.get(Counter::GcSweepPages);
+        let empty_pages = after.get(Counter::GcSweepPages) - mid.get(Counter::GcSweepPages);
+        assert!(full_pages >= 5, "the first sweep touched every live page");
+        assert!(
+            empty_pages <= live_page_chunks + space.table.leaf_pages() as u64,
+            "page probes after mass reclaim must be bounded by live pages: \
+             {empty_pages} probes vs {index_chunks} index chunks"
+        );
+    }
+    i432_trace::reset();
+    i432_trace::reset_counters();
+}
+
+#[test]
 fn gc_phase_counts_are_consistent_on_multiple_cpus() {
     let _guard = i432_trace::test_guard();
     i432_trace::reset();

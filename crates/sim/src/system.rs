@@ -180,6 +180,38 @@ impl System {
         panic!("system root directory is full");
     }
 
+    /// Retires every terminated process in one directory pass: clears
+    /// its root-directory anchor and drops it from completion tracking,
+    /// so its process object (and context chain) becomes collectable.
+    /// Boot-storm harnesses spawn clients in waves; the per-object
+    /// [`System::unanchor`] would rescan the whole directory once per
+    /// process. Returns how many processes were retired.
+    pub fn retire_terminated(&mut self) -> u32 {
+        for slot in 0..ROOT_DIR_SLOTS {
+            let anchored = match self.space.load_ad_hw(self.root_dir, slot) {
+                Ok(Some(ad)) => ad.obj,
+                _ => continue,
+            };
+            if matches!(
+                self.space.process(anchored).map(|s| s.status),
+                Ok(ProcessStatus::Terminated)
+            ) {
+                let _ = self.space.store_ad_hw(self.root_dir, slot, None);
+            }
+        }
+        let mut procs = std::mem::take(&mut self.processes);
+        let before = procs.len();
+        procs.retain(|p| {
+            !matches!(
+                self.space.process(*p).map(|s| s.status),
+                Ok(ProcessStatus::Terminated)
+            )
+        });
+        let retired = (before - procs.len()) as u32;
+        self.processes = procs;
+        retired
+    }
+
     /// Removes every anchor for `obj` from the root directory (the object
     /// becomes collectable once no live process references it).
     pub fn unanchor(&mut self, obj: ObjectRef) {
@@ -547,6 +579,24 @@ mod tests {
             (sys.now(), sys.steps(), sys.utilization())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retire_terminated_frees_anchor_slots_and_tracking() {
+        let mut sys = System::new(&SystemConfig::small());
+        let dom = worker_domain(&mut sys, 5, 50);
+        for _ in 0..10 {
+            sys.spawn(dom, 0, None);
+        }
+        assert_eq!(sys.run_to_completion(1_000_000), RunOutcome::Stopped);
+        assert_eq!(sys.retire_terminated(), 10);
+        assert!(sys.processes().is_empty());
+        // A second pass finds nothing, and spawning keeps working (the
+        // anchor slots really were released).
+        assert_eq!(sys.retire_terminated(), 0);
+        let p = sys.spawn(dom, 0, None);
+        assert_eq!(sys.run_to_completion(1_000_000), RunOutcome::Stopped);
+        assert_eq!(sys.status_of(p), Some(ProcessStatus::Terminated));
     }
 
     #[test]

@@ -26,14 +26,31 @@ use crate::{
 };
 use i432_arch::{Level, ObjectRef, ObjectSpec, ObjectType, SpaceMut, SysState};
 
+/// Estimated resident bytes of one object-directory leaf page.
+const LEAF_PAGE_BYTES: u64 =
+    i432_arch::object_table::LEAF_ENTRIES as u64 * std::mem::size_of::<i432_arch::Entry>() as u64;
+
 /// The release-2 manager: eviction + demand swap-in.
 #[derive(Debug)]
 pub struct SwappingManager {
     /// The backing store (public management interface, per §6.2).
     pub backing: BackingStore,
+    /// Resident-memory budget in bytes (0 = unlimited). The footprint
+    /// model is directory leaf pages plus resident data parts; when
+    /// leaf-page growth pushes the footprint past the budget, cold
+    /// eligible segments are evicted until it fits (or nothing evictable
+    /// remains — the budget is best-effort, never a fault).
+    pub memory_budget_bytes: u64,
     stats: StorageStats,
     pending_cycles: u64,
     clock_hand: u32,
+    /// Leaf-page count at the last budget check, so directory growth is
+    /// charged to the running estimate exactly once per new page.
+    watched_leaf_pages: u32,
+    /// Running footprint estimate, maintained in O(1) per operation; the
+    /// exact (scanning) recount only happens when the estimate crosses
+    /// the budget. `None` until first seeded from a real scan.
+    resident_estimate: Option<u64>,
 }
 
 impl SwappingManager {
@@ -41,10 +58,117 @@ impl SwappingManager {
     pub fn new() -> SwappingManager {
         SwappingManager {
             backing: BackingStore::new(),
+            memory_budget_bytes: 0,
             stats: StorageStats::default(),
             pending_cycles: 0,
             clock_hand: 0,
+            watched_leaf_pages: 0,
+            resident_estimate: None,
         }
+    }
+
+    /// A manager that holds the resident footprint (directory leaf pages
+    /// + resident data parts) under `bytes`.
+    pub fn with_memory_budget(bytes: u64) -> SwappingManager {
+        SwappingManager {
+            memory_budget_bytes: bytes,
+            ..SwappingManager::new()
+        }
+    }
+
+    /// The footprint the budget governs: allocated directory leaf pages
+    /// plus the data parts of resident (non-absent) segments.
+    pub fn resident_bytes(space: &dyn SpaceMut) -> u64 {
+        let mut data = 0u64;
+        space.for_each_live(&mut |_, e| {
+            if !e.desc.absent {
+                data += e.desc.data_len as u64;
+            }
+        });
+        space.leaf_pages() as u64 * LEAF_PAGE_BYTES + data
+    }
+
+    /// Folds an operation's growth into the running estimate and, when
+    /// it crosses the budget, runs the exact enforcement pass. Directory
+    /// (leaf-page) growth is noticed here too, charged once per page.
+    fn watch_growth(&mut self, space: &mut dyn SpaceMut, grew_by: u64) {
+        if self.memory_budget_bytes == 0 {
+            return;
+        }
+        let pages = space.leaf_pages();
+        let est = match self.resident_estimate {
+            Some(mut e) => {
+                if pages > self.watched_leaf_pages {
+                    e += (pages - self.watched_leaf_pages) as u64 * LEAF_PAGE_BYTES;
+                }
+                e + grew_by
+            }
+            // First use: seed from a real scan — it already includes
+            // whatever this operation just created, and any objects that
+            // predate this manager.
+            None => Self::resident_bytes(space),
+        };
+        self.watched_leaf_pages = pages;
+        self.resident_estimate = Some(est);
+        if est > self.memory_budget_bytes {
+            self.enforce_budget(space);
+        }
+    }
+
+    /// Evicts cold eligible segments until the footprint fits the budget
+    /// (same two-pass NRU clock as [`Self::allocate_with_eviction`]).
+    fn enforce_budget(&mut self, space: &mut dyn SpaceMut) {
+        let budget = self.memory_budget_bytes;
+        if budget == 0 {
+            return;
+        }
+        let mut resident = Self::resident_bytes(space);
+        'passes: for pass in 0..2 {
+            if resident <= budget {
+                break 'passes;
+            }
+            let mut victims: Vec<(ObjectRef, u32)> = Vec::new();
+            space.for_each_live(&mut |i, e| {
+                if !e.desc.absent && e.desc.data_len > 0 {
+                    victims.push((
+                        ObjectRef {
+                            index: i,
+                            generation: e.generation,
+                        },
+                        e.desc.data_len,
+                    ));
+                }
+            });
+            let start = if victims.is_empty() {
+                0
+            } else {
+                (self.clock_hand as usize) % victims.len()
+            };
+            for k in 0..victims.len() {
+                if resident <= budget {
+                    break 'passes;
+                }
+                let (v, len) = victims[(start + k) % victims.len()];
+                if !Self::eligible(space, v) {
+                    continue;
+                }
+                if pass == 0 {
+                    // First pass: skip (but age) recently used segments.
+                    if let Ok(e) = space.entry_mut(v) {
+                        if e.desc.accessed {
+                            e.desc.accessed = false;
+                            continue;
+                        }
+                    }
+                }
+                self.clock_hand = self.clock_hand.wrapping_add(1);
+                if self.swap_out(space, v).is_ok() {
+                    resident -= len as u64;
+                    i432_trace::bump(i432_trace::Counter::TableEvictions);
+                }
+            }
+        }
+        self.resident_estimate = Some(resident);
     }
 
     /// Simulated device-transfer cycles accumulated since the last drain
@@ -90,6 +214,7 @@ impl SwappingManager {
         e.desc.accessed = false;
         e.desc.dirty = false;
         self.stats.swap_outs += 1;
+        self.resident_estimate = self.resident_estimate.map(|v| v.saturating_sub(len as u64));
         Ok(())
     }
 
@@ -118,6 +243,7 @@ impl SwappingManager {
         e.desc.absent = false;
         e.desc.accessed = true;
         self.stats.swap_ins += 1;
+        self.resident_estimate = self.resident_estimate.map(|v| v + len as u64);
         Ok(())
     }
 
@@ -232,9 +358,11 @@ impl StorageManager for SwappingManager {
         sro: ObjectRef,
         spec: ObjectSpec,
     ) -> Result<ObjectRef, StorageError> {
+        let data_len = spec.data_len as u64;
         match space.create_object(sro, spec.clone()) {
             Ok(r) => {
                 self.stats.allocated += 1;
+                self.watch_growth(space, data_len);
                 Ok(r)
             }
             Err(i432_arch::ArchError::ArenaExhausted { .. }) => {
@@ -245,6 +373,7 @@ impl StorageManager for SwappingManager {
                 space.sro_mut(sro)?.data_free.release(base, spec.data_len)?;
                 let r = space.create_object(sro, spec)?;
                 self.stats.allocated += 1;
+                self.watch_growth(space, data_len);
                 Ok(r)
             }
             Err(e) => Err(e.into()),
@@ -256,12 +385,18 @@ impl StorageManager for SwappingManager {
         space: &mut dyn SpaceMut,
         obj: ObjectRef,
     ) -> Result<(), StorageError> {
-        let absent = space.entry(obj)?.desc.absent;
+        let (absent, len) = {
+            let e = space.entry(obj)?;
+            (e.desc.absent, e.desc.data_len)
+        };
         if absent {
             self.backing.discard(obj);
         }
         space.destroy_object(obj)?;
         self.stats.destroyed += 1;
+        if !absent {
+            self.resident_estimate = self.resident_estimate.map(|v| v.saturating_sub(len as u64));
+        }
         Ok(())
     }
 
@@ -274,6 +409,8 @@ impl StorageManager for SwappingManager {
     ) -> Result<ObjectRef, StorageError> {
         let r = create_sro(space, parent, level, quota)?;
         self.stats.heaps_created += 1;
+        // SROs have no data part; only directory growth can matter here.
+        self.watch_growth(space, 0);
         Ok(r)
     }
 
@@ -447,6 +584,73 @@ mod tests {
             m.create_object(&mut space, sro, ObjectSpec::generic(512, 0)),
             Err(StorageError::CannotMakeRoom { .. })
         ));
+    }
+
+    #[test]
+    fn memory_budget_evicts_cold_segments() {
+        let mut space = ObjectSpace::new(64 * 1024, 4096, 1024);
+        let root = space.root_sro();
+        let sro = create_sro(
+            &mut space,
+            root,
+            Level(0),
+            SroQuota {
+                data_bytes: 16 * 1024,
+                access_slots: 256,
+            },
+        )
+        .unwrap();
+        // Budget: the directory's single leaf page plus ~4 resident
+        // 256-byte data parts.
+        let mut m = SwappingManager::with_memory_budget(
+            super::LEAF_PAGE_BYTES + 4 * 256 + space_data(&space),
+        );
+        let mut objs = Vec::new();
+        for _ in 0..8 {
+            objs.push(
+                m.create_object(&mut space, sro, ObjectSpec::generic(256, 0))
+                    .unwrap(),
+            );
+        }
+        // Growth past the budget evicted the overflow to backing store;
+        // everything stays reachable (swap-in on demand), nothing faults.
+        assert!(m.stats().swap_outs >= 1, "budget pressure must evict");
+        assert!(
+            SwappingManager::resident_bytes(&space) <= m.memory_budget_bytes,
+            "footprint must settle under the budget"
+        );
+        let absent = objs
+            .iter()
+            .filter(|o| space.table.get(**o).unwrap().desc.absent)
+            .count();
+        assert!(absent >= 4);
+        m.ensure_resident(&mut space, objs[0]).unwrap();
+        assert!(!space.table.get(objs[0]).unwrap().desc.absent);
+    }
+
+    /// Data bytes resident before the test allocates anything (the root
+    /// SRO's own bookkeeping objects).
+    fn space_data(space: &ObjectSpace) -> u64 {
+        let mut data = 0u64;
+        use i432_arch::SpaceMut;
+        space.for_each_live(&mut |_, e| {
+            if !e.desc.absent {
+                data += e.desc.data_len as u64;
+            }
+        });
+        data
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited() {
+        let (mut space, sro) = tight_space();
+        let mut m = SwappingManager::new();
+        assert_eq!(m.memory_budget_bytes, 0);
+        for _ in 0..4 {
+            m.create_object(&mut space, sro, ObjectSpec::generic(256, 0))
+                .unwrap();
+        }
+        assert_eq!(m.stats().swap_outs, 0, "no budget, no budget evictions");
     }
 
     #[test]

@@ -36,10 +36,14 @@ pub enum Counter {
     ProcBlocks,
     ProcFaults,
     ProcExits,
+    TableLeafPages,
+    TableEvictions,
+    TableOccupancyPeak,
+    GcSweepPages,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::ProcExits as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::GcSweepPages as usize + 1;
 
 /// Log2-bucketed cycle/size histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -95,6 +99,10 @@ impl Counter {
         Counter::ProcBlocks,
         Counter::ProcFaults,
         Counter::ProcExits,
+        Counter::TableLeafPages,
+        Counter::TableEvictions,
+        Counter::TableOccupancyPeak,
+        Counter::GcSweepPages,
     ];
 
     /// Stable lowercase name used in exports.
@@ -121,6 +129,10 @@ impl Counter {
             Counter::ProcBlocks => "proc_blocks",
             Counter::ProcFaults => "proc_faults",
             Counter::ProcExits => "proc_exits",
+            Counter::TableLeafPages => "table_leaf_pages",
+            Counter::TableEvictions => "table_evictions",
+            Counter::TableOccupancyPeak => "table_occupancy_peak",
+            Counter::GcSweepPages => "gc_sweep_pages",
         }
     }
 }
@@ -150,6 +162,25 @@ pub fn bump(c: Counter) {
     COUNTERS[c as usize].fetch_add(1, Ordering::Relaxed);
     #[cfg(not(feature = "trace"))]
     let _ = c;
+}
+
+/// Raises a high-water-mark counter to at least `v` (gauge semantics:
+/// `fetch_max`, not add). Inlined no-op without the `trace` feature.
+#[inline(always)]
+pub fn bump_max(c: Counter, v: u64) {
+    #[cfg(feature = "trace")]
+    COUNTERS[c as usize].fetch_max(v, Ordering::Relaxed);
+    #[cfg(not(feature = "trace"))]
+    let _ = (c, v);
+}
+
+/// Adds `n` to a counter. Inlined no-op without the `trace` feature.
+#[inline(always)]
+pub fn bump_by(c: Counter, n: u64) {
+    #[cfg(feature = "trace")]
+    COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    #[cfg(not(feature = "trace"))]
+    let _ = (c, n);
 }
 
 /// Records a value in a histogram. Inlined no-op without the `trace`

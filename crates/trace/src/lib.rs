@@ -45,7 +45,9 @@ pub mod recorder;
 pub mod ring;
 pub mod timeline;
 
-pub use counters::{bump, observe, reset_counters, snapshot, Counter, CountersSnapshot, Hist};
+pub use counters::{
+    bump, bump_by, bump_max, observe, reset_counters, snapshot, Counter, CountersSnapshot, Hist,
+};
 pub use event::{Event, EventKind};
 pub use recorder::{drain_timeline, emit, reset, set_context, set_cycle, test_guard, ENABLED};
 pub use ring::{DrainedRecord, Ring, RING_CAPACITY};

@@ -565,6 +565,172 @@ pub fn c5_gc_overhead(cpus: u32, configs: &[u32]) -> Vec<GcOverhead> {
         .collect()
 }
 
+/// One point of the C5-threaded parallel-marking experiment: the same
+/// object population collected with a different number of shard-worker
+/// threads.
+#[derive(Debug, Clone, Copy)]
+pub struct GcThreadedPoint {
+    /// Shards = marker threads.
+    pub shards: u32,
+    /// Live (anchored) objects in the space, identical at every point.
+    pub live: u64,
+    /// Unreferenced white objects in the space, identical at every point.
+    pub garbage: u64,
+    /// Objects reclaimed over the run — deterministically `garbage`,
+    /// regardless of shard count or schedule.
+    pub reclaimed: u64,
+    /// Collection cycles driven (fixed by the harness).
+    pub gc_cycles: u64,
+    /// Wall-clock microseconds for the whole `collect_on` run.
+    pub mark_wall_us: u64,
+    /// Live objects marked per millisecond of wall clock (live × cycles
+    /// ÷ wall) — the number that must rise with shards on real cores.
+    pub marks_per_ms: u64,
+    /// Collector worker errors (must be zero).
+    pub gc_errors: u64,
+}
+
+/// C5-threaded, part 1: marking throughput vs shard count. One fixed
+/// population — `live` anchored chain objects plus `garbage` lost ones,
+/// striped round-robin — is collected for `cycles` full cycles by the
+/// parallel per-shard collector, once per entry of `shard_counts`.
+/// Everything *logical* (what gets reclaimed) is schedule-independent;
+/// only the wall clock varies with the thread count.
+pub fn c5_gc_threaded(
+    shard_counts: &[u32],
+    live: u32,
+    garbage: u32,
+    cycles: u32,
+) -> Vec<GcThreadedPoint> {
+    use i432_arch::{ObjectRef, ObjectType, ShardedSpace, SharedSpace, SysState, SystemType};
+    use imax_gc::{GcConfig, ParallelGc};
+    use std::time::Instant;
+    let build = |shards: u32| -> ShardedSpace {
+        let mut s = ShardedSpace::new(1 << 22, 1 << 17, 1 << 16, shards);
+        for k in 0..shards {
+            let root = s.root_sro_of(k);
+            let cpu = s
+                .create_object(
+                    root,
+                    ObjectSpec {
+                        data_len: 0,
+                        access_len: i432_arch::sysobj::CPU_ACCESS_SLOTS,
+                        otype: ObjectType::System(SystemType::Processor),
+                        level: None,
+                        sys: SysState::Processor(i432_arch::ProcessorState::new(k)),
+                    },
+                )
+                .expect("cpu allocation");
+            // The live population: one long anchored chain per shard, so
+            // marking must actually traverse `live / shards` pointers.
+            let mut prev: Option<ObjectRef> = None;
+            for _ in 0..live / shards {
+                let o = s
+                    .create_object(root, ObjectSpec::generic(16, 2))
+                    .expect("live allocation");
+                if let Some(p) = prev {
+                    let ad = s.mint(p, Rights::ALL);
+                    s.store_ad_hw(o, 0, Some(ad)).expect("chain link");
+                }
+                prev = Some(o);
+            }
+            let head = s.mint(prev.expect("nonempty chain"), Rights::ALL);
+            s.store_ad_hw(cpu, i432_arch::sysobj::CPU_SLOT_ROOT, Some(head))
+                .expect("chain anchor");
+            // The lost population: allocated, never referenced — white.
+            for _ in 0..garbage / shards {
+                s.create_object(root, ObjectSpec::generic(16, 0))
+                    .expect("garbage allocation");
+            }
+        }
+        s
+    };
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let shared = SharedSpace::new(build(shards));
+            let gc = ParallelGc::new(shards, GcConfig::default());
+            let t0 = Instant::now();
+            gc.collect_on(&shared, cycles);
+            let wall = t0.elapsed();
+            let stats = gc.snapshot();
+            let live_total = (live / shards * shards) as u64;
+            let garbage_total = (garbage / shards * shards) as u64;
+            GcThreadedPoint {
+                shards,
+                live: live_total,
+                garbage: garbage_total,
+                reclaimed: stats.reclaimed,
+                gc_cycles: stats.cycles,
+                mark_wall_us: wall.as_micros() as u64,
+                marks_per_ms: ((live_total * cycles as u64) as f64
+                    / wall.as_secs_f64().max(1e-9)
+                    / 1000.0) as u64,
+                gc_errors: stats.errors.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// C5-threaded, part 2: what concurrent collection costs the mutators.
+#[derive(Debug, Clone, Copy)]
+pub struct GcMutatorOverhead {
+    /// Wall-clock microseconds for the workload with no collector.
+    pub baseline_wall_us: u64,
+    /// Wall-clock microseconds with the parallel collector's shard
+    /// workers marking and sweeping throughout the run.
+    pub gc_on_wall_us: u64,
+    /// `gc_on / baseline` — the concurrent-collection tax.
+    pub slowdown: f64,
+    /// Collections completed while the mutators ran (schedule-dependent,
+    /// so deliberately not named `cycles`: `bench_diff` must treat it as
+    /// host-dependent).
+    pub collections: u64,
+    /// Objects reclaimed while the mutators ran (schedule-dependent).
+    pub reclaimed_during_run: u64,
+    /// System errors plus collector errors (must be zero).
+    pub system_errors: u64,
+}
+
+/// Runs the canonical token-mutex workload on the threaded runner twice
+/// — bare, then with the per-shard collector workers riding along as
+/// aux threads — and reports the mutator slowdown. The logical end
+/// state (the shared counter) is asserted identical in both arms: the
+/// collector must be invisible.
+pub fn c5_gc_mutator_overhead(
+    cpus: u32,
+    shards: u32,
+    workers: u32,
+    rounds: u64,
+) -> GcMutatorOverhead {
+    use imax_gc::{run_threaded_parallel_gc, GcConfig, ParallelGc};
+    use std::time::Instant;
+    let t0 = Instant::now();
+    let (sys, counter, expected) = token_mutex_system(cpus, shards, workers, rounds);
+    let (mut sys, bare) = i432_sim::run_threaded(sys, u64::MAX);
+    let baseline_wall = t0.elapsed();
+    assert!(bare.completed, "bare run must finish: {bare:?}");
+    assert_eq!(sys.space.read_u64(counter, 0).unwrap(), expected);
+
+    let t1 = Instant::now();
+    let (sys, counter, expected) = token_mutex_system(cpus, shards, workers, rounds);
+    let gc = ParallelGc::new(shards, GcConfig::default());
+    let (mut sys, with_gc) = run_threaded_parallel_gc(sys, u64::MAX, true, &gc);
+    let gc_wall = t1.elapsed();
+    assert!(with_gc.completed, "gc-on run must finish: {with_gc:?}");
+    assert_eq!(sys.space.read_u64(counter, 0).unwrap(), expected);
+    let stats = gc.snapshot();
+
+    GcMutatorOverhead {
+        baseline_wall_us: baseline_wall.as_micros() as u64,
+        gc_on_wall_us: gc_wall.as_micros() as u64,
+        slowdown: gc_wall.as_secs_f64() / baseline_wall.as_secs_f64(),
+        collections: stats.cycles,
+        reclaimed_during_run: stats.reclaimed,
+        system_errors: bare.system_errors + with_gc.system_errors + stats.errors.len() as u64,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // C6 — local heaps reclaim more cheaply than global GC (paper §5/§8.1).
 // ---------------------------------------------------------------------------

@@ -3,13 +3,18 @@
 //! ```text
 //! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
 //!              [--cache on|off|both] [--explore N] [--out PATH] [--trace]
+//!              [--gc]
 //! ```
 //!
 //! Default: seeds 0..256 on the full {1,4,16} shards × {1,4,8} threads
 //! matrix, with every point run cache-on *and* cache-off (`--cache
 //! both`). `--seed N` replays exactly one seed (the form every failure
 //! report prints). `--explore N` additionally runs N seeded schedule
-//! explorations. Failing seeds are written to `--out` (default
+//! explorations. `--gc` switches every matrix point to the
+//! parallel-collector arm: the per-shard collector workers mark and
+//! sweep on real threads *while* the workload runs, and the end state
+//! must still match the (GC-free) deterministic reference bit-for-bit.
+//! Failing seeds are written to `--out` (default
 //! `CONFORM_FAILURES.json`) and the process exits nonzero.
 //!
 //! `--trace` (needs a `--features trace` build; warns otherwise)
@@ -19,8 +24,8 @@
 //! digest mismatch.
 
 use i432_conform::{
-    check_seed_modes, explore, generate, run_threaded_case, CacheModes, ExploreConfig, FULL_MATRIX,
-    QUICK_MATRIX,
+    check_seed_modes, check_seed_pargc, explore, generate, run_threaded_case, CacheModes,
+    ExploreConfig, FULL_MATRIX, QUICK_MATRIX,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -33,6 +38,7 @@ struct Args {
     explore_seeds: u64,
     out: String,
     trace: bool,
+    gc: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         explore_seeds: 0,
         out: "CONFORM_FAILURES.json".into(),
         trace: false,
+        gc: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -102,6 +109,10 @@ fn parse_args() -> Result<Args, String> {
                 args.trace = true;
                 i += 1;
             }
+            "--gc" => {
+                args.gc = true;
+                i += 1;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -118,15 +129,24 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, {} cache arm(s)",
+        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, {} cache arm(s){}",
         args.start,
         args.start + args.count,
         args.matrix.len(),
-        args.cache.arms().len()
+        args.cache.arms().len(),
+        if args.gc {
+            ", concurrent parallel-GC arm"
+        } else {
+            ""
+        }
     );
     let mut failures = Vec::new();
     for seed in args.start..args.start + args.count {
-        let report = check_seed_modes(seed, args.matrix, args.cache);
+        let report = if args.gc {
+            check_seed_pargc(seed, args.matrix, args.cache)
+        } else {
+            check_seed_modes(seed, args.matrix, args.cache)
+        };
         if report.passed() {
             if (seed - args.start + 1) % 32 == 0 {
                 println!(

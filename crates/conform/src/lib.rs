@@ -32,6 +32,7 @@ pub mod oracle;
 pub use explore::{explore, explore_traced, ExploreConfig, ExploreReport};
 pub use gen::{generate, GenCase, GenProcess};
 pub use oracle::{
-    check_seed, check_seed_modes, replay_command, run_deterministic, run_threaded_case,
-    run_threaded_sys_gc, CacheModes, CaseOutcome, SeedReport, FULL_MATRIX, QUICK_MATRIX,
+    check_seed, check_seed_modes, check_seed_pargc, replay_command, run_deterministic,
+    run_threaded_case, run_threaded_sys_gc, run_threaded_sys_pargc, CacheModes, CaseOutcome,
+    SeedReport, FULL_MATRIX, QUICK_MATRIX,
 };

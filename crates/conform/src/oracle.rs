@@ -345,6 +345,94 @@ pub fn run_threaded_sys_gc(
     (sys, o, collector)
 }
 
+/// Runs the subject arm at one matrix point with the **parallel
+/// per-shard collector** ([`imax_gc::ParallelGc`]) marking and sweeping
+/// on real host threads concurrently with the mutator GDPs — the
+/// strongest concurrency the system offers. Returns the collector's
+/// statistics so callers can audit how much collection really ran.
+///
+/// The workers always finish the cycle in progress when the workload
+/// completes, so the space is handed back at a cycle boundary and the
+/// end-state digest must still be bit-identical to the reference arm:
+/// an on-the-fly collector only ever removes unreachable objects, and
+/// the digest walks the reachable graph.
+pub fn run_threaded_sys_pargc(
+    case: &GenCase,
+    shards: u32,
+    cpus: u32,
+    cache: bool,
+) -> (System, CaseOutcome, imax_gc::ParGcStats) {
+    let (mut sys, h) = build(case, shards, cpus);
+    // Short workload slices, as in the daemon arm: collector cycles
+    // should interleave with allocation and barrier traffic, not run
+    // against an already-quiescent space.
+    for p in sys.processes().to_vec() {
+        if let Ok(ps) = sys.space.process_mut(p) {
+            ps.timeslice = 500;
+            ps.slice_remaining = 500;
+        }
+    }
+    let gc = imax_gc::ParallelGc::new(shards, imax_gc::GcConfig::default());
+    // Unbounded for the same reason as the daemon arm: epoch bumps from
+    // concurrent sweeps perturb idle-spin counts, so no finite
+    // total-step budget is schedule-independent.
+    let (mut sys, outcome) = imax_gc::run_threaded_parallel_gc(sys, u64::MAX, cache, &gc);
+    assert!(
+        outcome.completed && outcome.system_errors == 0,
+        "seed {}: threaded+parallel-GC arm ({shards} shards x {cpus} threads) failed: {outcome:?}; replay: {}",
+        case.seed,
+        replay_command(case.seed)
+    );
+    let stats = gc.snapshot();
+    assert!(
+        stats.errors.is_empty(),
+        "seed {}: parallel collector faulted: {:?}; replay: {}",
+        case.seed,
+        stats.errors,
+        replay_command(case.seed)
+    );
+    let o = outcome_of(&mut sys, &h);
+    (sys, o, stats)
+}
+
+/// Differential check of the parallel-collector arm: the reference
+/// deterministic run (no GC at all) and every matrix point running
+/// under concurrent per-shard collection must agree bit-for-bit on the
+/// workload-visible end state.
+pub fn check_seed_pargc(seed: u64, matrix: &[(u32, u32)], modes: CacheModes) -> SeedReport {
+    let case = crate::gen::generate(seed);
+    let reference = run_deterministic(&case);
+    let mut mismatches = Vec::new();
+    for &(shards, cpus) in matrix {
+        for &cache in modes.arms() {
+            let (_sys, got, stats) = run_threaded_sys_pargc(&case, shards, cpus, cache);
+            if got != reference {
+                mismatches.push(format!(
+                    "seed {seed}: {shards} shards x {cpus} threads (cache {}, parallel GC: \
+                     {} cycles, {} reclaimed, {} steals) diverged \
+                     (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
+                    if cache { "on" } else { "off" },
+                    stats.cycles,
+                    stats.reclaimed,
+                    stats.steals,
+                    got.digest,
+                    reference.digest,
+                    got.counter,
+                    reference.counter,
+                    got.proc_states,
+                    reference.proc_states,
+                    replay_command(seed)
+                ));
+            }
+        }
+    }
+    SeedReport {
+        seed,
+        reference,
+        mismatches,
+    }
+}
+
 /// Runs the subject arm at one matrix point (caches on, the default
 /// runner configuration). Returns the system too.
 pub fn run_threaded_sys(case: &GenCase, shards: u32, cpus: u32) -> (System, CaseOutcome) {

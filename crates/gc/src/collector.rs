@@ -251,63 +251,77 @@ impl Collector {
         space: &mut S,
         r: ObjectRef,
     ) -> Result<(), Fault> {
-        let e = space.entry(r).map_err(Fault::from)?;
-        // The root SRO has no parent and is indestructible; it is also
-        // always a root, so a white root SRO indicates a bug.
-        if e.desc.sro.is_none() {
-            return Ok(());
-        }
-        let notified = e.desc.filter_notified;
-        let otype = e.desc.otype;
+        reclaim_or_finalize(space, r, &self.config, &mut self.stats)
+    }
+}
 
-        if !notified {
-            // Destruction filters (paper §8.2): a garbage instance of a
-            // filtered type is delivered to its type manager instead of
-            // reclaimed. Release-1 special case: lost processes.
-            let filter_port = match otype {
-                ObjectType::User(tdo) => filter::filter_port_for(space, tdo)?,
-                ObjectType::System(SystemType::Process) => self.config.process_filter_port,
-                _ => None,
-            };
-            if let Some(port) = filter_port {
-                if filter::deliver(space, port, r)? {
-                    space
-                        .entry_mut(r)
-                        .map_err(Fault::from)?
-                        .desc
-                        .filter_notified = true;
-                    self.stats.finalized += 1;
-                    self.stats.sim_cycles += 120;
-                    return Ok(());
-                }
-                // Filter port gone or full: fall through and reclaim —
-                // better a lost notification than a leak.
-            }
-        }
+/// Sweeps one white object: filter delivery, SRO deferral, or physical
+/// reclaim. Shared verbatim between the serial [`Collector`] and the
+/// parallel per-shard sweeper so the deterministic path's accounting
+/// stays bit-identical.
+pub(crate) fn reclaim_or_finalize<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    r: ObjectRef,
+    config: &GcConfig,
+    stats: &mut GcStats,
+) -> Result<(), Fault> {
+    let Ok(e) = space.entry(r) else {
+        // Gone since capture (scope teardown raced the sweep).
+        return Ok(());
+    };
+    // The root SRO has no parent and is indestructible; it is also
+    // always a root, so a white root SRO indicates a bug.
+    if e.desc.sro.is_none() {
+        return Ok(());
+    }
+    let notified = e.desc.filter_notified;
+    let otype = e.desc.otype;
 
-        // A garbage SRO still charging objects cannot be destroyed alone;
-        // its objects are garbage too (nothing outside an SRO's clients
-        // references it) and will be reclaimed as the sweep reaches them,
-        // after which a later cycle reclaims the SRO itself.
-        if let SysState::Sro(st) = &space.entry(r).map_err(Fault::from)?.sys {
-            if st.object_count > 0 {
+    if !notified {
+        // Destruction filters (paper §8.2): a garbage instance of a
+        // filtered type is delivered to its type manager instead of
+        // reclaimed. Release-1 special case: lost processes.
+        let filter_port = match otype {
+            ObjectType::User(tdo) => filter::filter_port_for(space, tdo)?,
+            ObjectType::System(SystemType::Process) => config.process_filter_port,
+            _ => None,
+        };
+        if let Some(port) = filter_port {
+            if filter::deliver(space, port, r)? {
+                space
+                    .entry_mut(r)
+                    .map_err(Fault::from)?
+                    .desc
+                    .filter_notified = true;
+                stats.finalized += 1;
+                stats.sim_cycles += 120;
                 return Ok(());
             }
+            // Filter port gone or full: fall through and reclaim —
+            // better a lost notification than a leak.
         }
-        if matches!(otype, ObjectType::User(_)) {
-            if let ObjectType::User(tdo) = otype {
-                if let Ok(t) = space.tdo_mut(tdo) {
-                    t.instances_reclaimed += 1;
-                }
-            }
-        }
-        space.destroy_object(r).map_err(Fault::from)?;
-        self.stats.reclaimed += 1;
-        self.stats.sim_cycles += 40;
-        i432_trace::emit(i432_trace::EventKind::GcSweepReclaim, r.index.0);
-        i432_trace::bump(i432_trace::Counter::GcSweepReclaims);
-        Ok(())
     }
+
+    // A garbage SRO still charging objects cannot be destroyed alone;
+    // its objects are garbage too (nothing outside an SRO's clients
+    // references it) and will be reclaimed as the sweep reaches them,
+    // after which a later cycle reclaims the SRO itself.
+    if let SysState::Sro(st) = &space.entry(r).map_err(Fault::from)?.sys {
+        if st.object_count > 0 {
+            return Ok(());
+        }
+    }
+    if let ObjectType::User(tdo) = otype {
+        if let Ok(t) = space.tdo_mut(tdo) {
+            t.instances_reclaimed += 1;
+        }
+    }
+    space.destroy_object(r).map_err(Fault::from)?;
+    stats.reclaimed += 1;
+    stats.sim_cycles += 40;
+    i432_trace::emit(i432_trace::EventKind::GcSweepReclaim, r.index.0);
+    i432_trace::bump(i432_trace::Counter::GcSweepReclaims);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -10,6 +10,14 @@
 //! cost). It is dispatched, time-sliced and preempted like any mutator —
 //! the "parallel" in parallel garbage collection — and its only
 //! synchronization with the rest of iMAX is the hardware gray bit.
+//!
+//! The daemon is deliberately kept on the **serial** [`Collector`] even
+//! now that [`crate::parallel`] exists: on the deterministic runner the
+//! daemon's increments are part of the simulated instruction stream, so
+//! every run replays bit-identically (C1/C2 in EXPERIMENTS.md). The
+//! parallel per-shard engine rides the *threaded* runner's real host
+//! threads instead and is therefore only checked by order-free
+//! invariants, never by byte-equal replay.
 
 use crate::collector::Collector;
 use i432_arch::{CodeBody, ObjectRef, Subprogram};

@@ -27,17 +27,26 @@
 //! * [`roots`] — root discovery: processor objects (and the root SRO).
 //!   Everything the system must retain hangs off the processors' root
 //!   directory; there is deliberately no "table of all objects".
+//! * [`gray`] + [`parallel`] — the threaded-runner engine: per-shard
+//!   work-stealing gray deques and one marking/sweeping worker per
+//!   shard, running concurrently with mutators (the paper's "parallel"
+//!   in "system-wide parallel garbage collector"). The serial
+//!   [`collector`] remains the deterministic-runner engine, bit-exact.
 
 #![warn(missing_docs)]
 
 pub mod collector;
 pub mod daemon;
 pub mod filter;
+pub mod gray;
 pub mod invariant;
+pub mod parallel;
 pub mod roots;
 
 pub use collector::{Collector, GcConfig, GcPhase, GcStats};
 pub use daemon::install_gc_daemon;
 pub use filter::drain_filter_port;
-pub use invariant::check_tricolor;
-pub use roots::find_roots;
+pub use gray::GrayDeque;
+pub use invariant::{check_tricolor, check_tricolor_shared};
+pub use parallel::{run_threaded_parallel_gc, ParGcStats, ParallelGc, GC_TRACE_CPU_BASE};
+pub use roots::{find_roots, is_root_entry};

@@ -17,7 +17,7 @@ pub fn find_roots<S: SpaceMut + ?Sized>(space: &S) -> Vec<ObjectRef> {
         roots.push(space.root_sro_of(k));
     }
     space.for_each_live(&mut |i, e| {
-        if e.desc.otype == ObjectType::System(SystemType::Processor) {
+        if is_root_entry(e) {
             roots.push(ObjectRef {
                 index: i,
                 generation: e.generation,
@@ -25,6 +25,14 @@ pub fn find_roots<S: SpaceMut + ?Sized>(space: &S) -> Vec<ObjectRef> {
         }
     });
     roots
+}
+
+/// Whether a live table entry is a root by virtue of its type. The
+/// parallel collector's per-shard root scans apply this predicate to
+/// each shard's live leaf pages, so the serial and parallel engines
+/// agree on the root set by construction.
+pub fn is_root_entry(e: &i432_arch::Entry) -> bool {
+    e.desc.otype == ObjectType::System(SystemType::Processor)
 }
 
 #[cfg(test)]

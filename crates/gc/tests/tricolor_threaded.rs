@@ -28,7 +28,9 @@ use i432_gdp::process::ProcessSpec;
 use i432_gdp::ProgramBuilder;
 use i432_sim::{run_threaded_with, System, SystemConfig};
 use i432_trace::{EventKind, TimelineEvent};
-use imax_gc::{install_gc_daemon, Collector};
+use imax_gc::{
+    install_gc_daemon, run_threaded_parallel_gc, Collector, GcConfig, ParallelGc, GC_TRACE_CPU_BASE,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -140,11 +142,43 @@ fn garbage_maker(iters: u64) -> Vec<Instruction> {
     p.finish()
 }
 
+/// A system of `mutators` churn processes, no collector installed.
+fn mutator_system(cpus: u32, shards: u32, mutators: usize, iters: u64) -> System {
+    let mut sys = System::new(
+        &SystemConfig::small()
+            .with_processors(cpus)
+            .with_shards(shards),
+    );
+    let sub = sys.subprogram("garbage_maker", garbage_maker(iters), 64, 8);
+    let dom = sys.install_domain("churn", vec![sub], 0);
+    let dispatch = sys.dispatch_ad();
+    for _ in 0..mutators {
+        let mut spec = ProcessSpec::new(dispatch);
+        spec.timeslice = 2_000;
+        sys.spawn_with(dom, 0, None, spec);
+    }
+    sys
+}
+
 /// A system with the GC daemon time-slicing *at mutator priority* (so a
 /// single processor round-robins daemon and mutators) plus `mutators`
 /// churn processes.
 fn churn_system(cpus: u32, mutators: usize, iters: u64) -> (System, Arc<Mutex<Collector>>) {
-    let mut sys = System::new(&SystemConfig::small().with_processors(cpus));
+    churn_system_sharded(cpus, 1, mutators, iters)
+}
+
+/// [`churn_system`] over a sharded space.
+fn churn_system_sharded(
+    cpus: u32,
+    shards: u32,
+    mutators: usize,
+    iters: u64,
+) -> (System, Arc<Mutex<Collector>>) {
+    let mut sys = System::new(
+        &SystemConfig::small()
+            .with_processors(cpus)
+            .with_shards(shards),
+    );
     let collector = Arc::new(Mutex::new(Collector::new()));
     let daemon = install_gc_daemon(&mut sys, Arc::clone(&collector), 32, 128);
     if let Ok(ps) = sys.space.process_mut(daemon) {
@@ -342,4 +376,340 @@ fn gc_phase_counts_are_consistent_on_multiple_cpus() {
         );
     }
     i432_trace::reset();
+}
+
+// ---------------------------------------------------------------------
+// Per-shard battery for the parallel collector (crate::parallel).
+// ---------------------------------------------------------------------
+
+/// Projects a timeline onto one shard: object events (shade, alloc,
+/// reclaim) whose index stripes to shard `k`, plus every phase event.
+/// On a single-cpu run with a serial daemon the merged order is real
+/// order, so [`check_i6_single_stream`] of this projection is a genuine
+/// *per-shard* I6 event-order scan.
+fn shard_projection(events: &[TimelineEvent], shards: u32, k: u32) -> Vec<TimelineEvent> {
+    events
+        .iter()
+        .filter(|e| match e.kind {
+            EventKind::GcPhaseMark | EventKind::GcPhaseSweep | EventKind::GcPhaseIdle => true,
+            EventKind::GcShadeGray | EventKind::SroAlloc | EventKind::GcSweepReclaim => {
+                e.obj % shards == k
+            }
+            _ => false,
+        })
+        .copied()
+        .collect()
+}
+
+/// I6 must hold *per shard*, not merely in aggregate: the per-shard
+/// projection of a single-cpu timeline is scanned in full event order
+/// for every shard of a 4-way striped space.
+#[test]
+fn i6_holds_per_shard_with_daemon_on_sharded_space() {
+    let _guard = i432_trace::test_guard();
+    i432_trace::reset();
+    i432_trace::set_context(0, 0);
+
+    const SHARDS: u32 = 4;
+    let (sys, collector) = churn_system_sharded(1, SHARDS, 2, 200);
+    let (sys, outcome) = run_threaded_with(sys, u64::MAX, true);
+    assert!(
+        outcome.completed && outcome.system_errors == 0,
+        "churn workload failed: {outcome:?}"
+    );
+    drop(sys);
+    let stats = collector.lock().stats;
+    assert!(stats.reclaimed >= 1, "churn garbage reclaimed: {stats:?}");
+
+    let t = i432_trace::drain_timeline();
+    if i432_trace::ENABLED {
+        let mut reclaims = 0;
+        for k in 0..SHARDS {
+            let proj = shard_projection(&t.events, SHARDS, k);
+            reclaims += check_i6_single_stream(&proj).unwrap_or_else(|e| panic!("shard {k}: {e}"));
+        }
+        if t.dropped == 0 {
+            assert_eq!(
+                reclaims, stats.reclaimed,
+                "the per-shard projections partition the reclaim events"
+            );
+        }
+    }
+    i432_trace::reset();
+}
+
+/// The parallel per-shard collector running concurrently with mutators
+/// on the threaded runner. Cross-ring order is not real-time order, so
+/// each worker's own ring is scanned in order (phase protocol, in-ring
+/// I6, double-free detection) and everything cross-ring is checked as
+/// order-free count identities against the collector's statistics.
+#[test]
+fn parallel_gc_per_shard_battery_under_threaded_churn() {
+    let _guard = i432_trace::test_guard();
+    i432_trace::reset();
+    i432_trace::reset_counters();
+    i432_trace::set_context(0, 0);
+
+    const SHARDS: u32 = 4;
+    let before = i432_trace::snapshot();
+    let sys = mutator_system(2, SHARDS, 3, 600);
+    let gc = ParallelGc::new(SHARDS, GcConfig::default());
+    let (mut sys, outcome) = run_threaded_parallel_gc(sys, u64::MAX, true, &gc);
+    assert!(
+        outcome.completed && outcome.system_errors == 0,
+        "churn workload failed: {outcome:?}"
+    );
+    let stats = gc.snapshot();
+    let after = i432_trace::snapshot();
+    assert_eq!(stats.errors, Vec::<String>::new());
+    assert!(
+        stats.cycles >= 1,
+        "collector cycled during the run: {stats:?}"
+    );
+    assert_eq!(
+        stats.marked_per_worker.iter().sum::<u64>(),
+        stats.mark_steps,
+        "per-worker mark counts partition the total"
+    );
+
+    let t = i432_trace::drain_timeline();
+    if i432_trace::ENABLED {
+        use i432_trace::Counter;
+        assert_eq!(
+            after.get(Counter::GcParMarkSteps) - before.get(Counter::GcParMarkSteps),
+            stats.mark_steps,
+            "trace counter and collector statistic agree on mark steps"
+        );
+        assert_eq!(
+            after.get(Counter::GcMarkSteals) - before.get(Counter::GcMarkSteals),
+            stats.steals,
+            "trace counter and collector statistic agree on steals"
+        );
+
+        let mut ring_reclaims = 0u64;
+        let mut ring_idles = Vec::new();
+        for k in 0..SHARDS {
+            let cpu = GC_TRACE_CPU_BASE + k as u16;
+            let ring: Vec<TimelineEvent> =
+                t.events.iter().filter(|e| e.cpu == cpu).copied().collect();
+            // Worker k's ring in its own (real) emission order: the
+            // cycle protocol must hold, reclaims must land inside sweep
+            // phases, no index is freed twice, and nothing worker k
+            // shaded in a cycle is reclaimed by that same cycle.
+            let reclaims =
+                check_i6_single_stream(&ring).unwrap_or_else(|e| panic!("worker {k}: {e}"));
+            ring_reclaims += reclaims;
+            // Worker k sweeps shard k and nothing else.
+            for e in &ring {
+                if e.kind == EventKind::GcSweepReclaim {
+                    assert_eq!(
+                        e.obj % SHARDS,
+                        k,
+                        "worker {k} reclaimed an object striped to shard {}",
+                        e.obj % SHARDS
+                    );
+                }
+            }
+            ring_idles.push(
+                ring.iter()
+                    .filter(|e| e.kind == EventKind::GcPhaseIdle)
+                    .count() as u64,
+            );
+        }
+        if t.dropped == 0 {
+            assert_eq!(
+                ring_reclaims, stats.reclaimed,
+                "worker rings account for every reclaim"
+            );
+            // Barrier discipline: every worker completed the same
+            // number of cycles, and the shared counter agrees.
+            for (k, idles) in ring_idles.iter().enumerate() {
+                assert_eq!(
+                    *idles, stats.cycles,
+                    "worker {k} emitted one idle event per completed cycle"
+                );
+            }
+        }
+    }
+
+    // The creation barrier leaves churn garbage gray, so a short run may
+    // end before the two-cycle laundering completes. Two more cycles on
+    // the handed-back space must flush all of it.
+    use i432_arch::{ShardedSpace, SharedSpace};
+    let space = std::mem::replace(&mut sys.space, ShardedSpace::new(4096, 64, 16, 1));
+    let shared = SharedSpace::new(space);
+    gc.collect_on(&shared, 2);
+    let final_stats = gc.snapshot();
+    assert_eq!(final_stats.errors, Vec::<String>::new());
+    assert!(
+        final_stats.reclaimed >= 1,
+        "churn garbage reclaimed by the parallel engine: {final_stats:?}"
+    );
+    let space = shared.into_inner();
+    // Every survivor is white at a cycle boundary.
+    i432_arch::SpaceMut::for_each_live(&space, &mut |_, e| {
+        assert_eq!(e.desc.color, i432_arch::Color::White)
+    });
+    drop(space);
+    i432_trace::reset();
+    i432_trace::reset_counters();
+}
+
+/// The parallel collector must be invisible to conform workloads: the
+/// end state under concurrent per-shard collection matches the GC-free
+/// deterministic reference bit-for-bit, and the worker rings stay
+/// protocol-clean.
+#[test]
+fn parallel_gc_is_invisible_on_conform_seeds() {
+    let _guard = i432_trace::test_guard();
+    for seed in [5u64, 23, 57] {
+        let case = i432_conform::generate(seed);
+        let reference = i432_conform::run_deterministic(&case);
+
+        i432_trace::reset();
+        i432_trace::set_context(0, 0);
+        let (_sys, outcome, stats) = i432_conform::run_threaded_sys_pargc(&case, 4, 2, true);
+        assert_eq!(
+            outcome, reference,
+            "seed {seed}: the parallel collector must be invisible to the \
+             workload-visible end state"
+        );
+        assert_eq!(stats.errors, Vec::<String>::new(), "seed {seed}");
+
+        let t = i432_trace::drain_timeline();
+        if i432_trace::ENABLED {
+            for k in 0..4u16 {
+                let ring: Vec<TimelineEvent> = t
+                    .events
+                    .iter()
+                    .filter(|e| e.cpu == GC_TRACE_CPU_BASE + k)
+                    .copied()
+                    .collect();
+                check_i6_single_stream(&ring)
+                    .unwrap_or_else(|e| panic!("seed {seed} worker {k}: {e}"));
+            }
+        }
+    }
+    i432_trace::reset();
+}
+
+/// Steal-heavy populations: all marking work is rooted in shard 0 (wide
+/// fan-out hubs), so shards 1..N have nothing local and must steal or
+/// spin. Soundness must be exact for every seed — garbage counts
+/// reclaimed to the object, live graphs untouched — and the steal
+/// statistics must agree with the trace counters.
+#[test]
+fn steal_heavy_seeds_mark_exactly() {
+    use i432_arch::{ObjectRef, ObjectSpec, Rights, ShardedSpace, SharedSpace};
+
+    let _guard = i432_trace::test_guard();
+    i432_trace::reset();
+    i432_trace::reset_counters();
+
+    const SHARDS: u32 = 4;
+    let mut total_steals = 0u64;
+    for seed in [0x5eed1u64, 0x5eed2, 0x5eed3] {
+        let mut lcg = seed;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut s = ShardedSpace::new(1 << 20, 1 << 14, 1 << 12, SHARDS);
+        let root0 = s.root_sro();
+        let cpu = s
+            .create_object(
+                root0,
+                ObjectSpec {
+                    data_len: 0,
+                    access_len: i432_arch::sysobj::CPU_ACCESS_SLOTS,
+                    otype: i432_arch::ObjectType::System(i432_arch::SystemType::Processor),
+                    level: None,
+                    sys: i432_arch::SysState::Processor(i432_arch::ProcessorState::new(0)),
+                },
+            )
+            .unwrap();
+        // A chain of 8 hubs in shard 0, each fanning out to 30 children
+        // on seed-chosen shards: worker 0's deque fills with dozens of
+        // grays at a time while the other workers' root scans find
+        // nothing — their marking work can only come from steals.
+        let mut live = Vec::new();
+        let mut prev_hub: Option<ObjectRef> = None;
+        for _ in 0..8 {
+            let hub = s.create_object(root0, ObjectSpec::generic(0, 32)).unwrap();
+            for slot in 0..30 {
+                let shard = (next() % u64::from(SHARDS)) as u32;
+                let child = s
+                    .create_object(s.root_sro_of(shard), ObjectSpec::generic(16, 0))
+                    .unwrap();
+                let ad = s.mint(child, Rights::ALL);
+                s.store_ad_hw(hub, slot, Some(ad)).unwrap();
+                live.push(child);
+            }
+            if let Some(p) = prev_hub {
+                let ad = s.mint(p, Rights::ALL);
+                s.store_ad_hw(hub, 31, Some(ad)).unwrap();
+            }
+            prev_hub = Some(hub);
+            live.push(hub);
+        }
+        let hub_ad = s.mint(prev_hub.unwrap(), Rights::ALL);
+        s.store_ad_hw(cpu, i432_arch::sysobj::CPU_SLOT_ROOT, Some(hub_ad))
+            .unwrap();
+        // Seeded garbage across all shards, never stored anywhere (so it
+        // is white and dies in cycle 1).
+        let mut garbage = Vec::new();
+        for shard in 0..SHARDS {
+            for _ in 0..(10 + next() % 20) {
+                garbage.push(
+                    s.create_object(s.root_sro_of(shard), ObjectSpec::generic(8, 0))
+                        .unwrap(),
+                );
+            }
+        }
+
+        let before = i432_trace::snapshot();
+        let shared = SharedSpace::new(s);
+        let gc = ParallelGc::new(SHARDS, GcConfig::default());
+        gc.collect_on(&shared, 2);
+        let stats = gc.snapshot();
+        let after = i432_trace::snapshot();
+        assert_eq!(stats.errors, Vec::<String>::new(), "seed {seed:#x}");
+        assert_eq!(
+            stats.reclaimed,
+            garbage.len() as u64,
+            "seed {seed:#x}: exactly the white garbage reclaimed"
+        );
+        total_steals += stats.steals;
+        if i432_trace::ENABLED {
+            use i432_trace::Counter;
+            assert_eq!(
+                after.get(Counter::GcMarkSteals) - before.get(Counter::GcMarkSteals),
+                stats.steals,
+                "seed {seed:#x}: steal statistic matches its counter"
+            );
+            assert!(
+                after.get(Counter::GcMarkEmptySteals) > before.get(Counter::GcMarkEmptySteals),
+                "seed {seed:#x}: workers with empty shards recorded failed steal passes"
+            );
+        }
+        let space = shared.into_inner();
+        for o in &live {
+            assert!(space.entry(*o).is_ok(), "seed {seed:#x}: live object lost");
+        }
+        for g in &garbage {
+            assert!(space.entry(*g).is_err(), "seed {seed:#x}: garbage kept");
+        }
+    }
+    // Steal *occurrence* is schedule-dependent; only insist on it when
+    // the host can actually run workers simultaneously.
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) >= 2 {
+        assert!(
+            total_steals >= 1,
+            "across three steal-heavy seeds, at least one steal happened"
+        );
+    }
+    i432_trace::reset();
+    i432_trace::reset_counters();
 }

@@ -28,5 +28,8 @@ pub mod trace;
 pub use config::SystemConfig;
 pub use interconnect::InterleavedBus;
 pub use system::{RunOutcome, System};
-pub use threaded::{run_threaded, run_threaded_global_lock, run_threaded_with, ThreadedOutcome};
+pub use threaded::{
+    run_threaded, run_threaded_aux, run_threaded_global_lock, run_threaded_with, AuxWorker,
+    ThreadedOutcome,
+};
 pub use trace::{TraceBuffer, TraceEntry};

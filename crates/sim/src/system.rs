@@ -201,14 +201,65 @@ impl System {
         }
         let mut procs = std::mem::take(&mut self.processes);
         let before = procs.len();
-        procs.retain(|p| {
-            !matches!(
-                self.space.process(*p).map(|s| s.status),
-                Ok(ProcessStatus::Terminated)
-            )
+        // Drop terminated processes *and* processes whose table entry is
+        // already gone: a process retired concurrently (see
+        // [`System::retire_terminated_shared`]) may have been reclaimed
+        // by the collector before this pass runs, and retaining its
+        // dangling ref would leak it from tracking forever.
+        procs.retain(|p| match self.space.process(*p).map(|s| s.status) {
+            Ok(ProcessStatus::Terminated) | Err(_) => false,
+            Ok(_) => true,
         });
         let retired = (before - procs.len()) as u32;
         self.processes = procs;
+        retired
+    }
+
+    /// Shared-space variant of [`System::retire_terminated`], for use
+    /// *during* a threaded run: scans the root directory through a
+    /// [`i432_arch::SpaceAgent`], clearing the anchor of every process
+    /// that has reached `Terminated`. The exclusive variant needs `&mut
+    /// System`, which only exists outside a run; this one can race
+    /// freely with mutator threads and the parallel collector's markers
+    /// — a process retired mid-mark was shaded by the cycle's scan (or
+    /// will be re-found gray by verification) and is therefore
+    /// reclaimed by a *later* cycle, never the one in flight.
+    ///
+    /// Retires at most `limit` processes per call (pass `u32::MAX` for
+    /// all), so harnesses can stagger retirement in waves against the
+    /// collector's cycle phases. Returns the retired process refs.
+    /// Completion tracking is not touched (the `System` is disassembled
+    /// during a run); callers reconcile afterwards with
+    /// [`System::retire_terminated`], which also drops refs whose
+    /// objects the collector already reclaimed.
+    pub fn retire_terminated_shared(
+        shared: &i432_arch::SharedSpace,
+        root_dir: ObjectRef,
+        limit: u32,
+    ) -> Vec<ObjectRef> {
+        use i432_arch::{SpaceAccess, SpaceAccessExt};
+        let mut agent = shared.agent();
+        let mut retired = Vec::new();
+        for slot in 0..ROOT_DIR_SLOTS {
+            if retired.len() as u32 >= limit {
+                break;
+            }
+            let Ok(Some(ad)) = agent.load_ad_hw(root_dir, slot) else {
+                continue;
+            };
+            if matches!(
+                agent.with_process(ad.obj, |s| s.status),
+                Ok(ProcessStatus::Terminated)
+            ) {
+                // Between the status read and this clear the process
+                // cannot be revived (Terminated is final) and cannot be
+                // reclaimed (the anchor still holds it); double
+                // retirement from a racing thread just clears an
+                // already-empty slot.
+                let _ = agent.store_ad_hw(root_dir, slot, None);
+                retired.push(ad.obj);
+            }
+        }
         retired
     }
 

@@ -66,10 +66,27 @@ pub fn run_threaded(sys: System, max_steps: u64) -> (System, ThreadedOutcome) {
 /// `cache = false` keeps every operation on the locked path. The two
 /// must be digest-identical — the conformance oracle diffs them
 /// bit-for-bit on every seed.
-pub fn run_threaded_with(
+pub fn run_threaded_with(sys: System, max_steps: u64, cache: bool) -> (System, ThreadedOutcome) {
+    run_threaded_aux(sys, max_steps, cache, Vec::new())
+}
+
+/// An auxiliary worker thread run alongside the GDP threads: it gets the
+/// shared space handle and the runner's `done` flag (set when the
+/// workload completes or the step budget runs out) and is expected to
+/// return promptly once the flag is set. The collector's parallel
+/// markers (`imax-gc`) ride on this hook; the runner itself knows
+/// nothing about what the workers do.
+pub type AuxWorker = Box<dyn for<'s> FnOnce(&'s SharedSpace, &'s AtomicBool) + Send>;
+
+/// [`run_threaded_with`] plus auxiliary worker threads (e.g. collector
+/// workers) sharing the space with the mutator GDPs. Aux workers do not
+/// count toward `max_steps` or completion; they are joined before the
+/// space is reassembled.
+pub fn run_threaded_aux(
     mut sys: System,
     max_steps: u64,
     cache: bool,
+    aux: Vec<AuxWorker>,
 ) -> (System, ThreadedOutcome) {
     let processes: Vec<_> = sys.processes().to_vec();
     let gdps: Vec<_> = sys
@@ -109,6 +126,11 @@ pub fn run_threaded_with(
     let done = AtomicBool::new(remaining0 == 0);
 
     std::thread::scope(|scope| {
+        for worker in aux {
+            let shared = &shared;
+            let done = &done;
+            scope.spawn(move || worker(shared, done));
+        }
         for mut gdp in gdps {
             let shared = &shared;
             let processes = &processes;

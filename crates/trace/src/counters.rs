@@ -40,10 +40,13 @@ pub enum Counter {
     TableEvictions,
     TableOccupancyPeak,
     GcSweepPages,
+    GcParMarkSteps,
+    GcMarkSteals,
+    GcMarkEmptySteals,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::GcSweepPages as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::GcMarkEmptySteals as usize + 1;
 
 /// Log2-bucketed cycle/size histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -103,6 +106,9 @@ impl Counter {
         Counter::TableEvictions,
         Counter::TableOccupancyPeak,
         Counter::GcSweepPages,
+        Counter::GcParMarkSteps,
+        Counter::GcMarkSteals,
+        Counter::GcMarkEmptySteals,
     ];
 
     /// Stable lowercase name used in exports.
@@ -133,6 +139,9 @@ impl Counter {
             Counter::TableEvictions => "table_evictions",
             Counter::TableOccupancyPeak => "table_occupancy_peak",
             Counter::GcSweepPages => "gc_sweep_pages",
+            Counter::GcParMarkSteps => "gc_par_mark_steps",
+            Counter::GcMarkSteals => "gc_mark_steals",
+            Counter::GcMarkEmptySteals => "gc_mark_empty_steals",
         }
     }
 }

@@ -64,6 +64,9 @@ pub enum EventKind {
     ProcFault = 23,
     /// A process exited (obj = process).
     ProcExit = 24,
+    /// A parallel marker stole gray work from another shard's deque
+    /// (obj = the victim shard index).
+    GcMarkSteal = 25,
 }
 
 impl EventKind {
@@ -93,6 +96,7 @@ impl EventKind {
         EventKind::ProcBlock,
         EventKind::ProcFault,
         EventKind::ProcExit,
+        EventKind::GcMarkSteal,
     ];
 
     /// Decodes a raw ring value. Unknown values (a torn or stale slot
@@ -128,6 +132,7 @@ impl EventKind {
             EventKind::ProcBlock => "proc_block",
             EventKind::ProcFault => "proc_fault",
             EventKind::ProcExit => "proc_exit",
+            EventKind::GcMarkSteal => "gc_mark_steal",
         }
     }
 
@@ -136,13 +141,17 @@ impl EventKind {
     /// whose observer is interleaving-dependent (false).
     ///
     /// Cache hits/misses depend on what other threads invalidated in
-    /// between, and a White→Gray shade is emitted by whichever thread
-    /// touches the object *first* — so those three are excluded from the
-    /// schedule-replay equality rule (DESIGN.md §8).
+    /// between, a White→Gray shade is emitted by whichever thread
+    /// touches the object *first*, and a gray-deque steal fires only
+    /// when a marker races another shard's owner — so those four are
+    /// excluded from the schedule-replay equality rule (DESIGN.md §8).
     pub fn is_schedule_deterministic(self) -> bool {
         !matches!(
             self,
-            EventKind::QualHit | EventKind::QualMiss | EventKind::GcShadeGray
+            EventKind::QualHit
+                | EventKind::QualMiss
+                | EventKind::GcShadeGray
+                | EventKind::GcMarkSteal
         )
     }
 }

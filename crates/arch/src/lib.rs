@@ -36,6 +36,7 @@ pub mod error;
 pub mod level;
 pub mod memory;
 pub mod object_table;
+pub mod portring;
 pub mod qualcache;
 pub mod refs;
 pub mod rights;
@@ -50,6 +51,7 @@ pub use error::{ArchError, ArchResult};
 pub use level::Level;
 pub use memory::{AccessArena, DataArena, FreeList, Run};
 pub use object_table::{Entry, ObjectTable};
+pub use portring::{PortRing, PortRingRegistry, RingEntry, RingRefusal};
 pub use qualcache::{QualCache, QualLine, QUAL_CACHE_LINES};
 pub use refs::{AccessDescriptor, CodeRef, NativeId, ObjectIndex, ObjectRef};
 pub use rights::Rights;

@@ -30,6 +30,7 @@ use crate::{
     error::ArchResult,
     memory::{AccessArena, DataArena},
     object_table::Entry,
+    portring::PortRingRegistry,
     qualcache::{QualCache, QualLine},
     refs::{AccessDescriptor, ObjectIndex, ObjectRef},
     rights::Rights,
@@ -40,12 +41,29 @@ use crate::{
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// An object space partitioned into address-interleaved shards, owned
 /// exclusively (no internal locking).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedSpace {
     shards: Vec<ObjectSpace>,
+    /// Port-ring registry for the lock-free SEND/RECEIVE fast path
+    /// (see [`crate::portring`]). Created disabled — the deterministic
+    /// runner never consults it; the threaded runner switches it on.
+    port_rings: Arc<PortRingRegistry>,
+}
+
+impl Clone for ShardedSpace {
+    /// Clones the shards only: the clone gets its own fresh, disabled
+    /// ring registry, since rings name objects by table index and
+    /// generation within one space's lifetime.
+    fn clone(&self) -> ShardedSpace {
+        ShardedSpace {
+            shards: self.shards.clone(),
+            port_rings: Arc::new(PortRingRegistry::new()),
+        }
+    }
 }
 
 impl ShardedSpace {
@@ -66,7 +84,18 @@ impl ShardedSpace {
                 )
             })
             .collect();
-        ShardedSpace { shards }
+        ShardedSpace {
+            shards,
+            port_rings: Arc::new(PortRingRegistry::new()),
+        }
+    }
+
+    /// The space's port-ring registry (disabled unless a runner enabled
+    /// it). Runners hold their own `Arc` clone to flip the switch and
+    /// flush rings without borrowing the space.
+    #[inline]
+    pub fn port_ring_registry(&self) -> &Arc<PortRingRegistry> {
+        &self.port_rings
     }
 
     /// Number of shards.
@@ -515,6 +544,10 @@ impl SpaceAccess for ShardedSpace {
     fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut)) {
         f(self)
     }
+
+    fn port_rings(&self) -> Option<&Arc<PortRingRegistry>> {
+        Some(&self.port_rings)
+    }
 }
 
 impl SpaceMut for ShardedSpace {
@@ -702,6 +735,9 @@ pub struct SharedSpace {
     epochs: Box<[AtomicU64]>,
     /// Per-shard data-arena views for the lock-free fast path.
     arenas: Box<[ArenaView]>,
+    /// Clone of the inner space's port-ring registry, reachable without
+    /// touching the `UnsafeCell` (agents consult it before any lock).
+    port_rings: Arc<PortRingRegistry>,
 }
 
 /// A captured pointer to one shard's data-arena cells. The arena's
@@ -725,6 +761,7 @@ impl SharedSpace {
         let roots = (0..n as u32).map(|k| space.root_sro_of(k)).collect();
         let locks = (0..n).map(|_| Mutex::new(())).collect();
         let epochs = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let port_rings = Arc::clone(space.port_ring_registry());
         let mut shared = SharedSpace {
             inner: UnsafeCell::new(space),
             base: std::ptr::null_mut(),
@@ -732,6 +769,7 @@ impl SharedSpace {
             roots,
             epochs,
             arenas: Box::new([]),
+            port_rings,
         };
         // Capture the shard base pointer and per-shard arena views once,
         // while we still hold the space exclusively. Neither the shard
@@ -1298,6 +1336,10 @@ impl SpaceAccess for SpaceAgent<'_> {
             shared.bump_all_epochs();
             f(space)
         })
+    }
+
+    fn port_rings(&self) -> Option<&Arc<PortRingRegistry>> {
+        Some(&self.shared.port_rings)
     }
 }
 

@@ -209,6 +209,14 @@ pub trait SpaceAccess {
     /// duration of `f` — this is the emulator's stand-in for the 432's
     /// indivisible microcode sequences (port rendezvous, dispatching).
     fn atomic(&mut self, f: &mut dyn FnMut(&mut dyn SpaceMut));
+
+    /// The per-space port-ring registry backing the lock-free SEND/RECEIVE
+    /// fast path, when this space has one. The default — and the unsharded
+    /// [`ObjectSpace`](crate::space::ObjectSpace) — has none, so the
+    /// deterministic runner always takes the locked rendezvous path.
+    fn port_rings(&self) -> Option<&std::sync::Arc<crate::portring::PortRingRegistry>> {
+        None
+    }
 }
 
 /// Generic conveniences over [`SpaceAccess`] (blanket-implemented).

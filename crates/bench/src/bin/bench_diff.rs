@@ -279,6 +279,12 @@ fn is_deterministic(path: &str) -> bool {
             | "live"
             | "garbage"
             | "gc_errors"
+            // c7_port: the port configuration and workload shape are
+            // structural; the wall-clock throughputs and the
+            // queue-check verdict stay host-dependent.
+            | "pairs"
+            | "capacity"
+            | "messages_per_producer"
     )
 }
 

@@ -894,6 +894,156 @@ pub fn c7_port_throughput(capacities: &[u32], discipline: PortDiscipline) -> Vec
         .collect()
 }
 
+/// One point of the threaded port-throughput comparison: the same
+/// contended-port workload with the per-port rings armed and with every
+/// operation on the locked rendezvous path.
+#[derive(Debug, Clone, Copy)]
+pub struct PortQueuePoint {
+    /// Producer/consumer pairs (host threads = 2 × pairs).
+    pub pairs: u32,
+    /// Wall-clock microseconds with the port rings on.
+    pub queued_wall_us: u64,
+    /// Wall-clock microseconds with every port op on the locked path.
+    pub locked_wall_us: u64,
+    /// locked / queued wall-clock ratio (> 1.0 = the ring wins).
+    pub speedup: f64,
+    /// End-to-end messages per second with the rings on.
+    pub queued_msgs_per_sec: f64,
+    /// End-to-end messages per second on the locked path.
+    pub locked_msgs_per_sec: f64,
+    /// System errors across both runs (must be zero).
+    pub system_errors: u64,
+}
+
+/// Builds the contended-port workload: `pairs` producers and `pairs`
+/// consumers, all sharing ONE FIFO port of the given capacity. Each
+/// producer sends `messages` keyed messages; each consumer receives
+/// `messages` and does a little per-message work. The logical outcome
+/// is schedule-independent (every message is received exactly once), so
+/// the deterministic runner gives the exact simulated cost and the
+/// threaded runner gives host throughput.
+pub fn port_pipeline_system(pairs: u32, capacity: u32, messages: u64, shards: u32) -> System {
+    let mut cfg = SystemConfig::small()
+        .with_processors(pairs * 2)
+        .with_shards(shards);
+    cfg.data_bytes *= shards;
+    cfg.access_slots *= shards;
+    cfg.table_limit *= shards;
+    let mut sys = System::new(&cfg);
+    let root = sys.space.root_sro();
+    let port = create_port(&mut sys.space, root, capacity, PortDiscipline::Fifo).unwrap();
+    sys.anchor(port.ad());
+
+    let mut tx = ProgramBuilder::new();
+    let top = tx.new_label();
+    tx.mov(DataRef::Imm(0), DataDst::Local(0));
+    tx.create_object(CTX_SLOT_SRO as u16, DataRef::Imm(16), DataRef::Imm(0), 5);
+    tx.bind(top);
+    tx.send_keyed(CTX_SLOT_ARG as u16, 5, DataRef::Local(0));
+    tx.work(30);
+    tx.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    tx.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(messages),
+        DataDst::Local(8),
+    );
+    tx.jump_if_nonzero(DataRef::Local(8), top);
+    tx.halt();
+    let tx_sub = sys.subprogram("tx", tx.finish(), 64, 8);
+
+    let mut rx = ProgramBuilder::new();
+    let top = rx.new_label();
+    rx.mov(DataRef::Imm(0), DataDst::Local(0));
+    rx.bind(top);
+    rx.receive(CTX_SLOT_ARG as u16, 6);
+    rx.work(30);
+    rx.alu(
+        AluOp::Add,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    rx.alu(
+        AluOp::Lt,
+        DataRef::Local(0),
+        DataRef::Imm(messages),
+        DataDst::Local(8),
+    );
+    rx.jump_if_nonzero(DataRef::Local(8), top);
+    rx.halt();
+    let rx_sub = sys.subprogram("rx", rx.finish(), 64, 12);
+
+    let dom = sys.install_domain("pipe", vec![tx_sub, rx_sub], 0);
+    for _ in 0..pairs {
+        sys.spawn(dom, 0, Some(port.ad()));
+        sys.spawn(dom, 1, Some(port.ad()));
+    }
+    sys
+}
+
+/// C7 threaded: multi-thread throughput of one contended port, rings on
+/// vs. rings off, on real host threads. Also returns the deterministic
+/// simulated cycles per message for the same construction (measured
+/// with the rings off; the rings are cycle-neutral by construction and
+/// `typed_untyped_diff` asserts it, so one number describes both arms).
+pub fn c7_port_threaded(
+    pair_counts: &[u32],
+    capacity: u32,
+    messages: u64,
+    shards: u32,
+) -> (Vec<PortQueuePoint>, f64) {
+    use std::time::Instant;
+    let points = pair_counts
+        .iter()
+        .map(|&pairs| {
+            let total_msgs = u64::from(pairs) * messages;
+            // Unbounded step caps, as in C3: the count includes idle
+            // dispatch spins, so no finite budget is schedule-independent.
+            let t0 = Instant::now();
+            let (_, queued) = i432_sim::run_threaded_with_opts(
+                port_pipeline_system(pairs, capacity, messages, shards),
+                u64::MAX,
+                true,
+                true,
+            );
+            let queued_wall = t0.elapsed();
+            assert!(queued.completed, "queued run must finish: {queued:?}");
+            let t1 = Instant::now();
+            let (_, locked) = i432_sim::run_threaded_with_opts(
+                port_pipeline_system(pairs, capacity, messages, shards),
+                u64::MAX,
+                true,
+                false,
+            );
+            let locked_wall = t1.elapsed();
+            assert!(locked.completed, "locked run must finish: {locked:?}");
+            PortQueuePoint {
+                pairs,
+                queued_wall_us: queued_wall.as_micros() as u64,
+                locked_wall_us: locked_wall.as_micros() as u64,
+                speedup: locked_wall.as_secs_f64() / queued_wall.as_secs_f64(),
+                queued_msgs_per_sec: total_msgs as f64 / queued_wall.as_secs_f64(),
+                locked_msgs_per_sec: total_msgs as f64 / locked_wall.as_secs_f64(),
+                system_errors: queued.system_errors + locked.system_errors,
+            }
+        })
+        .collect();
+
+    // Deterministic reference cost (exact on every host).
+    let det_pairs = pair_counts.first().copied().unwrap_or(1);
+    let mut sys = port_pipeline_system(det_pairs, capacity, messages, shards);
+    let outcome = sys.run_to_completion(2_000_000_000);
+    assert_eq!(outcome, RunOutcome::Stopped);
+    let det_cycles_per_message = sys.now() as f64 / (u64::from(det_pairs) * messages) as f64;
+    (points, det_cycles_per_message)
+}
+
 // ---------------------------------------------------------------------------
 // C8 — scheduling policies over the basic process manager (paper §6.1).
 // ---------------------------------------------------------------------------

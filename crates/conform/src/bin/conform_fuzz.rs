@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
-//!              [--cache on|off|both] [--explore N] [--out PATH] [--trace]
-//!              [--gc]
+//!              [--cache on|off|both] [--port-queue on|off|both]
+//!              [--explore N] [--out PATH] [--trace] [--gc]
 //! ```
 //!
 //! Default: seeds 0..256 on the full {1,4,16} shards × {1,4,8} threads
 //! matrix, with every point run cache-on *and* cache-off (`--cache
 //! both`). `--seed N` replays exactly one seed (the form every failure
-//! report prints). `--explore N` additionally runs N seeded schedule
+//! report prints). `--port-queue` selects the port-ring arms: `on`
+//! (runner default, lock-free rings ahead of the shard locks), `off`
+//! (every port operation on the locked rendezvous path), or `both`
+//! (each matrix × cache point diffed queued *and* locked against the
+//! reference). `--explore N` additionally runs N seeded schedule
 //! explorations. `--gc` switches every matrix point to the
 //! parallel-collector arm: the per-shard collector workers mark and
 //! sweep on real threads *while* the workload runs, and the end state
@@ -24,8 +28,8 @@
 //! digest mismatch.
 
 use i432_conform::{
-    check_seed_modes, check_seed_pargc, explore, generate, run_threaded_case, CacheModes,
-    ExploreConfig, FULL_MATRIX, QUICK_MATRIX,
+    check_seed_full, check_seed_pargc, explore, generate, run_threaded_case, CacheModes,
+    ExploreConfig, QueueModes, FULL_MATRIX, QUICK_MATRIX,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -35,6 +39,7 @@ struct Args {
     count: u64,
     matrix: &'static [(u32, u32)],
     cache: CacheModes,
+    queue: QueueModes,
     explore_seeds: u64,
     out: String,
     trace: bool,
@@ -47,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         count: 256,
         matrix: FULL_MATRIX,
         cache: CacheModes::Both,
+        queue: QueueModes::On,
         explore_seeds: 0,
         out: "CONFORM_FAILURES.json".into(),
         trace: false,
@@ -95,6 +101,18 @@ fn parse_args() -> Result<Args, String> {
                 };
                 i += 2;
             }
+            "--port-queue" => {
+                args.queue = match QueueModes::parse(need_value(i)?) {
+                    Some(q) => q,
+                    None => {
+                        return Err(format!(
+                            "--port-queue: expected on|off|both, got {:?}",
+                            need_value(i)?
+                        ))
+                    }
+                };
+                i += 2;
+            }
             "--explore" => {
                 args.explore_seeds = need_value(i)?
                     .parse()
@@ -129,11 +147,13 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, {} cache arm(s){}",
+        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, \
+         {} cache arm(s), {} port-queue arm(s){}",
         args.start,
         args.start + args.count,
         args.matrix.len(),
         args.cache.arms().len(),
+        args.queue.arms().len(),
         if args.gc {
             ", concurrent parallel-GC arm"
         } else {
@@ -145,7 +165,7 @@ fn main() -> ExitCode {
         let report = if args.gc {
             check_seed_pargc(seed, args.matrix, args.cache)
         } else {
-            check_seed_modes(seed, args.matrix, args.cache)
+            check_seed_full(seed, args.matrix, args.cache, args.queue)
         };
         if report.passed() {
             if (seed - args.start + 1) % 32 == 0 {

@@ -275,13 +275,30 @@ pub fn run_threaded_sys_with(
     cpus: u32,
     cache: bool,
 ) -> (System, CaseOutcome) {
+    run_threaded_sys_opts(case, shards, cpus, cache, true)
+}
+
+/// [`run_threaded_sys_with`] with the port-ring fast path made explicit:
+/// `queue = false` keeps every port operation on the locked rendezvous
+/// path, `queue = true` (the runner default) lets non-blocking FIFO
+/// sends and receives go through the per-port rings. The two must be
+/// digest-identical — the rings are drained back into the message areas
+/// before the space is handed back.
+pub fn run_threaded_sys_opts(
+    case: &GenCase,
+    shards: u32,
+    cpus: u32,
+    cache: bool,
+    queue: bool,
+) -> (System, CaseOutcome) {
     let (sys, h) = build(case, shards, cpus);
-    let (mut sys, outcome) = i432_sim::run_threaded_with(sys, THR_BUDGET, cache);
+    let (mut sys, outcome) = i432_sim::run_threaded_with_opts(sys, THR_BUDGET, cache, queue);
     assert!(
         outcome.completed && outcome.system_errors == 0,
-        "seed {}: threaded arm ({shards} shards x {cpus} threads, cache {}) failed: {outcome:?}; replay: {}",
+        "seed {}: threaded arm ({shards} shards x {cpus} threads, cache {}, queue {}) failed: {outcome:?}; replay: {}",
         case.seed,
         if cache { "on" } else { "off" },
+        if queue { "on" } else { "off" },
         replay_command(case.seed)
     );
     let o = outcome_of(&mut sys, &h);
@@ -467,6 +484,41 @@ impl CacheModes {
     }
 }
 
+/// Which port-ring arms [`check_seed_full`] exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueModes {
+    /// Port rings on only (the default runner configuration).
+    On,
+    /// Port rings forced off only (every port operation on the locked
+    /// rendezvous path).
+    Off,
+    /// Both — every matrix × cache point runs twice, and the queued run
+    /// must be digest-identical to both the locked run and the
+    /// reference.
+    Both,
+}
+
+impl QueueModes {
+    /// The queue settings this mode expands to.
+    pub fn arms(self) -> &'static [bool] {
+        match self {
+            QueueModes::On => &[true],
+            QueueModes::Off => &[false],
+            QueueModes::Both => &[true, false],
+        }
+    }
+
+    /// Parses a `--port-queue` flag value.
+    pub fn parse(s: &str) -> Option<QueueModes> {
+        match s {
+            "on" => Some(QueueModes::On),
+            "off" => Some(QueueModes::Off),
+            "both" => Some(QueueModes::Both),
+            _ => None,
+        }
+    }
+}
+
 /// The oracle's verdict for one seed across a matrix.
 #[derive(Debug, Clone)]
 pub struct SeedReport {
@@ -497,8 +549,22 @@ pub fn check_seed(seed: u64, matrix: &[(u32, u32)]) -> SeedReport {
     check_seed_modes(seed, matrix, CacheModes::Both)
 }
 
-/// [`check_seed`] restricted to the given cache arms.
+/// [`check_seed`] restricted to the given cache arms. Port rings stay
+/// in the runner's default configuration (on); use [`check_seed_full`]
+/// to diff the queue arms too.
 pub fn check_seed_modes(seed: u64, matrix: &[(u32, u32)], modes: CacheModes) -> SeedReport {
+    check_seed_full(seed, matrix, modes, QueueModes::On)
+}
+
+/// [`check_seed`] across an explicit cache × port-queue arm product:
+/// every matrix point runs once per (cache, queue) combination and each
+/// end state must be bit-identical to the deterministic reference.
+pub fn check_seed_full(
+    seed: u64,
+    matrix: &[(u32, u32)],
+    modes: CacheModes,
+    queues: QueueModes,
+) -> SeedReport {
     let case = crate::gen::generate(seed);
     let mut mismatches = Vec::new();
 
@@ -529,20 +595,23 @@ pub fn check_seed_modes(seed: u64, matrix: &[(u32, u32)], modes: CacheModes) -> 
 
     for &(shards, cpus) in matrix {
         for &cache in modes.arms() {
-            let got = run_threaded_sys_with(&case, shards, cpus, cache).1;
-            if got != reference {
-                mismatches.push(format!(
-                    "seed {seed}: {shards} shards x {cpus} threads (cache {}) diverged \
-                     (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
-                    if cache { "on" } else { "off" },
-                    got.digest,
-                    reference.digest,
-                    got.counter,
-                    reference.counter,
-                    got.proc_states,
-                    reference.proc_states,
-                    replay_command(seed)
-                ));
+            for &queue in queues.arms() {
+                let got = run_threaded_sys_opts(&case, shards, cpus, cache, queue).1;
+                if got != reference {
+                    mismatches.push(format!(
+                        "seed {seed}: {shards} shards x {cpus} threads (cache {}, queue {}) diverged \
+                         (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
+                        if cache { "on" } else { "off" },
+                        if queue { "on" } else { "off" },
+                        got.digest,
+                        reference.digest,
+                        got.counter,
+                        reference.counter,
+                        got.proc_states,
+                        reference.proc_states,
+                        replay_command(seed)
+                    ));
+                }
             }
         }
     }

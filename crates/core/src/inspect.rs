@@ -310,6 +310,12 @@ mod tests {
         if i432_trace::ENABLED {
             assert!(r.contains("domain_calls"), "{r}");
             assert!(r.contains("alloc_data_bytes"), "{r}");
+            // The queued-port diagnostics are part of the debugging
+            // base: fast-path hit/fallback counters and the ring
+            // occupancy histogram observed at every drain.
+            assert!(r.contains("port_fast_sends"), "{r}");
+            assert!(r.contains("port_ring_fallbacks"), "{r}");
+            assert!(r.contains("port_queue_depth"), "{r}");
         } else {
             assert!(r.contains("compiled out"), "{r}");
         }

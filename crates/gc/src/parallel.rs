@@ -270,6 +270,13 @@ impl ParallelGc {
         self.scan_shard(shared, k, |e| {
             matches!(e.desc.otype, ObjectType::System(SystemType::Processor))
         });
+        // Port-ring contents are roots too: a ring-resident message
+        // lives outside any access part, so one that stays in a ring
+        // across a sweep (which whitens everything) would be invisible
+        // to this cycle's mark. The shade-at-push barrier covers
+        // publication *during* a cycle; this scan covers residency
+        // *across* cycles. Worker k covers its own shard's ports.
+        self.scan_rings(k, agent);
 
         // ---- Mark + verification rounds.
         self.drain(k, agent);
@@ -309,6 +316,33 @@ impl ParallelGc {
     fn push_own(&self, k: u32, r: ObjectRef) {
         self.deques[k as usize].push(r);
         self.pushes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Shades and pushes every message currently published in the
+    /// rings of shard `k`'s ports (seqlock-consistent racy snapshot —
+    /// an entry mid-publish is skipped; its message is still reachable
+    /// through the sender's context at that instant, and the push
+    /// barrier shades it on publication). Rings of dead ports are
+    /// skipped: their messages died with the port, exactly as
+    /// area-resident messages would have.
+    fn scan_rings(&self, k: u32, agent: &mut i432_arch::SpaceAgent<'_>) {
+        let Some(reg) = agent.port_rings() else {
+            return;
+        };
+        let reg = Arc::clone(reg);
+        let shards = self.deques.len() as u32;
+        reg.for_each(|ring| {
+            if ring.is_dead() || ring.port().index.0 % shards != k {
+                return;
+            }
+            for msg in ring.snapshot_refs() {
+                // A stale ref (message destroyed after the snapshot
+                // read) fails the generation check inside shade.
+                if agent.shade(msg).is_ok() {
+                    self.push_own(k, msg);
+                }
+            }
+        });
     }
 
     /// Incrementally walks shard `k`'s live directory pages; entries

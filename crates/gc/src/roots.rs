@@ -24,6 +24,23 @@ pub fn find_roots<S: SpaceMut + ?Sized>(space: &S) -> Vec<ObjectRef> {
             });
         }
     });
+    // Messages published in port rings live outside any access part
+    // until a locked operation drains them, so the collector must treat
+    // ring contents as roots: a sweep resets colors, and a message that
+    // sat in a ring across a whole cycle would otherwise be missed by
+    // the next mark (the shade-at-push barrier only covers the cycle in
+    // which the push happened). Rings of dead ports are retired — their
+    // entries died with the port, exactly as area-resident messages do.
+    if let Some(reg) = space.port_rings() {
+        reg.for_each(|ring| {
+            if ring.is_dead() {
+                return;
+            }
+            for msg in ring.snapshot_refs() {
+                roots.push(msg);
+            }
+        });
+    }
     roots
 }
 

@@ -935,6 +935,12 @@ impl Gdp {
                     .load_ad_required(ctx_ad, msg as u32)
                     .map_err(Fault::from)?;
                 let k = self.read_ref(env, ctx_ad, key, charge)?;
+                // Ring fast path: a successful fast send is exactly the
+                // locked path's Queued outcome, with no shard lock
+                // taken. Any refusal falls through to the rendezvous.
+                if port::fast_send(env.space, port_ad, msg_ad, k).is_some() {
+                    return Ok(Ctl::Next);
+                }
                 let cpu = self.cpu;
                 match env.space.atomically(|sm| -> Result<SendOutcome, Fault> {
                     match port::send(sm, Some(proc_ref), port_ad, msg_ad, k, true, false)? {
@@ -972,11 +978,16 @@ impl Gdp {
                     .load_ad_required(ctx_ad, msg as u32)
                     .map_err(Fault::from)?;
                 let k = self.read_ref(env, ctx_ad, key, charge)?;
-                let ok = match env.space.atomically(|sm| {
-                    port::send(sm, Some(proc_ref), port_ad, msg_ad, k, false, false)
-                })? {
-                    SendOutcome::WouldBlock => 0,
-                    _ => 1,
+                // Ring fast path (success == Queued, i.e. "sent").
+                let ok = if port::fast_send(env.space, port_ad, msg_ad, k).is_some() {
+                    1
+                } else {
+                    match env.space.atomically(|sm| {
+                        port::send(sm, Some(proc_ref), port_ad, msg_ad, k, false, false)
+                    })? {
+                        SendOutcome::WouldBlock => 0,
+                        _ => 1,
+                    }
                 };
                 self.write_dst(env, ctx_ad, done, ok, charge)?;
                 Ok(Ctl::Next)
@@ -989,6 +1000,14 @@ impl Gdp {
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
                 charge.add(queue_scan_cost(env.space, port_ad));
+                // Ring fast path: a fast pop is the locked path's FIFO
+                // dequeue, delivered to the same context slot.
+                if let Some(RecvOutcome::Received(msg)) = port::fast_receive(env.space, port_ad) {
+                    env.space
+                        .store_ad(ctx_ad, dst as u32, Some(msg))
+                        .map_err(Fault::from)?;
+                    return Ok(Ctl::Next);
+                }
                 let cpu = self.cpu;
                 match env.space.atomically(|sm| -> Result<RecvOutcome, Fault> {
                     match port::receive(sm, Some((proc_ref, dst as u32)), port_ad, true, false)? {
@@ -1028,6 +1047,14 @@ impl Gdp {
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
                 let t = self.read_ref(env, ctx_ad, timeout, charge)?;
+                // Ring fast path: a fast pop neither blocks nor arms
+                // the timer, exactly like a locked non-empty dequeue.
+                if let Some(RecvOutcome::Received(msg)) = port::fast_receive(env.space, port_ad) {
+                    env.space
+                        .store_ad(ctx_ad, dst as u32, Some(msg))
+                        .map_err(Fault::from)?;
+                    return Ok(Ctl::Next);
+                }
                 let cpu = self.cpu;
                 let deadline = self.clock + t;
                 match env.space.atomically(|sm| -> Result<RecvOutcome, Fault> {
@@ -1062,6 +1089,14 @@ impl Gdp {
                     .space
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
+                // Ring fast path.
+                if let Some(RecvOutcome::Received(msg)) = port::fast_receive(env.space, port_ad) {
+                    env.space
+                        .store_ad(ctx_ad, dst as u32, Some(msg))
+                        .map_err(Fault::from)?;
+                    self.write_dst(env, ctx_ad, done, 1, charge)?;
+                    return Ok(Ctl::Next);
+                }
                 match env
                     .space
                     .atomically(|sm| port::receive(sm, None, port_ad, false, false))?

@@ -20,9 +20,10 @@
 use crate::fault::{Fault, FaultKind};
 use i432_arch::{
     sysobj::{PROC_SLOT_CONTEXT, PROC_SLOT_DISPATCH_PORT, PROC_SLOT_MSG},
-    AccessDescriptor, ArchError, ObjectRef, PortDiscipline, ProcessStatus, Rights, SpaceMut,
-    SystemType, WaiterKind,
+    AccessDescriptor, ArchError, ObjectRef, PortDiscipline, PortRing, ProcessStatus, Rights,
+    RingEntry, SpaceAccess, SpaceMut, SystemType, WaiterKind,
 };
+use std::sync::Arc;
 
 /// Outcome of a send operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,202 @@ pub enum RecvOutcome {
     Blocked,
     /// Non-blocking receive found no message.
     WouldBlock,
+}
+
+// ---------------------------------------------------------------------------
+// Ring fast path (see `i432_arch::portring` for the protocol).
+// ---------------------------------------------------------------------------
+
+/// Attempts a program-level send on the port's lock-free ring,
+/// consulting no shard lock on the port. Returns `None` whenever the
+/// ring cannot complete the operation with rendezvous-identical
+/// semantics — no ring, fast path disabled, missing SEND rights, a
+/// level-rule violation, a frozen or full ring — and the caller must
+/// fall back to the locked [`send`], which produces the canonical
+/// outcome, fault, and statistics.
+///
+/// A fast send can only ever succeed while the port is in FAST mode
+/// (empty message area, no waiters — the ring is frozen otherwise), the
+/// one state where the locked path's answer is unconditionally
+/// [`SendOutcome::Queued`].
+pub fn fast_send<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    port_ad: AccessDescriptor,
+    msg: AccessDescriptor,
+    key: u64,
+) -> Option<SendOutcome> {
+    let ring = space.port_rings()?.lookup(port_ad.obj)?;
+    if !port_ad.rights.contains(Rights::SEND) {
+        return None;
+    }
+    // Level rule (paper §5): the message must outlive the port. The
+    // port's level is cached in the ring; the message's comes from its
+    // entry — any doubt (dead message, would-be violation) falls back
+    // so the locked path faults and bumps `level_faults` exactly once.
+    let msg_level = space.level_of(msg.obj).ok()?;
+    if !ring.port_level().may_hold(msg_level) {
+        return None;
+    }
+    // The moral equivalent of `queue_push`'s hardware store barrier:
+    // shade the message before publication so a concurrent marker
+    // cannot miss a reference that lives only in the ring.
+    space.shade(msg.obj).ok()?;
+    match ring.push(RingEntry { msg, key }) {
+        Ok(()) => {
+            if i432_trace::ENABLED {
+                i432_trace::emit(i432_trace::EventKind::PortSend, port_ad.obj.index.0);
+                i432_trace::bump(i432_trace::Counter::PortSends);
+                i432_trace::emit(i432_trace::EventKind::PortFastSend, port_ad.obj.index.0);
+                i432_trace::bump(i432_trace::Counter::PortFastSends);
+            }
+            Some(SendOutcome::Queued)
+        }
+        Err(_) => {
+            i432_trace::bump(i432_trace::Counter::PortRingFallbacks);
+            None
+        }
+    }
+}
+
+/// Attempts a program-level receive on the port's lock-free ring. Same
+/// contract as [`fast_send`]: `None` means "take the locked path"; a
+/// `Some` result is bit-identical to what the locked [`receive`] would
+/// have returned in this state (FIFO head of a non-empty queue with no
+/// waiting senders — the FAST-mode guarantee).
+pub fn fast_receive<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    port_ad: AccessDescriptor,
+) -> Option<RecvOutcome> {
+    let ring = space.port_rings()?.lookup(port_ad.obj)?;
+    if !port_ad.rights.contains(Rights::RECEIVE) {
+        return None;
+    }
+    match ring.pop() {
+        Ok(e) => {
+            if i432_trace::ENABLED {
+                i432_trace::emit(i432_trace::EventKind::PortReceive, port_ad.obj.index.0);
+                i432_trace::bump(i432_trace::Counter::PortReceives);
+                i432_trace::emit(i432_trace::EventKind::PortFastReceive, port_ad.obj.index.0);
+                i432_trace::bump(i432_trace::Counter::PortFastReceives);
+            }
+            Some(RecvOutcome::Received(e.msg))
+        }
+        Err(_) => {
+            i432_trace::bump(i432_trace::Counter::PortRingFallbacks);
+            None
+        }
+    }
+}
+
+/// Locked-path prologue: freezes the port's ring (creating it on first
+/// use for FIFO ports) and drains every frozen entry into the message
+/// area, so the locked rendezvous below sees the complete queue state.
+/// Folds the ring's completed fast-op counts into the port statistics.
+/// Returns the ring for [`ring_release`]; `None` when the port has no
+/// usable ring (fast path disabled, non-FIFO discipline, or a ring
+/// bound by an earlier lifetime of the index — which is retired, its
+/// entries having died with that port).
+fn ring_acquire<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    port: ObjectRef,
+) -> Result<Option<Arc<PortRing>>, Fault> {
+    let Some(reg) = space.port_rings() else {
+        return Ok(None);
+    };
+    if !reg.is_enabled() {
+        return Ok(None);
+    }
+    let reg = Arc::clone(reg);
+    if let Some(old) = reg.lookup_index(port.index.0) {
+        if old.port() != port {
+            old.retire();
+            return Ok(None);
+        }
+    }
+    let (discipline, capacity) = {
+        let st = space.port(port).map_err(Fault::from)?;
+        (st.discipline, st.capacity)
+    };
+    if discipline != PortDiscipline::Fifo {
+        return Ok(None);
+    }
+    let level = space.entry(port).map_err(Fault::from)?.desc.level;
+    let Some(ring) = reg.get_or_create(port, capacity, level) else {
+        return Ok(None);
+    };
+    if ring.port() != port || ring.is_dead() {
+        ring.retire();
+        return Ok(None);
+    }
+    let mut drained = Vec::new();
+    let depth = ring.freeze_and_drain(|e| drained.push(e));
+    for e in drained {
+        queue_push(space, port, e.msg, e.key)?;
+    }
+    let (fast_sends, fast_receives) = ring.take_pending_stats();
+    if fast_sends != 0 || fast_receives != 0 {
+        let st = space.port_mut(port).map_err(Fault::from)?;
+        st.stats.sends += fast_sends;
+        st.stats.receives += fast_receives;
+    }
+    if i432_trace::ENABLED {
+        i432_trace::observe(i432_trace::Hist::PortQueueDepth, depth);
+        if depth > 0 {
+            i432_trace::emit(i432_trace::EventKind::PortRingDrain, port.index.0);
+            i432_trace::bump(i432_trace::Counter::PortRingDrains);
+        }
+    }
+    Ok(Some(ring))
+}
+
+/// Locked-path epilogue: re-opens the ring iff the port left the
+/// operation in FAST mode — empty message area and no waiting
+/// processes. In any other state the ring stays frozen and every
+/// operation keeps taking the locked path, which is exactly what makes
+/// the fast path rendezvous-equivalent (see `i432_arch::portring`).
+fn ring_release<S: SpaceMut + ?Sized>(space: &mut S, port: ObjectRef, ring: &PortRing) {
+    let fast = match space.port(port) {
+        Ok(st) => st.msg_count == 0 && st.wait_count == 0,
+        // Port destroyed inside the operation: never reopen.
+        Err(_) => false,
+    };
+    if fast {
+        ring.reopen();
+    }
+}
+
+/// Drains every live ring into its port's message area and leaves all
+/// rings frozen — called by runners at quiescence, before digests or
+/// final-state inspection, so ring-resident messages are observable in
+/// the same place the locked world puts them. Rings whose port died
+/// are retired (their messages died with the port, as they would have
+/// in the message area).
+pub fn flush_rings<S: SpaceMut + ?Sized>(space: &mut S) -> Result<(), Fault> {
+    let Some(reg) = space.port_rings() else {
+        return Ok(());
+    };
+    let reg = Arc::clone(reg);
+    let mut rings = Vec::new();
+    reg.for_each(|r| rings.push(Arc::clone(r)));
+    for ring in rings {
+        let port = ring.port();
+        if ring.is_dead() || space.port(port).is_err() {
+            ring.retire();
+            continue;
+        }
+        let mut drained = Vec::new();
+        ring.freeze_and_drain(|e| drained.push(e));
+        for e in drained {
+            queue_push(space, port, e.msg, e.key)?;
+        }
+        let (fast_sends, fast_receives) = ring.take_pending_stats();
+        if fast_sends != 0 || fast_receives != 0 {
+            let st = space.port_mut(port).map_err(Fault::from)?;
+            st.stats.sends += fast_sends;
+            st.stats.receives += fast_receives;
+        }
+    }
+    Ok(())
 }
 
 /// Picks the message index to receive next under the port's discipline.
@@ -190,6 +387,25 @@ pub fn send<S: SpaceMut + ?Sized>(
     let port = space
         .expect_type(port_ad, SystemType::Port)
         .map_err(Fault::from)?;
+    let ring = ring_acquire(space, port)?;
+    let out = send_at(space, port, sender, port_ad, msg, key, blocking, carrier);
+    if let Some(ring) = &ring {
+        ring_release(space, port, ring);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn send_at<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    port: ObjectRef,
+    sender: Option<ObjectRef>,
+    port_ad: AccessDescriptor,
+    msg: AccessDescriptor,
+    key: u64,
+    blocking: bool,
+    carrier: bool,
+) -> Result<SendOutcome, Fault> {
     if !carrier {
         space.qualify(port_ad, Rights::SEND).map_err(Fault::from)?;
         // Program-level sends obey the lifetime rule: the message must be
@@ -279,6 +495,22 @@ pub fn receive<S: SpaceMut + ?Sized>(
     let port = space
         .expect_type(port_ad, SystemType::Port)
         .map_err(Fault::from)?;
+    let ring = ring_acquire(space, port)?;
+    let out = receive_at(space, port, receiver, port_ad, blocking, carrier);
+    if let Some(ring) = &ring {
+        ring_release(space, port, ring);
+    }
+    out
+}
+
+fn receive_at<S: SpaceMut + ?Sized>(
+    space: &mut S,
+    port: ObjectRef,
+    receiver: Option<(ObjectRef, u32)>,
+    port_ad: AccessDescriptor,
+    blocking: bool,
+    carrier: bool,
+) -> Result<RecvOutcome, Fault> {
     if !carrier {
         space
             .qualify(port_ad, Rights::RECEIVE)
@@ -393,6 +625,10 @@ pub fn update_queued_key<S: SpaceMut + ?Sized>(
     target: ObjectRef,
     key: u64,
 ) -> Result<bool, Fault> {
+    // Drain the ring first so a fast-queued message is re-keyable too.
+    // (No release: the walk doesn't change FAST-mode eligibility, and
+    // the next send/receive re-opens the ring if the port qualifies.)
+    let _ring = ring_acquire(space, port)?;
     let count = space.port(port).map_err(Fault::from)?.msg_count;
     for i in 0..count {
         if let Some(ad) = space.load_ad_hw(port, i).map_err(Fault::from)? {

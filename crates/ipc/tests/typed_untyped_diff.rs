@@ -222,9 +222,19 @@ fn send_receive_loop<M: PortMessage>(rounds: u64) -> Vec<Instruction> {
 }
 
 fn run_program(code: Vec<Instruction>) -> (u64, Vec<(EventKind, u32)>) {
+    run_program_queued(code, false)
+}
+
+/// [`run_program`] with the port-ring registry armed when `queue` is
+/// true, so the SEND/RECEIVE instructions take the lock-free fast path
+/// whenever the port is in FAST mode.
+fn run_program_queued(code: Vec<Instruction>, queue: bool) -> (u64, Vec<(EventKind, u32)>) {
     i432_trace::reset();
     i432_trace::set_context(0, 0);
     let mut sys = System::new(&SystemConfig::small());
+    if queue {
+        sys.space.port_ring_registry().set_enabled(true);
+    }
     let root = sys.space.root_sro();
     let port = untyped::create_port(&mut sys.space, root, 4, PortDiscipline::Fifo).unwrap();
     sys.anchor(port.ad());
@@ -262,6 +272,53 @@ fn gdp_cycles_and_events_identical_across_typed_instances() {
                 .iter()
                 .any(|(k, _)| *k == EventKind::PortSend),
             "the traced run saw the port traffic"
+        );
+    }
+    i432_trace::reset();
+}
+
+/// The port-ring fast path is zero-overhead on the deterministic
+/// runner: the same typed send/receive loop run with the rings armed
+/// and with them off must cost the identical simulated cycle count and
+/// leave the identical schedule-deterministic event sequence. (The
+/// queued run additionally records `port_fast_send`/`port_fast_receive`
+/// diagnostics, which are excluded from schedule determinism by
+/// construction.)
+#[test]
+fn queued_fast_path_costs_identical_cycles_on_the_deterministic_runner() {
+    let _guard = i432_trace::test_guard();
+    let (locked_cycles, locked_events) = run_program_queued(send_receive_loop::<u64>(64), false);
+    let (queued_cycles, queued_events) = run_program_queued(send_receive_loop::<u64>(64), true);
+    assert_eq!(
+        locked_cycles, queued_cycles,
+        "the ring may change who holds a message, never what it costs"
+    );
+    let deterministic = |ev: &[(EventKind, u32)]| {
+        ev.iter()
+            .copied()
+            .filter(|(k, _)| k.is_schedule_deterministic())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        deterministic(&locked_events),
+        deterministic(&queued_events),
+        "both paths emit the same semantic port events in the same order"
+    );
+    if i432_trace::ENABLED {
+        // Non-vacuity: the queued run really exercised the ring — after
+        // the first locked rendezvous reopens it, every following round
+        // goes fast.
+        assert!(
+            queued_events
+                .iter()
+                .any(|(k, _)| *k == EventKind::PortFastSend),
+            "the ring carried traffic in the queued arm"
+        );
+        assert!(
+            locked_events
+                .iter()
+                .all(|(k, _)| *k != EventKind::PortFastSend),
+            "the locked arm never touched a ring"
         );
     }
     i432_trace::reset();

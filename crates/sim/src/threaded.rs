@@ -70,6 +70,24 @@ pub fn run_threaded_with(sys: System, max_steps: u64, cache: bool) -> (System, T
     run_threaded_aux(sys, max_steps, cache, Vec::new())
 }
 
+/// [`run_threaded_with`] with the port-ring fast path made explicit.
+///
+/// `queue = true` (the default for every threaded entry point) enables
+/// the per-port rings: non-blocking sends and receives on FIFO ports go
+/// through a lock-free ring consulted before any shard lock, falling
+/// back to the locked rendezvous path when the ring is full, empty,
+/// frozen, or the operation might block. `queue = false` keeps every
+/// port operation on the locked path. The two must be digest-identical
+/// — the conformance oracle diffs them bit-for-bit on every seed.
+pub fn run_threaded_with_opts(
+    sys: System,
+    max_steps: u64,
+    cache: bool,
+    queue: bool,
+) -> (System, ThreadedOutcome) {
+    run_threaded_aux_opts(sys, max_steps, cache, queue, Vec::new())
+}
+
 /// An auxiliary worker thread run alongside the GDP threads: it gets the
 /// shared space handle and the runner's `done` flag (set when the
 /// workload completes or the step budget runs out) and is expected to
@@ -83,9 +101,21 @@ pub type AuxWorker = Box<dyn for<'s> FnOnce(&'s SharedSpace, &'s AtomicBool) + S
 /// count toward `max_steps` or completion; they are joined before the
 /// space is reassembled.
 pub fn run_threaded_aux(
+    sys: System,
+    max_steps: u64,
+    cache: bool,
+    aux: Vec<AuxWorker>,
+) -> (System, ThreadedOutcome) {
+    run_threaded_aux_opts(sys, max_steps, cache, true, aux)
+}
+
+/// [`run_threaded_aux`] with the port-ring fast path made explicit (see
+/// [`run_threaded_with_opts`]).
+pub fn run_threaded_aux_opts(
     mut sys: System,
     max_steps: u64,
     cache: bool,
+    queue: bool,
     aux: Vec<AuxWorker>,
 ) -> (System, ThreadedOutcome) {
     let processes: Vec<_> = sys.processes().to_vec();
@@ -103,6 +133,13 @@ pub fn run_threaded_aux(
     // Move the space into the striped handle; park a minimal placeholder
     // in the System until the threads are done.
     let space = std::mem::replace(&mut sys.space, ShardedSpace::new(4096, 64, 16, 1));
+    if queue {
+        // Arm the port-ring registry for the duration of the threaded
+        // run. Rings are created lazily by the locked path on first use
+        // of each port; the deterministic runner never enables the
+        // registry, so its cycle accounting is untouched.
+        space.port_ring_registry().set_enabled(true);
+    }
     let shared = SharedSpace::new(space);
     let code = &sys.code;
     let natives = &sys.natives;
@@ -192,6 +229,18 @@ pub fn run_threaded_aux(
     });
 
     sys.space = shared.into_inner();
+    if queue {
+        // Drain every ring back into the locked message areas so the
+        // reassembled space is observably identical to a rendezvous
+        // run (an open ring's port has an empty message area by the
+        // FAST-mode invariant, so the drain always fits). A fault here
+        // would mean that invariant broke — surface it as a system
+        // error rather than silently dropping messages.
+        if i432_gdp::port::flush_rings(&mut sys.space).is_err() {
+            errors.fetch_add(1, Ordering::AcqRel);
+        }
+        sys.space.port_ring_registry().set_enabled(false);
+    }
     let completed = processes.iter().all(|p| {
         matches!(
             sys.space.process(*p).map(|s| s.status),

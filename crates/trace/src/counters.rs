@@ -43,10 +43,14 @@ pub enum Counter {
     GcParMarkSteps,
     GcMarkSteals,
     GcMarkEmptySteals,
+    PortFastSends,
+    PortFastReceives,
+    PortRingFallbacks,
+    PortRingDrains,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::GcMarkEmptySteals as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::PortRingDrains as usize + 1;
 
 /// Log2-bucketed cycle/size histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -58,10 +62,13 @@ pub enum Hist {
     DomainReturnCycles,
     /// Data bytes per SRO allocation.
     AllocDataBytes,
+    /// Ring occupancy observed at each locked-path drain of a port
+    /// ring (queue depth the fast path built up between locked ops).
+    PortQueueDepth,
 }
 
 /// Number of [`Hist`] variants.
-pub const HIST_COUNT: usize = Hist::AllocDataBytes as usize + 1;
+pub const HIST_COUNT: usize = Hist::PortQueueDepth as usize + 1;
 
 /// Buckets per histogram: bucket `i` holds values with `log2(v) == i`
 /// (value 0 lands in bucket 0).
@@ -109,6 +116,10 @@ impl Counter {
         Counter::GcParMarkSteps,
         Counter::GcMarkSteals,
         Counter::GcMarkEmptySteals,
+        Counter::PortFastSends,
+        Counter::PortFastReceives,
+        Counter::PortRingFallbacks,
+        Counter::PortRingDrains,
     ];
 
     /// Stable lowercase name used in exports.
@@ -142,6 +153,10 @@ impl Counter {
             Counter::GcParMarkSteps => "gc_par_mark_steps",
             Counter::GcMarkSteals => "gc_mark_steals",
             Counter::GcMarkEmptySteals => "gc_mark_empty_steals",
+            Counter::PortFastSends => "port_fast_sends",
+            Counter::PortFastReceives => "port_fast_receives",
+            Counter::PortRingFallbacks => "port_ring_fallbacks",
+            Counter::PortRingDrains => "port_ring_drains",
         }
     }
 }
@@ -152,6 +167,7 @@ impl Hist {
         Hist::DomainCallCycles,
         Hist::DomainReturnCycles,
         Hist::AllocDataBytes,
+        Hist::PortQueueDepth,
     ];
 
     /// Stable lowercase name used in exports.
@@ -160,6 +176,7 @@ impl Hist {
             Hist::DomainCallCycles => "domain_call_cycles",
             Hist::DomainReturnCycles => "domain_return_cycles",
             Hist::AllocDataBytes => "alloc_data_bytes",
+            Hist::PortQueueDepth => "port_queue_depth",
         }
     }
 }

@@ -67,6 +67,15 @@ pub enum EventKind {
     /// A parallel marker stole gray work from another shard's deque
     /// (obj = the victim shard index).
     GcMarkSteal = 25,
+    /// Port send completed on the lock-free ring fast path, no shard
+    /// lock taken (obj = port).
+    PortFastSend = 26,
+    /// Port receive completed on the lock-free ring fast path
+    /// (obj = port).
+    PortFastReceive = 27,
+    /// The locked path froze and drained a port's ring before a
+    /// rendezvous operation (obj = port).
+    PortRingDrain = 28,
 }
 
 impl EventKind {
@@ -97,6 +106,9 @@ impl EventKind {
         EventKind::ProcFault,
         EventKind::ProcExit,
         EventKind::GcMarkSteal,
+        EventKind::PortFastSend,
+        EventKind::PortFastReceive,
+        EventKind::PortRingDrain,
     ];
 
     /// Decodes a raw ring value. Unknown values (a torn or stale slot
@@ -133,6 +145,9 @@ impl EventKind {
             EventKind::ProcFault => "proc_fault",
             EventKind::ProcExit => "proc_exit",
             EventKind::GcMarkSteal => "gc_mark_steal",
+            EventKind::PortFastSend => "port_fast_send",
+            EventKind::PortFastReceive => "port_fast_receive",
+            EventKind::PortRingDrain => "port_ring_drain",
         }
     }
 
@@ -145,6 +160,10 @@ impl EventKind {
     /// touches the object *first*, and a gray-deque steal fires only
     /// when a marker races another shard's owner — so those four are
     /// excluded from the schedule-replay equality rule (DESIGN.md §8).
+    /// Whether a port operation completes on the ring fast path or
+    /// falls back to the locked rendezvous is likewise a race outcome,
+    /// so the ring kinds are excluded too (the semantic `PortSend`/
+    /// `PortReceive` events remain deterministic).
     pub fn is_schedule_deterministic(self) -> bool {
         !matches!(
             self,
@@ -152,6 +171,9 @@ impl EventKind {
                 | EventKind::QualMiss
                 | EventKind::GcShadeGray
                 | EventKind::GcMarkSteal
+                | EventKind::PortFastSend
+                | EventKind::PortFastReceive
+                | EventKind::PortRingDrain
         )
     }
 }

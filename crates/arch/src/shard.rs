@@ -1115,6 +1115,10 @@ impl SpaceAccess for SpaceAgent<'_> {
             .with_shard(self.shared.shard_for(ad.obj), |s| s.qualify(ad, needed))
     }
 
+    fn qual_epoch(&self, r: ObjectRef) -> Option<u64> {
+        Some(self.shared.epoch(self.shared.shard_for(r) as u32))
+    }
+
     fn expect_type(&mut self, ad: AccessDescriptor, t: SystemType) -> ArchResult<ObjectRef> {
         self.shared
             .with_shard(self.shared.shard_for(ad.obj), |s| s.expect_type(ad, t))

@@ -217,6 +217,18 @@ pub trait SpaceAccess {
     fn port_rings(&self) -> Option<&std::sync::Arc<crate::portring::PortRingRegistry>> {
         None
     }
+
+    /// The current qualification epoch of the shard `r` lives in, when
+    /// this space publishes one. Monomorphic inline caches key their
+    /// validity on this value exactly as the per-agent qualcache does:
+    /// any cache-visible mutation of the shard bumps it. The default —
+    /// every space without published epochs — returns `None`, which
+    /// keeps epoch-validated caches permanently cold (and therefore
+    /// trivially coherent) over such spaces.
+    fn qual_epoch(&self, r: ObjectRef) -> Option<u64> {
+        let _ = r;
+        None
+    }
 }
 
 /// Generic conveniences over [`SpaceAccess`] (blanket-implemented).

@@ -1,7 +1,7 @@
 //! The experiment implementations (C1–C10 of DESIGN.md).
 
 use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_FIRST_FREE, CTX_SLOT_SRO};
-use i432_arch::{ObjectSpec, PortDiscipline, Rights};
+use i432_arch::{ObjectSpec, PortDiscipline, Rights, SpaceAccessExt};
 use i432_gdp::isa::{AluOp, DataDst, DataRef, Instruction};
 use i432_gdp::{cost::cycles_to_us, CostModel, ProgramBuilder, StepEvent};
 use i432_sim::{RunOutcome, System, SystemConfig};
@@ -256,36 +256,7 @@ pub fn c3_threaded(
 ) -> Vec<ThreadedPoint> {
     use i432_sim::{run_threaded, run_threaded_global_lock};
     use std::time::Instant;
-    let build = |cpus: u32| -> System {
-        // Scale the arenas with the stripe count so per-shard capacity
-        // stays constant.
-        let mut cfg = SystemConfig::small()
-            .with_processors(cpus)
-            .with_shards(shards);
-        cfg.data_bytes *= shards;
-        cfg.access_slots *= shards;
-        cfg.table_limit *= shards;
-        let mut sys = System::new(&cfg);
-        let mut p = ProgramBuilder::new();
-        let top = p.new_label();
-        p.mov(DataRef::Imm(iters), DataDst::Local(0));
-        p.bind(top);
-        p.work(400);
-        p.alu(
-            AluOp::Sub,
-            DataRef::Local(0),
-            DataRef::Imm(1),
-            DataDst::Local(0),
-        );
-        p.jump_if_nonzero(DataRef::Local(0), top);
-        p.halt();
-        let sub = sys.subprogram("job", p.finish(), 64, 8);
-        let dom = sys.install_domain("batch", vec![sub], 0);
-        for _ in 0..jobs {
-            sys.spawn(dom, 0, None);
-        }
-        sys
-    };
+    let build = |cpus: u32| batch_system(cpus, shards, jobs, iters);
     thread_counts
         .iter()
         .map(|&threads| {
@@ -303,6 +274,112 @@ pub fn c3_threaded(
                 global_lock_wall_us: global_wall.as_micros() as u64,
                 speedup: global_wall.as_secs_f64() / striped_wall.as_secs_f64(),
                 system_errors: striped.system_errors + global.system_errors,
+            }
+        })
+        .collect()
+}
+
+/// The independent-jobs batch used by the host-threaded comparisons:
+/// `jobs` processes each burning `iters` iterations of the
+/// mov/work/alu/jump_if hot loop, with arenas scaled so per-shard
+/// capacity stays constant.
+fn batch_system(cpus: u32, shards: u32, jobs: u32, iters: u64) -> System {
+    let mut cfg = SystemConfig::small()
+        .with_processors(cpus)
+        .with_shards(shards);
+    cfg.data_bytes *= shards;
+    cfg.access_slots *= shards;
+    cfg.table_limit *= shards;
+    let mut sys = System::new(&cfg);
+    let mut p = ProgramBuilder::new();
+    let top = p.new_label();
+    p.mov(DataRef::Imm(iters), DataDst::Local(0));
+    p.bind(top);
+    p.work(400);
+    p.alu(
+        AluOp::Sub,
+        DataRef::Local(0),
+        DataRef::Imm(1),
+        DataDst::Local(0),
+    );
+    p.jump_if_nonzero(DataRef::Local(0), top);
+    p.halt();
+    let sub = sys.subprogram("job", p.finish(), 64, 8);
+    let dom = sys.install_domain("batch", vec![sub], 0);
+    for _ in 0..jobs {
+        sys.spawn(dom, 0, None);
+    }
+    sys
+}
+
+/// One point of the dispatch-specialization comparison: the same batch
+/// on the striped threaded runner with superinstruction fusion (and the
+/// block/inline caches) on vs off.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionPoint {
+    /// Host threads (= emulated processors).
+    pub threads: u32,
+    /// Wall-clock microseconds, fused dispatch.
+    pub fused_wall_us: u64,
+    /// Wall-clock microseconds, plain cached dispatch.
+    pub unfused_wall_us: u64,
+    /// Wall-clock speedup of fusion over plain cached dispatch.
+    pub speedup: f64,
+    /// System errors across both runs (must be zero).
+    pub system_errors: u64,
+    /// Simulated cycle counts of both runs — must be equal: fusion is
+    /// wall-clock-only by construction.
+    pub fused_cycles: u64,
+    /// See [`FusionPoint::fused_cycles`].
+    pub unfused_cycles: u64,
+}
+
+/// Runs the batch with fusion on and off at each thread count. The
+/// deterministic cycle model is untouched by fusion, so the per-point
+/// cycle totals must be bit-identical; only the host wall clock moves.
+pub fn c3_fusion(thread_counts: &[u32], shards: u32, jobs: u32, iters: u64) -> Vec<FusionPoint> {
+    use i432_sim::run_threaded_full;
+    use std::time::Instant;
+    // The simulated cycles every process accumulated — fusion must not
+    // move this by a single cycle.
+    fn cycle_total(sys: &mut System) -> u64 {
+        sys.processes()
+            .to_vec()
+            .iter()
+            .map(|&p| sys.space.with_process(p, |ps| ps.total_cycles).unwrap_or(0))
+            .sum()
+    }
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let t0 = Instant::now();
+            let (mut fsys, fused) = run_threaded_full(
+                batch_system(threads, shards, jobs, iters),
+                u64::MAX,
+                true,
+                true,
+                true,
+            );
+            let fused_wall = t0.elapsed();
+            assert!(fused.completed, "fused run must finish: {fused:?}");
+            let t1 = Instant::now();
+            let (mut usys, unfused) = run_threaded_full(
+                batch_system(threads, shards, jobs, iters),
+                u64::MAX,
+                true,
+                true,
+                false,
+            );
+            let unfused_wall = t1.elapsed();
+            assert!(unfused.completed, "unfused run must finish: {unfused:?}");
+            FusionPoint {
+                threads,
+                fused_wall_us: fused_wall.as_micros() as u64,
+                unfused_wall_us: unfused_wall.as_micros() as u64,
+                speedup: unfused_wall.as_secs_f64() / fused_wall.as_secs_f64(),
+                system_errors: fused.system_errors + unfused.system_errors,
+                fused_cycles: cycle_total(&mut fsys),
+                unfused_cycles: cycle_total(&mut usys),
             }
         })
         .collect()

@@ -3,6 +3,7 @@
 //! ```text
 //! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
 //!              [--cache on|off|both] [--port-queue on|off|both]
+//!              [--fusion on|off|both]
 //!              [--explore N] [--out PATH] [--trace] [--gc]
 //! ```
 //!
@@ -13,7 +14,12 @@
 //! (runner default, lock-free rings ahead of the shard locks), `off`
 //! (every port operation on the locked rendezvous path), or `both`
 //! (each matrix × cache point diffed queued *and* locked against the
-//! reference). `--explore N` additionally runs N seeded schedule
+//! reference). `--fusion` selects the dispatch-specialization arms the
+//! same way: `on` (runner default where the cache is on — pre-decoded
+//! blocks, superinstruction fusion and call/port-site inline caches),
+//! `off` (plain cached dispatch), or `both` (each matrix × cache ×
+//! queue point diffed fused *and* unfused against the reference).
+//! `--explore N` additionally runs N seeded schedule
 //! explorations. `--gc` switches every matrix point to the
 //! parallel-collector arm: the per-shard collector workers mark and
 //! sweep on real threads *while* the workload runs, and the end state
@@ -28,8 +34,8 @@
 //! digest mismatch.
 
 use i432_conform::{
-    check_seed_full, check_seed_pargc, explore, generate, run_threaded_case, CacheModes,
-    ExploreConfig, QueueModes, FULL_MATRIX, QUICK_MATRIX,
+    check_seed_fusion, check_seed_pargc, explore, generate, run_threaded_case, CacheModes,
+    ExploreConfig, FusionModes, QueueModes, FULL_MATRIX, QUICK_MATRIX,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -40,6 +46,7 @@ struct Args {
     matrix: &'static [(u32, u32)],
     cache: CacheModes,
     queue: QueueModes,
+    fusion: FusionModes,
     explore_seeds: u64,
     out: String,
     trace: bool,
@@ -53,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         matrix: FULL_MATRIX,
         cache: CacheModes::Both,
         queue: QueueModes::On,
+        fusion: FusionModes::On,
         explore_seeds: 0,
         out: "CONFORM_FAILURES.json".into(),
         trace: false,
@@ -113,6 +121,18 @@ fn parse_args() -> Result<Args, String> {
                 };
                 i += 2;
             }
+            "--fusion" => {
+                args.fusion = match FusionModes::parse(need_value(i)?) {
+                    Some(f) => f,
+                    None => {
+                        return Err(format!(
+                            "--fusion: expected on|off|both, got {:?}",
+                            need_value(i)?
+                        ))
+                    }
+                };
+                i += 2;
+            }
             "--explore" => {
                 args.explore_seeds = need_value(i)?
                     .parse()
@@ -148,12 +168,13 @@ fn main() -> ExitCode {
 
     println!(
         "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, \
-         {} cache arm(s), {} port-queue arm(s){}",
+         {} cache arm(s), {} port-queue arm(s), {} fusion arm(s){}",
         args.start,
         args.start + args.count,
         args.matrix.len(),
         args.cache.arms().len(),
         args.queue.arms().len(),
+        args.fusion.arms().len(),
         if args.gc {
             ", concurrent parallel-GC arm"
         } else {
@@ -165,7 +186,7 @@ fn main() -> ExitCode {
         let report = if args.gc {
             check_seed_pargc(seed, args.matrix, args.cache)
         } else {
-            check_seed_full(seed, args.matrix, args.cache, args.queue)
+            check_seed_fusion(seed, args.matrix, args.cache, args.queue, args.fusion)
         };
         if report.passed() {
             if (seed - args.start + 1) % 32 == 0 {

@@ -32,8 +32,8 @@ pub mod oracle;
 pub use explore::{explore, explore_traced, ExploreConfig, ExploreReport};
 pub use gen::{generate, GenCase, GenProcess};
 pub use oracle::{
-    check_seed, check_seed_full, check_seed_modes, check_seed_pargc, replay_command,
-    run_deterministic, run_threaded_case, run_threaded_sys_gc, run_threaded_sys_opts,
-    run_threaded_sys_pargc, CacheModes, CaseOutcome, QueueModes, SeedReport, FULL_MATRIX,
-    QUICK_MATRIX,
+    check_seed, check_seed_full, check_seed_fusion, check_seed_modes, check_seed_pargc,
+    replay_command, run_deterministic, run_threaded_case, run_threaded_sys_full,
+    run_threaded_sys_gc, run_threaded_sys_opts, run_threaded_sys_pargc, CacheModes, CaseOutcome,
+    FusionModes, QueueModes, SeedReport, FULL_MATRIX, QUICK_MATRIX,
 };

@@ -291,14 +291,34 @@ pub fn run_threaded_sys_opts(
     cache: bool,
     queue: bool,
 ) -> (System, CaseOutcome) {
+    // The runner default: dispatch specialization follows the cache
+    // flag (a caching threaded runner is a fused one).
+    run_threaded_sys_full(case, shards, cpus, cache, queue, cache)
+}
+
+/// [`run_threaded_sys_opts`] with dispatch specialization (the block
+/// cache, superinstruction fusion and the call/port-site inline caches)
+/// made explicit. `fusion` rides on the unlocked fast path, so it is
+/// inert when `cache` is off. Every arm must be digest-identical to the
+/// reference — fused dispatch charges the per-instruction cycle model
+/// unchanged by construction.
+pub fn run_threaded_sys_full(
+    case: &GenCase,
+    shards: u32,
+    cpus: u32,
+    cache: bool,
+    queue: bool,
+    fusion: bool,
+) -> (System, CaseOutcome) {
     let (sys, h) = build(case, shards, cpus);
-    let (mut sys, outcome) = i432_sim::run_threaded_with_opts(sys, THR_BUDGET, cache, queue);
+    let (mut sys, outcome) = i432_sim::run_threaded_full(sys, THR_BUDGET, cache, queue, fusion);
     assert!(
         outcome.completed && outcome.system_errors == 0,
-        "seed {}: threaded arm ({shards} shards x {cpus} threads, cache {}, queue {}) failed: {outcome:?}; replay: {}",
+        "seed {}: threaded arm ({shards} shards x {cpus} threads, cache {}, queue {}, fusion {}) failed: {outcome:?}; replay: {}",
         case.seed,
         if cache { "on" } else { "off" },
         if queue { "on" } else { "off" },
+        if fusion { "on" } else { "off" },
         replay_command(case.seed)
     );
     let o = outcome_of(&mut sys, &h);
@@ -519,6 +539,45 @@ impl QueueModes {
     }
 }
 
+/// Which dispatch-specialization arms [`check_seed_fusion`] exercises.
+/// Fusion rides on the binding-register cache's fast path, so a fusion-on
+/// arm is only distinct from the plain cached arm when the cache arm is
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionModes {
+    /// Dispatch specialization on only (the default runner
+    /// configuration when the cache is on).
+    On,
+    /// Dispatch specialization forced off only (plain cached or locked
+    /// dispatch).
+    Off,
+    /// Both — every matrix × cache × queue point runs twice, and the
+    /// fused run must be digest-identical to both the unfused run and
+    /// the reference.
+    Both,
+}
+
+impl FusionModes {
+    /// The fusion settings this mode expands to.
+    pub fn arms(self) -> &'static [bool] {
+        match self {
+            FusionModes::On => &[true],
+            FusionModes::Off => &[false],
+            FusionModes::Both => &[true, false],
+        }
+    }
+
+    /// Parses a `--fusion` flag value.
+    pub fn parse(s: &str) -> Option<FusionModes> {
+        match s {
+            "on" => Some(FusionModes::On),
+            "off" => Some(FusionModes::Off),
+            "both" => Some(FusionModes::Both),
+            _ => None,
+        }
+    }
+}
+
 /// The oracle's verdict for one seed across a matrix.
 #[derive(Debug, Clone)]
 pub struct SeedReport {
@@ -559,11 +618,30 @@ pub fn check_seed_modes(seed: u64, matrix: &[(u32, u32)], modes: CacheModes) -> 
 /// [`check_seed`] across an explicit cache × port-queue arm product:
 /// every matrix point runs once per (cache, queue) combination and each
 /// end state must be bit-identical to the deterministic reference.
+/// Dispatch specialization follows the runner default (on wherever the
+/// cache arm is on); use [`check_seed_fusion`] to diff the fusion arms
+/// explicitly.
 pub fn check_seed_full(
     seed: u64,
     matrix: &[(u32, u32)],
     modes: CacheModes,
     queues: QueueModes,
+) -> SeedReport {
+    check_seed_fusion(seed, matrix, modes, queues, FusionModes::On)
+}
+
+/// [`check_seed`] across the full cache × port-queue × fusion arm
+/// product: every matrix point runs once per combination and each end
+/// state must be bit-identical to the deterministic reference. This is
+/// the differential battery that proves superinstruction fusion and the
+/// inline caches semantically invisible — digests, counters and fault
+/// verdicts agree bit-for-bit with fusion on and off.
+pub fn check_seed_fusion(
+    seed: u64,
+    matrix: &[(u32, u32)],
+    modes: CacheModes,
+    queues: QueueModes,
+    fusions: FusionModes,
 ) -> SeedReport {
     let case = crate::gen::generate(seed);
     let mut mismatches = Vec::new();
@@ -596,21 +674,24 @@ pub fn check_seed_full(
     for &(shards, cpus) in matrix {
         for &cache in modes.arms() {
             for &queue in queues.arms() {
-                let got = run_threaded_sys_opts(&case, shards, cpus, cache, queue).1;
-                if got != reference {
-                    mismatches.push(format!(
-                        "seed {seed}: {shards} shards x {cpus} threads (cache {}, queue {}) diverged \
-                         (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
-                        if cache { "on" } else { "off" },
-                        if queue { "on" } else { "off" },
-                        got.digest,
-                        reference.digest,
-                        got.counter,
-                        reference.counter,
-                        got.proc_states,
-                        reference.proc_states,
-                        replay_command(seed)
-                    ));
+                for &fusion in fusions.arms() {
+                    let got = run_threaded_sys_full(&case, shards, cpus, cache, queue, fusion).1;
+                    if got != reference {
+                        mismatches.push(format!(
+                            "seed {seed}: {shards} shards x {cpus} threads (cache {}, queue {}, fusion {}) diverged \
+                             (digest {:#018x} vs {:#018x}, counter {} vs {}, states {:?} vs {:?}); replay: {}",
+                            if cache { "on" } else { "off" },
+                            if queue { "on" } else { "off" },
+                            if fusion { "on" } else { "off" },
+                            got.digest,
+                            reference.digest,
+                            got.counter,
+                            reference.counter,
+                            got.proc_states,
+                            reference.proc_states,
+                            replay_command(seed)
+                        ));
+                    }
                 }
             }
         }

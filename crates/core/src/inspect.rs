@@ -226,6 +226,23 @@ pub fn trace_report() -> String {
             }
         }
     }
+    // Retired-opcode pair histogram: the profile that selects which
+    // pairs superinstruction fusion targets. Top pairs only — the full
+    // matrix is PAIR_DIM².
+    let pairs = snap.hot_pairs();
+    let _ = writeln!(out, "{:<24} {:>14}  (top 12)", "opcode_pairs", pairs.len());
+    for (prev, cur, n) in pairs.iter().take(12) {
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>14}",
+            format!(
+                "{} ; {}",
+                i432_gdp::isa::opcode_name(*prev),
+                i432_gdp::isa::opcode_name(*cur)
+            ),
+            n
+        );
+    }
     out
 }
 
@@ -316,6 +333,14 @@ mod tests {
             assert!(r.contains("port_fast_sends"), "{r}");
             assert!(r.contains("port_ring_fallbacks"), "{r}");
             assert!(r.contains("port_queue_depth"), "{r}");
+            // Dispatch-specialization diagnostics: fusion/IC hit
+            // counters and the opcode-pair profile fusion is chosen
+            // from.
+            assert!(r.contains("fusion_hits"), "{r}");
+            assert!(r.contains("ic_hits"), "{r}");
+            assert!(r.contains("ic_flushes"), "{r}");
+            assert!(r.contains("block_decodes"), "{r}");
+            assert!(r.contains("opcode_pairs"), "{r}");
         } else {
             assert!(r.contains("compiled out"), "{r}");
         }

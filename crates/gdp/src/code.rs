@@ -5,14 +5,51 @@
 //! [`CodeRef`]. This keeps typed Rust instruction vectors out of the byte
 //! arena while preserving the object model: programs still reach code only
 //! through access descriptors for instruction-segment objects.
+//!
+//! ## Versioned bodies
+//!
+//! Each body is an immutable `Arc<[Instruction]>` snapshot paired with a
+//! monotonic version counter. [`CodeStore::patch`] replaces one
+//! instruction through a shared reference (the store is shared read-only
+//! across the threaded runner's workers) by installing a *new* snapshot
+//! and bumping the version. Consumers that pre-decode — the per-GDP
+//! basic-block cache — revalidate against [`CodeStore::version_of`] and
+//! re-[`snapshot`](CodeStore::snapshot) on mismatch, so a patched body is
+//! observed at the next instruction boundary at the latest, exactly like
+//! an instruction fetch from the store itself.
 
 use crate::isa::Instruction;
 use i432_arch::CodeRef;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One installed instruction segment: the current immutable snapshot of
+/// its body plus the version that names that snapshot.
+#[derive(Debug)]
+struct Body {
+    instrs: RwLock<Arc<[Instruction]>>,
+    version: AtomicU64,
+}
 
 /// The store of all instruction-segment bodies in a system.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct CodeStore {
-    bodies: Vec<Vec<Instruction>>,
+    bodies: Vec<Body>,
+}
+
+impl Clone for CodeStore {
+    fn clone(&self) -> CodeStore {
+        CodeStore {
+            bodies: self
+                .bodies
+                .iter()
+                .map(|b| Body {
+                    instrs: RwLock::new(b.instrs.read().unwrap().clone()),
+                    version: AtomicU64::new(b.version.load(Ordering::Acquire)),
+                })
+                .collect(),
+        }
+    }
 }
 
 impl CodeStore {
@@ -24,7 +61,10 @@ impl CodeStore {
     /// Installs a code body, returning its reference.
     pub fn install(&mut self, body: Vec<Instruction>) -> CodeRef {
         let r = CodeRef(self.bodies.len() as u32);
-        self.bodies.push(body);
+        self.bodies.push(Body {
+            instrs: RwLock::new(body.into()),
+            version: AtomicU64::new(0),
+        });
         r
     }
 
@@ -33,21 +73,63 @@ impl CodeStore {
     pub fn fetch(&self, code: CodeRef, ip: u32) -> Option<Instruction> {
         self.bodies
             .get(code.0 as usize)
-            .and_then(|b| b.get(ip as usize))
-            .copied()
+            .and_then(|b| b.instrs.read().unwrap().get(ip as usize).copied())
     }
 
     /// Length of a body in instructions (0 for unknown references).
     pub fn len_of(&self, code: CodeRef) -> u32 {
         self.bodies
             .get(code.0 as usize)
-            .map(|b| b.len() as u32)
+            .map(|b| b.instrs.read().unwrap().len() as u32)
             .unwrap_or(0)
     }
 
     /// Number of installed bodies.
     pub fn count(&self) -> usize {
         self.bodies.len()
+    }
+
+    /// The current version of a body (0 for unknown references; bumped
+    /// by every [`patch`](CodeStore::patch)).
+    pub fn version_of(&self, code: CodeRef) -> u64 {
+        self.bodies
+            .get(code.0 as usize)
+            .map(|b| b.version.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// The current `(version, body)` snapshot of a segment, or `None`
+    /// for unknown references. The pair is coherent: the returned body
+    /// is exactly the snapshot that `version` names.
+    pub fn snapshot(&self, code: CodeRef) -> Option<(u64, Arc<[Instruction]>)> {
+        let b = self.bodies.get(code.0 as usize)?;
+        loop {
+            let v1 = b.version.load(Ordering::Acquire);
+            let instrs = b.instrs.read().unwrap().clone();
+            if b.version.load(Ordering::Acquire) == v1 {
+                return Some((v1, instrs));
+            }
+        }
+    }
+
+    /// Replaces the instruction at `ip` in an installed body — the
+    /// self-modifying-program path. Works through a shared reference so
+    /// a debugger/loader agent can patch while the threaded runner owns
+    /// the store read-only. Returns `false` (and changes nothing) when
+    /// the reference or `ip` is unknown.
+    pub fn patch(&self, code: CodeRef, ip: u32, instr: Instruction) -> bool {
+        let Some(b) = self.bodies.get(code.0 as usize) else {
+            return false;
+        };
+        let mut guard = b.instrs.write().unwrap();
+        if ip as usize >= guard.len() {
+            return false;
+        }
+        let mut next: Vec<Instruction> = guard.to_vec();
+        next[ip as usize] = instr;
+        *guard = next.into();
+        b.version.fetch_add(1, Ordering::Release);
+        true
     }
 }
 
@@ -70,5 +152,40 @@ mod tests {
         let cs = CodeStore::new();
         assert_eq!(cs.fetch(CodeRef(9), 0), None);
         assert_eq!(cs.len_of(CodeRef(9)), 0);
+        assert_eq!(cs.version_of(CodeRef(9)), 0);
+        assert!(cs.snapshot(CodeRef(9)).is_none());
+        assert!(!cs.patch(CodeRef(9), 0, Instruction::Halt));
+    }
+
+    #[test]
+    fn patch_bumps_version_and_replaces_one_instruction() {
+        let mut cs = CodeStore::new();
+        let r = cs.install(vec![Instruction::Work { cycles: 1 }, Instruction::Halt]);
+        let (v0, body0) = cs.snapshot(r).unwrap();
+        assert_eq!(v0, 0);
+        assert_eq!(body0.len(), 2);
+
+        assert!(cs.patch(r, 0, Instruction::Work { cycles: 7 }));
+        assert_eq!(cs.version_of(r), v0 + 1);
+        assert_eq!(cs.fetch(r, 0), Some(Instruction::Work { cycles: 7 }));
+        assert_eq!(cs.fetch(r, 1), Some(Instruction::Halt));
+
+        // The old snapshot is unaffected — decoded blocks keep a
+        // coherent body until they revalidate.
+        assert_eq!(body0[0], Instruction::Work { cycles: 1 });
+
+        // Out-of-range patches change nothing.
+        assert!(!cs.patch(r, 2, Instruction::Halt));
+        assert_eq!(cs.version_of(r), v0 + 1);
+    }
+
+    #[test]
+    fn clone_preserves_bodies_and_versions() {
+        let mut cs = CodeStore::new();
+        let r = cs.install(vec![Instruction::Halt]);
+        cs.patch(r, 0, Instruction::Work { cycles: 3 });
+        let dup = cs.clone();
+        assert_eq!(dup.version_of(r), cs.version_of(r));
+        assert_eq!(dup.fetch(r, 0), Some(Instruction::Work { cycles: 3 }));
     }
 }

@@ -11,6 +11,7 @@ use crate::{
     code::CodeStore,
     context::{context_state, create_context, destroy_context, subprogram_of, with_context_state},
     cost::CostModel,
+    dispatch::{BlockCache, InlineCache, Site},
     fault::{Fault, FaultKind},
     interconnect::Interconnect,
     isa::{DataDst, DataRef, Instruction},
@@ -20,9 +21,10 @@ use crate::{
 };
 use i432_arch::{
     sysobj::{CTX_SLOT_CALLER, CTX_SLOT_SRO, PROC_SLOT_CONTEXT, PROC_SLOT_LOCAL_HEAP},
-    AccessDescriptor, CodeBody, ObjectRef, ObjectSpec, ObjectType, ProcessStatus, ProcessorStatus,
-    Rights, SpaceAccess, SpaceAccessExt, SysState, SystemType,
+    AccessDescriptor, CodeBody, ObjectRef, ObjectSpec, ObjectType, PortRing, ProcessStatus,
+    ProcessorStatus, Rights, SpaceAccess, SpaceAccessExt, Subprogram, SysState, SystemType,
 };
+use std::sync::Arc;
 
 /// Everything a processor needs besides its own state.
 ///
@@ -201,7 +203,7 @@ fn is_fast(instr: &Instruction) -> bool {
 }
 
 /// One emulated General Data Processor.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Gdp {
     /// The processor object this GDP embodies.
     pub cpu: ObjectRef,
@@ -211,8 +213,23 @@ pub struct Gdp {
     /// [`BoundState`]). Off by default: the deterministic runners keep
     /// every step on the locked path.
     cache_enabled: bool,
+    /// Whether dispatch specialization is consulted: the pre-decoded
+    /// block cache, superinstruction fusion on the fast path, and the
+    /// monomorphic inline caches at call/port sites. Requires (and only
+    /// acts with) the binding-register cache.
+    fusion_enabled: bool,
     /// Cached binding registers, when a process is bound and cacheable.
     bound: Option<BoundState>,
+    /// Pre-decoded code segments with fusion classification.
+    blocks: BlockCache,
+    /// Monomorphic inline caches for call/port-site qualification.
+    ics: InlineCache,
+    /// The process last bound through [`Gdp::prime`]; any change
+    /// flushes the inline caches.
+    last_bound_proc: Option<ObjectRef>,
+    /// Previous retired opcode for the pair histogram (`u16::MAX` =
+    /// none yet).
+    last_op: u16,
 }
 
 impl Gdp {
@@ -222,7 +239,12 @@ impl Gdp {
             cpu,
             clock: 0,
             cache_enabled: false,
+            fusion_enabled: false,
             bound: None,
+            blocks: BlockCache::new(),
+            ics: InlineCache::new(),
+            last_bound_proc: None,
+            last_op: u16::MAX,
         }
     }
 
@@ -237,9 +259,41 @@ impl Gdp {
         }
     }
 
+    /// A processor with the binding-register cache *and* dispatch
+    /// specialization enabled: instruction fetch goes through a
+    /// pre-decoded block cache, dominant fast-path opcode pairs execute
+    /// as fused superinstructions, and call/port-site qualification is
+    /// served by epoch-validated monomorphic inline caches. Semantically
+    /// transparent — the per-instruction cycle model is charged
+    /// identically, and the conformance oracle checks fused and unfused
+    /// runs digest-identically.
+    pub fn new_fused(cpu: ObjectRef) -> Gdp {
+        Gdp {
+            fusion_enabled: true,
+            ..Gdp::new_cached(cpu)
+        }
+    }
+
     /// Whether the binding-register cache is enabled.
     pub fn cache_enabled(&self) -> bool {
         self.cache_enabled
+    }
+
+    /// Whether dispatch specialization (block cache + fusion + inline
+    /// caches) is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion_enabled
+    }
+
+    /// Occupied inline-cache lines (test/introspection hook).
+    pub fn ic_occupancy(&self) -> usize {
+        self.ics.occupancy()
+    }
+
+    /// Decoded code segments held by the block cache (test/introspection
+    /// hook).
+    pub fn block_cache_occupancy(&self) -> usize {
+        self.blocks.occupancy()
     }
 
     /// Writes the cached binding registers back to the space and drops
@@ -294,6 +348,19 @@ impl Gdp {
         if pstatus != ProcessStatus::Running {
             return false;
         }
+        if self.fusion_enabled && self.last_bound_proc != Some(proc_ref) {
+            // Rebinding the processor to a different process flushes the
+            // inline caches. Call/Return context switches *within* one
+            // process keep their lines — epoch + exact-descriptor
+            // validation already covers cross-object staleness; the
+            // whole-cache flush is the belt-and-suspenders hygiene the
+            // qualcache also keeps at its trust boundary.
+            if self.last_bound_proc.is_some() && self.ics.occupancy() > 0 {
+                self.ics.clear();
+                i432_trace::bump(i432_trace::Counter::IcFlushes);
+            }
+            self.last_bound_proc = Some(proc_ref);
+        }
         self.bound = Some(BoundState {
             proc_ref,
             ctx,
@@ -319,54 +386,115 @@ impl Gdp {
             return None;
         }
         let mut b = self.bound.expect("primed above");
-        i432_trace::set_context(b.cpu_id as u16, self.clock);
-        let Some(instr) = env.code.fetch(b.code, b.ip) else {
-            // Out-of-segment ip: let the locked path raise BadIp.
-            self.flush_bound(env.space);
-            return None;
+        let (instr, partner) = if self.fusion_enabled {
+            // Pre-decoded path: the block cache revalidates against the
+            // store's version, so a patched body is observed at the
+            // next step, exactly like a raw fetch.
+            match self.blocks.resolve(env.code, b.code, b.ip) {
+                Some(pair) => pair,
+                None => {
+                    // Out-of-segment ip: let the locked path raise BadIp.
+                    self.flush_bound(env.space);
+                    return None;
+                }
+            }
+        } else {
+            match env.code.fetch(b.code, b.ip) {
+                Some(i) => (i, None),
+                None => {
+                    self.flush_bound(env.space);
+                    return None;
+                }
+            }
         };
         if !is_fast(&instr) {
             self.flush_bound(env.space);
             return None;
         }
-        let mut charge = Charge::default();
-        charge.add(env.cost.decode);
-        charge.words += 1;
-        let ctl = match self.exec_instr(env, b.proc_ref, b.ctx, instr, &mut charge) {
-            Ok(ctl) => ctl,
-            Err(fault) => {
-                // Like the locked path, a faulting instruction charges
-                // nothing; ip still names the faulting instruction.
-                self.flush_bound(env.space);
-                return Some(self.process_fault(env, b.proc_ref, fault));
+        debug_assert!(
+            partner.as_ref().is_none_or(is_fast),
+            "fusion admits only fast partners"
+        );
+
+        // Execute the instruction — and, for a fused superinstruction,
+        // its partner — with bit-identical per-instruction accounting:
+        // each half gets its own decode charge, bus access, clock tick
+        // and slice debit, in the same order the unfused stepper would
+        // apply them. The win is dispatch overhead (one prime/fetch/
+        // bound-commit round for two instructions), not cycle-model
+        // shortcuts.
+        let mut step_cycles = 0u64;
+        let mut on_partner = false;
+        let mut pending = Some(instr);
+        while let Some(cur) = pending.take() {
+            i432_trace::set_context(b.cpu_id as u16, self.clock);
+            let mut charge = Charge::default();
+            charge.add(env.cost.decode);
+            charge.words += 1;
+            let site = Some((b.code, b.ip));
+            let ctl = match self.exec_instr(env, b.proc_ref, b.ctx, cur, site, &mut charge) {
+                Ok(ctl) => ctl,
+                Err(fault) => {
+                    // Like the locked path, a faulting instruction
+                    // charges nothing; ip still names the faulting
+                    // instruction. When the *second* half of a fused
+                    // pair faults, the first half was already committed
+                    // to `self.bound` below, so the fault reports the
+                    // original instruction boundary, not the pair head.
+                    self.flush_bound(env.space);
+                    return Some(self.process_fault(env, b.proc_ref, fault));
+                }
+            };
+            i432_trace::emit(i432_trace::EventKind::InstrExec, b.proc_ref.index.0);
+            i432_trace::bump(i432_trace::Counter::InstrExecuted);
+            if i432_trace::ENABLED {
+                let op = cur.opcode();
+                if self.last_op != u16::MAX {
+                    i432_trace::record_pair(self.last_op as u8, op);
+                }
+                self.last_op = op as u16;
             }
-        };
-        i432_trace::emit(i432_trace::EventKind::InstrExec, b.proc_ref.index.0);
-        i432_trace::bump(i432_trace::Counter::InstrExecuted);
-        let wait = env.bus.access(b.cpu_id, self.clock, charge.words);
-        let total = charge.cycles + wait;
-        self.clock += total;
-        b.pending_busy += total;
-        b.pending_proc_cycles += total;
-        b.slice_remaining = b.slice_remaining.saturating_sub(total);
-        match ctl {
-            Ctl::Next => b.ip += 1,
-            Ctl::Jump(t) => b.ip = t,
-            // is_fast admits no blocking, switching or exiting
-            // instructions.
-            _ => unreachable!("fast instruction yielded non-local control"),
-        }
-        self.bound = Some(b);
-        if b.slice_remaining == 0 {
-            self.flush_bound(env.space);
-            return Some(match self.maybe_preempt(env, b.proc_ref, total) {
-                Ok(ev) => ev,
-                Err(fault) => self.process_fault(env, b.proc_ref, fault),
-            });
+            if on_partner {
+                i432_trace::bump(i432_trace::Counter::FusionHits);
+            }
+            let wait = env.bus.access(b.cpu_id, self.clock, charge.words);
+            let total = charge.cycles + wait;
+            self.clock += total;
+            b.pending_busy += total;
+            b.pending_proc_cycles += total;
+            b.slice_remaining = b.slice_remaining.saturating_sub(total);
+            step_cycles += total;
+            match ctl {
+                Ctl::Next => b.ip += 1,
+                Ctl::Jump(t) => b.ip = t,
+                // is_fast admits no blocking, switching or exiting
+                // instructions.
+                _ => unreachable!("fast instruction yielded non-local control"),
+            }
+            self.bound = Some(b);
+            if b.slice_remaining == 0 {
+                // Slice expired: the partner (if any) does not execute
+                // this step — exactly where the unfused schedule would
+                // preempt between the two instructions.
+                self.flush_bound(env.space);
+                return Some(match self.maybe_preempt(env, b.proc_ref, total) {
+                    Ok(ev) => ev,
+                    Err(fault) => self.process_fault(env, b.proc_ref, fault),
+                });
+            }
+            if !on_partner {
+                if let Some(p) = partner {
+                    // The pair head is linear (analyze() admits only
+                    // fall-through leaders), so `b.ip` now names the
+                    // partner.
+                    pending = Some(p);
+                    on_partner = true;
+                }
+            }
         }
         Some(StepEvent::Executed {
             process: b.proc_ref,
-            cycles: total,
+            cycles: step_cycles,
         })
     }
 
@@ -476,7 +604,16 @@ impl Gdp {
                         format!("ip {} outside instruction segment", cstate.ip),
                     ));
                 };
-                self.exec_instr(env, proc_ref, ctx, instr, &mut charge)?
+                let site = Some((code_ref, cstate.ip));
+                let ctl = self.exec_instr(env, proc_ref, ctx, instr, site, &mut charge)?;
+                if i432_trace::ENABLED {
+                    let op = instr.opcode();
+                    if self.last_op != u16::MAX {
+                        i432_trace::record_pair(self.last_op as u8, op);
+                    }
+                    self.last_op = op as u16;
+                }
+                ctl
             }
             CodeBody::Native(id) => {
                 // A process whose root body is native: run it to
@@ -711,12 +848,47 @@ impl Gdp {
     // -- The instruction dispatch ---------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
+    /// Resolves the ring behind a port descriptor for a fast-path
+    /// operation, consulting the port-site inline cache when dispatch
+    /// specialization is on. A hit serves the ring without a registry
+    /// lookup; the rights check on the descriptor in hand is repeated
+    /// either way (it guards against a site whose instruction was
+    /// patched to need different rights). The shard epoch is read
+    /// *before* the lookup, so a line filled while the port mutates
+    /// concurrently can only be invalid, never stale-live.
+    fn port_ring_ic<S: SpaceAccess + ?Sized>(
+        &mut self,
+        space: &S,
+        site: Option<Site>,
+        port_ad: AccessDescriptor,
+        need: Rights,
+    ) -> Option<Arc<PortRing>> {
+        let Some(s) = site.filter(|_| self.fusion_enabled) else {
+            return port::ring_for(space, port_ad, need);
+        };
+        let epoch = space.qual_epoch(port_ad.obj);
+        if let Some(ring) = self.ics.probe_port(s, port_ad, epoch) {
+            if port_ad.rights.contains(need) {
+                i432_trace::bump(i432_trace::Counter::IcHits);
+                return Some(ring);
+            }
+            return None;
+        }
+        let ring = port::ring_for(space, port_ad, need)?;
+        if let Some(e) = epoch {
+            i432_trace::bump(i432_trace::Counter::IcMisses);
+            self.ics.fill_port(s, port_ad, e, Arc::clone(&ring));
+        }
+        Some(ring)
+    }
+
     fn exec_instr<S: SpaceAccess + ?Sized>(
         &mut self,
         env: &mut Env<'_, S>,
         proc_ref: ObjectRef,
         ctx: ObjectRef,
         instr: Instruction,
+        site: Option<Site>,
         charge: &mut Charge,
     ) -> Result<Ctl, Fault> {
         let ctx_ad = env.space.mint(ctx, Rights::READ | Rights::WRITE);
@@ -918,7 +1090,7 @@ impl Gdp {
                 ret_ad,
                 ret_val,
             } => self.exec_call(
-                env, proc_ref, ctx, domain, subprogram, arg, ret_ad, ret_val, charge,
+                env, proc_ref, ctx, domain, subprogram, arg, ret_ad, ret_val, site, charge,
             ),
             Instruction::Return { ad, value } => {
                 self.exec_return(env, proc_ref, ctx, ad, value, charge)
@@ -938,8 +1110,13 @@ impl Gdp {
                 // Ring fast path: a successful fast send is exactly the
                 // locked path's Queued outcome, with no shard lock
                 // taken. Any refusal falls through to the rendezvous.
-                if port::fast_send(env.space, port_ad, msg_ad, k).is_some() {
-                    return Ok(Ctl::Next);
+                // The port-site inline cache short-circuits the ring
+                // lookup when dispatch specialization is on.
+                let ring = self.port_ring_ic(env.space, site, port_ad, Rights::SEND);
+                if let Some(ring) = ring {
+                    if port::fast_send_on(env.space, &ring, port_ad, msg_ad, k).is_some() {
+                        return Ok(Ctl::Next);
+                    }
                 }
                 let cpu = self.cpu;
                 match env.space.atomically(|sm| -> Result<SendOutcome, Fault> {
@@ -999,14 +1176,25 @@ impl Gdp {
                     .space
                     .load_ad_required(ctx_ad, p as u32)
                     .map_err(Fault::from)?;
-                charge.add(queue_scan_cost(env.space, port_ad));
                 // Ring fast path: a fast pop is the locked path's FIFO
-                // dequeue, delivered to the same context slot.
-                if let Some(RecvOutcome::Received(msg)) = port::fast_receive(env.space, port_ad) {
-                    env.space
-                        .store_ad(ctx_ad, dst as u32, Some(msg))
-                        .map_err(Fault::from)?;
-                    return Ok(Ctl::Next);
+                // dequeue, delivered to the same context slot. The
+                // port-site inline cache short-circuits the ring lookup;
+                // when a ring exists the port is FIFO by construction,
+                // so the queue-scan cost the locked read would report is
+                // exactly zero and the locked read itself is skipped.
+                let ring = self.port_ring_ic(env.space, site, port_ad, Rights::RECEIVE);
+                match &ring {
+                    Some(ring) => {
+                        if let Some(RecvOutcome::Received(msg)) =
+                            port::fast_receive_on(ring, port_ad)
+                        {
+                            env.space
+                                .store_ad(ctx_ad, dst as u32, Some(msg))
+                                .map_err(Fault::from)?;
+                            return Ok(Ctl::Next);
+                        }
+                    }
+                    None => charge.add(queue_scan_cost(env.space, port_ad)),
                 }
                 let cpu = self.cpu;
                 match env.space.atomically(|sm| -> Result<RecvOutcome, Fault> {
@@ -1213,6 +1401,7 @@ impl Gdp {
         arg: Option<u16>,
         ret_ad: Option<u16>,
         ret_val: Option<u32>,
+        site: Option<Site>,
         charge: &mut Charge,
     ) -> Result<Ctl, Fault> {
         charge.add(env.cost.call_total() - env.cost.decode);
@@ -1227,13 +1416,47 @@ impl Gdp {
             .space
             .load_ad_required(ctx_ad, domain as u32)
             .map_err(Fault::from)?;
-        env.space
-            .expect_type(dom_ad, SystemType::Domain)
-            .map_err(Fault::from)?;
-        env.space
-            .qualify(dom_ad, Rights::CALL)
-            .map_err(Fault::from)?;
-        let sub = subprogram_of(env.space, dom_ad.obj, subprogram)?;
+        // Call-site inline cache: on a hit, the Domain type check, CALL
+        // qualification and subprogram-table resolution are served from
+        // the cached line — valid only for the exact descriptor (object,
+        // generation and rights), the exact subprogram index, and an
+        // unchanged shard epoch. The epoch is read *before* resolution,
+        // so a line filled while the domain mutates concurrently can
+        // only be invalid, never stale-live. CALL's cost is fixed above
+        // either way — the cycle model is untouched.
+        let ic_site = site.filter(|_| self.fusion_enabled);
+        let epoch = ic_site.and_then(|_| env.space.qual_epoch(dom_ad.obj));
+        let hit =
+            ic_site.is_some_and(|s| self.ics.probe_call(s, subprogram, dom_ad, epoch).is_some());
+        let resolved: Option<Subprogram> = if hit {
+            i432_trace::bump(i432_trace::Counter::IcHits);
+            None
+        } else {
+            env.space
+                .expect_type(dom_ad, SystemType::Domain)
+                .map_err(Fault::from)?;
+            env.space
+                .qualify(dom_ad, Rights::CALL)
+                .map_err(Fault::from)?;
+            let s = subprogram_of(env.space, dom_ad.obj, subprogram)?;
+            if let (Some(st), Some(e)) = (ic_site, epoch) {
+                i432_trace::bump(i432_trace::Counter::IcMisses);
+                self.ics.fill_call(st, subprogram, dom_ad, e, s.clone());
+            }
+            Some(s)
+        };
+        let sub: &Subprogram = match &resolved {
+            Some(s) => s,
+            None => self
+                .ics
+                .probe_call(
+                    ic_site.expect("hit implies a site"),
+                    subprogram,
+                    dom_ad,
+                    epoch,
+                )
+                .expect("hit implies a live line"),
+        };
         let arg_ad = match arg {
             Some(slot) => env
                 .space
@@ -1252,7 +1475,7 @@ impl Gdp {
             sro_ad.obj,
             dom_ad,
             subprogram,
-            &sub,
+            sub,
             arg_ad,
             Some(ctx_ad),
             cur_level,

@@ -355,6 +355,80 @@ pub enum Instruction {
     Halt,
 }
 
+/// Number of distinct opcodes ([`Instruction`] variants); the dense
+/// range of [`Instruction::opcode`].
+pub const OPCODE_COUNT: usize = 25;
+
+impl Instruction {
+    /// A dense opcode id in `0..OPCODE_COUNT`, stable across runs.
+    ///
+    /// Feeds the flight recorder's opcode-pair histogram (which indexes
+    /// a fixed-size matrix by opcode id) and the dispatch-specialization
+    /// tables, neither of which can afford variant names on a hot path.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Instruction::Mov { .. } => 0,
+            Instruction::Alu { .. } => 1,
+            Instruction::Jump(_) => 2,
+            Instruction::JumpIf { .. } => 3,
+            Instruction::MoveAd { .. } => 4,
+            Instruction::LoadAd { .. } => 5,
+            Instruction::StoreAd { .. } => 6,
+            Instruction::NullAd { .. } => 7,
+            Instruction::Restrict { .. } => 8,
+            Instruction::CreateObject { .. } => 9,
+            Instruction::CreateTypedObject { .. } => 10,
+            Instruction::Amplify { .. } => 11,
+            Instruction::Call { .. } => 12,
+            Instruction::Return { .. } => 13,
+            Instruction::Send { .. } => 14,
+            Instruction::CondSend { .. } => 15,
+            Instruction::Receive { .. } => 16,
+            Instruction::ReceiveTimeout { .. } => 17,
+            Instruction::CondReceive { .. } => 18,
+            Instruction::CopyData { .. } => 19,
+            Instruction::InspectAd { .. } => 20,
+            Instruction::ReadClock { .. } => 21,
+            Instruction::Work { .. } => 22,
+            Instruction::RaiseFault { .. } => 23,
+            Instruction::Halt => 24,
+        }
+    }
+}
+
+/// The mnemonic for an opcode id from [`Instruction::opcode`]
+/// (`"?"` for out-of-range ids).
+pub fn opcode_name(op: u8) -> &'static str {
+    match op {
+        0 => "mov",
+        1 => "alu",
+        2 => "jump",
+        3 => "jump_if",
+        4 => "move_ad",
+        5 => "load_ad",
+        6 => "store_ad",
+        7 => "null_ad",
+        8 => "restrict",
+        9 => "create_object",
+        10 => "create_typed_object",
+        11 => "amplify",
+        12 => "call",
+        13 => "return",
+        14 => "send",
+        15 => "cond_send",
+        16 => "receive",
+        17 => "receive_timeout",
+        18 => "cond_receive",
+        19 => "copy_data",
+        20 => "inspect_ad",
+        21 => "read_clock",
+        22 => "work",
+        23 => "raise_fault",
+        24 => "halt",
+        _ => "?",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +471,31 @@ mod tests {
         let i = Instruction::Halt;
         let j = i;
         assert_eq!(i, j);
+    }
+
+    #[test]
+    fn opcodes_are_dense_and_named() {
+        let samples = [
+            Instruction::Mov {
+                src: DataRef::Imm(0),
+                dst: DataDst::Local(0),
+            },
+            Instruction::Jump(0),
+            Instruction::Call {
+                domain: 0,
+                subprogram: 0,
+                arg: None,
+                ret_ad: None,
+                ret_val: None,
+            },
+            Instruction::Halt,
+        ];
+        for s in &samples {
+            let op = s.opcode();
+            assert!((op as usize) < OPCODE_COUNT);
+            assert_ne!(opcode_name(op), "?");
+        }
+        assert_eq!(Instruction::Halt.opcode() as usize, OPCODE_COUNT - 1);
+        assert_eq!(opcode_name(OPCODE_COUNT as u8), "?");
     }
 }

@@ -35,6 +35,7 @@ pub mod code;
 pub mod codec;
 pub mod context;
 pub mod cost;
+pub mod dispatch;
 pub mod exec;
 pub mod fault;
 pub mod interconnect;
@@ -48,6 +49,7 @@ pub use code::CodeStore;
 pub use codec::{decode_program, encode_program, CodecError};
 pub use context::{create_context, destroy_context};
 pub use cost::{CostModel, CLOCK_HZ};
+pub use dispatch::{analyze, is_linear, BlockCache, InlineCache, Site, IC_LINES};
 pub use exec::{Env, Gdp, StepEvent};
 pub use fault::{Fault, FaultKind};
 pub use interconnect::{Interconnect, NullInterconnect};

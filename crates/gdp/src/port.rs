@@ -72,10 +72,37 @@ pub fn fast_send<S: SpaceAccess + ?Sized>(
     msg: AccessDescriptor,
     key: u64,
 ) -> Option<SendOutcome> {
+    let ring = ring_for(space, port_ad, Rights::SEND)?;
+    fast_send_on(space, &ring, port_ad, msg, key)
+}
+
+/// Resolves the live ring behind a port descriptor for a fast-path
+/// operation: registry lookup plus the `need` rights check on the
+/// descriptor in hand. `None` means "take the locked path". This is the
+/// (site-independent) work a port-site inline cache memoizes — a hit
+/// serves the ring without touching the registry.
+pub fn ring_for<S: SpaceAccess + ?Sized>(
+    space: &S,
+    port_ad: AccessDescriptor,
+    need: Rights,
+) -> Option<Arc<PortRing>> {
     let ring = space.port_rings()?.lookup(port_ad.obj)?;
-    if !port_ad.rights.contains(Rights::SEND) {
+    if !port_ad.rights.contains(need) {
         return None;
     }
+    Some(ring)
+}
+
+/// The send half of [`fast_send`], on an already-resolved ring. The
+/// ring must come from [`ring_for`] (or an inline-cache line filled
+/// from it) for this port descriptor with SEND rights.
+pub fn fast_send_on<S: SpaceAccess + ?Sized>(
+    space: &mut S,
+    ring: &PortRing,
+    port_ad: AccessDescriptor,
+    msg: AccessDescriptor,
+    key: u64,
+) -> Option<SendOutcome> {
     // Level rule (paper §5): the message must outlive the port. The
     // port's level is cached in the ring; the message's comes from its
     // entry — any doubt (dead message, would-be violation) falls back
@@ -114,10 +141,13 @@ pub fn fast_receive<S: SpaceAccess + ?Sized>(
     space: &mut S,
     port_ad: AccessDescriptor,
 ) -> Option<RecvOutcome> {
-    let ring = space.port_rings()?.lookup(port_ad.obj)?;
-    if !port_ad.rights.contains(Rights::RECEIVE) {
-        return None;
-    }
+    let ring = ring_for(space, port_ad, Rights::RECEIVE)?;
+    fast_receive_on(&ring, port_ad)
+}
+
+/// The receive half of [`fast_receive`], on an already-resolved ring
+/// (same contract as [`fast_send_on`], with RECEIVE rights).
+pub fn fast_receive_on(ring: &PortRing, port_ad: AccessDescriptor) -> Option<RecvOutcome> {
     match ring.pop() {
         Ok(e) => {
             if i432_trace::ENABLED {

@@ -88,6 +88,27 @@ pub fn run_threaded_with_opts(
     run_threaded_aux_opts(sys, max_steps, cache, queue, Vec::new())
 }
 
+/// [`run_threaded_with_opts`] with dispatch specialization made
+/// explicit.
+///
+/// `fusion = true` gives every GDP the pre-decoded block cache,
+/// superinstruction fusion on the unlocked fast path, and the
+/// monomorphic inline caches at call/port sites. Dispatch
+/// specialization rides on the binding-register cache's fast path, so
+/// it is inert when `cache = false`. `fusion = false` with
+/// `cache = true` is the plain caching runner. All arms must be
+/// digest-identical — the conformance oracle diffs them bit-for-bit on
+/// every seed.
+pub fn run_threaded_full(
+    sys: System,
+    max_steps: u64,
+    cache: bool,
+    queue: bool,
+    fusion: bool,
+) -> (System, ThreadedOutcome) {
+    run_threaded_full_aux(sys, max_steps, cache, queue, fusion, Vec::new())
+}
+
 /// An auxiliary worker thread run alongside the GDP threads: it gets the
 /// shared space handle and the runner's `done` flag (set when the
 /// workload completes or the step budget runs out) and is expected to
@@ -110,20 +131,40 @@ pub fn run_threaded_aux(
 }
 
 /// [`run_threaded_aux`] with the port-ring fast path made explicit (see
-/// [`run_threaded_with_opts`]).
+/// [`run_threaded_with_opts`]). Dispatch specialization defaults to
+/// following the cache flag: the default threaded runner is a fused
+/// runner.
 pub fn run_threaded_aux_opts(
-    mut sys: System,
+    sys: System,
     max_steps: u64,
     cache: bool,
     queue: bool,
     aux: Vec<AuxWorker>,
 ) -> (System, ThreadedOutcome) {
+    run_threaded_full_aux(sys, max_steps, cache, queue, cache, aux)
+}
+
+/// [`run_threaded_aux_opts`] with dispatch specialization made explicit
+/// (see [`run_threaded_full`]). The most general threaded entry point.
+pub fn run_threaded_full_aux(
+    mut sys: System,
+    max_steps: u64,
+    cache: bool,
+    queue: bool,
+    fusion: bool,
+    aux: Vec<AuxWorker>,
+) -> (System, ThreadedOutcome) {
+    // Fusion runs on the unlocked fast path, so it is inert without
+    // the binding-register cache.
+    let fusion = fusion && cache;
     let processes: Vec<_> = sys.processes().to_vec();
     let gdps: Vec<_> = sys
         .processors()
         .into_iter()
         .map(|cpu| {
-            if cache {
+            if fusion {
+                Gdp::new_fused(cpu)
+            } else if cache {
                 Gdp::new_cached(cpu)
             } else {
                 Gdp::new(cpu)
@@ -385,6 +426,19 @@ mod tests {
     fn threaded_run_completes_simple_batch() {
         let sys = batch_system(4, 4, 8);
         let (sys, outcome) = run_threaded(sys, 10_000_000);
+        assert!(outcome.completed, "{outcome:?}");
+        assert_eq!(outcome.system_errors, 0);
+        for p in sys.processes() {
+            assert_eq!(sys.space.process(*p).unwrap().fault_code, 0);
+        }
+    }
+
+    #[test]
+    fn threaded_run_completes_with_fusion_off() {
+        // The default runner is fused; the cache-only arm must complete
+        // the same workload.
+        let sys = batch_system(4, 4, 8);
+        let (sys, outcome) = run_threaded_full(sys, 10_000_000, true, true, false);
         assert!(outcome.completed, "{outcome:?}");
         assert_eq!(outcome.system_errors, 0);
         for p in sys.processes() {

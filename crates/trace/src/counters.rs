@@ -47,10 +47,15 @@ pub enum Counter {
     PortFastReceives,
     PortRingFallbacks,
     PortRingDrains,
+    FusionHits,
+    BlockDecodes,
+    IcHits,
+    IcMisses,
+    IcFlushes,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::PortRingDrains as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::IcFlushes as usize + 1;
 
 /// Log2-bucketed cycle/size histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -84,6 +89,17 @@ const ZERO_ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
 static COUNTERS: [AtomicU64; COUNTER_COUNT] = [ZERO; COUNTER_COUNT];
 #[cfg(feature = "trace")]
 static HISTS: [[AtomicU64; HIST_BUCKETS]; HIST_COUNT] = [ZERO_ROW; HIST_COUNT];
+
+/// Side length of the opcode-pair matrix: pair indices are opcode ids
+/// modulo this (the GDP ISA has fewer than `PAIR_DIM` opcodes, so in
+/// practice no aliasing occurs).
+pub const PAIR_DIM: usize = 32;
+
+#[cfg(feature = "trace")]
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_PAIR_ROW: [AtomicU64; PAIR_DIM] = [ZERO; PAIR_DIM];
+#[cfg(feature = "trace")]
+static PAIRS: [[AtomicU64; PAIR_DIM]; PAIR_DIM] = [ZERO_PAIR_ROW; PAIR_DIM];
 
 impl Counter {
     /// All counters, in index order.
@@ -120,6 +136,11 @@ impl Counter {
         Counter::PortFastReceives,
         Counter::PortRingFallbacks,
         Counter::PortRingDrains,
+        Counter::FusionHits,
+        Counter::BlockDecodes,
+        Counter::IcHits,
+        Counter::IcMisses,
+        Counter::IcFlushes,
     ];
 
     /// Stable lowercase name used in exports.
@@ -157,6 +178,11 @@ impl Counter {
             Counter::PortFastReceives => "port_fast_receives",
             Counter::PortRingFallbacks => "port_ring_fallbacks",
             Counter::PortRingDrains => "port_ring_drains",
+            Counter::FusionHits => "fusion_hits",
+            Counter::BlockDecodes => "block_decodes",
+            Counter::IcHits => "ic_hits",
+            Counter::IcMisses => "ic_misses",
+            Counter::IcFlushes => "ic_flushes",
         }
     }
 }
@@ -209,6 +235,19 @@ pub fn bump_by(c: Counter, n: u64) {
     let _ = (c, n);
 }
 
+/// Records one dynamic opcode pair `(prev, cur)` — two instructions
+/// retired back-to-back on the same processor. The resulting matrix is
+/// the profile that picks fusion candidates: the hottest cells name the
+/// pairs worth turning into superinstructions. Inlined no-op without
+/// the `trace` feature.
+#[inline(always)]
+pub fn record_pair(prev: u8, cur: u8) {
+    #[cfg(feature = "trace")]
+    PAIRS[prev as usize % PAIR_DIM][cur as usize % PAIR_DIM].fetch_add(1, Ordering::Relaxed);
+    #[cfg(not(feature = "trace"))]
+    let _ = (prev, cur);
+}
+
 /// Records a value in a histogram. Inlined no-op without the `trace`
 /// feature.
 #[inline(always)]
@@ -229,6 +268,8 @@ pub struct CountersSnapshot {
     pub counters: [u64; COUNTER_COUNT],
     /// Histogram buckets, indexed by `Hist as usize`.
     pub hists: [[u64; HIST_BUCKETS]; HIST_COUNT],
+    /// Opcode-pair counts, indexed `[prev][cur]` by opcode id.
+    pub pairs: [[u64; PAIR_DIM]; PAIR_DIM],
 }
 
 impl CountersSnapshot {
@@ -241,6 +282,21 @@ impl CountersSnapshot {
     pub fn hist_total(&self, h: Hist) -> u64 {
         self.hists[h as usize].iter().sum()
     }
+
+    /// All nonzero opcode pairs as `(prev, cur, count)`, hottest first —
+    /// the fusion-candidate profile in ready-to-rank form.
+    pub fn hot_pairs(&self) -> Vec<(u8, u8, u64)> {
+        let mut v = Vec::new();
+        for (p, row) in self.pairs.iter().enumerate() {
+            for (c, n) in row.iter().enumerate() {
+                if *n > 0 {
+                    v.push((p as u8, c as u8, *n));
+                }
+            }
+        }
+        v.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        v
+    }
 }
 
 /// Copies the registry. Always available; all-zero when the `trace`
@@ -250,6 +306,7 @@ pub fn snapshot() -> CountersSnapshot {
     let mut s = CountersSnapshot {
         counters: [0; COUNTER_COUNT],
         hists: [[0; HIST_BUCKETS]; HIST_COUNT],
+        pairs: [[0; PAIR_DIM]; PAIR_DIM],
     };
     #[cfg(feature = "trace")]
     {
@@ -259,6 +316,11 @@ pub fn snapshot() -> CountersSnapshot {
         for (i, h) in HISTS.iter().enumerate() {
             for (j, b) in h.iter().enumerate() {
                 s.hists[i][j] = b.load(Ordering::Relaxed);
+            }
+        }
+        for (i, row) in PAIRS.iter().enumerate() {
+            for (j, b) in row.iter().enumerate() {
+                s.pairs[i][j] = b.load(Ordering::Relaxed);
             }
         }
     }
@@ -276,6 +338,40 @@ pub fn reset_counters() {
             for b in h.iter() {
                 b.store(0, Ordering::Relaxed);
             }
+        }
+        for row in PAIRS.iter() {
+            for b in row.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_counting_ranks_hot_pairs_first() {
+        let _guard = crate::recorder::test_guard();
+        reset_counters();
+        // (1, 3) twice, (22, 1) once; ids > PAIR_DIM wrap by modulo.
+        record_pair(1, 3);
+        record_pair(1, 3);
+        record_pair(22, 1);
+        record_pair(PAIR_DIM as u8 + 1, 3);
+        let snap = snapshot();
+        if cfg!(feature = "trace") {
+            assert_eq!(snap.pairs[1][3], 3, "two direct + one wrapped");
+            assert_eq!(snap.pairs[22][1], 1);
+            let hot = snap.hot_pairs();
+            assert_eq!(hot[0], (1, 3, 3), "hottest pair ranks first: {hot:?}");
+            assert!(hot.contains(&(22, 1, 1)));
+            reset_counters();
+            assert_eq!(snapshot().pairs[1][3], 0, "reset clears the matrix");
+        } else {
+            assert_eq!(snap.pairs[1][3], 0, "compiled out: matrix stays zero");
+            assert!(snap.hot_pairs().is_empty());
         }
     }
 }

@@ -46,7 +46,8 @@ pub mod ring;
 pub mod timeline;
 
 pub use counters::{
-    bump, bump_by, bump_max, observe, reset_counters, snapshot, Counter, CountersSnapshot, Hist,
+    bump, bump_by, bump_max, observe, record_pair, reset_counters, snapshot, Counter,
+    CountersSnapshot, Hist, PAIR_DIM,
 };
 pub use event::{Event, EventKind};
 pub use recorder::{drain_timeline, emit, reset, set_context, set_cycle, test_guard, ENABLED};

@@ -865,6 +865,110 @@ mod tests {
     }
 
     #[test]
+    fn retire_races_drain_and_fast_ops_without_resurrection() {
+        // The retirement race: lock-free producers and consumers hammer
+        // the ring while the locked path cycles freeze/drain/reopen and
+        // a destructor retires it mid-traffic. As in the real system,
+        // drain and retire are serialized by the port's shard locks
+        // (modeled by `locked` here); the fast ops race both for real.
+        // Invariants: no tag is ever handed out twice across pops and
+        // drains, a retired ring refuses every operation forever (the
+        // drainer's reopen must not resurrect it), and it ends drained.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        for round in 0..32u32 {
+            let r = Arc::new(open_ring(8));
+            let locked = Arc::new(Mutex::new(()));
+            let collected = Arc::new(Mutex::new(HashSet::new()));
+            let pushed = Arc::new(AtomicU64::new(0));
+            std::thread::scope(|s| {
+                for p in 0..2u32 {
+                    let r = Arc::clone(&r);
+                    let pushed = Arc::clone(&pushed);
+                    s.spawn(move || {
+                        for i in 0..300 {
+                            match r.push(entry(p * 1000 + i + 1)) {
+                                Ok(()) => {
+                                    pushed.fetch_add(1, Ordering::SeqCst);
+                                }
+                                // Dead rings stay locked forever; a
+                                // transient freeze deserves a retry.
+                                Err(RingRefusal::Locked) if r.is_dead() => break,
+                                Err(_) => std::thread::yield_now(),
+                            }
+                        }
+                    });
+                }
+                {
+                    let r = Arc::clone(&r);
+                    let collected = Arc::clone(&collected);
+                    s.spawn(move || loop {
+                        if let Ok(e) = r.pop() {
+                            assert!(
+                                collected.lock().unwrap().insert(e.msg.obj.index.0),
+                                "popped twice"
+                            );
+                        } else if r.is_dead() {
+                            break;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    });
+                }
+                {
+                    let r = Arc::clone(&r);
+                    let locked = Arc::clone(&locked);
+                    let collected = Arc::clone(&collected);
+                    s.spawn(move || {
+                        while !r.is_dead() {
+                            {
+                                let _shard = locked.lock().unwrap();
+                                let mut got = Vec::new();
+                                r.freeze_and_drain(|e| got.push(e.msg.obj.index.0));
+                                // A reopen after the retirer won must be
+                                // a no-op, never a resurrection.
+                                r.reopen();
+                                let mut set = collected.lock().unwrap();
+                                for tag in got {
+                                    assert!(set.insert(tag), "tag {tag} drained twice");
+                                }
+                            }
+                            std::thread::yield_now();
+                        }
+                    });
+                }
+                {
+                    let r = Arc::clone(&r);
+                    let locked = Arc::clone(&locked);
+                    s.spawn(move || {
+                        for _ in 0..(round % 5) {
+                            std::thread::yield_now();
+                        }
+                        let _shard = locked.lock().unwrap();
+                        r.retire();
+                    });
+                }
+            });
+            assert!(r.is_dead(), "round {round}");
+            assert!(r.is_frozen(), "round {round}: retired rings stay frozen");
+            assert_eq!(r.push(entry(7777)), Err(RingRefusal::Locked));
+            assert_eq!(r.pop(), Err(RingRefusal::Locked));
+            r.reopen();
+            assert_eq!(
+                r.push(entry(8888)),
+                Err(RingRefusal::Locked),
+                "round {round}: reopen after retire must not resurrect"
+            );
+            assert_eq!(r.occupancy(), 0, "round {round}: retire drained the ring");
+            let seen = collected.lock().unwrap().len() as u64;
+            assert!(
+                seen <= pushed.load(Ordering::SeqCst),
+                "round {round}: handed out more than was pushed"
+            );
+        }
+    }
+
+    #[test]
     fn registry_binds_one_ring_per_index_lifetime() {
         let reg = PortRingRegistry::new();
         assert!(reg.lookup(port_ref(7)).is_none(), "disabled registry");

@@ -285,6 +285,21 @@ fn is_deterministic(path: &str) -> bool {
             | "pairs"
             | "capacity"
             | "messages_per_producer"
+            // c13_filing: the whole protocol is simulated, so the
+            // request, transfer, device and swap accounting is exact
+            // on every host; only the wall-clock points stay
+            // host-dependent.
+            | "clients"
+            | "files"
+            | "ops_per_client"
+            | "workers"
+            | "requests_served"
+            | "bytes_moved"
+            | "device_errors"
+            | "protocol_errors"
+            | "device_completions"
+            | "swap_outs"
+            | "swap_ins"
     )
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! conform_fuzz [--seed N | --start N --count N] [--matrix full|quick]
+//!              [--workload gen|filing]
 //!              [--cache on|off|both] [--port-queue on|off|both]
 //!              [--fusion on|off|both]
 //!              [--explore N] [--out PATH] [--trace] [--gc]
@@ -27,6 +28,15 @@
 //! Failing seeds are written to `--out` (default
 //! `CONFORM_FAILURES.json`) and the process exits nonzero.
 //!
+//! `--workload filing` switches from the generated ISA cases to the
+//! object-filing differential workload: the full filing stack (typed
+//! ports, swapping storage, the async virtio block device, worker
+//! natives) runs deterministically and threaded at every matrix point,
+//! each point diffed with the device descriptor ring on *and* off; the
+//! matrix's thread column sets the filing worker count. `--cache`,
+//! `--port-queue`, `--fusion` and `--gc` apply only to the generated
+//! workload.
+//!
 //! `--trace` (needs a `--features trace` build; warns otherwise)
 //! replays every failing differential seed once on the threaded runner
 //! with the flight recorder on and writes its merged timeline to
@@ -34,13 +44,21 @@
 //! digest mismatch.
 
 use i432_conform::{
-    check_seed_fusion, check_seed_pargc, explore, generate, run_threaded_case, CacheModes,
-    ExploreConfig, FusionModes, QueueModes, FULL_MATRIX, QUICK_MATRIX,
+    check_filing_seed, check_seed_fusion, check_seed_pargc, explore, generate, run_filing_threaded,
+    run_threaded_case, CacheModes, ExploreConfig, FusionModes, QueueModes, FULL_MATRIX,
+    QUICK_MATRIX,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Gen,
+    Filing,
+}
+
 struct Args {
+    workload: Workload,
     start: u64,
     count: u64,
     matrix: &'static [(u32, u32)],
@@ -55,6 +73,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        workload: Workload::Gen,
         start: 0,
         count: 256,
         matrix: FULL_MATRIX,
@@ -90,6 +109,14 @@ fn parse_args() -> Result<Args, String> {
                 args.count = need_value(i)?
                     .parse()
                     .map_err(|e| format!("--count: {e}"))?;
+                i += 2;
+            }
+            "--workload" => {
+                args.workload = match need_value(i)? {
+                    "gen" => Workload::Gen,
+                    "filing" => Workload::Filing,
+                    other => return Err(format!("--workload: expected gen|filing, got {other:?}")),
+                };
                 i += 2;
             }
             "--matrix" => {
@@ -166,9 +193,17 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.workload == Workload::Filing && args.gc {
+        eprintln!("conform_fuzz: --gc applies only to --workload gen");
+        return ExitCode::from(2);
+    }
     println!(
-        "i432 differential conformance fuzz: seeds {}..{}, {} matrix points/seed, \
+        "i432 differential conformance fuzz ({} workload): seeds {}..{}, {} matrix points/seed, \
          {} cache arm(s), {} port-queue arm(s), {} fusion arm(s){}",
+        match args.workload {
+            Workload::Gen => "generated",
+            Workload::Filing => "filing",
+        },
         args.start,
         args.start + args.count,
         args.matrix.len(),
@@ -183,10 +218,12 @@ fn main() -> ExitCode {
     );
     let mut failures = Vec::new();
     for seed in args.start..args.start + args.count {
-        let report = if args.gc {
-            check_seed_pargc(seed, args.matrix, args.cache)
-        } else {
-            check_seed_fusion(seed, args.matrix, args.cache, args.queue, args.fusion)
+        let report = match args.workload {
+            Workload::Filing => check_filing_seed(seed, args.matrix),
+            Workload::Gen if args.gc => check_seed_pargc(seed, args.matrix, args.cache),
+            Workload::Gen => {
+                check_seed_fusion(seed, args.matrix, args.cache, args.queue, args.fusion)
+            }
         };
         if report.passed() {
             if (seed - args.start + 1) % 32 == 0 {
@@ -236,12 +273,19 @@ fn main() -> ExitCode {
             for f in &failures {
                 i432_trace::reset();
                 i432_trace::set_context(0, 0);
-                let case = generate(f.seed);
                 // A failing seed's replay may itself assert (hang,
                 // system error); the partial timeline is exactly what
                 // we want then, so keep going either way.
-                let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_threaded_case(&case, 4, 4)
+                let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match args
+                    .workload
+                {
+                    Workload::Filing => {
+                        run_filing_threaded(f.seed, 4, 4, true);
+                    }
+                    Workload::Gen => {
+                        let case = generate(f.seed);
+                        run_threaded_case(&case, 4, 4);
+                    }
                 }));
                 if replay.is_err() {
                     eprintln!("seed {}: traced replay panicked (timeline kept)", f.seed);
@@ -279,8 +323,12 @@ fn main() -> ExitCode {
             .map_or("null".to_string(), |p| format!("\"{p}\""));
         let _ = writeln!(
             json,
-            "    {{\"seed\": {}, \"kind\": \"differential\", \"mismatches\": {}, \"trace\": {}}}{}",
+            "    {{\"seed\": {}, \"kind\": \"{}\", \"mismatches\": {}, \"trace\": {}}}{}",
             f.seed,
+            match args.workload {
+                Workload::Gen => "differential",
+                Workload::Filing => "filing",
+            },
             f.mismatches.len(),
             trace,
             if emitted < total { "," } else { "" }

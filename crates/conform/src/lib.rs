@@ -26,10 +26,15 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod filing;
 pub mod gen;
 pub mod oracle;
 
 pub use explore::{explore, explore_traced, ExploreConfig, ExploreReport};
+pub use filing::{
+    check_filing_seed, filing_replay_command, filing_workload, run_filing_deterministic,
+    run_filing_threaded,
+};
 pub use gen::{generate, GenCase, GenProcess};
 pub use oracle::{
     check_seed, check_seed_full, check_seed_fusion, check_seed_modes, check_seed_pargc,

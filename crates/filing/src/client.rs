@@ -1,0 +1,251 @@
+//! The filing client: an interpreted GDP program.
+//!
+//! Each client owns one file and drives the full protocol over it —
+//! OPEN, then `iters` WRITE/READ round trips at a rolling position,
+//! then CLOSE — folding every reply (status, count, first data word)
+//! into a running checksum that it publishes to its out-object before
+//! halting. The checksum is schedule-independent: the client blocks on
+//! its private reply port after every request, so no interleaving of
+//! workers or other clients can change what it observes. That is what
+//! lets the conform harness compare the deterministic and threaded
+//! runners bit-for-bit over the out-objects.
+//!
+//! [`expected_checksum`] is the host-side reference model: the same
+//! fold over the statuses, counts and payloads the protocol guarantees.
+
+use crate::protocol::*;
+use i432_arch::sysobj::{CTX_SLOT_ARG, CTX_SLOT_SRO};
+use i432_gdp::isa::{AluOp, DataDst, DataRef, Instruction};
+use i432_gdp::ProgramBuilder;
+
+/// Param-object layout (built by the harness, passed as the spawn arg):
+/// data `[0]` = file id, `[8]` = payload seed; access slot 0 = request
+/// port, 1 = private reply port, 2 = out-object.
+pub const PARAM_FILE_OFF: u32 = 0;
+/// Offset of the payload seed in the param object.
+pub const PARAM_SEED_OFF: u32 = 8;
+/// Param access slot of the shared request port.
+pub const PARAM_SLOT_REQ: u32 = 0;
+/// Param access slot of the client's private reply port.
+pub const PARAM_SLOT_REPLY: u32 = 1;
+/// Param access slot of the client's out-object.
+pub const PARAM_SLOT_OUT: u32 = 2;
+
+/// Data-part bytes of a param object.
+pub const PARAM_DATA_LEN: u32 = 16;
+/// Access-part slots of a param object.
+pub const PARAM_ACCESS_LEN: u32 = 3;
+
+/// Context AD slots the client program uses.
+const SLOT_REQ_PORT: u16 = 4;
+const SLOT_REPLY_PORT: u16 = 5;
+const SLOT_OUT: u16 = 6;
+const SLOT_REQ: u16 = 7;
+
+/// Local byte offsets.
+const L_I: u32 = 0;
+const L_CHK: u32 = 8;
+const L_POS: u32 = 16;
+const L_PAY: u32 = 24;
+const L_TMP: u32 = 32;
+const L_COND: u32 = 40;
+
+/// Multipliers for the per-iteration payload (golden-ratio mixing, the
+/// usual splitmix-style constants).
+const PAY_FILE_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+const PAY_ITER_MUL: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// Number of requests one client issues: OPEN + iters×(WRITE, READ) +
+/// CLOSE.
+pub fn requests_per_client(iters: u64) -> u64 {
+    2 + 2 * iters
+}
+
+/// Builds the client program. All clients share one program; per-client
+/// identity (file id, payload seed) comes from the param object.
+pub fn filing_client_program(iters: u64) -> Vec<Instruction> {
+    assert!(iters >= 1, "the WRITE/READ loop is do-while shaped");
+    let mut p = ProgramBuilder::new();
+
+    // A fresh request object in SLOT_REQ, with op/file filled in and the
+    // reply port in its slot 0. The previous request (received back as
+    // the reply) is overwritten — each round trip leaves one garbage
+    // segment for the collector.
+    let fresh_req = |p: &mut ProgramBuilder, op: u64| {
+        p.create_object(
+            CTX_SLOT_SRO as u16,
+            DataRef::Imm(u64::from(FREQ_OBJ_DATA_LEN)),
+            DataRef::Imm(u64::from(FREQ_OBJ_ACCESS_LEN)),
+            SLOT_REQ,
+        );
+        p.mov(DataRef::Imm(op), DataDst::Field(SLOT_REQ, FREQ_OP_OFF));
+        p.mov(
+            DataRef::Field(CTX_SLOT_ARG as u16, PARAM_FILE_OFF),
+            DataDst::Field(SLOT_REQ, FREQ_FILE_OFF),
+        );
+        p.store_ad(
+            SLOT_REPLY_PORT,
+            SLOT_REQ,
+            DataRef::Imm(u64::from(FREQ_SLOT_REPLY)),
+        );
+    };
+    // chk = chk * 31 ^ src.
+    let fold = |p: &mut ProgramBuilder, src: DataRef| {
+        p.alu(
+            AluOp::Mul,
+            DataRef::Local(L_CHK),
+            DataRef::Imm(31),
+            DataDst::Local(L_CHK),
+        );
+        p.alu(
+            AluOp::Xor,
+            DataRef::Local(L_CHK),
+            src,
+            DataDst::Local(L_CHK),
+        );
+    };
+    let roundtrip = |p: &mut ProgramBuilder| {
+        p.send(SLOT_REQ_PORT, SLOT_REQ);
+        p.receive(SLOT_REPLY_PORT, SLOT_REQ);
+    };
+
+    p.load_ad(
+        CTX_SLOT_ARG as u16,
+        DataRef::Imm(u64::from(PARAM_SLOT_REQ)),
+        SLOT_REQ_PORT,
+    );
+    p.load_ad(
+        CTX_SLOT_ARG as u16,
+        DataRef::Imm(u64::from(PARAM_SLOT_REPLY)),
+        SLOT_REPLY_PORT,
+    );
+    p.load_ad(
+        CTX_SLOT_ARG as u16,
+        DataRef::Imm(u64::from(PARAM_SLOT_OUT)),
+        SLOT_OUT,
+    );
+    p.mov(DataRef::Imm(0), DataDst::Local(L_I));
+    p.mov(DataRef::Imm(0), DataDst::Local(L_CHK));
+
+    // OPEN.
+    fresh_req(&mut p, FOP_OPEN);
+    roundtrip(&mut p);
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_STATUS_OFF));
+
+    let top = p.new_label();
+    p.bind(top);
+
+    // pos = (i & 7) * 8 — a rolling window inside the file.
+    p.alu(
+        AluOp::And,
+        DataRef::Local(L_I),
+        DataRef::Imm(7),
+        DataDst::Local(L_POS),
+    );
+    p.alu(
+        AluOp::Mul,
+        DataRef::Local(L_POS),
+        DataRef::Imm(8),
+        DataDst::Local(L_POS),
+    );
+    // payload = (file + 1)*PAY_FILE_MUL ^ i*PAY_ITER_MUL ^ seed.
+    p.alu(
+        AluOp::Add,
+        DataRef::Field(CTX_SLOT_ARG as u16, PARAM_FILE_OFF),
+        DataRef::Imm(1),
+        DataDst::Local(L_PAY),
+    );
+    p.alu(
+        AluOp::Mul,
+        DataRef::Local(L_PAY),
+        DataRef::Imm(PAY_FILE_MUL),
+        DataDst::Local(L_PAY),
+    );
+    p.alu(
+        AluOp::Mul,
+        DataRef::Local(L_I),
+        DataRef::Imm(PAY_ITER_MUL),
+        DataDst::Local(L_TMP),
+    );
+    p.alu(
+        AluOp::Xor,
+        DataRef::Local(L_PAY),
+        DataRef::Local(L_TMP),
+        DataDst::Local(L_PAY),
+    );
+    p.alu(
+        AluOp::Xor,
+        DataRef::Local(L_PAY),
+        DataRef::Field(CTX_SLOT_ARG as u16, PARAM_SEED_OFF),
+        DataDst::Local(L_PAY),
+    );
+
+    // WRITE 8 bytes of payload at pos.
+    fresh_req(&mut p, FOP_WRITE);
+    p.mov(
+        DataRef::Local(L_POS),
+        DataDst::Field(SLOT_REQ, FREQ_POS_OFF),
+    );
+    p.mov(DataRef::Imm(8), DataDst::Field(SLOT_REQ, FREQ_LEN_OFF));
+    p.mov(
+        DataRef::Local(L_PAY),
+        DataDst::Field(SLOT_REQ, FREQ_DATA_OFF),
+    );
+    roundtrip(&mut p);
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_STATUS_OFF));
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_COUNT_OFF));
+
+    // READ it back and fold the data word — this is the end-to-end
+    // check that the write went through cache and device correctly.
+    fresh_req(&mut p, FOP_READ);
+    p.mov(
+        DataRef::Local(L_POS),
+        DataDst::Field(SLOT_REQ, FREQ_POS_OFF),
+    );
+    p.mov(DataRef::Imm(8), DataDst::Field(SLOT_REQ, FREQ_LEN_OFF));
+    roundtrip(&mut p);
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_STATUS_OFF));
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_COUNT_OFF));
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_DATA_OFF));
+
+    p.alu(
+        AluOp::Add,
+        DataRef::Local(L_I),
+        DataRef::Imm(1),
+        DataDst::Local(L_I),
+    );
+    p.alu(
+        AluOp::Lt,
+        DataRef::Local(L_I),
+        DataRef::Imm(iters),
+        DataDst::Local(L_COND),
+    );
+    p.jump_if_nonzero(DataRef::Local(L_COND), top);
+
+    // CLOSE, publish, halt.
+    fresh_req(&mut p, FOP_CLOSE);
+    roundtrip(&mut p);
+    fold(&mut p, DataRef::Field(SLOT_REQ, FREQ_STATUS_OFF));
+    p.mov(DataRef::Local(L_CHK), DataDst::Field(SLOT_OUT, 0));
+    p.halt();
+    p.finish()
+}
+
+/// Host-side reference model of one client's checksum: the fold the
+/// program performs, assuming every request succeeds.
+pub fn expected_checksum(file: u64, seed: u64, iters: u64) -> u64 {
+    let fold = |chk: u64, v: u64| chk.wrapping_mul(31) ^ v;
+    let mut chk = 0u64;
+    chk = fold(chk, FS_OK); // OPEN status
+    for i in 0..iters {
+        let pay =
+            (file.wrapping_add(1)).wrapping_mul(PAY_FILE_MUL) ^ i.wrapping_mul(PAY_ITER_MUL) ^ seed;
+        chk = fold(chk, FS_OK); // WRITE status
+        chk = fold(chk, 8); // WRITE count
+        chk = fold(chk, FS_OK); // READ status
+        chk = fold(chk, 8); // READ count
+        chk = fold(chk, pay); // READ data
+    }
+    chk = fold(chk, FS_OK); // CLOSE status
+    chk
+}

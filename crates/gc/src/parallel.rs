@@ -97,6 +97,52 @@ pub struct ParGcStats {
     pub errors: Vec<String>,
 }
 
+/// Escalating idle pacing for the drain loop: a collector worker that
+/// finds its deque empty and every steal pass dry first spins (cheap,
+/// keeps the line hot while a peer is mid-push), then starts yielding
+/// its timeslice so idle collector threads stop burning the cores the
+/// mutator GDP threads want. Finding any work resets the ladder.
+///
+/// This only paces *host* scheduling of the marking threads — it never
+/// touches simulated state, so the collector's observable results (and
+/// every deterministic `c5_gc` key) are unchanged by construction.
+struct Backoff {
+    dry: u32,
+}
+
+impl Backoff {
+    /// Empty passes spent spin-looping before escalating to yields.
+    const SPIN_LIMIT: u32 = 6;
+
+    fn new() -> Backoff {
+        Backoff { dry: 0 }
+    }
+
+    /// Work was found: restart from the cheap end of the ladder.
+    fn reset(&mut self) {
+        self.dry = 0;
+    }
+
+    /// One empty pop+steal pass: spin 2^dry times up to the limit, then
+    /// yield the timeslice instead.
+    fn idle(&mut self) {
+        if self.dry < Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.dry) {
+                std::hint::spin_loop();
+            }
+            self.dry += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Whether the ladder has escalated past spinning (test hook).
+    #[cfg(test)]
+    fn is_yielding(&self) -> bool {
+        self.dry >= Self::SPIN_LIMIT
+    }
+}
+
 /// The parallel per-shard collector. One instance coordinates
 /// `shard_count` workers; create with [`ParallelGc::new`], then either
 /// [`ParallelGc::collect_on`] (one-shot, own threads) or
@@ -395,6 +441,7 @@ impl ParallelGc {
     /// its own drain, and anything missed is still gray in the table
     /// for the verification scan to re-find.
     fn drain(&self, k: u32, agent: &mut i432_arch::SpaceAgent<'_>) {
+        let mut backoff = Backoff::new();
         loop {
             self.in_flight.fetch_add(1, Ordering::SeqCst);
             let item = self.deques[k as usize].pop().or_else(|| self.steal(k));
@@ -402,6 +449,7 @@ impl ParallelGc {
                 Some(r) => {
                     self.process(k, r, agent);
                     self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    backoff.reset();
                 }
                 None => {
                     self.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -413,7 +461,7 @@ impl ParallelGc {
                         self.empty_steal_exits.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
-                    std::hint::spin_loop();
+                    backoff.idle();
                 }
             }
         }
@@ -550,6 +598,22 @@ pub fn run_threaded_parallel_gc(
 mod tests {
     use super::*;
     use i432_arch::{ObjectSpec, Rights, ShardedSpace, SysState};
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding(), "fresh ladder starts at the spin end");
+        for _ in 0..Backoff::SPIN_LIMIT {
+            b.idle();
+        }
+        assert!(b.is_yielding(), "dry passes escalate to yielding");
+        // Escalated idling stays at the yield rung (no counter wrap).
+        b.idle();
+        b.idle();
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding(), "finding work restarts the cheap spins");
+    }
 
     /// A 4-shard space: per shard, a processor anchoring a chain of
     /// `live` reachable objects, plus `garbage` unreachable ones.

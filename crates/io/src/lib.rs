@@ -35,6 +35,7 @@ pub mod family;
 pub mod iface;
 pub mod iop;
 pub mod tape;
+pub mod virtio;
 
 pub use console::ConsoleDevice;
 pub use disk::RamDisk;
@@ -45,3 +46,7 @@ pub use iface::{
 };
 pub use iop::{AsyncDevice, IoSubsystem, IopStats};
 pub use tape::{TapeDrive, TapePool};
+pub use virtio::{
+    QueueRefusal, VirtQueue, VirtioBlock, VirtioDevice, VirtioKind, VirtioModel, VirtioNet,
+    VirtioStats,
+};

@@ -29,7 +29,9 @@
 //! body is the `unchecked_conversion`.
 
 use crate::untyped::{self, Port};
-use i432_arch::{AccessDescriptor, ObjectRef, ObjectSpace, ObjectSpec, PortDiscipline, Rights};
+use i432_arch::{
+    AccessDescriptor, ObjectRef, ObjectSpec, PortDiscipline, Rights, SpaceAccess, SpaceMut,
+};
 use i432_gdp::Fault;
 use std::marker::PhantomData;
 
@@ -38,7 +40,10 @@ use std::marker::PhantomData;
 /// A `user_message` is represented as an object whose data part holds the
 /// value. Implementations define the marshalling; the port machinery
 /// never inspects it (that is the point of Figure 2: typing is purely a
-/// compile-time wrapper).
+/// compile-time wrapper). Marshalling is generic over the capability
+/// boundary, so typed ports work identically over the unsharded space,
+/// the striped shared space, and the `&mut dyn SpaceMut` view native
+/// services receive.
 pub trait PortMessage: Sized {
     /// Data-part bytes an instance needs.
     const DATA_LEN: u32;
@@ -46,20 +51,28 @@ pub trait PortMessage: Sized {
     const ACCESS_LEN: u32 = 0;
 
     /// Writes `self` into the object behind `ad`.
-    fn store(&self, space: &mut ObjectSpace, ad: AccessDescriptor) -> Result<(), Fault>;
+    fn store<S: SpaceAccess + ?Sized>(
+        &self,
+        space: &mut S,
+        ad: AccessDescriptor,
+    ) -> Result<(), Fault>;
 
     /// Reads an instance from the object behind `ad`.
-    fn load(space: &mut ObjectSpace, ad: AccessDescriptor) -> Result<Self, Fault>;
+    fn load<S: SpaceAccess + ?Sized>(space: &mut S, ad: AccessDescriptor) -> Result<Self, Fault>;
 }
 
 impl PortMessage for u64 {
     const DATA_LEN: u32 = 8;
 
-    fn store(&self, space: &mut ObjectSpace, ad: AccessDescriptor) -> Result<(), Fault> {
+    fn store<S: SpaceAccess + ?Sized>(
+        &self,
+        space: &mut S,
+        ad: AccessDescriptor,
+    ) -> Result<(), Fault> {
         space.write_u64(ad, 0, *self).map_err(Fault::from)
     }
 
-    fn load(space: &mut ObjectSpace, ad: AccessDescriptor) -> Result<u64, Fault> {
+    fn load<S: SpaceAccess + ?Sized>(space: &mut S, ad: AccessDescriptor) -> Result<u64, Fault> {
         space.read_u64(ad, 0).map_err(Fault::from)
     }
 }
@@ -67,11 +80,18 @@ impl PortMessage for u64 {
 impl<const N: usize> PortMessage for [u8; N] {
     const DATA_LEN: u32 = N as u32;
 
-    fn store(&self, space: &mut ObjectSpace, ad: AccessDescriptor) -> Result<(), Fault> {
+    fn store<S: SpaceAccess + ?Sized>(
+        &self,
+        space: &mut S,
+        ad: AccessDescriptor,
+    ) -> Result<(), Fault> {
         space.write_data(ad, 0, self).map_err(Fault::from)
     }
 
-    fn load(space: &mut ObjectSpace, ad: AccessDescriptor) -> Result<[u8; N], Fault> {
+    fn load<S: SpaceAccess + ?Sized>(
+        space: &mut S,
+        ad: AccessDescriptor,
+    ) -> Result<[u8; N], Fault> {
         let mut buf = [0u8; N];
         space.read_data(ad, 0, &mut buf).map_err(Fault::from)?;
         Ok(buf)
@@ -98,8 +118,8 @@ impl<M: PortMessage> Copy for TypedPort<M> {}
 
 impl<M: PortMessage> TypedPort<M> {
     /// Figure 2's `Create`.
-    pub fn create(
-        space: &mut ObjectSpace,
+    pub fn create<S: SpaceAccess + ?Sized>(
+        space: &mut S,
         sro: ObjectRef,
         message_count: u32,
         discipline: PortDiscipline,
@@ -130,7 +150,12 @@ impl<M: PortMessage> TypedPort<M> {
     /// Figure 2's `Send`: marshals `msg` into a fresh object from `sro`
     /// and sends its access descriptor. Compiles to the untyped send.
     #[inline]
-    pub fn send(&self, space: &mut ObjectSpace, sro: ObjectRef, msg: &M) -> Result<(), Fault> {
+    pub fn send<S: SpaceMut + ?Sized>(
+        &self,
+        space: &mut S,
+        sro: ObjectRef,
+        msg: &M,
+    ) -> Result<(), Fault> {
         let obj = space
             .create_object(sro, ObjectSpec::generic(M::DATA_LEN, M::ACCESS_LEN))
             .map_err(Fault::from)?;
@@ -142,14 +167,18 @@ impl<M: PortMessage> TypedPort<M> {
     /// Sends an already-marshalled message object (the zero-copy path —
     /// byte-for-byte the untyped send; benchmark C4 measures this one).
     #[inline]
-    pub fn send_ad(&self, space: &mut ObjectSpace, msg: AccessDescriptor) -> Result<(), Fault> {
+    pub fn send_ad<S: SpaceMut + ?Sized>(
+        &self,
+        space: &mut S,
+        msg: AccessDescriptor,
+    ) -> Result<(), Fault> {
         untyped::send(space, self.port, msg)
     }
 
     /// Figure 2's `Receive`: receives and unmarshals one message.
     /// Returns `Ok(None)` when the queue is empty (host-level view).
     #[inline]
-    pub fn receive(&self, space: &mut ObjectSpace) -> Result<Option<M>, Fault> {
+    pub fn receive<S: SpaceMut + ?Sized>(&self, space: &mut S) -> Result<Option<M>, Fault> {
         match untyped::receive(space, self.port)? {
             Some(ad) => Ok(Some(M::load(space, ad)?)),
             None => Ok(None),
@@ -158,7 +187,10 @@ impl<M: PortMessage> TypedPort<M> {
 
     /// Receives without unmarshalling (zero-copy path).
     #[inline]
-    pub fn receive_ad(&self, space: &mut ObjectSpace) -> Result<Option<AccessDescriptor>, Fault> {
+    pub fn receive_ad<S: SpaceMut + ?Sized>(
+        &self,
+        space: &mut S,
+    ) -> Result<Option<AccessDescriptor>, Fault> {
         untyped::receive(space, self.port)
     }
 }
@@ -166,6 +198,7 @@ impl<M: PortMessage> TypedPort<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use i432_arch::ObjectSpace;
 
     fn space() -> ObjectSpace {
         ObjectSpace::new(64 * 1024, 8 * 1024, 1024)

@@ -52,10 +52,14 @@ pub enum Counter {
     IcHits,
     IcMisses,
     IcFlushes,
+    BlkSubmits,
+    BlkCompletions,
+    NetRx,
+    NetTx,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::IcFlushes as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::NetTx as usize + 1;
 
 /// Log2-bucketed cycle/size histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -70,10 +74,13 @@ pub enum Hist {
     /// Ring occupancy observed at each locked-path drain of a port
     /// ring (queue depth the fast path built up between locked ops).
     PortQueueDepth,
+    /// Simulated cycles from filing-request submission to completion
+    /// delivery (the filing server's request-latency distribution).
+    FilingRequestCycles,
 }
 
 /// Number of [`Hist`] variants.
-pub const HIST_COUNT: usize = Hist::PortQueueDepth as usize + 1;
+pub const HIST_COUNT: usize = Hist::FilingRequestCycles as usize + 1;
 
 /// Buckets per histogram: bucket `i` holds values with `log2(v) == i`
 /// (value 0 lands in bucket 0).
@@ -141,6 +148,10 @@ impl Counter {
         Counter::IcHits,
         Counter::IcMisses,
         Counter::IcFlushes,
+        Counter::BlkSubmits,
+        Counter::BlkCompletions,
+        Counter::NetRx,
+        Counter::NetTx,
     ];
 
     /// Stable lowercase name used in exports.
@@ -183,6 +194,10 @@ impl Counter {
             Counter::IcHits => "ic_hits",
             Counter::IcMisses => "ic_misses",
             Counter::IcFlushes => "ic_flushes",
+            Counter::BlkSubmits => "blk_submits",
+            Counter::BlkCompletions => "blk_completions",
+            Counter::NetRx => "net_rx",
+            Counter::NetTx => "net_tx",
         }
     }
 }
@@ -194,6 +209,7 @@ impl Hist {
         Hist::DomainReturnCycles,
         Hist::AllocDataBytes,
         Hist::PortQueueDepth,
+        Hist::FilingRequestCycles,
     ];
 
     /// Stable lowercase name used in exports.
@@ -203,6 +219,7 @@ impl Hist {
             Hist::DomainReturnCycles => "domain_return_cycles",
             Hist::AllocDataBytes => "alloc_data_bytes",
             Hist::PortQueueDepth => "port_queue_depth",
+            Hist::FilingRequestCycles => "filing_request_cycles",
         }
     }
 }
@@ -350,6 +367,44 @@ pub fn reset_counters() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn device_counters_and_filing_hist_count() {
+        let _guard = crate::recorder::test_guard();
+        reset_counters();
+        bump(Counter::BlkSubmits);
+        bump(Counter::BlkSubmits);
+        bump(Counter::BlkCompletions);
+        bump_by(Counter::NetRx, 3);
+        bump_by(Counter::NetTx, 5);
+        // Latencies 1, 2, and 1000 cycles land in log2 buckets 0, 1, 9.
+        observe(Hist::FilingRequestCycles, 1);
+        observe(Hist::FilingRequestCycles, 2);
+        observe(Hist::FilingRequestCycles, 1000);
+        let snap = snapshot();
+        if cfg!(feature = "trace") {
+            assert_eq!(snap.get(Counter::BlkSubmits), 2);
+            assert_eq!(snap.get(Counter::BlkCompletions), 1);
+            assert_eq!(snap.get(Counter::NetRx), 3);
+            assert_eq!(snap.get(Counter::NetTx), 5);
+            assert_eq!(snap.hist_total(Hist::FilingRequestCycles), 3);
+            let row = snap.hists[Hist::FilingRequestCycles as usize];
+            assert_eq!(row[0], 1);
+            assert_eq!(row[1], 1);
+            assert_eq!(row[9], 1, "1000 cycles buckets at log2 = 9");
+            reset_counters();
+        } else {
+            assert_eq!(snap.get(Counter::BlkSubmits), 0, "compiled out");
+            assert_eq!(snap.hist_total(Hist::FilingRequestCycles), 0);
+        }
+        // Names are stable export keys — exercised so the match arms
+        // can't silently drift from the enum.
+        assert_eq!(Counter::BlkSubmits.name(), "blk_submits");
+        assert_eq!(Counter::BlkCompletions.name(), "blk_completions");
+        assert_eq!(Counter::NetRx.name(), "net_rx");
+        assert_eq!(Counter::NetTx.name(), "net_tx");
+        assert_eq!(Hist::FilingRequestCycles.name(), "filing_request_cycles");
+    }
 
     #[test]
     fn pair_counting_ranks_hot_pairs_first() {

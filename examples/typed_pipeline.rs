@@ -28,17 +28,17 @@ struct Sample {
 impl PortMessage for Sample {
     const DATA_LEN: u32 = 8;
 
-    fn store(
+    fn store<S: imax::arch::SpaceAccess + ?Sized>(
         &self,
-        space: &mut ObjectSpace,
+        space: &mut S,
         ad: imax::arch::AccessDescriptor,
     ) -> Result<(), imax::gdp::Fault> {
         let packed = ((self.sensor as u64) << 32) | self.millikelvin as u64;
         space.write_u64(ad, 0, packed).map_err(Into::into)
     }
 
-    fn load(
-        space: &mut ObjectSpace,
+    fn load<S: imax::arch::SpaceAccess + ?Sized>(
+        space: &mut S,
         ad: imax::arch::AccessDescriptor,
     ) -> Result<Sample, imax::gdp::Fault> {
         let packed = space.read_u64(ad, 0)?;
